@@ -1,0 +1,54 @@
+//! Criterion benches for full oracle navigations — the latency behind
+//! Figs 8 and 9: a complete BioNav navigation to the target vs the static
+//! baseline walk.
+//!
+//! Scale via `BIONAV_BENCH_SCALE` (default 0.25).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bionav_bench::build_workload;
+use bionav_core::baseline::{simulate_static, simulate_static_paged};
+use bionav_core::sim::simulate_bionav;
+use bionav_core::CostParams;
+
+fn bench_scale() -> f64 {
+    std::env::var("BIONAV_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// End-to-end BioNav navigation per query (all EXPANDs to the target).
+fn bench_bionav_navigation(c: &mut Criterion) {
+    let workload = build_workload(bench_scale());
+    let params = CostParams::default();
+    let mut group = c.benchmark_group("bionav_navigation");
+    group.sample_size(10);
+    for q in &workload.queries {
+        let run = workload.run_query(&q.spec.name);
+        group.bench_with_input(BenchmarkId::from_parameter(&q.spec.name), &run, |b, run| {
+            b.iter(|| simulate_bionav(black_box(&run.nav), &params, &[run.target]));
+        });
+    }
+    group.finish();
+}
+
+/// The static baselines for comparison (they do no optimization work).
+fn bench_static_navigation(c: &mut Criterion) {
+    let workload = build_workload(bench_scale());
+    let mut group = c.benchmark_group("static_navigation");
+    for name in ["prothymosin", "follistatin"] {
+        let run = workload.run_query(name);
+        group.bench_with_input(BenchmarkId::new("plain", name), &run, |b, run| {
+            b.iter(|| simulate_static(black_box(&run.nav), &[run.target]));
+        });
+        group.bench_with_input(BenchmarkId::new("paged10", name), &run, |b, run| {
+            b.iter(|| simulate_static_paged(black_box(&run.nav), &[run.target], 10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bionav_navigation, bench_static_navigation);
+criterion_main!(benches);

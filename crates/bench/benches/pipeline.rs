@@ -1,0 +1,103 @@
+//! Criterion benches for the on-line pipeline stages of §VII: keyword
+//! retrieval through the inverted index, navigation-tree construction
+//! (attachment + maximum embedding), and the exact Opt-EdgeCut solver on
+//! reduced-tree-sized instances.
+//!
+//! Scale via `BIONAV_BENCH_SCALE` (default 0.25).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bionav_bench::build_workload;
+use bionav_core::edgecut::opt::CutProblem;
+use bionav_core::{CitSet, CostParams, NavigationTree};
+
+fn bench_scale() -> f64 {
+    std::env::var("BIONAV_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// ESearch stand-in: conjunctive keyword queries over the index.
+fn bench_keyword_query(c: &mut Criterion) {
+    let workload = build_workload(bench_scale());
+    let mut group = c.benchmark_group("keyword_query");
+    for q in &workload.queries {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&q.spec.name),
+            &q.spec.keywords,
+            |b, kw| {
+                b.iter(|| workload.index.query(black_box(kw)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Navigation-tree construction: attach citations, compute the maximum
+/// embedding, cache subtree sets.
+fn bench_navtree_build(c: &mut Criterion) {
+    let workload = build_workload(bench_scale());
+    let mut group = c.benchmark_group("navtree_build");
+    group.sample_size(20);
+    for name in ["lbetat2", "prothymosin", "follistatin"] {
+        let q = workload.query(name).unwrap();
+        let results = workload.index.query(&q.spec.keywords).citations;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &results, |b, results| {
+            b.iter(|| {
+                NavigationTree::build(
+                    black_box(&workload.hierarchy),
+                    black_box(&workload.store),
+                    black_box(results),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The exact solver on synthetic reduced trees of size n — the exponential
+/// core whose feasibility ceiling motivates §VI-B.
+fn bench_opt_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_edgecut");
+    for n in [6usize, 8, 10, 12, 14] {
+        // A balanced-ish tree: unit i hangs under i/2, sets interleave to
+        // create duplicates.
+        let universe = 64;
+        let parent: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some((i - 1) / 2) })
+            .collect();
+        let sets: Vec<CitSet> = (0..n)
+            .map(|i| {
+                let mut s = CitSet::new(universe);
+                for j in 0..8 {
+                    s.insert((i * 5 + j * 3) % universe);
+                }
+                s
+            })
+            .collect();
+        let weights: Vec<f64> = sets.iter().map(|s| f64::from(s.count())).collect();
+        let total: f64 = weights.iter().sum();
+        let params = CostParams {
+            max_opt_nodes: 18,
+            ..CostParams::default()
+        };
+        let problem = CutProblem::new(parent, sets, vec![1; n], weights, total, params);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| {
+                let mut solver = p.solver();
+                black_box(solver.solve_full())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_keyword_query,
+    bench_navtree_build,
+    bench_opt_solver
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! The `bionav` terminal app: interactive navigation over a demo corpus,
+//! the evaluation workload, or your own MeSH + citation files.
+//!
+//! ```text
+//! bionav                      # synthetic demo corpus
+//! bionav --workload [SCALE]   # the ICDE 2009 Table I workload (default 0.25)
+//! bionav --mesh d2009.bin --store citations.json
+//! bionav --k 6                # partition budget for Heuristic-ReducedOpt
+//! ```
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bionav_cli::{Dataset, Repl};
+use bionav_core::CostParams;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut mesh: Option<PathBuf> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut workload: Option<f64> = None;
+    let mut k = 10usize;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--mesh" => {
+                i += 1;
+                mesh = argv.get(i).map(PathBuf::from);
+            }
+            "--store" => {
+                i += 1;
+                store = argv.get(i).map(PathBuf::from);
+            }
+            "--workload" => {
+                // Optional numeric argument.
+                workload = Some(
+                    argv.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .inspect(|_| i += 1)
+                        .unwrap_or(0.25),
+                );
+            }
+            "--k" => {
+                i += 1;
+                k = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(10);
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bionav [--workload [SCALE] | --mesh FILE --store FILE] [--k K]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let dataset = match (mesh, store, workload) {
+        (Some(m), Some(s), _) => match Dataset::from_files(&m, &s) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("failed to load data: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None, Some(scale)) => Dataset::workload(scale),
+        (None, None, None) => Dataset::demo(2009, 1_200),
+        _ => {
+            eprintln!("--mesh and --store must be given together");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut repl = Repl::new(dataset, CostParams::default().with_max_partitions(k));
+    print!("{}", repl.banner());
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("bionav> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        match repl.handle(&line) {
+            bionav_cli::Response::Quit => break,
+            resp => print!("{}", resp.text()),
+        }
+    }
+    ExitCode::SUCCESS
+}

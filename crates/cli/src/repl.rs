@@ -1,0 +1,645 @@
+//! The I/O-free REPL core: one command line in, one response string out.
+
+use std::fmt::Write as _;
+
+use bionav_core::active::ActiveTree;
+use bionav_core::edgecut::heuristic::heuristic_reduced_opt;
+use bionav_core::sim::NavOutcome;
+use bionav_core::{CostParams, NavNodeId, NavigationTree};
+
+use crate::Dataset;
+
+/// What `save` writes and `load` restores: the query plus the navigation
+/// state (the tree itself is rebuilt from the query, like the paper's
+/// online subsystem does between requests).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SavedSession {
+    keywords: String,
+    active: ActiveTree,
+    tally: NavOutcome,
+}
+
+/// State of one keyword query under navigation.
+struct NavState {
+    keywords: String,
+    nav: NavigationTree,
+    active: ActiveTree,
+    tally: NavOutcome,
+    /// The numbering used by the last rendered listing: index `i` shown to
+    /// the user as `#(i+1)`.
+    numbered: Vec<NavNodeId>,
+}
+
+/// What a handled command produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Text to print.
+    Text(String),
+    /// The user asked to leave.
+    Quit,
+}
+
+impl Response {
+    /// The rendered text (empty for [`Response::Quit`]).
+    pub fn text(&self) -> &str {
+        match self {
+            Response::Text(t) => t,
+            Response::Quit => "",
+        }
+    }
+}
+
+/// The interactive navigation loop over one [`Dataset`].
+pub struct Repl {
+    dataset: Dataset,
+    params: CostParams,
+    state: Option<NavState>,
+}
+
+impl Repl {
+    /// Creates a REPL over a dataset.
+    pub fn new(dataset: Dataset, params: CostParams) -> Self {
+        Repl {
+            dataset,
+            params,
+            state: None,
+        }
+    }
+
+    /// The startup banner.
+    pub fn banner(&self) -> String {
+        let mut s = format!(
+            "BioNav — navigate query results along a concept hierarchy\n\
+             data: {} ({} concepts, {} citations)\n",
+            self.dataset.origin,
+            self.dataset.hierarchy.len() - 1,
+            self.dataset.store.len()
+        );
+        if let Some(hint) = &self.dataset.suggestion {
+            let _ = writeln!(s, "try:  query {hint}");
+        }
+        s.push_str("type `help` for commands\n");
+        s
+    }
+
+    /// Handles one command line.
+    pub fn handle(&mut self, line: &str) -> Response {
+        let line = line.trim();
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "" => Response::Text(String::new()),
+            "help" | "?" => Response::Text(HELP.to_string()),
+            "quit" | "exit" | "q" => Response::Quit,
+            "query" => Response::Text(self.cmd_query(rest)),
+            "ls" | "tree" => Response::Text(self.render_tree()),
+            "expand" | "x" => Response::Text(self.cmd_expand(rest)),
+            "cut" => Response::Text(self.cmd_cut(rest)),
+            "info" | "i" => Response::Text(self.cmd_info(rest)),
+            "show" | "s" => Response::Text(self.cmd_show(rest)),
+            "ignore" => Response::Text(self.cmd_ignore(rest)),
+            "back" | "undo" => Response::Text(self.cmd_back()),
+            "cost" => Response::Text(self.cmd_cost()),
+            "save" => Response::Text(self.cmd_save(rest)),
+            "load" => Response::Text(self.cmd_load(rest)),
+            other => Response::Text(format!("unknown command {other:?}; type `help`\n")),
+        }
+    }
+
+    fn cmd_query(&mut self, keywords: &str) -> String {
+        if keywords.is_empty() {
+            return "usage: query <keywords>\n".to_string();
+        }
+        let outcome = self.dataset.index.query(keywords);
+        if outcome.is_empty() {
+            return format!("no citations match {keywords:?}\n");
+        }
+        let nav = NavigationTree::build(
+            &self.dataset.hierarchy,
+            &self.dataset.store,
+            &outcome.citations,
+        );
+        let active = ActiveTree::new(&nav);
+        self.state = Some(NavState {
+            keywords: keywords.to_string(),
+            nav,
+            active,
+            tally: NavOutcome::default(),
+            numbered: Vec::new(),
+        });
+        let state = self.state.as_ref().expect("just set");
+        format!(
+            "{} citations; navigation tree: {} concepts, {} attachments w/ duplicates\n{}",
+            outcome.len(),
+            state.nav.len() - 1,
+            state.nav.total_attached_with_duplicates(),
+            self.render_tree()
+        )
+    }
+
+    fn render_tree(&mut self) -> String {
+        let Some(state) = self.state.as_mut() else {
+            return NO_QUERY.to_string();
+        };
+        let vis = state.active.visualize(&state.nav);
+        state.numbered = vis.iter().map(|v| v.node).collect();
+        let mut out = String::new();
+        for (i, v) in vis.iter().enumerate() {
+            // Indent by the chain of *visible* ancestors.
+            let mut depth = 0;
+            let mut cur = v.parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = vis.iter().find(|w| w.node == p).and_then(|w| w.parent);
+            }
+            let marker = if v.expandable { "  >>>" } else { "" };
+            let _ = writeln!(
+                out,
+                "{:>3}. {}{} ({}){}",
+                i + 1,
+                "  ".repeat(depth),
+                state.nav.label(v.node),
+                v.component_distinct,
+                marker
+            );
+        }
+        out
+    }
+
+    fn pick(&self, arg: &str) -> Result<NavNodeId, String> {
+        let state = self.state.as_ref().ok_or_else(|| NO_QUERY.to_string())?;
+        let idx: usize = arg
+            .parse()
+            .map_err(|_| format!("expected a concept number, got {arg:?}\n"))?;
+        state
+            .numbered
+            .get(idx.wrapping_sub(1))
+            .copied()
+            .ok_or_else(|| format!("no concept #{idx}; run `ls`\n"))
+    }
+
+    fn cmd_expand(&mut self, arg: &str) -> String {
+        let node = match self.pick(arg) {
+            Ok(n) => n,
+            Err(e) => return e,
+        };
+        let state = self.state.as_mut().expect("pick checked");
+        if state.active.component_size(node) <= 1 {
+            return format!("{:?} hides nothing (no >>>)\n", state.nav.label(node));
+        }
+        let out = heuristic_reduced_opt(&state.nav, &state.active, node, &self.params)
+            .expect("multi-node components expand");
+        state
+            .active
+            .expand(&state.nav, node, &out.cut)
+            .expect("heuristic cuts are valid");
+        state.tally.expands += 1;
+        state.tally.revealed += out.cut.len();
+        format!(
+            "revealed {} concepts in {:.1} ms ({} partitions)\n{}",
+            out.cut.len(),
+            out.elapsed.as_secs_f64() * 1e3,
+            out.reduced_size,
+            self.render_tree()
+        )
+    }
+
+    /// A manual EdgeCut: the user names the hidden concepts to reveal (by
+    /// label substring), all inside one visible component.
+    fn cmd_cut(&mut self, args: &str) -> String {
+        use bionav_core::active::EdgeCut;
+        let Some(state) = self.state.as_mut() else {
+            return NO_QUERY.to_string();
+        };
+        if args.is_empty() {
+            return "usage: cut <label substring> [; <label substring>]…\n".to_string();
+        }
+        let mut lower = Vec::new();
+        for needle in args.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            let needle_l = needle.to_lowercase();
+            let hit = state.nav.iter_preorder().find(|&n| {
+                !state.active.is_visible(n) && state.nav.label(n).to_lowercase().contains(&needle_l)
+            });
+            match hit {
+                Some(n) => lower.push(n),
+                None => return format!("no hidden concept matches {needle:?}\n"),
+            }
+        }
+        let root = state.active.component_root_of(lower[0]);
+        let cut = EdgeCut::new(lower);
+        match state.active.expand(&state.nav, root, &cut) {
+            Ok(_) => {
+                state.tally.expands += 1;
+                state.tally.revealed += cut.len();
+                let head = format!(
+                    "manual EdgeCut on {:?} revealed {} concepts\n",
+                    state.nav.label(root),
+                    cut.len()
+                );
+                format!("{head}{}", self.render_tree())
+            }
+            Err(e) => format!("invalid EdgeCut: {e}\n"),
+        }
+    }
+
+    /// Details of a visible concept.
+    fn cmd_info(&mut self, arg: &str) -> String {
+        let node = match self.pick(arg) {
+            Ok(n) => n,
+            Err(e) => return e,
+        };
+        let state = self.state.as_ref().expect("pick checked");
+        let nav = &state.nav;
+        format!(
+            "{label}\n  MeSH level {level}, navigation depth {navd}\n  |L(n)| = {attached}              citations attached directly\n  component: {size} hidden concepts, {distinct}              distinct citations\n",
+            label = nav.label(node),
+            level = nav.hierarchy_depth(node),
+            navd = nav.nav_depth(node),
+            attached = nav.results_count(node),
+            size = state.active.component_size(node),
+            distinct = state.active.component_distinct(nav, node),
+        )
+    }
+
+    fn cmd_show(&mut self, arg: &str) -> String {
+        let node = match self.pick(arg) {
+            Ok(n) => n,
+            Err(e) => return e,
+        };
+        let state = self.state.as_mut().expect("pick checked");
+        let set = state.active.component_set(&state.nav, node);
+        state.tally.results_inspected += set.count() as usize;
+        let mut out = format!(
+            "{} citations under {:?}:\n",
+            set.count(),
+            state.nav.label(node)
+        );
+        for (shown, local) in set.iter().enumerate() {
+            if shown == 10 {
+                let _ = writeln!(out, "  … {} more", set.count() as usize - 10);
+                break;
+            }
+            let pmid = state.nav.citation_id(local);
+            let title = self
+                .dataset
+                .store
+                .get(pmid)
+                .map(|c| c.title.as_str())
+                .unwrap_or("<missing>");
+            let _ = writeln!(out, "  PMID {:>8}  {}", pmid.0, title);
+        }
+        out
+    }
+
+    fn cmd_ignore(&mut self, arg: &str) -> String {
+        match self.pick(arg) {
+            Ok(n) => {
+                let state = self.state.as_ref().expect("pick checked");
+                format!("ignored {:?}\n", state.nav.label(n))
+            }
+            Err(e) => e,
+        }
+    }
+
+    fn cmd_back(&mut self) -> String {
+        let Some(state) = self.state.as_mut() else {
+            return NO_QUERY.to_string();
+        };
+        match state.active.backtrack() {
+            Ok(()) => {
+                state.tally.expands += 1;
+                format!("undid the last expansion\n{}", self.render_tree())
+            }
+            Err(e) => format!("{e}\n"),
+        }
+    }
+
+    /// Persists the navigation (query + state) as JSON.
+    fn cmd_save(&mut self, path: &str) -> String {
+        let Some(state) = self.state.as_ref() else {
+            return NO_QUERY.to_string();
+        };
+        if path.is_empty() {
+            return "usage: save <file>\n".to_string();
+        }
+        let saved = SavedSession {
+            keywords: state.keywords.clone(),
+            active: state.active.clone(),
+            tally: state.tally.clone(),
+        };
+        match std::fs::File::create(path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| serde_json::to_writer(f, &saved).map_err(|e| e.to_string()))
+        {
+            Ok(()) => format!("session saved to {path}\n"),
+            Err(e) => format!("save failed: {e}\n"),
+        }
+    }
+
+    /// Restores a navigation saved with `save` (re-runs the query, then
+    /// re-attaches the component state).
+    fn cmd_load(&mut self, path: &str) -> String {
+        if path.is_empty() {
+            return "usage: load <file>\n".to_string();
+        }
+        let saved: SavedSession = match std::fs::File::open(path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| serde_json::from_reader(f).map_err(|e| e.to_string()))
+        {
+            Ok(s) => s,
+            Err(e) => return format!("load failed: {e}\n"),
+        };
+        let outcome = self.dataset.index.query(&saved.keywords);
+        let nav = NavigationTree::build(
+            &self.dataset.hierarchy,
+            &self.dataset.store,
+            &outcome.citations,
+        );
+        if !saved.active.fits(&nav) {
+            return format!(
+                "load failed: the saved state does not match this dataset's                  result for {:?}\n",
+                saved.keywords
+            );
+        }
+        let keywords = saved.keywords.clone();
+        self.state = Some(NavState {
+            keywords: saved.keywords,
+            nav,
+            active: saved.active,
+            tally: saved.tally,
+            numbered: Vec::new(),
+        });
+        format!("restored session for {keywords:?}\n{}", self.render_tree())
+    }
+
+    fn cmd_cost(&self) -> String {
+        let Some(state) = self.state.as_ref() else {
+            return NO_QUERY.to_string();
+        };
+        format!(
+            "query {:?}: {} concepts examined + {} actions + {} citations listed = {}\n",
+            state.keywords,
+            state.tally.revealed,
+            state.tally.expands,
+            state.tally.results_inspected,
+            state.tally.total_cost()
+        )
+    }
+}
+
+const NO_QUERY: &str = "no active query; start with `query <keywords>`\n";
+
+const HELP: &str = "\
+commands:
+  query <keywords>   run a keyword search and build its navigation tree
+  ls                 show the current visualization (numbered; >>> = expandable)
+  expand <#>         EXPAND a concept (Heuristic-ReducedOpt picks the EdgeCut)
+  cut <label>[; …]   manual EdgeCut: reveal hidden concepts by label substring
+  info <#>           details of a visible concept (level, |L(n)|, component)
+  show <#>           SHOWRESULTS: list the citations of a component
+  ignore <#>         dismiss a concept (free; the label was already paid)
+  back               BACKTRACK: undo the last expansion
+  cost               the session's accumulated navigation cost
+  save <file>        persist the navigation (query + state) as JSON
+  load <file>        restore a saved navigation over this dataset
+  help               this text
+  quit               leave
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repl() -> Repl {
+        Repl::new(Dataset::demo(7, 250), CostParams::default())
+    }
+
+    fn query_of(r: &Repl) -> String {
+        r.dataset.suggestion.clone().expect("demo suggests")
+    }
+
+    #[test]
+    fn banner_mentions_the_dataset() {
+        let r = repl();
+        assert!(r.banner().contains("synthetic demo"));
+        assert!(r.banner().contains("query "));
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let mut r = repl();
+        assert!(r.handle("help").text().contains("EXPAND"));
+        assert!(r.handle("frobnicate").text().contains("unknown command"));
+        assert_eq!(r.handle("quit"), Response::Quit);
+        assert_eq!(r.handle("").text(), "");
+    }
+
+    #[test]
+    fn commands_require_a_query_first() {
+        let mut r = repl();
+        for cmd in ["ls", "expand 1", "show 1", "back", "cost"] {
+            assert!(
+                r.handle(cmd).text().contains("no active query"),
+                "{cmd} should demand a query"
+            );
+        }
+    }
+
+    #[test]
+    fn full_navigation_flow() {
+        let mut r = repl();
+        let q = query_of(&r);
+        let resp = r.handle(&format!("query {q}"));
+        assert!(
+            resp.text().contains("citations; navigation tree"),
+            "{}",
+            resp.text()
+        );
+        assert!(resp.text().contains("1. MeSH"), "{}", resp.text());
+
+        let resp = r.handle("expand 1");
+        assert!(resp.text().contains("revealed"), "{}", resp.text());
+        // Numbered listing grew beyond the root.
+        assert!(resp.text().contains("2. "));
+
+        let resp = r.handle("show 2");
+        assert!(resp.text().contains("citations under"), "{}", resp.text());
+        assert!(resp.text().contains("PMID"));
+
+        let resp = r.handle("cost");
+        assert!(resp.text().contains("= "), "{}", resp.text());
+
+        let resp = r.handle("back");
+        assert!(resp.text().contains("undid"), "{}", resp.text());
+    }
+
+    #[test]
+    fn expand_rejects_bad_numbers() {
+        let mut r = repl();
+        let q = query_of(&r);
+        r.handle(&format!("query {q}"));
+        assert!(r
+            .handle("expand zero")
+            .text()
+            .contains("expected a concept number"));
+        assert!(r.handle("expand 99").text().contains("no concept #99"));
+        assert!(r.handle("expand 0").text().contains("no concept #0"));
+    }
+
+    #[test]
+    fn empty_results_are_reported() {
+        let mut r = repl();
+        assert!(r
+            .handle("query zzzznonexistenttoken")
+            .text()
+            .contains("no citations match"));
+    }
+
+    #[test]
+    fn info_and_manual_cut() {
+        let mut r = repl();
+        let q = query_of(&r);
+        r.handle(&format!("query {q}"));
+        let out = r.handle("info 1");
+        assert!(out.text().contains("MeSH level"), "{}", out.text());
+        assert!(out.text().contains("|L(n)|"));
+        // Pick a hidden concept's label from an automatic expansion preview:
+        // expand once, backtrack, then cut one of the previously revealed
+        // labels manually.
+        let revealed = r.handle("expand 1").text().to_string();
+        let label = revealed
+            .lines()
+            .filter(|l| l.trim_start().starts_with("2."))
+            .map(|l| {
+                l.trim_start()
+                    .trim_start_matches("2.")
+                    .trim()
+                    .split('(')
+                    .next()
+                    .unwrap()
+                    .trim()
+                    .to_string()
+            })
+            .next()
+            .expect("expansion listed a second row");
+        r.handle("back");
+        let out = r.handle(&format!("cut {label}"));
+        assert!(
+            out.text().contains("manual EdgeCut"),
+            "cut {label:?} failed: {}",
+            out.text()
+        );
+        // Garbage cut arguments are reported, not panicked on.
+        assert!(r
+            .handle("cut zzz-no-such-label")
+            .text()
+            .contains("no hidden concept"));
+        assert!(r.handle("cut").text().contains("usage"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("bionav-repl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("session.json");
+        let path = file.to_str().unwrap();
+
+        let mut r = repl();
+        let q = query_of(&r);
+        r.handle(&format!("query {q}"));
+        r.handle("expand 1");
+        let before_tree = r.handle("ls").text().to_string();
+        let before_cost = r.handle("cost").text().to_string();
+        assert!(r.handle(&format!("save {path}")).text().contains("saved"));
+
+        // A fresh REPL over the same dataset restores the exact view.
+        let mut r2 = repl();
+        let out = r2.handle(&format!("load {path}"));
+        assert!(out.text().contains("restored"), "{}", out.text());
+        assert_eq!(r2.handle("ls").text(), before_tree);
+        assert_eq!(r2.handle("cost").text(), before_cost);
+        // And it keeps navigating.
+        let out = r2.handle("expand 1");
+        assert!(
+            out.text().contains("revealed") || out.text().contains("hides nothing"),
+            "{}",
+            out.text()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_errors_are_reported() {
+        let mut r = repl();
+        assert!(r
+            .handle("load /nonexistent/x.json")
+            .text()
+            .contains("load failed"));
+        assert!(r.handle("load").text().contains("usage"));
+        assert!(r.handle("save x").text().contains("no active query"));
+    }
+
+    #[test]
+    fn repl_never_panics_on_arbitrary_command_soup() {
+        // A deterministic pseudo-fuzz over command fragments, including
+        // nonsense arguments and out-of-order actions.
+        let mut r = repl();
+        let q = query_of(&r);
+        let fragments = [
+            "ls",
+            "expand",
+            "expand -1",
+            "expand 999999",
+            "show x",
+            "back",
+            "cost",
+            "query",
+            "help",
+            "ignore 3",
+            "x 1",
+            "s 1",
+            "tree",
+            "undo",
+            "  ",
+            "q uit",
+            "expand 18446744073709551615",
+        ];
+        for (i, f) in fragments.iter().cycle().take(60).enumerate() {
+            if i == 7 {
+                r.handle(&format!("query {q}"));
+            }
+            let _ = r.handle(f);
+        }
+    }
+
+    #[test]
+    fn leaf_expansion_is_explained() {
+        let mut r = repl();
+        let q = query_of(&r);
+        r.handle(&format!("query {q}"));
+        // Expand until some listed node is a singleton, then poke it.
+        let mut resp = r.handle("expand 1").text().to_string();
+        for _ in 0..6 {
+            if resp.lines().any(|l| !l.contains(">>>") && l.contains('.')) {
+                break;
+            }
+            resp = r.handle("expand 1").text().to_string();
+        }
+        let singleton = resp
+            .lines()
+            .filter(|l| {
+                l.trim_start()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+            })
+            .find(|l| !l.contains(">>>"));
+        if let Some(line) = singleton {
+            let num = line.trim_start().split('.').next().unwrap().to_string();
+            let out = r.handle(&format!("expand {num}"));
+            assert!(out.text().contains("hides nothing"), "{}", out.text());
+        }
+    }
+}

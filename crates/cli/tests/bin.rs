@@ -1,0 +1,58 @@
+//! End-to-end test of the compiled `bionav` binary: pipe a scripted
+//! session through stdin and check the rendered interface.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+#[test]
+fn scripted_session_over_the_demo_corpus() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bionav"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // The demo banner suggests a query; ask for help, expand blindly, quit.
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(b"help\nls\nquit\n")
+        .expect("stdin open");
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("BioNav"), "{stdout}");
+    assert!(
+        stdout.contains("query <keywords>"),
+        "help text missing: {stdout}"
+    );
+    assert!(
+        stdout.contains("no active query"),
+        "ls gate missing: {stdout}"
+    );
+}
+
+#[test]
+fn bad_flag_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bionav"))
+        .arg("--frobnicate")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn help_flag_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bionav"))
+        .arg("--help")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

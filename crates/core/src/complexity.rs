@@ -1,0 +1,268 @@
+//! Executable artifacts of the paper's NP-completeness proof (§V).
+//!
+//! Theorem 1 reduces MAXIMUM EDGE SUBGRAPH (MES) — given an edge-weighted
+//! graph and `k`, pick `k` vertices maximizing the weight of the induced
+//! edges — to the TOPDOWN-EXHAUSTIVE Decision problem (TED): does some
+//! valid EdgeCut of a navigation tree produce at most `s` subtrees holding
+//! at least `d` duplicate elements *within* the subtrees?
+//!
+//! The mapping: each graph vertex becomes a child of the navigation-tree
+//! root; each edge `(u, v)` of weight `w` contributes `w` fresh universe
+//! elements placed in both `u`'s and `v`'s result lists. Keeping a vertex
+//! set `V'` in the upper subtree (cutting every other child edge) yields
+//! exactly `Σ_{(u,v)∈E, u,v∈V'} w(u,v)` duplicates — the MES objective —
+//! and `|V| − |V'| + 1` subtrees.
+//!
+//! This module builds the reduction, evaluates TED duplicates, and solves
+//! both problems by brute force so the correspondence can be *tested*
+//! (`mes_ted_equivalence` below and the property tests in
+//! `tests/complexity_props.rs`).
+
+use std::collections::HashMap;
+
+/// A MAXIMUM EDGE SUBGRAPH instance: `node_count` vertices and weighted
+/// undirected edges (self-loops are rejected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MesInstance {
+    /// Number of vertices, labeled `0..node_count`.
+    pub node_count: usize,
+    /// Undirected edges `(u, v, weight)`.
+    pub edges: Vec<(usize, usize, u64)>,
+}
+
+impl MesInstance {
+    /// Validates vertex indices and rejects self-loops.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or `u == v`.
+    pub fn new(node_count: usize, edges: Vec<(usize, usize, u64)>) -> Self {
+        for &(u, v, _) in &edges {
+            assert!(
+                u < node_count && v < node_count,
+                "edge endpoint out of range"
+            );
+            assert_ne!(u, v, "self-loops have no MES meaning");
+        }
+        MesInstance { node_count, edges }
+    }
+
+    /// Weight of the subgraph induced by `subset`.
+    pub fn induced_weight(&self, subset: &[usize]) -> u64 {
+        self.edges
+            .iter()
+            .filter(|&&(u, v, _)| subset.contains(&u) && subset.contains(&v))
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+
+    /// Brute-force optimum: the best weight of any `k`-vertex subset and
+    /// one witness subset. Exponential — test-scale instances only.
+    pub fn brute_force(&self, k: usize) -> (u64, Vec<usize>) {
+        assert!(k <= self.node_count);
+        assert!(self.node_count <= 20, "brute force is exponential");
+        let mut best = (0u64, Vec::new());
+        for bits in 0u32..(1 << self.node_count) {
+            if bits.count_ones() as usize != k {
+                continue;
+            }
+            let subset: Vec<usize> = (0..self.node_count)
+                .filter(|&i| bits & (1 << i) != 0)
+                .collect();
+            let w = self.induced_weight(&subset);
+            if w >= best.0 {
+                best = (w, subset);
+            }
+        }
+        best
+    }
+}
+
+/// The navigation tree of a TED instance produced by the reduction: a star
+/// (root plus `node_count` leaf children) whose leaves carry multisets of
+/// universe elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TedInstance {
+    /// Element multiset of each leaf (`elements[i]` for graph vertex `i`).
+    pub elements: Vec<Vec<u64>>,
+    /// Universe size (elements are `0..universe`).
+    pub universe: u64,
+}
+
+/// Performs the §V reduction MES → TED.
+pub fn reduce_to_ted(mes: &MesInstance) -> TedInstance {
+    let mut elements: Vec<Vec<u64>> = vec![Vec::new(); mes.node_count];
+    let mut next = 0u64;
+    for &(u, v, w) in &mes.edges {
+        for _ in 0..w {
+            elements[u].push(next);
+            elements[v].push(next);
+            next += 1;
+        }
+    }
+    TedInstance {
+        elements,
+        universe: next,
+    }
+}
+
+impl TedInstance {
+    /// Duplicates within the subtrees of the cut that keeps `upper` leaves
+    /// attached to the root and detaches every other leaf (an element
+    /// occurring `m` times counts as `m − 1` duplicates).
+    ///
+    /// Detached leaves hold each element at most once (the reduction never
+    /// repeats an element within one vertex), so only the upper subtree
+    /// contributes.
+    pub fn duplicates_for_upper(&self, upper: &[usize]) -> u64 {
+        let mut occurrences: HashMap<u64, u64> = HashMap::new();
+        for &leaf in upper {
+            for &e in &self.elements[leaf] {
+                *occurrences.entry(e).or_insert(0) += 1;
+            }
+        }
+        occurrences.values().map(|&m| m - 1).sum()
+    }
+
+    /// Number of component subtrees for that cut: the upper subtree plus
+    /// one per detached leaf.
+    pub fn subtree_count_for_upper(&self, upper: &[usize]) -> usize {
+        self.elements.len() - upper.len() + 1
+    }
+
+    /// Brute-force TED decision: is there a cut producing at most
+    /// `max_subtrees` subtrees with at least `min_duplicates` duplicates?
+    /// An EdgeCut contains at least one edge (Definition 3), so the
+    /// "keep everything" non-cut is excluded and at least 2 subtrees exist.
+    pub fn decide(&self, max_subtrees: usize, min_duplicates: u64) -> bool {
+        let n = self.elements.len();
+        assert!(n <= 20, "brute force is exponential");
+        (0u32..(1 << n))
+            .filter(|&bits| bits != (1u32 << n) - 1)
+            .any(|bits| {
+                let upper: Vec<usize> = (0..n).filter(|&i| bits & (1 << i) != 0).collect();
+                self.subtree_count_for_upper(&upper) <= max_subtrees
+                    && self.duplicates_for_upper(&upper) >= min_duplicates
+            })
+    }
+
+    /// Brute-force TED optimum for a fixed upper size: max duplicates over
+    /// cuts keeping exactly `upper_size` leaves.
+    pub fn max_duplicates(&self, upper_size: usize) -> u64 {
+        let n = self.elements.len();
+        assert!(n <= 20, "brute force is exponential");
+        (0u32..(1 << n))
+            .filter(|bits| bits.count_ones() as usize == upper_size)
+            .map(|bits| {
+                let upper: Vec<usize> = (0..n).filter(|&i| bits & (1 << i) != 0).collect();
+                self.duplicates_for_upper(&upper)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The testable statement of Theorem 1's mapping: for every `k`, the MES
+/// optimum over `k`-subsets equals the TED duplicate optimum over cuts
+/// keeping `k` leaves.
+pub fn mes_ted_equivalence(mes: &MesInstance, k: usize) -> bool {
+    let ted = reduce_to_ted(mes);
+    mes.brute_force(k).0 == ted.max_duplicates(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> MesInstance {
+        // Triangle with weights 3, 5, 7 plus a pendant vertex.
+        MesInstance::new(4, vec![(0, 1, 3), (1, 2, 5), (0, 2, 7), (2, 3, 1)])
+    }
+
+    #[test]
+    fn induced_weight_counts_internal_edges_only() {
+        let m = triangle();
+        assert_eq!(m.induced_weight(&[0, 1]), 3);
+        assert_eq!(m.induced_weight(&[0, 1, 2]), 15);
+        assert_eq!(m.induced_weight(&[3]), 0);
+    }
+
+    #[test]
+    fn brute_force_finds_the_best_pair() {
+        let m = triangle();
+        let (w, subset) = m.brute_force(2);
+        assert_eq!(w, 7);
+        assert_eq!(subset.len(), 2);
+        assert!(subset.contains(&0) && subset.contains(&2));
+    }
+
+    #[test]
+    fn reduction_duplicates_weights_as_elements() {
+        let m = triangle();
+        let ted = reduce_to_ted(&m);
+        assert_eq!(ted.universe, 16); // 3+5+7+1 elements
+        assert_eq!(ted.elements[0].len(), 10); // edges (0,1):3 and (0,2):7
+        assert_eq!(ted.elements[3].len(), 1);
+    }
+
+    #[test]
+    fn duplicates_equal_induced_weight() {
+        let m = triangle();
+        let ted = reduce_to_ted(&m);
+        for subset in [vec![0, 1], vec![0, 2], vec![0, 1, 2], vec![1, 3], vec![]] {
+            assert_eq!(
+                ted.duplicates_for_upper(&subset),
+                m.induced_weight(&subset),
+                "subset {subset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn subtree_counting() {
+        let m = triangle();
+        let ted = reduce_to_ted(&m);
+        assert_eq!(ted.subtree_count_for_upper(&[0, 1]), 3); // upper + 2 cut leaves
+        assert_eq!(ted.subtree_count_for_upper(&[]), 5);
+    }
+
+    #[test]
+    fn decision_procedure() {
+        let m = triangle();
+        let ted = reduce_to_ted(&m);
+        // Keeping {0,2} gives 3 subtrees and 7 duplicates.
+        assert!(ted.decide(3, 7));
+        // Keeping 3 leaves gives 2 subtrees; best 3-subset {0,1,2} holds 15.
+        assert!(ted.decide(2, 15));
+        assert!(!ted.decide(2, 16));
+        // A real cut always yields ≥ 2 subtrees.
+        assert!(!ted.decide(1, 0));
+    }
+
+    #[test]
+    fn max_duplicates_grows_with_upper_size() {
+        // Keeping more vertices can only keep or add induced edges.
+        let m = triangle();
+        let ted = reduce_to_ted(&m);
+        let mut prev = 0;
+        for k in 0..=m.node_count {
+            let cur = ted.max_duplicates(k);
+            assert!(cur >= prev, "k={k}: {cur} < {prev}");
+            prev = cur;
+        }
+        assert_eq!(prev, 16); // all vertices: every edge weight counted
+    }
+
+    #[test]
+    fn equivalence_on_small_instances() {
+        let m = triangle();
+        for k in 0..=4 {
+            assert!(mes_ted_equivalence(&m, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        MesInstance::new(2, vec![(1, 1, 1)]);
+    }
+}

@@ -1,0 +1,201 @@
+//! The TOPDOWN cost-model parameters (paper §III).
+//!
+//! The cost model charges the user:
+//!
+//! * `label_cost` (1 in the paper) for every newly revealed concept she
+//!   examines after an EXPAND,
+//! * `expand_cost` (1 in the paper) for executing the EXPAND action itself,
+//! * 1 per citation displayed by SHOWRESULTS.
+//!
+//! The paper notes that raising `expand_cost` makes every expansion reveal
+//! *more* concepts (an expensive click must buy more progress) — the
+//! `ablation-expandcost` experiment sweeps this.
+
+/// Which objective Heuristic-ReducedOpt optimizes when picking a cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Planner {
+    /// The paper's §V TOPDOWN-EXHAUSTIVE objective, applied per EXPAND:
+    /// `expand_cost + Σ_subtrees label_cost + Σ_components pE·|R|` — one
+    /// label per revealed subtree plus the probability-weighted cost of the
+    /// SHOWRESULTS the user will run next. Reveals the high-interest,
+    /// result-fragmenting concepts in batches of a few, exactly the §IV
+    /// description of what upper/lower components group.
+    #[default]
+    Exhaustive,
+    /// The fully recursive §III expectation (Opt-EdgeCut's DP objective),
+    /// where deferred exploration is damped by the upper component's
+    /// EXPLORE probability. Expectation-optimal, but for goal-directed
+    /// users it degenerates into peeling one concept per EXPAND on
+    /// duplicate-heavy trees — the `ablation-planner` experiment
+    /// quantifies the difference.
+    Recursive,
+}
+
+/// Tunable constants of the BioNav cost model and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// The objective the production heuristic optimizes per EXPAND.
+    pub planner: Planner,
+    /// Cost of executing an EXPAND action (paper: 1).
+    pub expand_cost: f64,
+    /// Cost of examining one newly revealed concept label when *tallying*
+    /// a navigation (paper: 1; the 123-vs-19 numbers of the introduction
+    /// count these).
+    pub label_cost: f64,
+    /// Label cost as seen by the *planner* (Opt-EdgeCut's recursion).
+    /// The paper's §III expectation, `pX · (1 + Σ_m cost(I'(m)))`, charges
+    /// the EXPAND click but no per-revealed-label term — each component's
+    /// cost is already damped by its own EXPLORE probability. Keeping this
+    /// at 0 reproduces the paper's batch-of-3-to-5 reveals; raising it
+    /// makes the planner peel one branch at a time (swept by an ablation).
+    pub planning_label_cost: f64,
+    /// `|R(C)|` above which the EXPAND probability is pinned to 1
+    /// (paper: 50) — users always narrow down huge components.
+    pub upper_threshold: u32,
+    /// `|R(C)|` below which the EXPAND probability is pinned to 0
+    /// (paper: 10) — users just read small result lists.
+    pub lower_threshold: u32,
+    /// Maximum number of partitions `k` for Heuristic-ReducedOpt
+    /// (paper: 10) — also the largest tree Opt-EdgeCut must solve
+    /// in interactive time.
+    pub max_partitions: usize,
+    /// Retain each expansion's reduced tree and answer follow-up
+    /// expansions of its sub-components from the same solved problem
+    /// (§VI-B's "no need to call the algorithm again for subsequent
+    /// expansions"). Off by default: re-partitioning every component gives
+    /// finer granularity at ~1 ms per EXPAND; turn this on to trade cut
+    /// quality for partition-free follow-ups.
+    pub reuse_plans: bool,
+    /// Hard cap on the tree size accepted by the exact Opt-EdgeCut solver;
+    /// beyond this the `O(2^|T|)` enumeration stops being "feasible for
+    /// relatively small trees" (§VI-A).
+    pub max_opt_nodes: usize,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            planner: Planner::default(),
+            expand_cost: 1.0,
+            label_cost: 1.0,
+            planning_label_cost: 0.0,
+            upper_threshold: 50,
+            lower_threshold: 10,
+            max_partitions: 10,
+            reuse_plans: false,
+            max_opt_nodes: 18,
+        }
+    }
+}
+
+impl CostParams {
+    /// Validates internal consistency; returns `self` for chaining.
+    ///
+    /// # Panics
+    /// Panics on non-sensical settings (negative costs, inverted
+    /// thresholds, `max_partitions` exceeding what Opt-EdgeCut accepts).
+    pub fn validated(self) -> Self {
+        assert!(self.expand_cost >= 0.0, "expand_cost must be non-negative");
+        assert!(self.label_cost >= 0.0, "label_cost must be non-negative");
+        assert!(
+            self.planning_label_cost >= 0.0,
+            "planning_label_cost must be non-negative"
+        );
+        assert!(
+            self.lower_threshold <= self.upper_threshold,
+            "lower_threshold must not exceed upper_threshold"
+        );
+        assert!(
+            self.max_partitions >= 2,
+            "at least 2 partitions are needed to cut anything"
+        );
+        assert!(
+            self.max_partitions <= self.max_opt_nodes,
+            "the reduced tree must fit the exact solver"
+        );
+        assert!(
+            self.max_opt_nodes <= 24,
+            "Opt-EdgeCut is O(2^n·2^n); beyond 24 nodes it is not interactive"
+        );
+        self
+    }
+
+    /// Convenience: the paper's configuration with a different `k`.
+    pub fn with_max_partitions(mut self, k: usize) -> Self {
+        self.max_partitions = k;
+        self.validated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper() {
+        let p = CostParams::default().validated();
+        assert_eq!(p.planner, Planner::Exhaustive);
+        assert_eq!(p.expand_cost, 1.0);
+        assert_eq!(p.label_cost, 1.0);
+        assert_eq!(p.upper_threshold, 50);
+        assert_eq!(p.lower_threshold, 10);
+        assert_eq!(p.max_partitions, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower_threshold")]
+    fn inverted_thresholds_panic() {
+        CostParams {
+            lower_threshold: 60,
+            ..CostParams::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 partitions")]
+    fn degenerate_partition_count_panics() {
+        CostParams {
+            max_partitions: 1,
+            ..CostParams::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "not interactive")]
+    fn oversized_opt_cap_panics() {
+        CostParams {
+            max_opt_nodes: 25,
+            ..CostParams::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "planning_label_cost")]
+    fn negative_planning_label_cost_panics() {
+        CostParams {
+            planning_label_cost: -0.5,
+            ..CostParams::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit the exact solver")]
+    fn partitions_beyond_solver_cap_panic() {
+        CostParams {
+            max_partitions: 19,
+            max_opt_nodes: 18,
+            ..CostParams::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    fn with_max_partitions_round_trips() {
+        let p = CostParams::default().with_max_partitions(6);
+        assert_eq!(p.max_partitions, 6);
+    }
+}

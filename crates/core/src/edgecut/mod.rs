@@ -1,0 +1,23 @@
+//! Algorithms for selecting the best EdgeCut (paper §VI).
+//!
+//! Choosing the expected-cost-minimizing valid EdgeCut is NP-complete
+//! (§V; see [`crate::complexity`]), so BioNav ships two solvers:
+//!
+//! * [`opt`] — **Opt-EdgeCut**: an exact dynamic program over component
+//!   subtrees, exponential in the tree size and therefore only feasible for
+//!   small trees (the paper calls it infeasible beyond ~30 nodes; we cap it
+//!   via [`crate::CostParams::max_opt_nodes`]).
+//! * [`partition`] — a bottom-up tree partitioner in the style of Kundu &
+//!   Misra, used to shrink a component to at most `k` connected
+//!   *supernodes*.
+//! * [`heuristic`] — **Heuristic-ReducedOpt**: partition the component,
+//!   solve the reduced supernode tree exactly with Opt-EdgeCut, and map the
+//!   winning cut back onto original navigation-tree edges.
+
+pub mod heuristic;
+pub mod opt;
+pub mod partition;
+
+pub use heuristic::{heuristic_reduced_opt, ExpandOutcome};
+pub use opt::CutProblem;
+pub use partition::{partition_component, partition_until, Partition};

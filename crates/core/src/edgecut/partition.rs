@@ -1,0 +1,341 @@
+//! Bottom-up tree partitioning (paper §VI, after Kundu & Misra's
+//! minimum-cardinality tree partitioning).
+//!
+//! Heuristic-ReducedOpt shrinks a component subtree to at most `k`
+//! connected partitions so the exact solver can run on the partition
+//! (super-node) tree in interactive time. The algorithm processes the tree
+//! bottom-up: each node accumulates the weight of its still-attached
+//! children clusters and, while its cluster exceeds the weight threshold
+//! `M`, detaches the heaviest child cluster as a finished partition. The
+//! paper sets `M = W(C)/k` and re-runs with a gradually increased `M` until
+//! at most `k` partitions remain.
+//!
+//! Node weights are `max(1, |R(n)|)` — the paper uses `|R(n)|`, and in a
+//! navigation tree every non-root node carries results; the floor of 1 only
+//! matters for the (possibly empty) root and keeps zero-weight chains from
+//! producing unbounded partition counts.
+
+use std::collections::HashMap;
+
+use crate::navtree::{NavNodeId, NavigationTree};
+
+/// One connected partition of a component subtree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// The shallowest node of the partition (its connection point upward).
+    pub root: NavNodeId,
+    /// Every member node, in navigation pre-order (root first).
+    pub nodes: Vec<NavNodeId>,
+    /// Total weight `Σ max(1, |R(n)|)`.
+    pub weight: u64,
+}
+
+fn node_weight(nav: &NavigationTree, n: NavNodeId) -> u64 {
+    u64::from(nav.results_count(n)).max(1)
+}
+
+/// Partitions the component given by `comp` (its nodes in navigation
+/// pre-order, `comp[0]` being the component root) with weight threshold
+/// `max_weight`. Every partition is connected; partitions may exceed
+/// `max_weight` only when a single node does.
+pub fn partition_component(
+    nav: &NavigationTree,
+    comp: &[NavNodeId],
+    max_weight: u64,
+) -> Vec<Partition> {
+    assert!(!comp.is_empty(), "cannot partition an empty component");
+    let max_weight = max_weight.max(1);
+    let in_comp: HashMap<NavNodeId, usize> =
+        comp.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    // cluster_weight[i]: weight of the still-attached cluster rooted at
+    // comp[i]; cluster_children[i]: attached child cluster roots.
+    let mut cluster_weight: Vec<u64> = comp.iter().map(|&n| node_weight(nav, n)).collect();
+    let mut cluster_children: Vec<Vec<usize>> = vec![Vec::new(); comp.len()];
+    let mut detached_roots: Vec<usize> = Vec::new();
+
+    // Pre-order guarantees children come after parents; process in reverse.
+    for i in (0..comp.len()).rev() {
+        for &c in nav.children(comp[i]) {
+            if let Some(&ci) = in_comp.get(&c) {
+                cluster_children[i].push(ci);
+                cluster_weight[i] += cluster_weight[ci];
+            }
+        }
+        while cluster_weight[i] > max_weight && !cluster_children[i].is_empty() {
+            // Detach the heaviest child cluster as a finished partition.
+            let (pos, &heaviest) = cluster_children[i]
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| cluster_weight[c])
+                .expect("non-empty");
+            cluster_children[i].swap_remove(pos);
+            cluster_weight[i] -= cluster_weight[heaviest];
+            detached_roots.push(heaviest);
+        }
+    }
+    detached_roots.push(0); // the root's remaining cluster
+
+    // Materialize membership: walk down from each partition root, stopping
+    // at detached boundaries.
+    let mut partition_of: Vec<Option<usize>> = vec![None; comp.len()];
+    for (pid, &root_idx) in detached_roots.iter().enumerate() {
+        partition_of[root_idx] = Some(pid);
+    }
+    // Pre-order pass: a node inherits its parent's partition unless it is a
+    // partition root itself.
+    for i in 1..comp.len() {
+        if partition_of[i].is_some() {
+            continue;
+        }
+        let parent = nav.parent(comp[i]).expect("non-root nodes have parents");
+        let pi = in_comp[&parent];
+        partition_of[i] = partition_of[pi];
+    }
+
+    let mut parts: Vec<Partition> = detached_roots
+        .iter()
+        .map(|&ri| Partition {
+            root: comp[ri],
+            nodes: Vec::new(),
+            weight: 0,
+        })
+        .collect();
+    for (i, &n) in comp.iter().enumerate() {
+        let pid = partition_of[i].expect("every node lands in a partition");
+        parts[pid].nodes.push(n);
+        parts[pid].weight += node_weight(nav, n);
+    }
+    // Root partition first, the rest in pre-order of their roots.
+    parts.sort_by_key(|p| {
+        if p.root == comp[0] {
+            (0, p.root.0)
+        } else {
+            (1, p.root.0)
+        }
+    });
+    parts
+}
+
+/// The paper's reduction loop: start from `M = W(C)/k` and increase `M`
+/// gradually until at most `k` partitions are obtained.
+pub fn partition_until(nav: &NavigationTree, comp: &[NavNodeId], k: usize) -> Vec<Partition> {
+    assert!(k >= 1);
+    let total: u64 = comp.iter().map(|&n| node_weight(nav, n)).sum();
+    let mut m = (total / k as u64).max(1);
+    loop {
+        let parts = partition_component(nav, comp, m);
+        if parts.len() <= k {
+            return parts;
+        }
+        // 15% steps track the smallest M reaching ≤ k reasonably closely,
+        // which keeps the reduced tree as fine-grained as allowed.
+        m = (m + m / 7).max(m + 1);
+        if m >= total {
+            return partition_component(nav, comp, total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionav_medline::{Citation, CitationId, CitationStore};
+    use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
+
+    fn tn(s: &str) -> TreeNumber {
+        TreeNumber::parse(s).unwrap()
+    }
+
+    /// Builds a navigation tree shaped like the descriptor list, attaching
+    /// `counts[i]` fresh citations to descriptor `i+1`.
+    fn nav_with(shape: &[(&str, &str)], counts: &[u32]) -> NavigationTree {
+        let descs: Vec<Descriptor> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, (label, t))| Descriptor::new(DescriptorId(i as u32 + 1), *label, vec![tn(t)]))
+            .collect();
+        let h = ConceptHierarchy::from_descriptors(&descs).unwrap();
+        let mut store = CitationStore::new();
+        let mut next = 1u32;
+        let mut results = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                store
+                    .insert(Citation::new(
+                        CitationId(next),
+                        "t",
+                        vec![],
+                        vec![DescriptorId(i as u32 + 1)],
+                        vec![],
+                    ))
+                    .unwrap();
+                results.push(CitationId(next));
+                next += 1;
+            }
+        }
+        NavigationTree::build(&h, &store, &results)
+    }
+
+    fn chain_tree() -> NavigationTree {
+        nav_with(
+            &[
+                ("a", "A01"),
+                ("b", "A01.100"),
+                ("c", "A01.100.100"),
+                ("d", "A01.100.100.100"),
+            ],
+            &[4, 4, 4, 4],
+        )
+    }
+
+    #[test]
+    fn partitions_cover_exactly_and_are_connected() {
+        let nav = chain_tree();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        let parts = partition_component(&nav, &comp, 5);
+        let mut all: Vec<NavNodeId> = parts.iter().flat_map(|p| p.nodes.clone()).collect();
+        all.sort();
+        let mut expected: Vec<NavNodeId> = comp.clone();
+        expected.sort();
+        assert_eq!(
+            all, expected,
+            "partitions must cover the component exactly once"
+        );
+        for p in &parts {
+            // Connectivity: every member other than the partition root has
+            // its navigation parent inside the same partition.
+            for &n in &p.nodes {
+                if n != p.root {
+                    let parent = nav.parent(n).unwrap();
+                    assert!(p.nodes.contains(&parent), "partition must be connected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_threshold_is_respected_when_splittable() {
+        let nav = chain_tree();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        for m in [4u64, 5, 8, 9, 100] {
+            let parts = partition_component(&nav, &comp, m);
+            for p in &parts {
+                assert!(
+                    p.weight <= m || p.nodes.len() == 1,
+                    "partition weight {} exceeds M={m} with {} nodes",
+                    p.weight,
+                    p.nodes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_threshold_gives_one_partition() {
+        let nav = chain_tree();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        let parts = partition_component(&nav, &comp, 1_000);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].root, NavNodeId::ROOT);
+    }
+
+    #[test]
+    fn tiny_threshold_isolates_every_node() {
+        let nav = chain_tree();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        let parts = partition_component(&nav, &comp, 1);
+        assert_eq!(parts.len(), comp.len());
+    }
+
+    #[test]
+    fn root_partition_comes_first() {
+        let nav = chain_tree();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        for m in [1u64, 4, 9, 1000] {
+            let parts = partition_component(&nav, &comp, m);
+            assert_eq!(parts[0].root, comp[0]);
+        }
+    }
+
+    #[test]
+    fn partition_until_meets_the_bound() {
+        // A wider tree: root with 4 branches of 3 nodes each.
+        let nav = nav_with(
+            &[
+                ("a", "A01"),
+                ("a1", "A01.100"),
+                ("a2", "A01.100.100"),
+                ("b", "B01"),
+                ("b1", "B01.100"),
+                ("b2", "B01.100.100"),
+                ("c", "C01"),
+                ("c1", "C01.100"),
+                ("c2", "C01.100.100"),
+                ("d", "D01"),
+                ("d1", "D01.100"),
+                ("d2", "D01.100.100"),
+            ],
+            &[3, 5, 2, 4, 1, 6, 2, 2, 2, 7, 1, 1],
+        );
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        for k in [2usize, 3, 5, 8, 10] {
+            let parts = partition_until(&nav, &comp, k);
+            assert!(parts.len() <= k, "k={k} gave {} partitions", parts.len());
+            assert!(!parts.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_node_component_is_one_partition() {
+        let nav = chain_tree();
+        let leaf = nav
+            .iter_preorder()
+            .find(|&n| nav.children(n).is_empty())
+            .unwrap();
+        let parts = partition_component(&nav, &[leaf], 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].nodes, vec![leaf]);
+        let parts = partition_until(&nav, &[leaf], 10);
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn oversize_single_nodes_become_their_own_partition() {
+        // One node carries far more weight than the threshold; it cannot be
+        // split, so it stands alone and the invariant "weight ≤ M unless a
+        // single node" holds.
+        let nav = nav_with(
+            &[("a", "A01"), ("heavy", "A01.100"), ("b", "A01.200")],
+            &[2, 50, 2],
+        );
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        let parts = partition_component(&nav, &comp, 5);
+        let heavy = nav.find_by_label("heavy").unwrap();
+        let heavy_part = parts.iter().find(|p| p.nodes.contains(&heavy)).unwrap();
+        assert_eq!(heavy_part.nodes, vec![heavy]);
+        assert!(heavy_part.weight > 5);
+    }
+
+    #[test]
+    fn weights_floor_at_one_for_the_empty_root() {
+        let nav = chain_tree();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        let parts = partition_component(&nav, &comp, 1);
+        let root_part = parts.iter().find(|p| p.root == NavNodeId::ROOT).unwrap();
+        assert_eq!(root_part.weight, 1); // the root has no results
+    }
+
+    #[test]
+    fn partitioning_a_subcomponent_works() {
+        let nav = chain_tree();
+        // Component = subtree of the first child of root.
+        let sub_root = nav.children(NavNodeId::ROOT)[0];
+        let comp = nav.subtree_nodes(sub_root);
+        let parts = partition_component(&nav, &comp, 6);
+        assert!(parts.len() >= 2);
+        assert_eq!(parts[0].root, sub_root);
+        let n: usize = parts.iter().map(|p| p.nodes.len()).sum();
+        assert_eq!(n, comp.len());
+    }
+}

@@ -1,0 +1,634 @@
+//! The navigation tree (paper §II, Definitions 1–2).
+//!
+//! Given a keyword-query result, BioNav attaches every citation to each
+//! hierarchy position of each concept the citation is indexed with,
+//! producing the *initial navigation tree*. Because most of the hierarchy's
+//! 48k nodes end up with empty result lists, the initial tree is reduced to
+//! its **maximum embedding**: nodes with empty result lists are removed and
+//! replaced by their children (the root is exempt, keeping the structure a
+//! tree). The result — the *navigation tree* — preserves every
+//! ancestor/descendant relationship among nodes that carry results.
+//!
+//! ```
+//! use bionav_core::{NavigationTree, NavNodeId};
+//! use bionav_medline::{Citation, CitationId, CitationStore};
+//! use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
+//!
+//! // Chain A01 → A01.100; only the leaf carries a citation, so the
+//! // empty middle is elided and the leaf hangs off the root.
+//! let tn = |s: &str| TreeNumber::parse(s).unwrap();
+//! let hierarchy = ConceptHierarchy::from_descriptors(&[
+//!     Descriptor::new(DescriptorId(1), "Middle", vec![tn("A01")]),
+//!     Descriptor::new(DescriptorId(2), "Leaf", vec![tn("A01.100")]),
+//! ])?;
+//! let mut store = CitationStore::new();
+//! store.insert(Citation::new(CitationId(9), "t", vec![], vec![DescriptorId(2)], vec![])).unwrap();
+//!
+//! let nav = NavigationTree::build(&hierarchy, &store, &[CitationId(9)]);
+//! assert_eq!(nav.len(), 2); // root + Leaf; Middle vanished
+//! let leaf = nav.find_by_label("Leaf").unwrap();
+//! assert_eq!(nav.parent(leaf), Some(NavNodeId::ROOT));
+//! assert_eq!(nav.hierarchy_depth(leaf), 2); // the MeSH level is preserved
+//! # Ok::<(), bionav_mesh::MeshError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use bionav_medline::{CitationId, CitationStore};
+use bionav_mesh::{ConceptHierarchy, NodeId as HNodeId};
+
+use crate::bitset::CitSet;
+
+/// Index of a node within a [`NavigationTree`]; the root is always id 0.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct NavNodeId(pub u32);
+
+impl NavNodeId {
+    /// The navigation-tree root (the hierarchy root; it may carry no
+    /// results but is kept to avoid creating a forest).
+    pub const ROOT: NavNodeId = NavNodeId(0);
+
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NavNode {
+    hierarchy_node: HNodeId,
+    label: String,
+    hierarchy_depth: u16,
+    nav_depth: u16,
+    parent: Option<NavNodeId>,
+    children: Vec<NavNodeId>,
+    /// Citations attached *directly* at this node (`R(n)` in the paper).
+    results: CitSet,
+    results_count: u32,
+    /// `|R(n)| / ln |LT(n)|` — the unnormalized EXPLORE weight (§IV).
+    explore_weight: f64,
+}
+
+/// The navigation tree of one query result: the maximum embedding of the
+/// concept hierarchy in which every non-root node carries attached
+/// citations.
+#[derive(Debug, Clone)]
+pub struct NavigationTree {
+    nodes: Vec<NavNode>,
+    /// Local index → PMID for the distinct citations of the query result.
+    citations: Vec<CitationId>,
+    /// Cached `∪ R(m)` over each node's full navigation subtree.
+    subtree_sets: Vec<CitSet>,
+    total_explore_weight: f64,
+}
+
+impl NavigationTree {
+    /// Builds the navigation tree for `results` (the citation ids returned
+    /// by the keyword query) over `hierarchy`, using the associations and
+    /// global concept counts in `store`.
+    ///
+    /// Citations whose concepts occupy no hierarchy position silently
+    /// contribute nothing (they would be unreachable in any navigation);
+    /// duplicate ids in `results` are collapsed.
+    pub fn build(
+        hierarchy: &ConceptHierarchy,
+        store: &CitationStore,
+        results: &[CitationId],
+    ) -> NavigationTree {
+        NavigationTree::build_weighted(hierarchy, store, results, |_| 1.0)
+    }
+
+    /// Like [`build`](Self::build), but weights each citation's
+    /// contribution to the EXPLORE probabilities (§IV: "if more information
+    /// about the goodness of the citations were available, our approach
+    /// could be straightforwardly adapted using appropriate weighting").
+    ///
+    /// Weights scale only the *interest* side of the model — a concept
+    /// whose citations are highly ranked attracts navigation earlier.
+    /// Distinct counts (and hence SHOWRESULTS costs) stay unweighted: the
+    /// user still reads every listed citation. Non-finite or negative
+    /// weights are clamped to 0.
+    pub fn build_weighted(
+        hierarchy: &ConceptHierarchy,
+        store: &CitationStore,
+        results: &[CitationId],
+        weight_of: impl Fn(CitationId) -> f64,
+    ) -> NavigationTree {
+        // Dense local indices for the distinct result citations.
+        let mut citations: Vec<CitationId> = results.to_vec();
+        citations.sort();
+        citations.dedup();
+        let universe = citations.len();
+        let local: HashMap<CitationId, u32> = citations
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        let weights: Vec<f64> = citations
+            .iter()
+            .map(|&id| {
+                let w = weight_of(id);
+                if w.is_finite() && w > 0.0 {
+                    w
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        // Attach citations to hierarchy positions.
+        let mut attached: HashMap<HNodeId, Vec<u32>> = HashMap::new();
+        for (&pmid, &idx) in &local {
+            for &concept in store.associations(pmid) {
+                for &pos in hierarchy.nodes_of(concept) {
+                    attached.entry(pos).or_default().push(idx);
+                }
+            }
+        }
+
+        // Maximum embedding, computed in one post-order pass (paper §II):
+        // an empty-results node is replaced by its children; empty leaves
+        // vanish. Nodes are created children-first into a temp arena.
+        struct TempNode {
+            hierarchy_node: HNodeId,
+            children: Vec<usize>,
+            results: CitSet,
+        }
+        let mut temp: Vec<TempNode> = Vec::new();
+
+        fn embed(
+            hierarchy: &ConceptHierarchy,
+            attached: &HashMap<HNodeId, Vec<u32>>,
+            universe: usize,
+            temp: &mut Vec<TempNode>,
+            hnode: HNodeId,
+        ) -> Vec<usize> {
+            let mut child_forest: Vec<usize> = Vec::new();
+            for &c in hierarchy.node(hnode).children() {
+                child_forest.extend(embed(hierarchy, attached, universe, temp, c));
+            }
+            match attached.get(&hnode) {
+                Some(list) if !list.is_empty() => {
+                    let mut results = CitSet::new(universe);
+                    for &i in list {
+                        results.insert(i as usize);
+                    }
+                    temp.push(TempNode {
+                        hierarchy_node: hnode,
+                        children: child_forest,
+                        results,
+                    });
+                    vec![temp.len() - 1]
+                }
+                _ => child_forest,
+            }
+        }
+
+        let mut root_children: Vec<usize> = Vec::new();
+        for &c in hierarchy.root().children() {
+            root_children.extend(embed(hierarchy, &attached, universe, &mut temp, c));
+        }
+        temp.push(TempNode {
+            hierarchy_node: bionav_mesh::NodeId::ROOT,
+            children: root_children,
+            results: CitSet::new(universe),
+        });
+        let temp_root = temp.len() - 1;
+
+        // Renumber to pre-order with the root at index 0.
+        let mut order: Vec<usize> = Vec::with_capacity(temp.len());
+        let mut stack = vec![temp_root];
+        while let Some(t) = stack.pop() {
+            order.push(t);
+            stack.extend(temp[t].children.iter().rev());
+        }
+        let mut new_id = vec![u32::MAX; temp.len()];
+        for (new, &old) in order.iter().enumerate() {
+            new_id[old] = new as u32;
+        }
+
+        let mut nodes: Vec<NavNode> = Vec::with_capacity(temp.len());
+        for &old in &order {
+            let t = &temp[old];
+            let h = hierarchy.node(t.hierarchy_node);
+            let results_count = t.results.count();
+            let explore_weight = if results_count == 0 {
+                0.0
+            } else {
+                let global = h
+                    .descriptor()
+                    .map(|d| store.global_count(d))
+                    .unwrap_or(2)
+                    .max(2);
+                let weighted: f64 = t.results.iter().map(|i| weights[i]).sum();
+                weighted / (global as f64).ln()
+            };
+            nodes.push(NavNode {
+                hierarchy_node: t.hierarchy_node,
+                label: h.label().to_string(),
+                hierarchy_depth: h.depth(),
+                nav_depth: 0,
+                parent: None,
+                children: t.children.iter().map(|&c| NavNodeId(new_id[c])).collect(),
+                results: t.results.clone(),
+                results_count,
+                explore_weight,
+            });
+        }
+        // Parent pointers and navigation depths (parents precede children in
+        // pre-order, so one forward pass suffices).
+        for i in 0..nodes.len() {
+            let children = nodes[i].children.clone();
+            let depth = nodes[i].nav_depth;
+            for c in children {
+                nodes[c.index()].parent = Some(NavNodeId(i as u32));
+                nodes[c.index()].nav_depth = depth + 1;
+            }
+        }
+
+        // Subtree result sets, post-order (children have larger pre-order
+        // ids than... no: children have larger indices in pre-order, so a
+        // reverse pass accumulates bottom-up).
+        let mut subtree_sets: Vec<CitSet> = nodes.iter().map(|n| n.results.clone()).collect();
+        for i in (0..nodes.len()).rev() {
+            if let Some(p) = nodes[i].parent {
+                let (head, tail) = subtree_sets.split_at_mut(i);
+                head[p.index()].union_with(&tail[0]);
+            }
+        }
+
+        let total_explore_weight = nodes.iter().map(|n| n.explore_weight).sum();
+        NavigationTree {
+            nodes,
+            citations,
+            subtree_sets,
+            total_explore_weight,
+        }
+    }
+
+    /// Number of nodes, root included.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Number of distinct citations in the query result.
+    pub fn universe(&self) -> usize {
+        self.citations.len()
+    }
+
+    /// Local index → PMID mapping.
+    pub fn citation_id(&self, local: usize) -> CitationId {
+        self.citations[local]
+    }
+
+    fn raw(&self, id: NavNodeId) -> &NavNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Concept label of a node.
+    pub fn label(&self, id: NavNodeId) -> &str {
+        &self.raw(id).label
+    }
+
+    /// The hierarchy position this navigation node embeds.
+    pub fn hierarchy_node(&self, id: NavNodeId) -> HNodeId {
+        self.raw(id).hierarchy_node
+    }
+
+    /// Depth of the node in the original hierarchy (the paper's "MeSH level").
+    pub fn hierarchy_depth(&self, id: NavNodeId) -> u16 {
+        self.raw(id).hierarchy_depth
+    }
+
+    /// Depth within the navigation tree (root = 0).
+    pub fn nav_depth(&self, id: NavNodeId) -> u16 {
+        self.raw(id).nav_depth
+    }
+
+    /// Parent in the navigation tree.
+    pub fn parent(&self, id: NavNodeId) -> Option<NavNodeId> {
+        self.raw(id).parent
+    }
+
+    /// Children in the navigation tree.
+    pub fn children(&self, id: NavNodeId) -> &[NavNodeId] {
+        &self.raw(id).children
+    }
+
+    /// Citations attached directly at this node (`R(n)`).
+    pub fn results(&self, id: NavNodeId) -> &CitSet {
+        &self.raw(id).results
+    }
+
+    /// `|R(n)|`.
+    pub fn results_count(&self, id: NavNodeId) -> u32 {
+        self.raw(id).results_count
+    }
+
+    /// The unnormalized EXPLORE weight `|R(n)| / ln |LT(n)|` (§IV).
+    pub fn explore_weight(&self, id: NavNodeId) -> f64 {
+        self.raw(id).explore_weight
+    }
+
+    /// Sum of EXPLORE weights over the whole tree (the §IV normalizer).
+    pub fn total_explore_weight(&self) -> f64 {
+        self.total_explore_weight
+    }
+
+    /// Distinct citations in the *full* navigation subtree of `id`.
+    pub fn subtree_set(&self, id: NavNodeId) -> &CitSet {
+        &self.subtree_sets[id.index()]
+    }
+
+    /// `|subtree_set(id)|` — the count the static interface displays.
+    pub fn subtree_distinct(&self, id: NavNodeId) -> u32 {
+        self.subtree_sets[id.index()].count()
+    }
+
+    /// Pre-order iteration over node ids (root first).
+    pub fn iter_preorder(&self) -> impl Iterator<Item = NavNodeId> + '_ {
+        // Nodes are stored in pre-order by construction.
+        (0..self.nodes.len() as u32).map(NavNodeId)
+    }
+
+    /// The node ids of the full subtree rooted at `id`, pre-order.
+    pub fn subtree_nodes(&self, id: NavNodeId) -> Vec<NavNodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children(n).iter().rev());
+        }
+        out
+    }
+
+    /// Whether `ancestor` properly precedes `node` on its root path.
+    pub fn is_ancestor(&self, ancestor: NavNodeId, node: NavNodeId) -> bool {
+        let mut cur = self.parent(node);
+        while let Some(p) = cur {
+            if p == ancestor {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Finds a node by label (linear scan; for tests/examples).
+    pub fn find_by_label(&self, label: &str) -> Option<NavNodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.label == label)
+            .map(|i| NavNodeId(i as u32))
+    }
+
+    /// Sum over all nodes of `|R(n)|` — the "citations with duplicates"
+    /// statistic of Table I (30,895 for the paper's `prothymosin` query).
+    pub fn total_attached_with_duplicates(&self) -> u64 {
+        self.nodes.iter().map(|n| n.results_count as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionav_medline::Citation;
+    use bionav_mesh::{Descriptor, DescriptorId, TreeNumber};
+
+    fn tn(s: &str) -> TreeNumber {
+        TreeNumber::parse(s).unwrap()
+    }
+
+    /// Hierarchy:
+    /// MeSH
+    /// ├── A (A01)
+    /// │   ├── B (A01.100)
+    /// │   │   └── D (A01.100.100)
+    /// │   └── C (A01.200)
+    /// └── E (B01)
+    ///     └── F (B01.100)
+    fn hierarchy() -> ConceptHierarchy {
+        ConceptHierarchy::from_descriptors(&[
+            Descriptor::new(DescriptorId(1), "A", vec![tn("A01")]),
+            Descriptor::new(DescriptorId(2), "B", vec![tn("A01.100")]),
+            Descriptor::new(DescriptorId(3), "C", vec![tn("A01.200")]),
+            Descriptor::new(DescriptorId(4), "D", vec![tn("A01.100.100")]),
+            Descriptor::new(DescriptorId(5), "E", vec![tn("B01")]),
+            Descriptor::new(DescriptorId(6), "F", vec![tn("B01.100")]),
+        ])
+        .unwrap()
+    }
+
+    fn store_with(assocs: &[(u32, &[u32])]) -> CitationStore {
+        let mut store = CitationStore::new();
+        for &(id, concepts) in assocs {
+            store
+                .insert(Citation::new(
+                    CitationId(id),
+                    format!("c{id}"),
+                    vec![],
+                    concepts.iter().map(|&c| DescriptorId(c)).collect(),
+                    vec![],
+                ))
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn empty_nodes_are_elided_and_paths_contract() {
+        let h = hierarchy();
+        // Citations touch D and C only; A and B carry nothing and vanish,
+        // so D's navigation parent becomes the root.
+        let store = store_with(&[(1, &[4]), (2, &[3])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1), CitationId(2)]);
+        assert_eq!(nav.len(), 3); // root + D + C
+        let root_children: Vec<&str> = nav
+            .children(NavNodeId::ROOT)
+            .iter()
+            .map(|&c| nav.label(c))
+            .collect();
+        assert_eq!(root_children, vec!["D", "C"]);
+        let d = nav.find_by_label("D").unwrap();
+        assert_eq!(nav.parent(d), Some(NavNodeId::ROOT));
+        assert_eq!(nav.nav_depth(d), 1);
+        assert_eq!(nav.hierarchy_depth(d), 3); // original MeSH level preserved
+    }
+
+    #[test]
+    fn ancestors_with_results_are_kept() {
+        let h = hierarchy();
+        // Citation 1 on B and D: both kept, B is D's parent.
+        let store = store_with(&[(1, &[2, 4])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1)]);
+        let b = nav.find_by_label("B").unwrap();
+        let d = nav.find_by_label("D").unwrap();
+        assert_eq!(nav.parent(d), Some(b));
+        assert_eq!(nav.parent(b), Some(NavNodeId::ROOT));
+    }
+
+    #[test]
+    fn results_and_subtree_sets() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[2, 4]), (2, &[4]), (3, &[3])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1), CitationId(2), CitationId(3)]);
+        let b = nav.find_by_label("B").unwrap();
+        let d = nav.find_by_label("D").unwrap();
+        assert_eq!(nav.results_count(b), 1); // citation 1
+        assert_eq!(nav.results_count(d), 2); // citations 1, 2
+        assert_eq!(nav.subtree_distinct(b), 2); // union over B, D
+        assert_eq!(nav.subtree_distinct(NavNodeId::ROOT), 3);
+        assert_eq!(nav.total_attached_with_duplicates(), 4); // 1+2+1
+    }
+
+    #[test]
+    fn duplicate_result_ids_collapse() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[1])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1), CitationId(1)]);
+        assert_eq!(nav.universe(), 1);
+    }
+
+    #[test]
+    fn citation_on_multi_position_descriptor_duplicates_across_branches() {
+        let descs = vec![
+            Descriptor::new(DescriptorId(1), "X", vec![tn("A01"), tn("B01.100")]),
+            Descriptor::new(DescriptorId(2), "Host", vec![tn("B01")]),
+        ];
+        let h = ConceptHierarchy::from_descriptors(&descs).unwrap();
+        let store = store_with(&[(1, &[1, 2])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1)]);
+        // "X" appears twice in the navigation tree; the citation is attached
+        // at both positions — a duplicate, as in the paper.
+        assert_eq!(nav.len(), 4);
+        assert_eq!(nav.total_attached_with_duplicates(), 3);
+        assert_eq!(nav.subtree_distinct(NavNodeId::ROOT), 1);
+    }
+
+    #[test]
+    fn explore_weights_use_global_counts() {
+        let h = hierarchy();
+        let mut store = store_with(&[(1, &[4]), (2, &[4]), (3, &[3])]);
+        store.set_global_count(DescriptorId(4), 1_000_000); // very common concept
+        store.set_global_count(DescriptorId(3), 20); // rare concept
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1), CitationId(2), CitationId(3)]);
+        let d = nav.find_by_label("D").unwrap();
+        let c = nav.find_by_label("C").unwrap();
+        // D: 2 / ln(1e6) ≈ 0.1448 ; C: 1 / ln(20) ≈ 0.3338 — the rare
+        // concept dominates despite fewer attached citations.
+        assert!(nav.explore_weight(c) > nav.explore_weight(d));
+        let total = nav.total_explore_weight();
+        assert!((total - (nav.explore_weight(c) + nav.explore_weight(d))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preorder_parents_precede_children() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[1, 2, 3, 4, 5, 6])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1)]);
+        for id in nav.iter_preorder() {
+            if let Some(p) = nav.parent(id) {
+                assert!(p.0 < id.0, "parent must precede child in pre-order");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_nodes_and_ancestry() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[1, 2, 3, 4])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1)]);
+        let a = nav.find_by_label("A").unwrap();
+        let b = nav.find_by_label("B").unwrap();
+        let d = nav.find_by_label("D").unwrap();
+        let sub = nav.subtree_nodes(a);
+        assert!(sub.contains(&b) && sub.contains(&d));
+        assert_eq!(sub[0], a, "pre-order starts at the subtree root");
+        assert!(nav.is_ancestor(a, d));
+        assert!(nav.is_ancestor(NavNodeId::ROOT, a));
+        assert!(!nav.is_ancestor(d, a));
+        assert!(!nav.is_ancestor(a, a));
+        assert_eq!(nav.subtree_nodes(d), vec![d]);
+    }
+
+    #[test]
+    fn local_indices_map_back_to_pmids() {
+        let h = hierarchy();
+        let store = store_with(&[(7, &[4]), (3, &[3])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(7), CitationId(3)]);
+        // Local indices follow sorted PMID order.
+        assert_eq!(nav.citation_id(0), CitationId(3));
+        assert_eq!(nav.citation_id(1), CitationId(7));
+        let d = nav.find_by_label("D").unwrap();
+        let locals: Vec<usize> = nav.results(d).iter().collect();
+        assert_eq!(locals, vec![1]); // citation 7
+    }
+
+    #[test]
+    fn find_by_label_misses_return_none() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[1])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1)]);
+        assert!(nav.find_by_label("Z").is_none());
+        assert_eq!(nav.find_by_label("MeSH"), Some(NavNodeId::ROOT));
+    }
+
+    #[test]
+    fn weighted_build_scales_explore_weights() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[4]), (2, &[3])]);
+        let results = [CitationId(1), CitationId(2)];
+        let plain = NavigationTree::build(&h, &store, &results);
+        let boosted = NavigationTree::build_weighted(&h, &store, &results, |id| {
+            if id == CitationId(1) {
+                5.0
+            } else {
+                1.0
+            }
+        });
+        let d_plain = plain.find_by_label("D").unwrap();
+        let d_boost = boosted.find_by_label("D").unwrap();
+        let c_boost = boosted.find_by_label("C").unwrap();
+        // D carries the boosted citation: 5× the plain weight.
+        assert!(
+            (boosted.explore_weight(d_boost) - 5.0 * plain.explore_weight(d_plain)).abs() < 1e-12
+        );
+        // C's citation kept weight 1, so its node is unchanged.
+        let c_plain = plain.find_by_label("C").unwrap();
+        assert_eq!(
+            boosted.explore_weight(c_boost),
+            plain.explore_weight(c_plain)
+        );
+        // Distinct counts are weight-independent.
+        assert_eq!(boosted.subtree_distinct(NavNodeId::ROOT), 2);
+    }
+
+    #[test]
+    fn degenerate_weights_are_clamped() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[4])]);
+        let nav = NavigationTree::build_weighted(&h, &store, &[CitationId(1)], |_| f64::NAN);
+        let d = nav.find_by_label("D").unwrap();
+        assert_eq!(nav.explore_weight(d), 0.0);
+        assert_eq!(nav.results_count(d), 1);
+    }
+
+    #[test]
+    fn citations_without_positions_are_ignored() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[99])]); // unknown concept
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1)]);
+        assert_eq!(nav.len(), 1); // only the root
+        assert!(nav.is_empty());
+        assert_eq!(nav.universe(), 1); // the citation exists, just unreachable
+    }
+}

@@ -1,0 +1,172 @@
+//! Estimation of the navigation probabilities (paper §IV).
+//!
+//! **EXPLORE** (`pE`): the probability the user is interested in a component
+//! subtree. For a single concept `n` it is proportional to
+//! `|R(n)| / log |LT(n)|` — many attached *query* citations make a concept
+//! interesting, while a huge *global* citation count marks it as
+//! undiscriminating (the inverse-document-frequency intuition). Weights are
+//! normalized by their sum over the whole navigation tree, so the initial
+//! component (the entire tree) has `pE = 1`; a component's probability is
+//! the (capped) sum of its members'.
+//!
+//! **EXPAND** (`pX`): the probability the user narrows a component down
+//! rather than listing its citations. Pinned to 0 for singletons, 1 above
+//! an upper result-count threshold, 0 below a lower one; in between it is
+//! the entropy of the citation distribution over the component's nodes,
+//! normalized by the duplicate-free uniform maximum `ln |I(n)|` — widely
+//! spread citations make drilling down worthwhile.
+
+use crate::cost::CostParams;
+
+/// `pE` of a component: `min(1, Σ w(m) / W)`.
+///
+/// `component_weight` is the sum of member weights `|R(m)| / ln |LT(m)|`;
+/// `total_weight` is the same sum over the whole navigation tree. A tree
+/// with no weight at all (empty query result) explores with probability 1 —
+/// there is nothing to prefer.
+pub fn explore_probability(component_weight: f64, total_weight: f64) -> f64 {
+    if total_weight <= 0.0 {
+        return 1.0;
+    }
+    (component_weight / total_weight).clamp(0.0, 1.0)
+}
+
+/// `pX` of a component (paper §IV).
+///
+/// * `distinct` — `|R(C)|`, distinct citations in the component,
+/// * `member_distincts` — distinct citations of each member unit (navigation
+///   node, or supernode when evaluating a reduced tree),
+/// * `underlying_nodes` — `|I(n)|`, navigation-tree nodes the component
+///   hides (for a reduced tree this exceeds `member_distincts.len()`).
+pub fn expand_probability(
+    params: &CostParams,
+    distinct: u32,
+    member_distincts: &[u32],
+    underlying_nodes: u32,
+) -> f64 {
+    if underlying_nodes <= 1 || distinct == 0 {
+        return 0.0; // leaf or singleton I(n): SHOWRESULTS is the only option
+    }
+    if distinct > params.upper_threshold {
+        return 1.0;
+    }
+    if distinct < params.lower_threshold {
+        return 0.0;
+    }
+    // Entropy of the (duplicate-inflated) citation distribution. The p_m
+    // may sum past 1 exactly because citations repeat across members; the
+    // normalization by the duplicate-free uniform maximum ln|I(n)| absorbs
+    // that, and we clamp for safety.
+    let mut entropy = 0.0;
+    for &d in member_distincts {
+        if d == 0 {
+            continue;
+        }
+        let p = f64::from(d) / f64::from(distinct);
+        if p < 1.0 {
+            entropy -= p * p.ln();
+        }
+    }
+    let max_entropy = f64::from(underlying_nodes).ln();
+    (entropy / max_entropy).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn explore_is_ratio_capped_at_one() {
+        assert_eq!(explore_probability(0.5, 2.0), 0.25);
+        assert_eq!(explore_probability(3.0, 2.0), 1.0);
+        assert_eq!(explore_probability(0.0, 2.0), 0.0);
+        assert_eq!(explore_probability(0.7, 0.0), 1.0);
+    }
+
+    #[test]
+    fn whole_tree_explores_with_probability_one() {
+        let w = 1.2345;
+        assert_eq!(explore_probability(w, w), 1.0);
+    }
+
+    #[test]
+    fn singleton_components_never_expand() {
+        assert_eq!(expand_probability(&params(), 100, &[100], 1), 0.0);
+    }
+
+    #[test]
+    fn thresholds_pin_the_probability() {
+        let p = params();
+        assert_eq!(expand_probability(&p, 51, &[20, 31], 5), 1.0);
+        assert_eq!(expand_probability(&p, 9, &[4, 5], 5), 0.0);
+    }
+
+    #[test]
+    fn mid_range_uses_normalized_entropy() {
+        let p = params();
+        // 30 distinct citations spread evenly over 3 of 3 nodes: high entropy.
+        let spread = expand_probability(&p, 30, &[10, 10, 10], 3);
+        // 30 distinct citations all on one node of 3: zero entropy.
+        let concentrated = expand_probability(&p, 30, &[30, 0, 0], 3);
+        assert!(
+            spread > 0.9,
+            "even spread should push pX near 1, got {spread}"
+        );
+        assert_eq!(concentrated, 0.0);
+        assert!(spread <= 1.0);
+    }
+
+    #[test]
+    fn duplicates_inflate_but_clamp_holds() {
+        let p = params();
+        // Members hold 3×20 distinct citations but the union is only 20:
+        // heavy duplication; the clamp keeps pX ≤ 1.
+        let v = expand_probability(&p, 20, &[20, 20, 20], 3);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn more_underlying_nodes_lower_the_normalized_entropy() {
+        let p = params();
+        let few = expand_probability(&p, 30, &[10, 10, 10], 3);
+        let many = expand_probability(&p, 30, &[10, 10, 10], 30);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn empty_component_never_expands() {
+        assert_eq!(expand_probability(&params(), 0, &[], 10), 0.0);
+    }
+
+    #[test]
+    fn threshold_boundaries_are_inclusive_midrange() {
+        // §IV: pinned to 1 strictly *above* the upper threshold and to 0
+        // strictly *below* the lower one; both boundary values fall into
+        // the entropy regime.
+        let p = params(); // lower 10, upper 50
+        let at_upper = expand_probability(&p, 50, &[25, 25], 4);
+        let at_lower = expand_probability(&p, 10, &[5, 5], 4);
+        assert!(
+            at_upper < 1.0 && at_upper > 0.0,
+            "50 is mid-range: {at_upper}"
+        );
+        assert!(
+            at_lower < 1.0 && at_lower > 0.0,
+            "10 is mid-range: {at_lower}"
+        );
+        assert_eq!(expand_probability(&p, 51, &[25, 26], 4), 1.0);
+        assert_eq!(expand_probability(&p, 9, &[4, 5], 4), 0.0);
+    }
+
+    #[test]
+    fn two_even_members_over_two_nodes_is_maximal_entropy() {
+        // H = -2·(1/2)·ln(1/2) = ln 2; Hmax = ln 2 ⇒ pX = 1 exactly.
+        let p = params();
+        let v = expand_probability(&p, 20, &[10, 10], 2);
+        assert!((v - 1.0).abs() < 1e-12, "{v}");
+    }
+}

@@ -1,0 +1,564 @@
+//! Interactive navigation sessions (paper §VII, the on-line navigation
+//! subsystem).
+//!
+//! A [`Session`] wraps an [`ActiveTree`] with the four user actions of the
+//! navigation model — EXPAND, SHOWRESULTS, IGNORE, BACKTRACK — keeps an
+//! action log, and tallies the §III user cost as the session progresses.
+//! EXPAND runs Heuristic-ReducedOpt; the raw cut API is also exposed for
+//! clients that drive their own cuts (tests, the optimal-algorithm
+//! ablation).
+//!
+//! ```
+//! use bionav_core::session::Session;
+//! use bionav_core::{CostParams, NavNodeId, NavigationTree};
+//! use bionav_medline::{Citation, CitationId, CitationStore};
+//! use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
+//!
+//! // A two-concept hierarchy and two annotated citations.
+//! let hierarchy = ConceptHierarchy::from_descriptors(&[
+//!     Descriptor::new(DescriptorId(1), "Apoptosis", vec![TreeNumber::parse("G16").unwrap()]),
+//!     Descriptor::new(DescriptorId(2), "Necrosis", vec![TreeNumber::parse("G17").unwrap()]),
+//! ])?;
+//! let mut store = CitationStore::new();
+//! store.insert(Citation::new(CitationId(1), "a", vec![], vec![DescriptorId(1)], vec![])).unwrap();
+//! store.insert(Citation::new(CitationId(2), "b", vec![], vec![DescriptorId(2)], vec![])).unwrap();
+//!
+//! let nav = NavigationTree::build(&hierarchy, &store, &[CitationId(1), CitationId(2)]);
+//! let mut session = Session::new(&nav, CostParams::default());
+//! let revealed = session.expand(NavNodeId::ROOT).unwrap();
+//! assert!(!revealed.is_empty());
+//! let listed = session.show_results(revealed[0]).unwrap();
+//! assert!(!listed.is_empty());
+//! # Ok::<(), bionav_mesh::MeshError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use bionav_medline::CitationId;
+
+use crate::active::{ActiveTree, EdgeCut, EdgeCutError, VisNode};
+use crate::cost::CostParams;
+use crate::edgecut::heuristic::{plan_component, ReducedPlan};
+use crate::navtree::{NavNodeId, NavigationTree};
+use crate::sim::NavOutcome;
+
+/// A retained reduced tree plus the unit mask describing one of its
+/// sub-components (keyed by the component's root in [`Session::plans`]).
+#[derive(Debug, Clone)]
+struct PlanEntry {
+    plan: std::rc::Rc<ReducedPlan>,
+    mask: u64,
+}
+
+/// One logged user action.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Action {
+    /// The user expanded `node`, revealing `revealed` new concepts.
+    Expand {
+        /// The expanded component root.
+        node: NavNodeId,
+        /// The lower roots the EdgeCut revealed.
+        revealed: Vec<NavNodeId>,
+    },
+    /// The user listed the citations of `node`'s component.
+    ShowResults {
+        /// The inspected component root.
+        node: NavNodeId,
+        /// How many citations were listed.
+        count: u32,
+    },
+    /// The user dismissed `node` as uninteresting.
+    Ignore {
+        /// The dismissed node.
+        node: NavNodeId,
+    },
+    /// The user undid the last expansion.
+    Backtrack,
+}
+
+/// An interactive BioNav navigation over one query result.
+#[derive(Debug)]
+pub struct Session<'t> {
+    nav: &'t NavigationTree,
+    active: ActiveTree,
+    params: CostParams,
+    log: Vec<Action>,
+    cost: NavOutcome,
+    /// Retained reduced trees per component root
+    /// ([`CostParams::reuse_plans`]). Cleared on BACKTRACK — the undo
+    /// invalidates the masks.
+    plans: HashMap<NavNodeId, PlanEntry>,
+}
+
+impl<'t> Session<'t> {
+    /// Starts a session on `nav`; initially only the root is visible.
+    pub fn new(nav: &'t NavigationTree, params: CostParams) -> Self {
+        Session {
+            nav,
+            active: ActiveTree::new(nav),
+            params,
+            log: Vec::new(),
+            cost: NavOutcome::default(),
+            plans: HashMap::new(),
+        }
+    }
+
+    /// The underlying navigation tree.
+    pub fn nav(&self) -> &'t NavigationTree {
+        self.nav
+    }
+
+    /// The current active tree (read-only state).
+    pub fn active(&self) -> &ActiveTree {
+        &self.active
+    }
+
+    /// Distinct citations in the component rooted at the visible `node`.
+    pub fn component_distinct(&self, node: NavNodeId) -> u32 {
+        self.active.component_distinct(self.nav, node)
+    }
+
+    /// Number of hidden nodes (including `node`) in `node`'s component.
+    pub fn component_size(&self, node: NavNodeId) -> usize {
+        self.active.component_size(node)
+    }
+
+    /// EXPAND: runs Heuristic-ReducedOpt on `node`'s component, applies the
+    /// cut, and returns the newly revealed concepts.
+    ///
+    /// With [`CostParams::reuse_plans`] set, a component that came out of a
+    /// previous expansion is cut using that expansion's retained reduced
+    /// tree (§VI-B) instead of being re-partitioned; once the retained view
+    /// of a component shrinks to one supernode, the session falls back to a
+    /// fresh partitioning.
+    pub fn expand(&mut self, node: NavNodeId) -> Result<Vec<NavNodeId>, EdgeCutError> {
+        if !self.active.is_visible(node) {
+            return Err(EdgeCutError::NotAComponentRoot(node));
+        }
+        if self.params.reuse_plans {
+            if let Some(entry) = self.plans.get(&node).cloned() {
+                if let Some(planned) = entry.plan.cut(entry.mask, &self.params) {
+                    let revealed = self.expand_with(node, &planned.cut)?;
+                    self.register_plan(node, &entry.plan, planned.upper_mask, &planned.lowers);
+                    return Ok(revealed);
+                }
+                // Plan exhausted for this component: fall through to a
+                // fresh partitioning below.
+                self.plans.remove(&node);
+            }
+        }
+        let comp = self.active.component_nodes(self.nav, node);
+        let Some((outcome, planned)) = plan_component(self.nav, &comp, &self.params) else {
+            return Err(EdgeCutError::EmptyCut); // singleton: nothing to expand
+        };
+        let revealed = self.expand_with(node, &outcome.cut)?;
+        if self.params.reuse_plans {
+            if let Some((plan, cut)) = planned {
+                let plan = std::rc::Rc::new(plan);
+                self.register_plan(node, &plan, cut.upper_mask, &cut.lowers);
+            }
+        }
+        Ok(revealed)
+    }
+
+    /// Records plan entries for the upper and lower components of a cut.
+    fn register_plan(
+        &mut self,
+        upper_root: NavNodeId,
+        plan: &std::rc::Rc<ReducedPlan>,
+        upper_mask: u64,
+        lowers: &[(NavNodeId, u64)],
+    ) {
+        let mut put = |root: NavNodeId, mask: u64| {
+            if mask.count_ones() > 1 {
+                self.plans.insert(
+                    root,
+                    PlanEntry {
+                        plan: plan.clone(),
+                        mask,
+                    },
+                );
+            } else {
+                self.plans.remove(&root);
+            }
+        };
+        put(upper_root, upper_mask);
+        for &(root, mask) in lowers {
+            put(root, mask);
+        }
+    }
+
+    /// EXPAND with a caller-supplied cut (validated like any EdgeCut).
+    pub fn expand_with(
+        &mut self,
+        node: NavNodeId,
+        cut: &EdgeCut,
+    ) -> Result<Vec<NavNodeId>, EdgeCutError> {
+        self.active.expand(self.nav, node, cut)?;
+        // A manual cut changes this component in ways a retained reduced
+        // tree does not describe; drop its plan so the next automatic
+        // EXPAND re-partitions instead of proposing a stale (and possibly
+        // invalid) cut. Note `expand()` re-registers entries *after*
+        // calling this method, so plan-driven cuts are unaffected.
+        self.plans.remove(&node);
+        let revealed = cut.lower_roots().to_vec();
+        self.cost.expands += 1;
+        self.cost.revealed += revealed.len();
+        self.log.push(Action::Expand {
+            node,
+            revealed: revealed.clone(),
+        });
+        Ok(revealed)
+    }
+
+    /// SHOWRESULTS: lists the PMIDs of `node`'s component.
+    pub fn show_results(&mut self, node: NavNodeId) -> Result<Vec<CitationId>, EdgeCutError> {
+        if !self.active.is_visible(node) {
+            return Err(EdgeCutError::NotAComponentRoot(node));
+        }
+        let set = self.active.component_set(self.nav, node);
+        let ids: Vec<CitationId> = set.iter().map(|i| self.nav().citation_id(i)).collect();
+        self.cost.results_inspected += ids.len();
+        self.log.push(Action::ShowResults {
+            node,
+            count: ids.len() as u32,
+        });
+        Ok(ids)
+    }
+
+    /// IGNORE: records that the user dismissed a revealed concept. Costs
+    /// nothing extra — examining the label was already paid at reveal time.
+    pub fn ignore(&mut self, node: NavNodeId) {
+        self.log.push(Action::Ignore { node });
+    }
+
+    /// BACKTRACK: undoes the most recent expansion. The cost already paid
+    /// is *not* refunded — the user spent that effort (§III charges every
+    /// examined concept).
+    pub fn backtrack(&mut self) -> Result<(), EdgeCutError> {
+        self.active.backtrack()?;
+        self.cost.expands += 1; // the undo click is itself an action
+        self.plans.clear(); // retained masks no longer describe components
+        self.log.push(Action::Backtrack);
+        Ok(())
+    }
+
+    /// The current visualization (Definition 5).
+    pub fn visualize(&self) -> Vec<VisNode> {
+        self.active.visualize(self.nav)
+    }
+
+    /// The accumulated §III cost of the session so far.
+    pub fn cost(&self) -> &NavOutcome {
+        &self.cost
+    }
+
+    /// The full action log.
+    pub fn log(&self) -> &[Action] {
+        &self.log
+    }
+
+    /// Exports the session's persistable state (active tree, action log,
+    /// cost tally). The navigation tree itself is *not* included — the
+    /// online system (§VII) rebuilds it from the query and re-attaches the
+    /// state; retained reduced-tree plans are rebuilt lazily on the next
+    /// EXPAND.
+    pub fn export_state(&self) -> SessionState {
+        SessionState {
+            active: self.active.clone(),
+            log: self.log.clone(),
+            cost: self.cost.clone(),
+        }
+    }
+
+    /// Restores a session from persisted state over `nav`, which must be
+    /// the same navigation tree the state was exported from (same query,
+    /// same store). Returns `None` when the state does not fit the tree.
+    pub fn restore(
+        nav: &'t NavigationTree,
+        params: CostParams,
+        state: SessionState,
+    ) -> Option<Session<'t>> {
+        if !state.active.fits(nav) {
+            return None;
+        }
+        Some(Session {
+            nav,
+            active: state.active,
+            params,
+            log: state.log,
+            cost: state.cost,
+            plans: HashMap::new(),
+        })
+    }
+}
+
+/// The serializable part of a [`Session`] (everything except the navigation
+/// tree it runs over); see [`Session::export_state`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SessionState {
+    /// Component assignments and the BACKTRACK stack.
+    pub active: ActiveTree,
+    /// The action log.
+    pub log: Vec<Action>,
+    /// The accumulated §III cost.
+    pub cost: NavOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionav_medline::corpus::{self, CorpusConfig};
+    use bionav_medline::InvertedIndex;
+    use bionav_mesh::synth::{self, SynthConfig};
+
+    fn session_nav() -> NavigationTree {
+        let h = synth::generate(&SynthConfig::small(5, 400)).unwrap();
+        let store = corpus::generate(
+            &h,
+            &CorpusConfig {
+                n_citations: 600,
+                ..CorpusConfig::default()
+            },
+        );
+        let index = InvertedIndex::build(&store);
+        let busiest = h
+            .iter_preorder()
+            .skip(1)
+            .max_by_key(|&n| {
+                h.node(n)
+                    .descriptor()
+                    .map(|d| store.observed_count(d))
+                    .unwrap_or(0)
+            })
+            .unwrap();
+        let results = index.query(h.node(busiest).label()).citations;
+        NavigationTree::build(&h, &store, &results)
+    }
+
+    #[test]
+    fn expand_show_results_flow() {
+        let nav = session_nav();
+        let mut s = Session::new(&nav, CostParams::default());
+        let revealed = s.expand(NavNodeId::ROOT).unwrap();
+        assert!(!revealed.is_empty());
+        assert_eq!(s.cost().expands, 1);
+        assert_eq!(s.cost().revealed, revealed.len());
+        let ids = s.show_results(revealed[0]).unwrap();
+        assert!(!ids.is_empty());
+        assert_eq!(s.cost().results_inspected, ids.len());
+        assert_eq!(s.log().len(), 2);
+    }
+
+    #[test]
+    fn expanding_hidden_nodes_fails() {
+        let nav = session_nav();
+        let mut s = Session::new(&nav, CostParams::default());
+        let revealed = s.expand(NavNodeId::ROOT).unwrap();
+        // A node inside a lower component is not visible.
+        let inner = nav
+            .iter_preorder()
+            .find(|&n| !s.active().is_visible(n))
+            .expect("some node is hidden");
+        assert!(matches!(
+            s.expand(inner),
+            Err(EdgeCutError::NotAComponentRoot(_))
+        ));
+        let _ = revealed;
+    }
+
+    #[test]
+    fn backtrack_restores_but_keeps_cost() {
+        let nav = session_nav();
+        let mut s = Session::new(&nav, CostParams::default());
+        let revealed = s.expand(NavNodeId::ROOT).unwrap();
+        let spent = s.cost().clone();
+        s.backtrack().unwrap();
+        assert!(!s.active().is_visible(revealed[0]));
+        assert_eq!(s.cost().revealed, spent.revealed, "no refunds");
+        assert_eq!(
+            s.cost().expands,
+            spent.expands + 1,
+            "the undo click is paid"
+        );
+        assert!(matches!(s.log().last(), Some(Action::Backtrack)));
+    }
+
+    #[test]
+    fn ignore_is_logged_and_free() {
+        let nav = session_nav();
+        let mut s = Session::new(&nav, CostParams::default());
+        let revealed = s.expand(NavNodeId::ROOT).unwrap();
+        let before = s.cost().clone();
+        s.ignore(revealed[0]);
+        assert_eq!(s.cost(), &before);
+        assert!(matches!(s.log().last(), Some(Action::Ignore { .. })));
+    }
+
+    #[test]
+    fn plan_reuse_answers_follow_up_expansions() {
+        let nav = session_nav();
+        let params = CostParams {
+            reuse_plans: true,
+            ..CostParams::default()
+        };
+        let mut s = Session::new(&nav, params);
+        let first = s.expand(NavNodeId::ROOT).unwrap();
+        assert!(!first.is_empty());
+        // Re-expanding the root must come from the retained plan (the root
+        // component's entry exists and holds >1 unit) — observable as a
+        // valid cut without error, repeatedly until exhaustion.
+        let mut guard = 0;
+        while s.component_size(NavNodeId::ROOT) > 1 {
+            s.expand(NavNodeId::ROOT).unwrap();
+            guard += 1;
+            assert!(guard < nav.len(), "reuse expansion loop must terminate");
+        }
+        // Lower components are expandable too (plan or fresh).
+        if let Some(&n) = first.iter().find(|&&n| s.component_size(n) > 1) {
+            s.expand(n).unwrap();
+        }
+    }
+
+    #[test]
+    fn plan_reuse_and_fresh_sessions_both_terminate_everywhere() {
+        let nav = session_nav();
+        for reuse in [false, true] {
+            let params = CostParams {
+                reuse_plans: reuse,
+                ..CostParams::default()
+            };
+            let mut s = Session::new(&nav, params);
+            let mut guard = 0;
+            while let Some(root) = nav
+                .iter_preorder()
+                .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1)
+            {
+                s.expand(root).unwrap();
+                guard += 1;
+                assert!(guard <= 2 * nav.len(), "reuse={reuse}: no termination");
+            }
+            for n in nav.iter_preorder() {
+                assert!(s.active().is_visible(n), "reuse={reuse}");
+            }
+        }
+    }
+
+    #[test]
+    fn backtrack_clears_retained_plans() {
+        let nav = session_nav();
+        let params = CostParams {
+            reuse_plans: true,
+            ..CostParams::default()
+        };
+        let mut s = Session::new(&nav, params);
+        s.expand(NavNodeId::ROOT).unwrap();
+        s.backtrack().unwrap();
+        // After the undo, the next expansion re-plans from scratch and the
+        // whole navigation still works.
+        let revealed = s.expand(NavNodeId::ROOT).unwrap();
+        assert!(!revealed.is_empty());
+    }
+
+    #[test]
+    fn sessions_persist_and_restore() {
+        let nav = session_nav();
+        let mut s = Session::new(&nav, CostParams::default());
+        let revealed = s.expand(NavNodeId::ROOT).unwrap();
+        s.ignore(revealed[0]);
+        let listed = s.show_results(revealed[0]).unwrap();
+
+        // Round-trip the state through JSON (what a web tier would store).
+        let json = serde_json::to_string(&s.export_state()).unwrap();
+        let state: SessionState = serde_json::from_str(&json).unwrap();
+        let mut restored =
+            Session::restore(&nav, CostParams::default(), state).expect("state fits its own tree");
+
+        assert_eq!(restored.cost(), s.cost());
+        assert_eq!(restored.log(), s.log());
+        assert_eq!(restored.visualize(), s.visualize());
+        // The restored session keeps working: SHOWRESULTS agrees, BACKTRACK
+        // unwinds the pre-snapshot expansion.
+        assert_eq!(restored.show_results(revealed[0]).unwrap(), listed);
+        restored.backtrack().unwrap();
+        assert!(!restored.active().is_visible(revealed[0]));
+    }
+
+    #[test]
+    fn restore_rejects_foreign_trees() {
+        let nav = session_nav();
+        let mut s = Session::new(&nav, CostParams::default());
+        s.expand(NavNodeId::ROOT).unwrap();
+        let state = s.export_state();
+        // A tree from a different query (different size) must be rejected.
+        let other = {
+            use bionav_medline::{Citation, CitationId, CitationStore};
+            use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
+            let h = ConceptHierarchy::from_descriptors(&[Descriptor::new(
+                DescriptorId(1),
+                "only",
+                vec![TreeNumber::parse("A01").unwrap()],
+            )])
+            .unwrap();
+            let mut store = CitationStore::new();
+            store
+                .insert(Citation::new(
+                    CitationId(1),
+                    "t",
+                    vec![],
+                    vec![DescriptorId(1)],
+                    vec![],
+                ))
+                .unwrap();
+            NavigationTree::build(&h, &store, &[CitationId(1)])
+        };
+        assert!(Session::restore(&other, CostParams::default(), state).is_none());
+    }
+
+    #[test]
+    fn manual_cuts_invalidate_retained_plans() {
+        // Regression: with reuse_plans on, an automatic EXPAND retains a
+        // plan for the root component; a manual cut then changes that
+        // component. The next automatic EXPAND must re-partition rather
+        // than replay the stale plan (which could propose nodes that are
+        // no longer in the component).
+        let nav = session_nav();
+        let params = CostParams {
+            reuse_plans: true,
+            ..CostParams::default()
+        };
+        let mut s = Session::new(&nav, params);
+        let revealed = s.expand(NavNodeId::ROOT).unwrap();
+        // Manually detach some node still hidden inside the root component.
+        let hidden_child = nav
+            .children(NavNodeId::ROOT)
+            .iter()
+            .copied()
+            .find(|&c| !s.active().is_visible(c));
+        if let Some(c) = hidden_child {
+            s.expand_with(NavNodeId::ROOT, &EdgeCut::new(vec![c]))
+                .unwrap();
+        }
+        // Every further automatic expansion of the root must keep working
+        // until the component is exhausted.
+        let mut guard = 0;
+        while s.component_size(NavNodeId::ROOT) > 1 {
+            s.expand(NavNodeId::ROOT).unwrap();
+            guard += 1;
+            assert!(guard < nav.len(), "stale plan wedged the session");
+        }
+        let _ = revealed;
+    }
+
+    #[test]
+    fn manual_cut_via_expand_with() {
+        let nav = session_nav();
+        let mut s = Session::new(&nav, CostParams::default());
+        let child = nav.children(NavNodeId::ROOT)[0];
+        let revealed = s
+            .expand_with(NavNodeId::ROOT, &EdgeCut::new(vec![child]))
+            .unwrap();
+        assert_eq!(revealed, vec![child]);
+        assert!(s.active().is_visible(child));
+    }
+}

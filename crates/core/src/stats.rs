@@ -1,0 +1,128 @@
+//! Navigation-tree statistics — the quantities reported in Table I of the
+//! paper for each workload query.
+
+use crate::navtree::{NavNodeId, NavigationTree};
+
+/// Shape and content statistics of one navigation tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavTreeStats {
+    /// Distinct citations in the query result.
+    pub citations: usize,
+    /// Navigation-tree size (nodes, root excluded — Table I counts concept
+    /// nodes with results; 3,940 for `prothymosin`).
+    pub tree_size: usize,
+    /// Maximum number of children of any node (root included — the MeSH
+    /// bushiness that motivates selective reveal).
+    pub max_width: usize,
+    /// Maximum navigation depth (root = level 0).
+    pub max_height: u16,
+    /// Total citations attached over all nodes, duplicates counted
+    /// (30,895 for `prothymosin`).
+    pub citations_with_duplicates: u64,
+}
+
+impl NavTreeStats {
+    /// Computes the statistics of `nav`.
+    pub fn compute(nav: &NavigationTree) -> Self {
+        let mut max_width = 0;
+        let mut max_height = 0;
+        for n in nav.iter_preorder() {
+            max_width = max_width.max(nav.children(n).len());
+            max_height = max_height.max(nav.nav_depth(n));
+        }
+        NavTreeStats {
+            citations: nav.universe(),
+            tree_size: nav.len().saturating_sub(1),
+            max_width,
+            max_height,
+            citations_with_duplicates: nav.total_attached_with_duplicates(),
+        }
+    }
+}
+
+/// Per-target statistics (the right half of Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetStats {
+    /// Depth of the target concept in the original hierarchy ("MeSH level").
+    pub mesh_level: u16,
+    /// `|L(n)|`: query-result citations attached directly to the target.
+    pub attached_citations: u32,
+    /// `|LT(n)|`: the concept's global citation count in all of MEDLINE.
+    pub global_citations: u64,
+}
+
+impl TargetStats {
+    /// Computes target statistics; `global_citations` comes from the store
+    /// via the navigation tree's recorded explore weight inversion is not
+    /// possible, so callers pass it in (the workload crate owns the store).
+    pub fn compute(nav: &NavigationTree, target: NavNodeId, global_citations: u64) -> Self {
+        TargetStats {
+            mesh_level: nav.hierarchy_depth(target),
+            attached_citations: nav.results_count(target),
+            global_citations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionav_medline::CitationStore as EmptyStore;
+
+    #[test]
+    fn stats_of_a_root_only_tree() {
+        let h = bionav_mesh::ConceptHierarchy::from_descriptors(&[]).unwrap();
+        let store = EmptyStore::new();
+        let nav = NavigationTree::build(&h, &store, &[]);
+        let stats = NavTreeStats::compute(&nav);
+        assert_eq!(stats.citations, 0);
+        assert_eq!(stats.tree_size, 0);
+        assert_eq!(stats.max_width, 0);
+        assert_eq!(stats.max_height, 0);
+        assert_eq!(stats.citations_with_duplicates, 0);
+    }
+    use bionav_medline::{Citation, CitationId, CitationStore};
+    use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
+
+    fn tn(s: &str) -> TreeNumber {
+        TreeNumber::parse(s).unwrap()
+    }
+
+    #[test]
+    fn stats_of_a_small_tree() {
+        let descs = vec![
+            Descriptor::new(DescriptorId(1), "a", vec![tn("A01")]),
+            Descriptor::new(DescriptorId(2), "b", vec![tn("A01.100")]),
+            Descriptor::new(DescriptorId(3), "c", vec![tn("A01.200")]),
+            Descriptor::new(DescriptorId(4), "d", vec![tn("A01.200.100")]),
+        ];
+        let h = ConceptHierarchy::from_descriptors(&descs).unwrap();
+        let mut store = CitationStore::new();
+        // Citation 1 on a+b (a duplicate), 2 on c, 3 on d.
+        let rows: &[(u32, &[u32])] = &[(1, &[1, 2]), (2, &[3]), (3, &[4])];
+        for &(id, concepts) in rows {
+            store
+                .insert(Citation::new(
+                    CitationId(id),
+                    "t",
+                    vec![],
+                    concepts.iter().map(|&c| DescriptorId(c)).collect(),
+                    vec![],
+                ))
+                .unwrap();
+        }
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1), CitationId(2), CitationId(3)]);
+        let stats = NavTreeStats::compute(&nav);
+        assert_eq!(stats.citations, 3);
+        assert_eq!(stats.tree_size, 4);
+        assert_eq!(stats.max_width, 2); // "a" has children b and c; root has 1
+        assert_eq!(stats.max_height, 3); // root→a→c→d
+        assert_eq!(stats.citations_with_duplicates, 4);
+
+        let d = nav.find_by_label("d").unwrap();
+        let ts = TargetStats::compute(&nav, d, 1234);
+        assert_eq!(ts.mesh_level, 3);
+        assert_eq!(ts.attached_citations, 1);
+        assert_eq!(ts.global_citations, 1234);
+    }
+}

@@ -1,0 +1,134 @@
+use bionav_mesh::DescriptorId;
+use serde::{Deserialize, Serialize};
+
+/// A PubMed identifier (PMID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CitationId(pub u32);
+
+/// A biomedical citation, as BioNav sees it.
+///
+/// BioNav never needs full abstracts: a citation is (a) something the
+/// keyword index can retrieve via its [`terms`](Citation::terms), and (b)
+/// a set of MeSH concept associations. The paper distinguishes two
+/// association sets and deliberately uses the wider one:
+///
+/// * [`annotations`](Citation::annotations): the ~20 concepts per citation a
+///   MEDLINE record is annotated with,
+/// * [`indexed`](Citation::indexed): the ~90 concepts per citation that
+///   PubMed's own indexing associates (a superset of the annotations) —
+///   these make the navigation trees informative.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Citation {
+    /// The PMID.
+    pub id: CitationId,
+    /// Display title.
+    pub title: String,
+    /// Lower-cased searchable terms (stand-in for the indexed title,
+    /// abstract and entry terms).
+    pub terms: Vec<String>,
+    /// MEDLINE MeSH annotations.
+    pub annotations: Vec<DescriptorId>,
+    /// PubMed indexing associations; always a superset of `annotations`.
+    pub indexed: Vec<DescriptorId>,
+}
+
+impl Citation {
+    /// Creates a citation, normalizing terms to lower case and making
+    /// `indexed` a sorted superset of `annotations`.
+    pub fn new(
+        id: CitationId,
+        title: impl Into<String>,
+        terms: Vec<String>,
+        annotations: Vec<DescriptorId>,
+        extra_indexed: Vec<DescriptorId>,
+    ) -> Self {
+        let mut terms: Vec<String> = terms.into_iter().map(|t| t.to_lowercase()).collect();
+        terms.sort();
+        terms.dedup();
+        let mut annotations = annotations;
+        annotations.sort();
+        annotations.dedup();
+        let mut indexed = annotations.clone();
+        indexed.extend(extra_indexed);
+        indexed.sort();
+        indexed.dedup();
+        Citation {
+            id,
+            title: title.into(),
+            terms,
+            annotations,
+            indexed,
+        }
+    }
+
+    /// Whether the citation's searchable terms contain `term`
+    /// (case-insensitive exact term match, like a PubMed field token).
+    pub fn has_term(&self, term: &str) -> bool {
+        let needle = term.to_lowercase();
+        self.terms.binary_search(&needle).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_terms_and_associations() {
+        let c = Citation::new(
+            CitationId(10),
+            "Prothymosin alpha in apoptosis",
+            vec![
+                "Prothymosin".into(),
+                "APOPTOSIS".into(),
+                "prothymosin".into(),
+            ],
+            vec![DescriptorId(5), DescriptorId(2), DescriptorId(5)],
+            vec![DescriptorId(2), DescriptorId(9)],
+        );
+        assert_eq!(c.terms, vec!["apoptosis", "prothymosin"]);
+        assert_eq!(c.annotations, vec![DescriptorId(2), DescriptorId(5)]);
+        assert_eq!(
+            c.indexed,
+            vec![DescriptorId(2), DescriptorId(5), DescriptorId(9)]
+        );
+    }
+
+    #[test]
+    fn empty_citation_is_legal() {
+        let c = Citation::new(CitationId(7), "", vec![], vec![], vec![]);
+        assert!(c.terms.is_empty());
+        assert!(c.annotations.is_empty());
+        assert!(c.indexed.is_empty());
+        assert!(!c.has_term("anything"));
+    }
+
+    #[test]
+    fn extra_indexed_never_shrinks_annotations() {
+        let c = Citation::new(
+            CitationId(1),
+            "t",
+            vec![],
+            vec![DescriptorId(3), DescriptorId(1)],
+            vec![DescriptorId(1)], // duplicate of an annotation
+        );
+        assert_eq!(c.indexed, vec![DescriptorId(1), DescriptorId(3)]);
+        for a in &c.annotations {
+            assert!(c.indexed.contains(a), "indexed ⊇ annotations");
+        }
+    }
+
+    #[test]
+    fn has_term_is_case_insensitive() {
+        let c = Citation::new(
+            CitationId(1),
+            "t",
+            vec!["follistatin".into()],
+            vec![],
+            vec![],
+        );
+        assert!(c.has_term("Follistatin"));
+        assert!(!c.has_term("follistati"));
+    }
+}

@@ -1,0 +1,378 @@
+//! The off-line pre-processing pipeline of paper §VII.
+//!
+//! PubMed's own indexing associates each citation with ~90 MeSH concepts,
+//! far richer than the ~20 MEDLINE annotations — but those associations are
+//! not directly downloadable. The BioNav authors *inferred* them: for every
+//! concept in the MeSH hierarchy they issued a PubMed query using the
+//! concept as the keyword, recorded the result's citation ids (and its
+//! size, the `|LT(n)|` statistic), accumulated ~747 million
+//! `⟨concept, citationId⟩` tuples over ~20 rate-limited days, and finally
+//! *denormalized* the table into one row per citation listing all its
+//! concepts.
+//!
+//! This module reproduces that pipeline against our own search stack:
+//! [`Crawl`] issues one concept-label query per "request", honoring a
+//! configurable per-tick request budget (the eutils rate limit), and
+//! [`CrawlResult::denormalize`] produces the per-citation concept lists a
+//! [`crate::CitationStore`] serves through `associations`. The result can
+//! replace ground-truth indexing entirely — see
+//! [`CrawlResult::into_store`].
+
+use std::collections::HashMap;
+
+use bionav_mesh::{ConceptHierarchy, DescriptorId};
+
+use crate::{Citation, CitationId, CitationStore, InvertedIndex, StoreError};
+
+/// Rate-limit emulation for the crawl (eutils allowed ~3 requests/second
+/// in 2008; the paper's full crawl took ~20 days).
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Concept queries executed per tick.
+    pub requests_per_tick: usize,
+    /// Hard cap on citations recorded per concept (eutils `retmax`);
+    /// `None` records everything.
+    pub retmax: Option<usize>,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            requests_per_tick: 3,
+            retmax: None,
+        }
+    }
+}
+
+/// A crawl in progress: drive it with [`Crawl::tick`] (one rate-limit
+/// window at a time) or run it to completion with [`Crawl::run_to_end`].
+#[derive(Debug)]
+pub struct Crawl<'a> {
+    hierarchy: &'a ConceptHierarchy,
+    index: &'a InvertedIndex,
+    config: CrawlConfig,
+    /// Distinct descriptors still to query, in hierarchy pre-order.
+    pending: Vec<DescriptorId>,
+    result: CrawlResult,
+}
+
+/// What the off-line stage produces: the associations table plus the
+/// per-concept global counts.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlResult {
+    /// Concept → citations its keyword query returned (the paper's
+    /// `⟨concept, citationId⟩` tuple table, grouped by concept).
+    pub associations: HashMap<DescriptorId, Vec<CitationId>>,
+    /// Concept → result-set size (`|LT(n)|`).
+    pub global_counts: HashMap<DescriptorId, u64>,
+    /// Total tuples recorded (the paper reports ~747 million).
+    pub tuples: u64,
+    /// Ticks consumed (the paper's "almost 20 days" at 3 req/s).
+    pub ticks: u64,
+}
+
+impl<'a> Crawl<'a> {
+    /// Prepares a crawl over every descriptor of `hierarchy`, querying
+    /// `index` with each concept's label.
+    pub fn new(
+        hierarchy: &'a ConceptHierarchy,
+        index: &'a InvertedIndex,
+        config: CrawlConfig,
+    ) -> Self {
+        assert!(config.requests_per_tick >= 1, "a crawl must make progress");
+        let mut seen = std::collections::HashSet::new();
+        let pending: Vec<DescriptorId> = hierarchy
+            .iter_preorder()
+            .skip(1)
+            .filter_map(|n| hierarchy.node(n).descriptor())
+            .filter(|d| seen.insert(*d))
+            .collect();
+        Crawl {
+            hierarchy,
+            index,
+            config,
+            pending,
+            result: CrawlResult::default(),
+        }
+    }
+
+    /// Concepts still to be queried.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Executes one rate-limit window (`requests_per_tick` concept
+    /// queries). Returns `false` when the crawl has finished.
+    pub fn tick(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        self.result.ticks += 1;
+        for _ in 0..self.config.requests_per_tick {
+            let Some(descriptor) = self.pending.pop() else {
+                break;
+            };
+            // Query the concept's label as a *phrase*, exactly as PubMed
+            // matches MeSH headings (bag-of-words AND would over-match). A
+            // descriptor may occupy several positions; they share a label.
+            let node = self.hierarchy.nodes_of(descriptor)[0];
+            let label = self.hierarchy.node(node).label();
+            let outcome = self.index.query_phrase(label);
+            // |LT(n)| is the *full* result size, even when retmax truncates
+            // what gets recorded (eutils reports Count separately).
+            self.result
+                .global_counts
+                .insert(descriptor, outcome.total as u64);
+            let mut ids = outcome.citations;
+            if let Some(cap) = self.config.retmax {
+                ids.truncate(cap);
+            }
+            self.result.tuples += ids.len() as u64;
+            if !ids.is_empty() {
+                self.result.associations.insert(descriptor, ids);
+            }
+        }
+        !self.pending.is_empty()
+    }
+
+    /// Runs the crawl to completion and returns the result.
+    pub fn run_to_end(mut self) -> CrawlResult {
+        while self.tick() {}
+        self.result
+    }
+}
+
+impl CrawlResult {
+    /// The paper's denormalization: flips the concept-grouped table into
+    /// one row per citation listing every concept associated with it, so a
+    /// single lookup serves navigation-tree construction.
+    pub fn denormalize(&self) -> HashMap<CitationId, Vec<DescriptorId>> {
+        let mut rows: HashMap<CitationId, Vec<DescriptorId>> = HashMap::new();
+        for (&concept, ids) in &self.associations {
+            for &id in ids {
+                rows.entry(id).or_default().push(concept);
+            }
+        }
+        for concepts in rows.values_mut() {
+            concepts.sort();
+            concepts.dedup();
+        }
+        rows
+    }
+
+    /// Builds a fresh [`CitationStore`] whose `associations` come from the
+    /// crawl instead of the source's ground-truth indexing — the "BioNav
+    /// database" as the deployed system actually had it. Titles and terms
+    /// are carried over from `source`; citations the crawl never touched
+    /// keep their identity with an empty concept list. The crawled
+    /// `|LT(n)|` counts are installed as global-count overrides.
+    pub fn into_store(&self, source: &CitationStore) -> Result<CitationStore, StoreError> {
+        let rows = self.denormalize();
+        let mut store = CitationStore::new();
+        for citation in source.iter() {
+            let crawled = rows.get(&citation.id).cloned().unwrap_or_default();
+            store.insert(Citation::new(
+                citation.id,
+                citation.title.clone(),
+                citation.terms.clone(),
+                crawled,
+                vec![],
+            ))?;
+        }
+        for (&concept, &count) in &self.global_counts {
+            store.set_global_count(concept, count);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionav_mesh::{Descriptor, TreeNumber};
+
+    fn tn(s: &str) -> TreeNumber {
+        TreeNumber::parse(s).unwrap()
+    }
+
+    /// Three concepts; citations mention concept labels as terms, so the
+    /// crawl's label queries retrieve them.
+    fn fixture() -> (ConceptHierarchy, CitationStore, InvertedIndex) {
+        let h = ConceptHierarchy::from_descriptors(&[
+            Descriptor::new(DescriptorId(1), "apoptosis", vec![tn("G16")]),
+            Descriptor::new(DescriptorId(2), "necrosis", vec![tn("G16.100")]),
+            Descriptor::new(DescriptorId(3), "histones", vec![tn("D12")]),
+        ])
+        .unwrap();
+        let mut store = CitationStore::new();
+        let rows: &[(u32, &[&str])] = &[
+            (1, &["apoptosis", "histones"]),
+            (2, &["apoptosis"]),
+            (3, &["necrosis", "apoptosis"]),
+            (4, &["unrelated"]),
+        ];
+        for &(id, terms) in rows {
+            store
+                .insert(Citation::new(
+                    CitationId(id),
+                    format!("c{id}"),
+                    terms.iter().map(|t| t.to_string()).collect(),
+                    vec![],
+                    vec![],
+                ))
+                .unwrap();
+        }
+        let index = InvertedIndex::build(&store);
+        (h, store, index)
+    }
+
+    #[test]
+    fn crawl_records_label_query_results() {
+        let (h, _store, index) = fixture();
+        let result = Crawl::new(&h, &index, CrawlConfig::default()).run_to_end();
+        assert_eq!(result.global_counts[&DescriptorId(1)], 3); // apoptosis
+        assert_eq!(result.global_counts[&DescriptorId(2)], 1);
+        assert_eq!(result.global_counts[&DescriptorId(3)], 1);
+        assert_eq!(result.tuples, 5);
+        assert_eq!(
+            result.associations[&DescriptorId(1)],
+            vec![CitationId(1), CitationId(2), CitationId(3)]
+        );
+    }
+
+    #[test]
+    fn rate_limit_paces_the_crawl() {
+        let (h, _store, index) = fixture();
+        let mut crawl = Crawl::new(
+            &h,
+            &index,
+            CrawlConfig {
+                requests_per_tick: 1,
+                retmax: None,
+            },
+        );
+        assert_eq!(crawl.remaining(), 3);
+        assert!(crawl.tick());
+        assert_eq!(crawl.remaining(), 2);
+        assert!(crawl.tick());
+        assert!(!crawl.tick()); // last request; nothing pending afterwards
+        assert_eq!(crawl.remaining(), 0);
+        let result = crawl.result;
+        assert_eq!(result.ticks, 3);
+    }
+
+    #[test]
+    fn retmax_caps_tuples_but_not_counts() {
+        let (h, _store, index) = fixture();
+        let result = Crawl::new(
+            &h,
+            &index,
+            CrawlConfig {
+                requests_per_tick: 10,
+                retmax: Some(1),
+            },
+        )
+        .run_to_end();
+        assert_eq!(result.global_counts[&DescriptorId(1)], 3); // true |LT|
+        assert_eq!(result.associations[&DescriptorId(1)].len(), 1); // capped
+    }
+
+    #[test]
+    fn denormalization_flips_the_table() {
+        let (h, _store, index) = fixture();
+        let result = Crawl::new(&h, &index, CrawlConfig::default()).run_to_end();
+        let rows = result.denormalize();
+        assert_eq!(rows[&CitationId(1)], vec![DescriptorId(1), DescriptorId(3)]);
+        assert_eq!(rows[&CitationId(3)], vec![DescriptorId(1), DescriptorId(2)]);
+        assert!(!rows.contains_key(&CitationId(4)), "no concept matched c4");
+    }
+
+    #[test]
+    fn into_store_serves_crawled_associations() {
+        let (h, store, index) = fixture();
+        let result = Crawl::new(&h, &index, CrawlConfig::default()).run_to_end();
+        let crawled = result.into_store(&store).unwrap();
+        assert_eq!(crawled.len(), store.len());
+        assert_eq!(
+            crawled.associations(CitationId(1)),
+            &[DescriptorId(1), DescriptorId(3)]
+        );
+        assert!(crawled.associations(CitationId(4)).is_empty());
+        assert_eq!(crawled.global_count(DescriptorId(1)), 3);
+        // Titles and searchability carry over.
+        assert_eq!(crawled.get(CitationId(2)).unwrap().title, "c2");
+        let new_index = InvertedIndex::build(&crawled);
+        assert_eq!(new_index.query("apoptosis").len(), 3);
+    }
+
+    #[test]
+    fn multi_word_labels_match_as_phrases_not_word_bags() {
+        let h = ConceptHierarchy::from_descriptors(&[
+            Descriptor::new(DescriptorId(1), "Cell Proliferation", vec![tn("G16")]),
+            Descriptor::new(DescriptorId(2), "Cell Death", vec![tn("G17")]),
+        ])
+        .unwrap();
+        let mut store = CitationStore::new();
+        // Citation 1 carries the "cell proliferation" phrase; citation 2
+        // carries the words "cell" and "death" separately plus the word
+        // "proliferation" — a word-bag match would wrongly associate it
+        // with both concepts.
+        store
+            .insert(Citation::new(
+                CitationId(1),
+                "t1",
+                vec![crate::normalize_phrase("Cell Proliferation")],
+                vec![],
+                vec![],
+            ))
+            .unwrap();
+        store
+            .insert(Citation::new(
+                CitationId(2),
+                "t2",
+                vec!["cell".into(), "death".into(), "proliferation".into()],
+                vec![],
+                vec![],
+            ))
+            .unwrap();
+        let index = InvertedIndex::build(&store);
+        let result = Crawl::new(&h, &index, CrawlConfig::default()).run_to_end();
+        assert_eq!(
+            result.associations.get(&DescriptorId(1)),
+            Some(&vec![CitationId(1)])
+        );
+        assert_eq!(result.associations.get(&DescriptorId(2)), None);
+    }
+
+    #[test]
+    fn polyhierarchical_descriptors_are_queried_once() {
+        let h = ConceptHierarchy::from_descriptors(&[
+            Descriptor::new(DescriptorId(1), "host", vec![tn("A01")]),
+            Descriptor::new(DescriptorId(2), "twice", vec![tn("A01.100"), tn("B01")]),
+            Descriptor::new(DescriptorId(3), "b", vec![tn("B01")]),
+        ]);
+        // Tree numbers collide (B01 used twice) — rebuild a legal fixture.
+        assert!(h.is_err());
+        let h = ConceptHierarchy::from_descriptors(&[
+            Descriptor::new(DescriptorId(1), "host", vec![tn("A01")]),
+            Descriptor::new(DescriptorId(2), "twice", vec![tn("A01.100"), tn("B01.100")]),
+            Descriptor::new(DescriptorId(3), "b", vec![tn("B01")]),
+        ])
+        .unwrap();
+        let mut store = CitationStore::new();
+        store
+            .insert(Citation::new(
+                CitationId(1),
+                "t",
+                vec!["twice".into()],
+                vec![],
+                vec![],
+            ))
+            .unwrap();
+        let index = InvertedIndex::build(&store);
+        let mut crawl = Crawl::new(&h, &index, CrawlConfig::default());
+        // 3 descriptors, not 4 positions.
+        assert_eq!(crawl.remaining(), 3);
+        while crawl.tick() {}
+    }
+}

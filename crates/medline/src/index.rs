@@ -1,0 +1,395 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CitationId, CitationStore};
+
+/// Result of executing a keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Matching citation ids, ascending, deduplicated (a page of them when
+    /// the query was paged).
+    pub citations: Vec<CitationId>,
+    /// Full hit count, independent of paging (eutils' `Count`).
+    pub total: usize,
+    /// The normalized tokens the query was executed as.
+    pub tokens: Vec<String>,
+}
+
+impl QueryOutcome {
+    /// Number of returned citations (≤ [`total`](Self::total) when paged).
+    pub fn len(&self) -> usize {
+        self.citations.len()
+    }
+
+    /// Whether the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.citations.is_empty()
+    }
+}
+
+/// A conjunctive keyword index over a [`CitationStore`] — the stand-in for
+/// the Entrez `ESearch` utility.
+///
+/// Postings lists are sorted ascending; multi-token queries intersect the
+/// lists smallest-first (standard conjunctive query processing). Tokens are
+/// the whitespace-separated, lower-cased words of the query, matching how
+/// [`crate::Citation::new`] normalizes terms — so `"Na+/I- symporter"`
+/// retrieves exactly the citations carrying both the `na+/i-` and
+/// `symporter` terms.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<CitationId>>,
+    documents: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index over every citation currently in the store.
+    pub fn build(store: &CitationStore) -> Self {
+        let mut postings: HashMap<String, Vec<CitationId>> = HashMap::new();
+        for citation in store.iter() {
+            for term in &citation.terms {
+                postings.entry(term.clone()).or_default().push(citation.id);
+            }
+        }
+        for list in postings.values_mut() {
+            list.sort();
+            list.dedup();
+        }
+        InvertedIndex {
+            postings,
+            documents: store.len(),
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn document_count(&self) -> usize {
+        self.documents
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Document frequency of a term.
+    pub fn document_frequency(&self, term: &str) -> usize {
+        self.postings
+            .get(&term.to_lowercase())
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+
+    /// Executes a conjunctive (AND) keyword query.
+    ///
+    /// An empty query (no tokens) matches nothing — PubMed rejects empty
+    /// queries rather than returning the whole database.
+    pub fn query(&self, query: &str) -> QueryOutcome {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return QueryOutcome {
+                citations: Vec::new(),
+                total: 0,
+                tokens,
+            };
+        }
+        let mut lists: Vec<&[CitationId]> = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            match self.postings.get(t) {
+                Some(list) => lists.push(list),
+                None => {
+                    return QueryOutcome {
+                        citations: Vec::new(),
+                        total: 0,
+                        tokens,
+                    }
+                }
+            }
+        }
+        // Intersect smallest-first to keep the working set minimal.
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<CitationId> = lists[0].to_vec();
+        for list in &lists[1..] {
+            result = intersect_sorted(&result, list);
+            if result.is_empty() {
+                break;
+            }
+        }
+        QueryOutcome {
+            total: result.len(),
+            citations: result,
+            tokens,
+        }
+    }
+
+    /// Executes a conjunctive query with ESearch-style paging: `retstart`
+    /// results are skipped and at most `retmax` returned, while
+    /// [`QueryOutcome::total`] still reports the full hit count (exactly
+    /// how eutils reports `Count` independently of the page).
+    pub fn query_paged(&self, query: &str, retstart: usize, retmax: usize) -> QueryOutcome {
+        let mut out = self.query(query);
+        out.citations = out
+            .citations
+            .iter()
+            .skip(retstart)
+            .take(retmax)
+            .copied()
+            .collect();
+        out
+    }
+
+    /// Executes a *phrase* query: one postings lookup for the whole
+    /// normalized phrase, stored as a single term (how PubMed matches MeSH
+    /// labels like `"Cell Proliferation"[tiab]` — a bag-of-words AND over
+    /// label words would combinatorially over-match). Citations carry
+    /// phrase terms when their producer stores them (see
+    /// [`normalize_phrase`]).
+    pub fn query_phrase(&self, phrase: &str) -> QueryOutcome {
+        let normalized = normalize_phrase(phrase);
+        if normalized.is_empty() {
+            return QueryOutcome {
+                citations: Vec::new(),
+                total: 0,
+                tokens: vec![],
+            };
+        }
+        let citations = self.postings.get(&normalized).cloned().unwrap_or_default();
+        QueryOutcome {
+            total: citations.len(),
+            citations,
+            tokens: vec![normalized],
+        }
+    }
+}
+
+/// Canonical single-term form of a multi-word phrase: the [`tokenize`]d
+/// words joined by single spaces (`"Cell  Proliferation,"` →
+/// `"cell proliferation"`). Store this as a citation term to make the
+/// citation retrievable by [`InvertedIndex::query_phrase`].
+pub fn normalize_phrase(text: &str) -> String {
+    tokenize(text).join(" ")
+}
+
+/// Normalizes free text into query tokens: lower-cased, split on whitespace
+/// and punctuation, keeping `+`, `/` and `-` which biomedical vocabulary
+/// uses inside terms (`Na+/I-`, `LbetaT2`-style symbols survive intact).
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| c.is_whitespace() || !(c.is_alphanumeric() || "+-/".contains(c)))
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// Intersects two ascending, deduplicated id lists (galloping would only pay
+/// off for pathological size skews; the merge is linear and cache-friendly).
+fn intersect_sorted(a: &[CitationId], b: &[CitationId]) -> Vec<CitationId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Citation;
+
+    fn store_with(terms_per_cit: &[&[&str]]) -> CitationStore {
+        let mut store = CitationStore::new();
+        for (i, terms) in terms_per_cit.iter().enumerate() {
+            let c = Citation::new(
+                CitationId(i as u32 + 1),
+                format!("c{i}"),
+                terms.iter().map(|t| t.to_string()).collect(),
+                vec![],
+                vec![],
+            );
+            store.insert(c).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn single_token_query() {
+        let store = store_with(&[&["prothymosin", "cancer"], &["cancer"], &["follistatin"]]);
+        let index = InvertedIndex::build(&store);
+        let out = index.query("cancer");
+        assert_eq!(out.citations, vec![CitationId(1), CitationId(2)]);
+        assert_eq!(index.document_frequency("cancer"), 2);
+    }
+
+    #[test]
+    fn conjunctive_query_intersects() {
+        let store = store_with(&[
+            &["dyslexia", "genetics"],
+            &["dyslexia"],
+            &["genetics"],
+            &["dyslexia", "genetics", "mice"],
+        ]);
+        let index = InvertedIndex::build(&store);
+        let out = index.query("dyslexia genetics");
+        assert_eq!(out.citations, vec![CitationId(1), CitationId(4)]);
+        assert_eq!(out.tokens, vec!["dyslexia", "genetics"]);
+    }
+
+    #[test]
+    fn query_is_case_insensitive() {
+        let store = store_with(&[&["varenicline"]]);
+        let index = InvertedIndex::build(&store);
+        assert_eq!(index.query("VARENICLINE").len(), 1);
+    }
+
+    #[test]
+    fn unknown_token_short_circuits() {
+        let store = store_with(&[&["a"], &["b"]]);
+        let index = InvertedIndex::build(&store);
+        assert!(index.query("a zzz").is_empty());
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let store = store_with(&[&["a"]]);
+        let index = InvertedIndex::build(&store);
+        assert!(index.query("   ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_strips_punctuation_but_keeps_symbols() {
+        assert_eq!(
+            tokenize("Cell Proliferation, (Processes)"),
+            vec!["cell", "proliferation", "processes"]
+        );
+        assert_eq!(tokenize("Na+/I- symporter"), vec!["na+/i-", "symporter"]);
+        assert!(tokenize("  ,. ()").is_empty());
+    }
+
+    #[test]
+    fn punctuation_heavy_terms_work() {
+        let store = store_with(&[&["na+/i-", "symporter"], &["symporter"]]);
+        let index = InvertedIndex::build(&store);
+        assert_eq!(
+            index.query("Na+/I- symporter").citations,
+            vec![CitationId(1)]
+        );
+    }
+
+    #[test]
+    fn document_and_vocabulary_counts() {
+        let store = store_with(&[&["a", "b"], &["b"], &[]]);
+        let index = InvertedIndex::build(&store);
+        assert_eq!(index.document_count(), 3);
+        assert_eq!(index.vocabulary_size(), 2);
+        assert_eq!(index.document_frequency("b"), 2);
+        assert_eq!(index.document_frequency("B"), 2); // case-folded
+        assert_eq!(index.document_frequency("zzz"), 0);
+    }
+
+    #[test]
+    fn rebuilding_after_inserts_sees_new_documents() {
+        let mut store = store_with(&[&["x"]]);
+        let before = InvertedIndex::build(&store);
+        assert_eq!(before.query("x").len(), 1);
+        store
+            .insert(Citation::new(
+                CitationId(99),
+                "late",
+                vec!["x".into()],
+                vec![],
+                vec![],
+            ))
+            .unwrap();
+        // The old index is a snapshot; a rebuild picks the insert up.
+        assert_eq!(before.query("x").len(), 1);
+        let after = InvertedIndex::build(&store);
+        assert_eq!(after.query("x").len(), 2);
+    }
+
+    #[test]
+    fn paging_mirrors_esearch_semantics() {
+        let store = store_with(&[&["x"], &["x"], &["x"], &["x"], &["x"]]);
+        let index = InvertedIndex::build(&store);
+        let page = index.query_paged("x", 1, 2);
+        assert_eq!(page.total, 5);
+        assert_eq!(page.citations, vec![CitationId(2), CitationId(3)]);
+        let tail = index.query_paged("x", 4, 10);
+        assert_eq!(tail.citations, vec![CitationId(5)]);
+        assert_eq!(tail.total, 5);
+        let past_end = index.query_paged("x", 99, 10);
+        assert!(past_end.citations.is_empty());
+        assert_eq!(past_end.total, 5);
+    }
+
+    #[test]
+    fn phrase_queries_hit_stored_phrase_terms_only() {
+        let mut store = CitationStore::new();
+        store
+            .insert(Citation::new(
+                CitationId(1),
+                "t",
+                vec![
+                    normalize_phrase("Cell Proliferation, Processes"),
+                    "cell".into(),
+                ],
+                vec![],
+                vec![],
+            ))
+            .unwrap();
+        store
+            .insert(Citation::new(
+                CitationId(2),
+                "t",
+                vec!["cell".into(), "proliferation".into(), "processes".into()],
+                vec![],
+                vec![],
+            ))
+            .unwrap();
+        let index = InvertedIndex::build(&store);
+        // The phrase lookup matches only the stored phrase term…
+        let out = index.query_phrase("  Cell   Proliferation, (Processes) ");
+        assert_eq!(out.citations, vec![CitationId(1)]);
+        // …while the word-AND query matches the word bag too.
+        assert_eq!(index.query("cell proliferation processes").len(), 1);
+        assert!(index.query_phrase("").is_empty());
+        assert!(index.query_phrase("unknown phrase").is_empty());
+    }
+
+    #[test]
+    fn normalize_phrase_is_idempotent() {
+        let a = normalize_phrase("Na+/I-  Symporter,  (Membrane)");
+        assert_eq!(a, "na+/i- symporter membrane");
+        assert_eq!(normalize_phrase(&a), a);
+    }
+
+    #[test]
+    fn index_matches_brute_force_scan() {
+        // Cross-validation: index results == linear scan with has_term.
+        let store = store_with(&[
+            &["x", "y"],
+            &["y", "z"],
+            &["x", "z"],
+            &["x", "y", "z"],
+            &["w"],
+        ]);
+        let index = InvertedIndex::build(&store);
+        for q in ["x", "y", "z", "x y", "y z", "x y z", "w z"] {
+            let via_index: Vec<CitationId> = index.query(q).citations;
+            let toks: Vec<&str> = q.split_whitespace().collect();
+            let via_scan: Vec<CitationId> = store
+                .iter()
+                .filter(|c| toks.iter().all(|t| c.has_term(t)))
+                .map(|c| c.id)
+                .collect();
+            assert_eq!(via_index, via_scan, "query {q:?}");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+
+use bionav_mesh::DescriptorId;
+use serde::{Deserialize, Serialize};
+
+use crate::{Citation, CitationId};
+
+/// Errors from the citation store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A citation with this id is already present.
+    DuplicateCitation(CitationId),
+    /// I/O failure while persisting or loading a snapshot.
+    Io(std::io::Error),
+    /// The snapshot bytes were not a valid store.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateCitation(id) => write!(f, "citation {} already stored", id.0),
+            StoreError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The "BioNav database": citations, the denormalized citation→concepts
+/// associations, and per-concept global citation counts.
+///
+/// In the paper this is an Oracle 10i database populated off-line over ~20
+/// days of eutils crawling; here it is an in-memory store with JSON
+/// snapshot persistence. The navigation layer consumes three things:
+///
+/// 1. `associations(pmid)` — the concepts a result citation is indexed with
+///    (used to build the initial navigation tree),
+/// 2. `global_count(concept)` — how many citations in *all of MEDLINE* a
+///    concept is associated with (`|LT(n)|`, the IDF-style denominator in
+///    the EXPLORE probability),
+/// 3. citation summaries for `SHOWRESULTS`.
+///
+/// Global counts default to the counts observed in the stored corpus, but
+/// can be overridden per concept: the reproduction corpora are thousands of
+/// citations, not 18 million, and the workload calibration injects
+/// MEDLINE-scale `|LT(n)|` values directly (see `bionav-workload`).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct CitationStore {
+    citations: Vec<Citation>,
+    #[serde(skip)]
+    by_id: HashMap<CitationId, usize>,
+    /// Overrides for per-concept global counts (MEDLINE-scale statistics).
+    count_overrides: HashMap<DescriptorId, u64>,
+    /// Counts observed in the stored corpus, maintained incrementally.
+    observed_counts: HashMap<DescriptorId, u64>,
+}
+
+impl CitationStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CitationStore::default()
+    }
+
+    /// Number of stored citations.
+    pub fn len(&self) -> usize {
+        self.citations.len()
+    }
+
+    /// Whether the store holds no citations.
+    pub fn is_empty(&self) -> bool {
+        self.citations.is_empty()
+    }
+
+    /// Inserts a citation; ids must be unique.
+    pub fn insert(&mut self, citation: Citation) -> Result<(), StoreError> {
+        if self.by_id.contains_key(&citation.id) {
+            return Err(StoreError::DuplicateCitation(citation.id));
+        }
+        for &c in &citation.indexed {
+            *self.observed_counts.entry(c).or_insert(0) += 1;
+        }
+        self.by_id.insert(citation.id, self.citations.len());
+        self.citations.push(citation);
+        Ok(())
+    }
+
+    /// Fetches a citation by PMID.
+    pub fn get(&self, id: CitationId) -> Option<&Citation> {
+        self.by_id.get(&id).map(|&i| &self.citations[i])
+    }
+
+    /// The denormalized associations row for a citation: every concept the
+    /// citation is indexed with (PubMed-style wide associations).
+    pub fn associations(&self, id: CitationId) -> &[DescriptorId] {
+        self.get(id).map(|c| c.indexed.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterates over all citations in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Citation> {
+        self.citations.iter()
+    }
+
+    /// Global citation count for a concept (`|LT(n)|`): the override if one
+    /// was installed, else the count observed in this corpus.
+    ///
+    /// Never returns 0 for a known concept: the EXPLORE probability divides
+    /// by `log(count)`, and a concept is only "known" because some citation
+    /// mentions it, so the floor of 2 keeps the logarithm positive — the
+    /// same floor the paper needs for concepts appearing once.
+    pub fn global_count(&self, concept: DescriptorId) -> u64 {
+        self.count_overrides
+            .get(&concept)
+            .or_else(|| self.observed_counts.get(&concept))
+            .copied()
+            .unwrap_or(0)
+            .max(2)
+    }
+
+    /// Installs a MEDLINE-scale global count for a concept, overriding the
+    /// corpus-observed count.
+    pub fn set_global_count(&mut self, concept: DescriptorId, count: u64) {
+        self.count_overrides.insert(concept, count);
+    }
+
+    /// The corpus-observed count (diagnostics; prefer
+    /// [`global_count`](Self::global_count) in cost-model code).
+    pub fn observed_count(&self, concept: DescriptorId) -> u64 {
+        self.observed_counts.get(&concept).copied().unwrap_or(0)
+    }
+
+    /// ESummary stand-in: the display summaries (PMID + title) for a list
+    /// of citations, in input order; unknown ids yield `None` titles so the
+    /// caller can render placeholders, as PubMed does for withdrawn PMIDs.
+    pub fn summaries(&self, ids: &[CitationId]) -> Vec<(CitationId, Option<&str>)> {
+        ids.iter()
+            .map(|&id| (id, self.get(id).map(|c| c.title.as_str())))
+            .collect()
+    }
+
+    /// Serializes the store as JSON into `writer`.
+    pub fn save_json<W: Write>(&self, writer: W) -> Result<(), StoreError> {
+        serde_json::to_writer(writer, self).map_err(|e| StoreError::Corrupt(e.to_string()))
+    }
+
+    /// Loads a store from a JSON snapshot, rebuilding derived indexes.
+    pub fn load_json<R: Read>(reader: R) -> Result<Self, StoreError> {
+        let mut store: CitationStore =
+            serde_json::from_reader(reader).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        store.by_id = store
+            .citations
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id, i))
+            .collect();
+        if store.by_id.len() != store.citations.len() {
+            return Err(StoreError::Corrupt(
+                "duplicate citation ids in snapshot".into(),
+            ));
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cit(id: u32, concepts: &[u32]) -> Citation {
+        Citation::new(
+            CitationId(id),
+            format!("citation {id}"),
+            vec![format!("term{id}")],
+            concepts.iter().map(|&c| DescriptorId(c)).collect(),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut store = CitationStore::new();
+        store.insert(cit(1, &[10, 11])).unwrap();
+        store.insert(cit(2, &[11])).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(CitationId(1)).unwrap().title, "citation 1");
+        assert!(store.get(CitationId(3)).is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut store = CitationStore::new();
+        store.insert(cit(1, &[])).unwrap();
+        assert!(matches!(
+            store.insert(cit(1, &[])),
+            Err(StoreError::DuplicateCitation(CitationId(1)))
+        ));
+    }
+
+    #[test]
+    fn associations_are_the_indexed_set() {
+        let mut store = CitationStore::new();
+        let c = Citation::new(
+            CitationId(5),
+            "t",
+            vec![],
+            vec![DescriptorId(1)],
+            vec![DescriptorId(7)],
+        );
+        store.insert(c).unwrap();
+        assert_eq!(
+            store.associations(CitationId(5)),
+            &[DescriptorId(1), DescriptorId(7)]
+        );
+        assert!(store.associations(CitationId(99)).is_empty());
+    }
+
+    #[test]
+    fn observed_counts_track_inserts() {
+        let mut store = CitationStore::new();
+        store.insert(cit(1, &[10, 11])).unwrap();
+        store.insert(cit(2, &[11])).unwrap();
+        assert_eq!(store.observed_count(DescriptorId(11)), 2);
+        assert_eq!(store.observed_count(DescriptorId(10)), 1);
+        assert_eq!(store.observed_count(DescriptorId(99)), 0);
+    }
+
+    #[test]
+    fn global_count_prefers_override_and_floors_at_two() {
+        let mut store = CitationStore::new();
+        store.insert(cit(1, &[10])).unwrap();
+        assert_eq!(store.global_count(DescriptorId(10)), 2); // observed 1, floored
+        store.set_global_count(DescriptorId(10), 123_456);
+        assert_eq!(store.global_count(DescriptorId(10)), 123_456);
+    }
+
+    #[test]
+    fn summaries_follow_input_order_with_gaps() {
+        let mut store = CitationStore::new();
+        store.insert(cit(2, &[1])).unwrap();
+        store.insert(cit(1, &[1])).unwrap();
+        let out = store.summaries(&[CitationId(1), CitationId(9), CitationId(2)]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], (CitationId(1), Some("citation 1")));
+        assert_eq!(out[1], (CitationId(9), None));
+        assert_eq!(out[2], (CitationId(2), Some("citation 2")));
+    }
+
+    #[test]
+    fn json_round_trip_rebuilds_indexes() {
+        let mut store = CitationStore::new();
+        store.insert(cit(1, &[10, 11])).unwrap();
+        store.insert(cit(2, &[11])).unwrap();
+        store.set_global_count(DescriptorId(11), 500_000);
+        let mut buf = Vec::new();
+        store.save_json(&mut buf).unwrap();
+        let loaded = CitationStore::load_json(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(CitationId(2)).unwrap().title, "citation 2");
+        assert_eq!(loaded.global_count(DescriptorId(11)), 500_000);
+        assert_eq!(loaded.observed_count(DescriptorId(10)), 1);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(StoreError::DuplicateCitation(CitationId(7))
+            .to_string()
+            .contains("7"));
+        assert!(StoreError::Corrupt("bad".into())
+            .to_string()
+            .contains("bad"));
+        let io = StoreError::from(std::io::Error::other("disk gone"));
+        assert!(io.to_string().contains("disk gone"));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_detected() {
+        assert!(matches!(
+            CitationStore::load_json(&b"not json"[..]),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

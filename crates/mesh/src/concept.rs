@@ -1,0 +1,78 @@
+use serde::{Deserialize, Serialize};
+
+use crate::TreeNumber;
+
+/// Identifier of a MeSH descriptor (main heading), e.g. `D009369` for
+/// *Neoplasms*. One descriptor may occupy several positions in the tree; all
+/// positions share the descriptor id, which is what citations are annotated
+/// with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DescriptorId(pub u32);
+
+impl DescriptorId {
+    /// Renders the id in the `D%06d` style of NLM unique identifiers.
+    pub fn as_ui(self) -> String {
+        format!("D{:06}", self.0)
+    }
+}
+
+/// A MeSH descriptor: a concept label plus the tree positions it occupies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Descriptor {
+    /// Stable unique identifier.
+    pub id: DescriptorId,
+    /// Human-readable main heading, e.g. `"Cell Proliferation"`.
+    pub label: String,
+    /// Every tree position this descriptor occupies (non-empty, sorted).
+    pub tree_numbers: Vec<TreeNumber>,
+}
+
+impl Descriptor {
+    /// Creates a descriptor, normalizing tree numbers to sorted order.
+    pub fn new(
+        id: DescriptorId,
+        label: impl Into<String>,
+        mut tree_numbers: Vec<TreeNumber>,
+    ) -> Self {
+        tree_numbers.sort();
+        tree_numbers.dedup();
+        Descriptor {
+            id,
+            label: label.into(),
+            tree_numbers,
+        }
+    }
+
+    /// The shallowest depth at which this descriptor appears.
+    pub fn min_depth(&self) -> Option<usize> {
+        self.tree_numbers.iter().map(TreeNumber::depth).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ui_rendering_pads_to_six_digits() {
+        assert_eq!(DescriptorId(42).as_ui(), "D000042");
+        assert_eq!(DescriptorId(1_234_567).as_ui(), "D1234567");
+    }
+
+    #[test]
+    fn descriptor_normalizes_tree_numbers() {
+        let d = Descriptor::new(
+            DescriptorId(1),
+            "Apoptosis",
+            vec![
+                TreeNumber::parse("G04.335.122").unwrap(),
+                TreeNumber::parse("C23.550.100").unwrap(),
+                TreeNumber::parse("G04.335.122").unwrap(),
+            ],
+        );
+        assert_eq!(d.tree_numbers.len(), 2);
+        assert_eq!(d.tree_numbers[0].as_str(), "C23.550.100");
+        assert_eq!(d.min_depth(), Some(3));
+    }
+}

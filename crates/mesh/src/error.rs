@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Errors produced while constructing or parsing concept hierarchies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// A tree number string did not conform to the dotted MeSH syntax.
+    InvalidTreeNumber {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A tree number referenced a parent position that does not exist in the
+    /// hierarchy being built.
+    MissingParent {
+        /// The tree number whose parent is missing.
+        tree_number: String,
+    },
+    /// Two records claimed the same tree position.
+    DuplicateTreeNumber {
+        /// The duplicated position.
+        tree_number: String,
+    },
+    /// A record in the MeSH ASCII format was malformed.
+    MalformedRecord {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The hierarchy has no nodes besides the root where some were required.
+    EmptyHierarchy,
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::InvalidTreeNumber { input, reason } => {
+                write!(f, "invalid tree number {input:?}: {reason}")
+            }
+            MeshError::MissingParent { tree_number } => {
+                write!(
+                    f,
+                    "tree number {tree_number} has no parent position in the hierarchy"
+                )
+            }
+            MeshError::DuplicateTreeNumber { tree_number } => {
+                write!(
+                    f,
+                    "tree position {tree_number} is claimed by more than one record"
+                )
+            }
+            MeshError::MalformedRecord { line, reason } => {
+                write!(f, "malformed MeSH record at line {line}: {reason}")
+            }
+            MeshError::EmptyHierarchy => write!(f, "hierarchy contains no concept nodes"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_are_actionable() {
+        let cases: Vec<(MeshError, &str)> = vec![
+            (
+                MeshError::InvalidTreeNumber {
+                    input: "A..1".into(),
+                    reason: "bad",
+                },
+                "invalid tree number",
+            ),
+            (
+                MeshError::MissingParent {
+                    tree_number: "A01.1".into(),
+                },
+                "no parent",
+            ),
+            (
+                MeshError::DuplicateTreeNumber {
+                    tree_number: "A01".into(),
+                },
+                "more than one record",
+            ),
+            (
+                MeshError::MalformedRecord {
+                    line: 7,
+                    reason: "x".into(),
+                },
+                "line 7",
+            ),
+            (MeshError::EmptyHierarchy, "no concept nodes"),
+        ];
+        for (err, needle) in cases {
+            let s = err.to_string();
+            assert!(s.contains(needle), "{s:?} should mention {needle:?}");
+            // And they are real std errors.
+            let _: &dyn std::error::Error = &err;
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Parser for the MeSH ASCII descriptor format (the `d20XX.bin` files NLM
+//! distributes alongside the XML release).
+//!
+//! The format is line-oriented: records are introduced by a line consisting
+//! of `*NEWRECORD`, followed by `KEY = value` element lines. The elements
+//! BioNav needs are:
+//!
+//! * `MH`  — the main heading (concept label),
+//! * `MN`  — a tree number; repeated once per position the descriptor
+//!   occupies,
+//! * `UI`  — the NLM unique identifier, `D` followed by digits.
+//!
+//! All other elements (`AN`, `MS`, `ENTRY`, …) are skipped. Records with no
+//! `MN` element (check tags and some pharmacological-action descriptors) are
+//! skipped too: they occupy no tree position and can never appear in a
+//! navigation tree.
+//!
+//! ```
+//! use bionav_mesh::parser::parse_ascii;
+//!
+//! let src = "\
+//! *NEWRECORD
+//! RECTYPE = D
+//! MH = Body Regions
+//! MN = A01
+//! UI = D001829
+//!
+//! *NEWRECORD
+//! MH = Abdomen
+//! MN = A01.047
+//! UI = D000005
+//! ";
+//! let descriptors = parse_ascii(src).unwrap();
+//! assert_eq!(descriptors.len(), 2);
+//! assert_eq!(descriptors[1].label, "Abdomen");
+//! ```
+
+use std::collections::HashMap;
+
+use crate::{Descriptor, DescriptorId, MeshError, TreeNumber};
+
+/// A raw record as it appears in the file, before descriptor-id resolution.
+#[derive(Debug, Clone, Default)]
+struct RawRecord {
+    heading: Option<String>,
+    tree_numbers: Vec<TreeNumber>,
+    ui: Option<String>,
+    first_line: usize,
+}
+
+/// Parses MeSH ASCII descriptor source into [`Descriptor`]s.
+///
+/// Descriptor ids are taken from the numeric part of the `UI` element when
+/// present (e.g. `D001829` → id 1829); records without a `UI` get ids
+/// allocated past the largest seen, so synthetic test fixtures can omit them.
+pub fn parse_ascii(source: &str) -> Result<Vec<Descriptor>, MeshError> {
+    let mut records: Vec<RawRecord> = Vec::new();
+    let mut current: Option<RawRecord> = None;
+
+    for (idx, line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "*NEWRECORD" {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            current = Some(RawRecord {
+                first_line: line_no,
+                ..RawRecord::default()
+            });
+            continue;
+        }
+        let Some(rec) = current.as_mut() else {
+            return Err(MeshError::MalformedRecord {
+                line: line_no,
+                reason: "element line before any *NEWRECORD".to_string(),
+            });
+        };
+        let Some((key, value)) = line.split_once(" = ") else {
+            return Err(MeshError::MalformedRecord {
+                line: line_no,
+                reason: format!("expected `KEY = value`, got {line:?}"),
+            });
+        };
+        // Explicit arms rather than side-effectful match guards: the
+        // replace() call must run exactly once per element line.
+        #[allow(clippy::collapsible_match)]
+        match key {
+            "MH" => {
+                if rec.heading.replace(value.to_string()).is_some() {
+                    return Err(MeshError::MalformedRecord {
+                        line: line_no,
+                        reason: "duplicate MH element in record".to_string(),
+                    });
+                }
+            }
+            "MN" => rec.tree_numbers.push(TreeNumber::parse(value)?),
+            "UI" => {
+                if rec.ui.replace(value.to_string()).is_some() {
+                    return Err(MeshError::MalformedRecord {
+                        line: line_no,
+                        reason: "duplicate UI element in record".to_string(),
+                    });
+                }
+            }
+            _ => {} // every other element type is irrelevant to navigation
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+
+    // Resolve descriptor ids: numeric UI when available, else allocate.
+    let mut used: HashMap<u32, usize> = HashMap::new();
+    let mut max_id = 0u32;
+    let mut descriptors = Vec::with_capacity(records.len());
+    let mut pending_without_ui = Vec::new();
+
+    for rec in records {
+        if rec.tree_numbers.is_empty() {
+            continue; // positionless record (check tag etc.)
+        }
+        let heading = rec
+            .heading
+            .clone()
+            .ok_or_else(|| MeshError::MalformedRecord {
+                line: rec.first_line,
+                reason: "record has MN but no MH element".to_string(),
+            })?;
+        match rec.ui.as_deref().and_then(parse_ui) {
+            Some(id) => {
+                if let Some(&other) = used.get(&id) {
+                    return Err(MeshError::MalformedRecord {
+                        line: rec.first_line,
+                        reason: format!("UI D{id:06} already used by record at line {other}"),
+                    });
+                }
+                used.insert(id, rec.first_line);
+                max_id = max_id.max(id);
+                descriptors.push(Descriptor::new(DescriptorId(id), heading, rec.tree_numbers));
+            }
+            None => pending_without_ui.push((heading, rec.tree_numbers)),
+        }
+    }
+    for (heading, tree_numbers) in pending_without_ui {
+        max_id += 1;
+        descriptors.push(Descriptor::new(DescriptorId(max_id), heading, tree_numbers));
+    }
+    Ok(descriptors)
+}
+
+fn parse_ui(ui: &str) -> Option<u32> {
+    ui.strip_prefix('D')?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConceptHierarchy;
+
+    const FIXTURE: &str = "\
+*NEWRECORD
+RECTYPE = D
+MH = Body Regions
+AN = general or unspecified
+MN = A01
+UI = D001829
+
+*NEWRECORD
+MH = Abdomen
+MN = A01.047
+UI = D000005
+
+*NEWRECORD
+MH = Abdominal Cavity
+MN = A01.047.025
+UI = D034841
+
+*NEWRECORD
+MH = Female
+MN = A01.047.100
+MN = B01.050
+UI = D005260
+
+*NEWRECORD
+MH = Organisms Check Tag
+UI = D999999
+";
+
+    #[test]
+    fn parses_fixture() {
+        let descs = parse_ascii(FIXTURE).unwrap();
+        // The check tag (no MN) is dropped.
+        assert_eq!(descs.len(), 4);
+        let female = descs.iter().find(|d| d.label == "Female").unwrap();
+        assert_eq!(female.tree_numbers.len(), 2);
+        assert_eq!(female.id, DescriptorId(5260));
+    }
+
+    #[test]
+    fn parsed_records_build_a_hierarchy() {
+        let mut descs = parse_ascii(FIXTURE).unwrap();
+        // B01 parent for Female's second position.
+        descs.push(Descriptor::new(
+            DescriptorId(777),
+            "Animals",
+            vec![TreeNumber::parse("B01").unwrap()],
+        ));
+        let h = ConceptHierarchy::from_descriptors(&descs).unwrap();
+        assert_eq!(h.len(), 7); // root + 6 positions
+        assert_eq!(h.nodes_of(DescriptorId(5260)).len(), 2);
+    }
+
+    #[test]
+    fn records_without_ui_get_fresh_ids() {
+        let src = "*NEWRECORD\nMH = Thing\nMN = A01\n";
+        let descs = parse_ascii(src).unwrap();
+        assert_eq!(descs.len(), 1);
+        assert_eq!(descs[0].id, DescriptorId(1));
+    }
+
+    #[test]
+    fn element_before_record_is_an_error() {
+        let err = parse_ascii("MH = Stray\n").unwrap_err();
+        assert!(matches!(err, MeshError::MalformedRecord { line: 1, .. }));
+    }
+
+    #[test]
+    fn missing_separator_is_an_error() {
+        let err = parse_ascii("*NEWRECORD\nMH: Wrong\n").unwrap_err();
+        assert!(matches!(err, MeshError::MalformedRecord { line: 2, .. }));
+    }
+
+    #[test]
+    fn record_with_mn_but_no_mh_is_an_error() {
+        let err = parse_ascii("*NEWRECORD\nMN = A01\n").unwrap_err();
+        assert!(matches!(err, MeshError::MalformedRecord { .. }));
+    }
+
+    #[test]
+    fn duplicate_ui_is_an_error() {
+        let src = "\
+*NEWRECORD
+MH = One
+MN = A01
+UI = D000001
+
+*NEWRECORD
+MH = Two
+MN = A02
+UI = D000001
+";
+        let err = parse_ascii(src).unwrap_err();
+        assert!(matches!(err, MeshError::MalformedRecord { .. }));
+    }
+
+    #[test]
+    fn crlf_line_endings_parse() {
+        let src = "*NEWRECORD\r\nMH = Windows Record\r\nMN = A01\r\nUI = D000001\r\n";
+        let descs = parse_ascii(src).unwrap();
+        assert_eq!(descs.len(), 1);
+        assert_eq!(descs[0].label, "Windows Record");
+    }
+
+    #[test]
+    fn empty_input_yields_no_descriptors() {
+        assert!(parse_ascii("").unwrap().is_empty());
+        assert!(parse_ascii("\n\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn values_may_contain_equals_signs() {
+        // Only the first " = " separates key from value.
+        let src = "*NEWRECORD\nMH = Ratio A = B\nMN = A01\n";
+        let descs = parse_ascii(src).unwrap();
+        assert_eq!(descs[0].label, "Ratio A = B");
+    }
+
+    #[test]
+    fn bad_tree_number_propagates() {
+        let err = parse_ascii("*NEWRECORD\nMH = X\nMN = A0..1\n").unwrap_err();
+        assert!(matches!(err, MeshError::InvalidTreeNumber { .. }));
+    }
+}

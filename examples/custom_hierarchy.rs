@@ -1,0 +1,142 @@
+//! Bring your own data: parse a MeSH ASCII snippet, attach your own
+//! citations, drive EdgeCuts manually, and persist the store.
+//!
+//! Everything BioNav needs from MeSH is the `MH`/`MN`/`UI` elements of the
+//! descriptor file NLM distributes; [`bionav::mesh::parser`] reads that
+//! format directly, so a real `d2009.bin` drops in where the inline snippet
+//! sits below.
+//!
+//! ```text
+//! cargo run --example custom_hierarchy
+//! ```
+
+use bionav::core::active::EdgeCut;
+use bionav::core::session::Session;
+use bionav::core::{CostParams, NavNodeId, NavigationTree};
+use bionav::medline::{Citation, CitationId, CitationStore};
+use bionav::mesh::{parser, ConceptHierarchy, DescriptorId};
+
+/// A hand-written slice of the real MeSH tree around apoptosis.
+const MESH_SNIPPET: &str = "\
+*NEWRECORD
+MH = Biological Phenomena
+MN = G16
+UI = D001686
+
+*NEWRECORD
+MH = Cell Physiological Phenomena
+MN = G16.100
+UI = D002468
+
+*NEWRECORD
+MH = Cell Death
+MN = G16.100.500
+UI = D016923
+
+*NEWRECORD
+MH = Apoptosis
+MN = G16.100.500.100
+UI = D017209
+
+*NEWRECORD
+MH = Autophagy
+MN = G16.100.500.200
+UI = D001343
+
+*NEWRECORD
+MH = Necrosis
+MN = G16.100.500.300
+UI = D009336
+
+*NEWRECORD
+MH = Cell Proliferation
+MN = G16.100.700
+UI = D049109
+";
+
+fn main() {
+    // --- Parse the hierarchy from the ASCII descriptor format.
+    let descriptors = parser::parse_ascii(MESH_SNIPPET).expect("snippet parses");
+    let hierarchy = ConceptHierarchy::from_descriptors(&descriptors).expect("snippet builds");
+    println!(
+        "parsed {} descriptors into a {}-node hierarchy (max depth {})",
+        descriptors.len(),
+        hierarchy.len(),
+        hierarchy.max_depth()
+    );
+
+    // --- Attach a handful of citations (your own query result).
+    let mut store = CitationStore::new();
+    let annotate = |id: u32, concepts: &[u32]| {
+        Citation::new(
+            CitationId(id),
+            format!("study {id}"),
+            vec!["prothymosin".into()],
+            concepts.iter().map(|&c| DescriptorId(c)).collect(),
+            vec![],
+        )
+    };
+    // D-numbers from the snippet: 17209 apoptosis, 1343 autophagy,
+    // 9336 necrosis, 49109 proliferation, 16923 cell death.
+    for (id, concepts) in [
+        (1u32, vec![17209u32, 16923]),
+        (2, vec![17209]),
+        (3, vec![1343, 16923]),
+        (4, vec![9336]),
+        (5, vec![49109]),
+        (6, vec![49109, 17209]), // a duplicate across branches
+        (7, vec![2468]),
+    ] {
+        store.insert(annotate(id, &concepts)).expect("fresh ids");
+    }
+    // Tell the EXPLORE probability how common these concepts are globally.
+    store.set_global_count(DescriptorId(17209), 180_000); // apoptosis: huge field
+    store.set_global_count(DescriptorId(49109), 90_000);
+    store.set_global_count(DescriptorId(9336), 40_000);
+    store.set_global_count(DescriptorId(1343), 12_000);
+
+    let results: Vec<CitationId> = store.iter().map(|c| c.id).collect();
+    let nav = NavigationTree::build(&hierarchy, &store, &results);
+    println!("\nnavigation tree ({} nodes):", nav.len());
+    for n in nav.iter_preorder() {
+        let indent = "  ".repeat(nav.nav_depth(n) as usize);
+        println!("  {indent}{} |R| = {}", nav.label(n), nav.results_count(n));
+    }
+
+    // --- Drive a *manual* EdgeCut (Fig 3 of the paper): reveal Cell Death
+    //     and Cell Proliferation directly, skipping the levels in between.
+    let mut session = Session::new(&nav, CostParams::default());
+    let death = nav.find_by_label("Cell Death").expect("in tree");
+    let prolif = nav.find_by_label("Cell Proliferation").expect("in tree");
+    session
+        .expand_with(NavNodeId::ROOT, &EdgeCut::new(vec![death, prolif]))
+        .expect("a valid cut");
+    println!("\nafter the manual EdgeCut, the interface shows:");
+    for v in session.visualize() {
+        println!(
+            "  {} ({} citations){}",
+            nav.label(v.node),
+            v.component_distinct,
+            if v.expandable { " >>>" } else { "" }
+        );
+    }
+
+    // --- Backtrack and let the cost model pick instead.
+    session.backtrack().expect("one cut to undo");
+    let revealed = session.expand(NavNodeId::ROOT).expect("root expands");
+    println!("\nHeuristic-ReducedOpt instead reveals:");
+    for &r in &revealed {
+        println!("  {}", nav.label(r));
+    }
+
+    // --- Persist the BioNav database and load it back (paper §VII).
+    let mut snapshot = Vec::new();
+    store.save_json(&mut snapshot).expect("serialization");
+    let restored = CitationStore::load_json(snapshot.as_slice()).expect("round trip");
+    println!(
+        "\nstore snapshot: {} bytes; restored {} citations, apoptosis |LT| = {}",
+        snapshot.len(),
+        restored.len(),
+        restored.global_count(DescriptorId(17209))
+    );
+}

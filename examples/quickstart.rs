@@ -1,0 +1,122 @@
+//! Quickstart: the whole BioNav pipeline in one file.
+//!
+//! 1. Generate a synthetic MeSH-style hierarchy and a citation corpus.
+//! 2. Run a keyword query through the inverted index (the ESearch stand-in).
+//! 3. Build the navigation tree (maximum embedding of the hierarchy).
+//! 4. Navigate interactively: EXPAND with Heuristic-ReducedOpt, inspect the
+//!    visualization, SHOWRESULTS on an interesting concept.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bionav::core::session::Session;
+use bionav::core::{CostParams, NavigationTree};
+use bionav::medline::corpus::{self, CorpusConfig};
+use bionav::medline::InvertedIndex;
+use bionav::mesh::synth::{self, SynthConfig};
+
+fn main() {
+    // --- Off-line: hierarchy + corpus + index (paper §VII, pre-processing).
+    let hierarchy = synth::generate(&SynthConfig::small(42, 1_200))
+        .expect("synthetic hierarchies always build");
+    let store = corpus::generate(
+        &hierarchy,
+        &CorpusConfig {
+            seed: 42,
+            n_citations: 2_000,
+            ..CorpusConfig::default()
+        },
+    );
+    let index = InvertedIndex::build(&store);
+    println!(
+        "corpus: {} citations over {} concepts, {} index terms",
+        store.len(),
+        hierarchy.len() - 1,
+        index.vocabulary_size()
+    );
+
+    // --- On-line: keyword query → navigation tree.
+    // Query for the most-studied concept so the result set is interesting.
+    let hot = hierarchy
+        .iter_preorder()
+        .skip(1)
+        .max_by_key(|&n| {
+            hierarchy
+                .node(n)
+                .descriptor()
+                .map(|d| store.observed_count(d))
+                .unwrap_or(0)
+        })
+        .expect("non-empty hierarchy");
+    let keywords = hierarchy.node(hot).label().to_string();
+    let outcome = index.query(&keywords);
+    println!("\nquery {keywords:?} returned {} citations", outcome.len());
+
+    let nav = NavigationTree::build(&hierarchy, &store, &outcome.citations);
+    println!(
+        "navigation tree: {} concept nodes, {} attachments counting duplicates",
+        nav.len() - 1,
+        nav.total_attached_with_duplicates()
+    );
+
+    // --- Navigate: expand the root, then the biggest revealed component.
+    let mut session = Session::new(&nav, CostParams::default());
+    let revealed = session
+        .expand(bionav::core::NavNodeId::ROOT)
+        .expect("root expands");
+    println!("\nEXPAND on the root revealed {} concepts:", revealed.len());
+    print_visualization(&session);
+
+    let next = *revealed
+        .iter()
+        .max_by_key(|&&n| session.component_distinct(n))
+        .expect("something was revealed");
+    if session.component_size(next) > 1 {
+        let more = session.expand(next).expect("component expands");
+        println!(
+            "\nEXPAND on {:?} revealed {} more concepts:",
+            nav.label(next),
+            more.len()
+        );
+        print_visualization(&session);
+    }
+
+    // --- SHOWRESULTS on the most specific visible concept.
+    let deepest = session
+        .visualize()
+        .into_iter()
+        .max_by_key(|v| nav.nav_depth(v.node))
+        .expect("something is visible");
+    let citations = session
+        .show_results(deepest.node)
+        .expect("visible nodes list results");
+    println!(
+        "\nSHOWRESULTS on {:?}: {} citations, e.g. {:?}",
+        nav.label(deepest.node),
+        citations.len(),
+        citations.iter().take(5).map(|c| c.0).collect::<Vec<_>>()
+    );
+
+    let cost = session.cost();
+    println!(
+        "\nsession cost so far: {} concepts examined + {} EXPANDs + {} citations listed = {}",
+        cost.revealed,
+        cost.expands,
+        cost.results_inspected,
+        cost.total_cost()
+    );
+}
+
+fn print_visualization(session: &Session<'_>) {
+    let nav = session.nav();
+    for v in session.visualize() {
+        let indent = "  ".repeat(nav.nav_depth(v.node) as usize);
+        let marker = if v.expandable { " >>>" } else { "" };
+        println!(
+            "  {indent}{} ({}){marker}",
+            nav.label(v.node),
+            v.component_distinct
+        );
+    }
+}

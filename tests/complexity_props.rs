@@ -1,0 +1,76 @@
+//! Property tests for the §V NP-completeness reduction: on random
+//! edge-weighted graphs, the MAXIMUM EDGE SUBGRAPH optimum must equal the
+//! TED duplicate optimum under the paper's mapping, for every subset size.
+
+use bionav::core::complexity::{mes_ted_equivalence, reduce_to_ted, MesInstance};
+use proptest::prelude::*;
+
+/// Random small MES instances: ≤ 7 vertices, ≤ 12 weighted edges.
+fn mes_strategy() -> impl Strategy<Value = MesInstance> {
+    (2usize..=7).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1u64..=9).prop_filter_map("self-loop", move |(u, v, w)| {
+            (u != v).then_some((u.min(v), u.max(v), w))
+        });
+        proptest::collection::vec(edge, 0..=12).prop_map(move |mut edges| {
+            // One edge per vertex pair (MES sums weights of distinct edges;
+            // parallel edges would be a different problem).
+            edges.sort_by_key(|&(u, v, _)| (u, v));
+            edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+            MesInstance::new(n, edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduction_preserves_optima_for_every_k(mes in mes_strategy()) {
+        for k in 0..=mes.node_count {
+            prop_assert!(
+                mes_ted_equivalence(&mes, k),
+                "MES/TED optima diverged at k = {k} for {mes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_equal_induced_weight_on_random_subsets(
+        mes in mes_strategy(),
+        bits in 0u32..128,
+    ) {
+        let ted = reduce_to_ted(&mes);
+        let subset: Vec<usize> =
+            (0..mes.node_count).filter(|&i| bits & (1 << i) != 0).collect();
+        prop_assert_eq!(
+            ted.duplicates_for_upper(&subset),
+            mes.induced_weight(&subset)
+        );
+    }
+
+    #[test]
+    fn universe_is_total_weight(mes in mes_strategy()) {
+        let ted = reduce_to_ted(&mes);
+        let total: u64 = mes.edges.iter().map(|&(_, _, w)| w).sum();
+        prop_assert_eq!(ted.universe, total);
+    }
+
+    #[test]
+    fn decision_is_monotone_in_both_arguments(mes in mes_strategy()) {
+        let ted = reduce_to_ted(&mes);
+        let n = mes.node_count;
+        let total: u64 = mes.edges.iter().map(|&(_, _, w)| w).sum();
+        // Loosening either bound can only keep a satisfiable instance
+        // satisfiable.
+        for s in 2..=n + 1 {
+            for d in 0..=total {
+                if ted.decide(s, d) {
+                    prop_assert!(ted.decide(s + 1, d));
+                    if d > 0 {
+                        prop_assert!(ted.decide(s, d - 1));
+                    }
+                }
+            }
+        }
+    }
+}

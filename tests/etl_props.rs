@@ -1,0 +1,136 @@
+//! Property tests for the §VII crawl: against random corpora, the crawl
+//! must agree with a direct "which citations carry this label phrase"
+//! scan, and denormalization must be an exact transpose.
+
+use bionav::medline::etl::{Crawl, CrawlConfig, CrawlResult};
+use bionav::medline::{normalize_phrase, Citation, CitationId, CitationStore, InvertedIndex};
+use bionav::mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Random fixtures: up to 8 single-position concepts with 1–2 word labels,
+/// up to 25 citations each carrying a random subset of label phrases.
+fn fixture_strategy() -> impl Strategy<Value = (ConceptHierarchy, CitationStore)> {
+    let label = proptest::collection::vec("[a-z]{2,8}", 1..=2).prop_map(|words| words.join(" "));
+    (
+        proptest::collection::vec(label, 1..=8),
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), 8), 0..25),
+    )
+        .prop_map(|(labels, carry)| {
+            let descriptors: Vec<Descriptor> = labels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    let tn = TreeNumber::parse(&format!("A{:02}", i + 1)).unwrap();
+                    Descriptor::new(DescriptorId(i as u32 + 1), l.clone(), vec![tn])
+                })
+                .collect();
+            let hierarchy = ConceptHierarchy::from_descriptors(&descriptors).unwrap();
+            let mut store = CitationStore::new();
+            for (ci, flags) in carry.iter().enumerate() {
+                let terms: Vec<String> = flags
+                    .iter()
+                    .take(labels.len())
+                    .enumerate()
+                    .filter(|(_, &keep)| keep)
+                    .map(|(li, _)| normalize_phrase(&labels[li]))
+                    .collect();
+                store
+                    .insert(Citation::new(
+                        CitationId(ci as u32 + 1),
+                        format!("c{ci}"),
+                        terms,
+                        vec![],
+                        vec![],
+                    ))
+                    .unwrap();
+            }
+            (hierarchy, store)
+        })
+}
+
+fn brute_force(hierarchy: &ConceptHierarchy, store: &CitationStore) -> CrawlResult {
+    let mut result = CrawlResult::default();
+    for n in hierarchy.iter_preorder().skip(1) {
+        let node = hierarchy.node(n);
+        let Some(d) = node.descriptor() else { continue };
+        let phrase = normalize_phrase(node.label());
+        let ids: Vec<CitationId> = store
+            .iter()
+            .filter(|c| c.terms.contains(&phrase))
+            .map(|c| c.id)
+            .collect();
+        result.global_counts.insert(d, ids.len() as u64);
+        result.tuples += ids.len() as u64;
+        if !ids.is_empty() {
+            result.associations.insert(d, ids);
+        }
+    }
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn crawl_agrees_with_direct_scan((hierarchy, store) in fixture_strategy()) {
+        // Labels may collide (two concepts, same words); both then match
+        // the same citations — exactly what the scan computes too.
+        let index = InvertedIndex::build(&store);
+        let crawled = Crawl::new(&hierarchy, &index, CrawlConfig::default()).run_to_end();
+        let direct = brute_force(&hierarchy, &store);
+        prop_assert_eq!(&crawled.associations, &direct.associations);
+        prop_assert_eq!(&crawled.global_counts, &direct.global_counts);
+        prop_assert_eq!(crawled.tuples, direct.tuples);
+    }
+
+    #[test]
+    fn denormalize_is_an_exact_transpose((hierarchy, store) in fixture_strategy()) {
+        let index = InvertedIndex::build(&store);
+        let crawled = Crawl::new(&hierarchy, &index, CrawlConfig::default()).run_to_end();
+        let rows = crawled.denormalize();
+        // Forward: every tuple appears in its citation's row.
+        for (&concept, ids) in &crawled.associations {
+            for id in ids {
+                prop_assert!(rows[id].contains(&concept));
+            }
+        }
+        // Backward: every row entry traces to a tuple.
+        let mut tuples: HashSet<(DescriptorId, CitationId)> = HashSet::new();
+        for (&concept, ids) in &crawled.associations {
+            tuples.extend(ids.iter().map(|&id| (concept, id)));
+        }
+        let mut back = 0usize;
+        for (&id, concepts) in &rows {
+            for &c in concepts {
+                prop_assert!(tuples.contains(&(c, id)));
+                back += 1;
+            }
+        }
+        prop_assert_eq!(back, tuples.len(), "no tuple lost or duplicated");
+    }
+
+    #[test]
+    fn tick_pacing_is_exact(
+        (hierarchy, store) in fixture_strategy(),
+        per_tick in 1usize..5,
+    ) {
+        let index = InvertedIndex::build(&store);
+        let distinct_concepts: HashMap<DescriptorId, ()> = hierarchy
+            .iter_preorder()
+            .skip(1)
+            .filter_map(|n| hierarchy.node(n).descriptor())
+            .map(|d| (d, ()))
+            .collect();
+        let mut crawl = Crawl::new(
+            &hierarchy,
+            &index,
+            CrawlConfig { requests_per_tick: per_tick, retmax: None },
+        );
+        let n = distinct_concepts.len();
+        prop_assert_eq!(crawl.remaining(), n);
+        while crawl.tick() {}
+        let result = crawl.run_to_end();
+        prop_assert_eq!(result.ticks as usize, n.div_ceil(per_tick));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the MeSH substrate: tree-number algebra, hierarchy
+//! construction from random descriptor sets, and ASCII-format round trips.
+
+use bionav::mesh::{parser, ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random well-formed tree numbers: `L\d\d(\.\d{3}){0,4}`.
+fn tree_number_strategy() -> impl Strategy<Value = TreeNumber> {
+    (
+        proptest::char::range('A', 'F'),
+        0u8..100,
+        proptest::collection::vec(0u16..1000, 0..5),
+    )
+        .prop_map(|(cat, num, segs)| {
+            let mut s = format!("{cat}{num:02}");
+            for seg in segs {
+                s.push_str(&format!(".{seg:03}"));
+            }
+            TreeNumber::parse(&s).expect("constructed to be valid")
+        })
+}
+
+/// A random *closed* set of tree positions: every prefix of every member is
+/// present, so strict hierarchy building succeeds.
+fn closed_positions() -> impl Strategy<Value = Vec<TreeNumber>> {
+    proptest::collection::vec(tree_number_strategy(), 1..25).prop_map(|numbers| {
+        let mut closed: HashSet<String> = HashSet::new();
+        for tn in numbers {
+            let mut cur = Some(tn);
+            while let Some(t) = cur {
+                closed.insert(t.to_string());
+                cur = t.parent();
+            }
+        }
+        let mut out: Vec<TreeNumber> = closed
+            .into_iter()
+            .map(|s| TreeNumber::parse(&s).unwrap())
+            .collect();
+        out.sort();
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parse_display_round_trip(tn in tree_number_strategy()) {
+        let back = TreeNumber::parse(tn.as_str()).unwrap();
+        prop_assert_eq!(back, tn);
+    }
+
+    #[test]
+    fn parent_child_are_inverse(tn in tree_number_strategy(), seg in 0u16..1000) {
+        let child = tn.child(&format!("{seg:03}"));
+        let parent = child.parent();
+        prop_assert_eq!(parent.as_ref(), Some(&tn));
+        prop_assert!(tn.is_ancestor_of(&child));
+        prop_assert!(!child.is_ancestor_of(&tn));
+        prop_assert_eq!(child.depth(), tn.depth() + 1);
+    }
+
+    #[test]
+    fn ancestry_is_transitive_and_antisymmetric(
+        a in tree_number_strategy(),
+        b in tree_number_strategy(),
+        c in tree_number_strategy(),
+    ) {
+        if a.is_ancestor_of(&b) && b.is_ancestor_of(&c) {
+            prop_assert!(a.is_ancestor_of(&c));
+        }
+        prop_assert!(!(a.is_ancestor_of(&b) && b.is_ancestor_of(&a)));
+    }
+
+    #[test]
+    fn hierarchy_build_preserves_every_position(positions in closed_positions()) {
+        let descriptors: Vec<Descriptor> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, tn)| {
+                Descriptor::new(DescriptorId(i as u32 + 1), format!("c{i}"), vec![tn.clone()])
+            })
+            .collect();
+        let h = ConceptHierarchy::from_descriptors(&descriptors).unwrap();
+        prop_assert_eq!(h.len(), positions.len() + 1); // + root
+        // Node depth equals tree-number depth; parents embed prefixes.
+        for d in &descriptors {
+            let nodes = h.nodes_of(d.id);
+            prop_assert_eq!(nodes.len(), 1);
+            let node = h.node(nodes[0]);
+            prop_assert_eq!(usize::from(node.depth()), d.tree_numbers[0].depth());
+        }
+        // Pre-order visits every node exactly once.
+        let visited: HashSet<_> = h.iter_preorder().collect();
+        prop_assert_eq!(visited.len(), h.len());
+    }
+
+    #[test]
+    fn ascii_format_round_trips(positions in closed_positions()) {
+        // Serialize random descriptors to the MeSH ASCII format and parse
+        // them back.
+        let descriptors: Vec<Descriptor> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, tn)| {
+                Descriptor::new(
+                    DescriptorId(i as u32 + 1),
+                    format!("Concept {i}"),
+                    vec![tn.clone()],
+                )
+            })
+            .collect();
+        let mut ascii = String::new();
+        for d in &descriptors {
+            ascii.push_str("*NEWRECORD\n");
+            ascii.push_str(&format!("MH = {}\n", d.label));
+            for tn in &d.tree_numbers {
+                ascii.push_str(&format!("MN = {tn}\n"));
+            }
+            ascii.push_str(&format!("UI = {}\n\n", d.id.as_ui()));
+        }
+        let parsed = parser::parse_ascii(&ascii).unwrap();
+        prop_assert_eq!(parsed.len(), descriptors.len());
+        let mut a = parsed.clone();
+        let mut b = descriptors.clone();
+        a.sort_by_key(|d| d.id);
+        b.sort_by_key(|d| d.id);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(noise in "[ -~\n]{0,400}") {
+        // Arbitrary printable input: errors are fine, panics are not.
+        let _ = parser::parse_ascii(&noise);
+    }
+
+    #[test]
+    fn xml_round_trips_arbitrary_descriptors(
+        positions in closed_positions(),
+        labels in proptest::collection::vec("[ -~]{1,40}", 1..25),
+    ) {
+        use bionav::mesh::xml;
+        let descriptors: Vec<Descriptor> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, tn)| {
+                // Labels may contain XML-hostile characters; trim to dodge
+                // the parser's whitespace normalization of text nodes.
+                let label = labels[i % labels.len()].trim();
+                let label = if label.is_empty() { "x" } else { label };
+                Descriptor::new(DescriptorId(i as u32 + 1), label, vec![tn.clone()])
+            })
+            .collect();
+        let serialized = xml::write_xml(&descriptors);
+        let parsed = xml::parse_xml(&serialized).unwrap();
+        let mut a = parsed;
+        let mut b = descriptors;
+        a.sort_by_key(|d| d.id);
+        b.sort_by_key(|d| d.id);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_noise(noise in "[ -~\n]{0,400}") {
+        let _ = bionav::mesh::xml::parse_xml(&noise);
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's Fig 2 narrative, asserted on the evaluation workload: the
+//! things that make BioNav *BioNav* — expansions reveal selected
+//! *descendants* (not all children, not necessarily children at all),
+//! repeated root expansion keeps revealing more, and displayed counts
+//! shrink as components get cut smaller.
+
+use bionav::core::session::Session;
+use bionav::core::{CostParams, NavNodeId};
+use bionav::workload::{paper_queries, Workload, WorkloadConfig};
+
+fn workload() -> Workload {
+    Workload::build(&WorkloadConfig {
+        queries: paper_queries(),
+        ..WorkloadConfig::test_size()
+    })
+}
+
+#[test]
+fn expansions_reveal_descendants_not_children() {
+    // Fig 2c: expanding "Biological Phenomena…" reveals "Cell
+    // Proliferation" directly, skipping "Cell Growth Processes". Across
+    // complete navigations of the workload, a share of reveals must skip
+    // levels — that is the whole point of EdgeCuts over child-listing.
+    // (Root-level cuts usually land on root children because the
+    // partitioner detaches heavy top clusters; skips concentrate in deeper
+    // components where weight-equal parent→child chains appear.)
+    let w = workload();
+    let mut skipping_reveals = 0usize;
+    let mut total_reveals = 0usize;
+    for q in &w.queries {
+        let run = w.run_query(&q.spec.name);
+        let mut session = Session::new(&run.nav, CostParams::default());
+        let mut guard = 0usize;
+        while let Some(root) = run
+            .nav
+            .iter_preorder()
+            .find(|&n| session.active().is_visible(n) && session.component_size(n) > 1)
+        {
+            let revealed = session.expand(root).expect("expandable components expand");
+            total_reveals += revealed.len();
+            skipping_reveals += revealed
+                .iter()
+                .filter(|&&r| run.nav.parent(r) != Some(root))
+                .count();
+            guard += 1;
+            assert!(guard <= run.nav.len() * 2, "{}: stuck", q.spec.name);
+        }
+    }
+    assert!(
+        total_reveals > 100,
+        "expected many reveals, got {total_reveals}"
+    );
+    assert!(
+        skipping_reveals > 0,
+        "no reveal ever skipped a level across {total_reveals} reveals — \
+         that is a static interface, not BioNav"
+    );
+}
+
+#[test]
+fn repeated_root_expansion_accumulates_reveals() {
+    // Fig 2a→2b: the user expands the root three times, revealing 3 then 4
+    // then 4 more concepts; every round adds something and the root keeps
+    // its `>>>` until its component is exhausted.
+    let w = workload();
+    let run = w.run_query("prothymosin");
+    let mut session = Session::new(&run.nav, CostParams::default());
+    let mut seen = 0usize;
+    for _ in 0..3 {
+        if session.component_size(NavNodeId::ROOT) <= 1 {
+            break;
+        }
+        let revealed = session.expand(NavNodeId::ROOT).expect("root expands");
+        assert!(!revealed.is_empty(), "every EXPAND must reveal something");
+        let visible_now = session.visualize().len();
+        assert!(visible_now > seen, "the visualization must grow");
+        seen = visible_now;
+    }
+    assert!(
+        seen >= 3,
+        "three root expansions should reveal several concepts"
+    );
+}
+
+#[test]
+fn displayed_counts_shrink_as_components_get_cut() {
+    // Fig 2b→2c: "Biological Phenomena… (217)" drops to (166) once part of
+    // its component is revealed separately. Generic form: expanding any
+    // node never increases its displayed count, and usually decreases it.
+    let w = workload();
+    let run = w.run_query("vardenafil");
+    let mut session = Session::new(&run.nav, CostParams::default());
+    let revealed = session.expand(NavNodeId::ROOT).expect("root expands");
+    let pick = *revealed
+        .iter()
+        .max_by_key(|&&n| session.component_size(n))
+        .expect("revealed something");
+    if session.component_size(pick) > 1 {
+        let before = session.component_distinct(pick);
+        session.expand(pick).expect("expandable");
+        let after = session.component_distinct(pick);
+        assert!(after <= before, "counts never grow ({before} → {after})");
+    }
+}
+
+#[test]
+fn every_visible_count_equals_its_components_distinct_citations() {
+    // Definition 5: the number shown next to a label is the distinct
+    // citation count of the node's component — cross-checked against the
+    // session's own SHOWRESULTS.
+    let w = workload();
+    let run = w.run_query("varenicline");
+    let mut session = Session::new(&run.nav, CostParams::default());
+    session.expand(NavNodeId::ROOT).expect("root expands");
+    let rows = session.visualize();
+    for row in rows {
+        let listed = session.show_results(row.node).expect("visible nodes list");
+        assert_eq!(listed.len() as u32, row.component_distinct);
+    }
+}

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the full BioNav pipeline from hierarchy
+//! generation through keyword retrieval, navigation-tree construction,
+//! interactive sessions and the evaluation harness.
+
+use bionav::core::baseline::simulate_static;
+use bionav::core::session::Session;
+use bionav::core::sim::simulate_bionav;
+use bionav::core::stats::NavTreeStats;
+use bionav::core::{CostParams, NavNodeId, NavigationTree};
+use bionav::medline::CitationStore;
+use bionav::workload::{evaluate, paper_queries, Workload, WorkloadConfig};
+
+fn small_workload() -> Workload {
+    Workload::build(&WorkloadConfig {
+        queries: paper_queries(),
+        ..WorkloadConfig::test_size()
+    })
+}
+
+#[test]
+fn every_paper_query_runs_end_to_end() {
+    let w = small_workload();
+    assert_eq!(w.queries.len(), 10);
+    for q in &w.queries {
+        let run = w.run_query(&q.spec.name);
+        assert!(run.result_size > 0, "{}: empty result", q.spec.name);
+        assert!(run.nav.len() > 1, "{}: empty tree", q.spec.name);
+        // The target is reachable and carries its forced attachments.
+        assert!(run.nav.results_count(run.target) >= 1);
+        assert_eq!(run.nav.label(run.target), q.spec.target.label);
+    }
+}
+
+#[test]
+fn keyword_index_agrees_with_ground_truth() {
+    let w = small_workload();
+    for q in &w.queries {
+        let got = w.index.query(&q.spec.keywords).citations;
+        assert_eq!(got, q.citation_ids, "{}", q.spec.name);
+    }
+}
+
+#[test]
+fn oracle_navigation_reaches_every_target() {
+    let w = small_workload();
+    let params = CostParams::default();
+    for q in &w.queries {
+        let run = w.run_query(&q.spec.name);
+        let sim = simulate_bionav(&run.nav, &params, &[run.target]);
+        // The run terminated (internally asserted) and tallied coherently.
+        assert_eq!(sim.trace.len(), sim.outcome.expands, "{}", q.spec.name);
+        assert!(
+            sim.outcome.results_inspected >= run.nav.results_count(run.target) as usize,
+            "{}: SHOWRESULTS must cover the target's citations",
+            q.spec.name
+        );
+    }
+}
+
+#[test]
+fn evaluation_beats_static_in_aggregate() {
+    let w = small_workload();
+    let evals = evaluate(&w, &CostParams::default());
+    let mean: f64 = evals
+        .iter()
+        .map(bionav::workload::QueryEval::improvement)
+        .sum::<f64>()
+        / evals.len() as f64;
+    assert!(
+        mean > 0.3,
+        "mean improvement {mean:.2} too low even at test scale"
+    );
+}
+
+#[test]
+fn workload_store_round_trips_through_json() {
+    let w = small_workload();
+    let mut buf = Vec::new();
+    w.store.save_json(&mut buf).unwrap();
+    let restored = CitationStore::load_json(buf.as_slice()).unwrap();
+    assert_eq!(restored.len(), w.store.len());
+    // Rebuilding a navigation tree from the restored store matches.
+    let q = &w.queries[4]; // prothymosin
+    let nav_a = NavigationTree::build(&w.hierarchy, &w.store, &q.citation_ids);
+    let nav_b = NavigationTree::build(&w.hierarchy, &restored, &q.citation_ids);
+    assert_eq!(nav_a.len(), nav_b.len());
+    assert_eq!(
+        nav_a.total_attached_with_duplicates(),
+        nav_b.total_attached_with_duplicates()
+    );
+    assert_eq!(NavTreeStats::compute(&nav_a), NavTreeStats::compute(&nav_b));
+}
+
+#[test]
+fn sessions_survive_a_full_user_journey() {
+    let w = small_workload();
+    let run = w.run_query("prothymosin");
+    let mut session = Session::new(&run.nav, CostParams::default());
+
+    // Expand the root twice (the paper's repeated root expansion, Fig 2b).
+    let first = session.expand(NavNodeId::ROOT).unwrap();
+    assert!(!first.is_empty());
+    if session.component_size(NavNodeId::ROOT) > 1 {
+        session.expand(NavNodeId::ROOT).unwrap();
+    }
+    // Dive into a revealed concept, inspect, backtrack, re-expand.
+    let pick = first[0];
+    session.ignore(first[first.len() - 1]);
+    if session.component_size(pick) > 1 {
+        session.expand(pick).unwrap();
+    }
+    let listed = session.show_results(pick).unwrap();
+    assert_eq!(listed.len() as u32, session.component_distinct(pick));
+    session.backtrack().unwrap();
+    let again = session.expand(NavNodeId::ROOT);
+    // After backtracking an expansion the root is expandable again unless
+    // everything is already visible.
+    if session.component_size(NavNodeId::ROOT) > 1 {
+        again.unwrap();
+    }
+    assert!(session.cost().total_cost() > 0);
+    assert!(!session.log().is_empty());
+}
+
+#[test]
+fn intro_claim_shape_holds_on_two_targets() {
+    // The introduction's example: reaching two independent research
+    // concepts of the prothymosin result costs BioNav a fraction of the
+    // static interface's concept examinations.
+    let w = small_workload();
+    let run = w.run_query("prothymosin");
+    let t1 = run.target;
+    let t2 = run
+        .nav
+        .iter_preorder()
+        .filter(|&n| n != t1 && run.nav.results_count(n) >= 1 && run.nav.nav_depth(n) >= 2)
+        .max_by_key(|&n| run.nav.nav_depth(n))
+        .unwrap_or(t1);
+    let stat = simulate_static(&run.nav, &[t1, t2]);
+    let bio = simulate_bionav(&run.nav, &CostParams::default(), &[t1, t2]);
+    assert!(
+        bio.outcome.revealed < stat.revealed,
+        "BioNav revealed {} vs static {}",
+        bio.outcome.revealed,
+        stat.revealed
+    );
+}
+
+#[test]
+fn empty_and_degenerate_results_never_panic() {
+    let w = small_workload();
+    // A query matching nothing yields a root-only tree; every downstream
+    // layer must cope.
+    let nav = NavigationTree::build(&w.hierarchy, &w.store, &[]);
+    assert!(nav.is_empty());
+    assert_eq!(nav.universe(), 0);
+    let mut session = Session::new(&nav, CostParams::default());
+    assert!(
+        session.expand(NavNodeId::ROOT).is_err(),
+        "nothing to expand"
+    );
+    let listed = session.show_results(NavNodeId::ROOT).unwrap();
+    assert!(listed.is_empty());
+    let run = simulate_bionav(&nav, &CostParams::default(), &[NavNodeId::ROOT]);
+    assert_eq!(run.outcome.expands, 0);
+    let stat = simulate_static(&nav, &[NavNodeId::ROOT]);
+    assert_eq!(stat.interaction_cost(), 0);
+
+    // One citation, one concept: the smallest real navigation.
+    let q = &w.queries[0];
+    let nav = NavigationTree::build(&w.hierarchy, &w.store, &q.citation_ids[..1]);
+    assert!(nav.len() >= 2);
+    let run = simulate_bionav(
+        &nav,
+        &CostParams::default(),
+        &[NavNodeId((nav.len() - 1) as u32)],
+    );
+    assert!(run.outcome.expands <= nav.len());
+}
+
+#[test]
+fn deterministic_across_rebuilds() {
+    let a = small_workload();
+    let b = small_workload();
+    let ea = evaluate(&a, &CostParams::default());
+    let eb = evaluate(&b, &CostParams::default());
+    for (x, y) in ea.iter().zip(&eb) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(
+            x.bionav.outcome.interaction_cost(),
+            y.bionav.outcome.interaction_cost()
+        );
+        assert_eq!(
+            x.static_outcome.interaction_cost(),
+            y.static_outcome.interaction_cost()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration tests for the weighted-citations extension (§IV's
+//! "appropriate weighting" adaptation): uniform weights are a no-op, the
+//! model is scale-invariant, and up-weighting a region steers the cut.
+
+use bionav::core::edgecut::heuristic::expand_component;
+use bionav::core::{CostParams, NavNodeId, NavigationTree};
+use bionav::medline::CitationId;
+use bionav::workload::{paper_queries, Workload, WorkloadConfig};
+
+fn nav_inputs() -> (Workload, Vec<CitationId>) {
+    let w = Workload::build(&WorkloadConfig {
+        queries: paper_queries().into_iter().take(5).collect(),
+        ..WorkloadConfig::test_size()
+    });
+    let results = w.index.query("prothymosin").citations;
+    (w, results)
+}
+
+#[test]
+fn uniform_weights_equal_the_plain_build() {
+    let (w, results) = nav_inputs();
+    let plain = NavigationTree::build(&w.hierarchy, &w.store, &results);
+    let weighted = NavigationTree::build_weighted(&w.hierarchy, &w.store, &results, |_| 1.0);
+    assert_eq!(plain.len(), weighted.len());
+    for n in plain.iter_preorder() {
+        assert_eq!(plain.explore_weight(n), weighted.explore_weight(n));
+    }
+    assert_eq!(
+        plain.total_explore_weight(),
+        weighted.total_explore_weight()
+    );
+}
+
+#[test]
+fn global_weight_scaling_does_not_change_cuts() {
+    // EXPLORE probabilities are normalized by the tree total, so scaling
+    // every weight by the same constant must leave the planner's decisions
+    // untouched.
+    let (w, results) = nav_inputs();
+    let base = NavigationTree::build(&w.hierarchy, &w.store, &results);
+    let scaled = NavigationTree::build_weighted(&w.hierarchy, &w.store, &results, |_| 7.5);
+    let params = CostParams::default();
+    let comp_a: Vec<NavNodeId> = base.iter_preorder().collect();
+    let comp_b: Vec<NavNodeId> = scaled.iter_preorder().collect();
+    let cut_a = expand_component(&base, &comp_a, &params).expect("expands");
+    let cut_b = expand_component(&scaled, &comp_b, &params).expect("expands");
+    assert_eq!(cut_a.cut, cut_b.cut, "scale invariance of the cut");
+    assert_eq!(cut_a.reduced_size, cut_b.reduced_size);
+}
+
+#[test]
+fn upweighting_a_region_raises_its_explore_share() {
+    let (w, results) = nav_inputs();
+    let plain = NavigationTree::build(&w.hierarchy, &w.store, &results);
+    // Pick the root child fronting the *least* citations and boost exactly
+    // its subtree's citations.
+    let underdog = *plain
+        .children(NavNodeId::ROOT)
+        .iter()
+        .min_by_key(|&&c| plain.subtree_distinct(c))
+        .expect("root has children");
+    let boosted_set: Vec<CitationId> = plain
+        .subtree_set(underdog)
+        .iter()
+        .map(|i| plain.citation_id(i))
+        .collect();
+    let boosted = NavigationTree::build_weighted(&w.hierarchy, &w.store, &results, |id| {
+        if boosted_set.contains(&id) {
+            10.0
+        } else {
+            1.0
+        }
+    });
+
+    let share = |nav: &NavigationTree, root: NavNodeId| -> f64 {
+        let sub: f64 = nav
+            .subtree_nodes(root)
+            .iter()
+            .map(|&n| nav.explore_weight(n))
+            .sum();
+        sub / nav.total_explore_weight()
+    };
+    let before = share(&plain, underdog);
+    let after = share(&boosted, underdog);
+    assert!(
+        after > before,
+        "boosting the underdog's citations must raise its share ({before:.4} → {after:.4})"
+    );
+}

@@ -1,0 +1,95 @@
+//! Criterion benches for the concurrent serving engine: batch script
+//! replay throughput at different worker counts, and the cache hit path vs
+//! the tree-build miss path.
+//!
+//! Scale via `BIONAV_BENCH_SCALE` (default 0.25).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bionav_bench::build_workload;
+use bionav_core::engine::{Engine, ScriptOp};
+use bionav_core::{CostParams, NavigationTree, SharedTree};
+use bionav_workload::Workload;
+
+fn bench_scale() -> f64 {
+    std::env::var("BIONAV_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+fn make_engine(
+    workload: &Workload,
+) -> Engine<impl Fn(&str) -> Option<SharedTree> + Send + Sync + '_> {
+    Engine::new(
+        |query: &str| {
+            let outcome = workload.index.query(query);
+            if outcome.citations.is_empty() {
+                return None;
+            }
+            Some(Arc::new(NavigationTree::build(
+                &workload.hierarchy,
+                &workload.store,
+                &outcome.citations,
+            )))
+        },
+        CostParams::default(),
+        workload.queries.len().max(1),
+    )
+}
+
+/// Batch replay of every Table I query, swept over worker counts.
+fn bench_replay_workers(c: &mut Criterion) {
+    let workload = build_workload(bench_scale());
+    let jobs: Vec<(String, Vec<ScriptOp>)> = workload
+        .queries
+        .iter()
+        .map(|q| (q.spec.keywords.clone(), vec![ScriptOp::ExpandFully]))
+        .collect();
+    let mut group = c.benchmark_group("serve_replay");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let engine = make_engine(&workload);
+        // Warm the tree cache so the sweep measures navigation, not builds.
+        for (q, _) in &jobs {
+            engine.tree_for(q);
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| engine.replay(black_box(&jobs), workers));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The cache hit path (shared `Arc` clone) vs the miss path (full
+/// navigation-tree build).
+fn bench_tree_cache(c: &mut Criterion) {
+    let workload = build_workload(bench_scale());
+    let query = workload.queries[0].spec.keywords.clone();
+    let mut group = c.benchmark_group("serve_tree_cache");
+    group.sample_size(10);
+
+    let engine = make_engine(&workload);
+    engine.tree_for(&query); // prime
+    group.bench_with_input(BenchmarkId::new("hit", "q0"), &query, |b, q| {
+        b.iter(|| engine.tree_for(black_box(q)));
+    });
+
+    group.bench_with_input(BenchmarkId::new("miss", "q0"), &query, |b, q| {
+        b.iter(|| {
+            // A fresh engine per build: every lookup is a miss.
+            let engine = make_engine(&workload);
+            engine.tree_for(black_box(q))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_workers, bench_tree_cache);
+criterion_main!(benches);

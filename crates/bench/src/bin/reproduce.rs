@@ -4,11 +4,13 @@
 //! ```text
 //! reproduce [EXPERIMENT] [--scale S] [--k K]
 //!
-//! EXPERIMENT: all (default) | table1 | fig8 | fig9 | fig10 | fig11 | intro | multi |
+//! EXPERIMENT: all (default) | table1 | fig8 | fig9 | fig10 | fig11 | intro | multi | serve |
 //!             ablation-opt | ablation-k | ablation-expandcost | ablation-planner | ablation-reuse
 //! --scale S:  workload scale, 0 < S ≤ 1 (default 1.0 = paper scale)
 //! --k K:      Heuristic-ReducedOpt partition budget (default 10)
 //! --crawled:  derive associations through the §VII crawl (deployed path)
+//! --workers W: serving-bench worker threads (default: available parallelism)
+//! --rounds R: serving-bench replays per query (default 3)
 //! ```
 //!
 //! Exits non-zero when any shape check fails, so CI can gate on the
@@ -25,6 +27,8 @@ struct Args {
     scale: f64,
     k: usize,
     crawled: bool,
+    workers: Option<usize>,
+    rounds: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +36,8 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 1.0f64;
     let mut k = 10usize;
     let mut crawled = false;
+    let mut workers = None;
+    let mut rounds = 3usize;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -56,6 +62,29 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --k: {e}"))?;
             }
             "--crawled" => crawled = true,
+            "--workers" => {
+                i += 1;
+                let w: usize = argv
+                    .get(i)
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                workers = Some(w);
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = argv
+                    .get(i)
+                    .ok_or("--rounds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --rounds: {e}"))?;
+                if rounds == 0 {
+                    return Err("--rounds must be at least 1".into());
+                }
+            }
             "--help" | "-h" => return Err("help".into()),
             name if !name.starts_with('-') => experiment = name.to_string(),
             other => return Err(format!("unknown flag {other}")),
@@ -67,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
         scale,
         k,
         crawled,
+        workers,
+        rounds,
     })
 }
 
@@ -78,7 +109,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: reproduce [all|table1|fig8|fig9|fig10|fig11|intro|multi|ablation-opt|ablation-k|ablation-expandcost|ablation-planner|ablation-reuse] [--scale S] [--k K] [--crawled]"
+                "usage: reproduce [all|table1|fig8|fig9|fig10|fig11|intro|multi|serve|ablation-opt|ablation-k|ablation-expandcost|ablation-planner|ablation-reuse] [--scale S] [--k K] [--crawled] [--workers W] [--rounds R]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -148,6 +179,19 @@ fn main() -> ExitCode {
         checks.push(experiments::multi_target(
             workload.as_ref().unwrap(),
             &params,
+        ));
+    }
+    if run("serve") {
+        let w = workload.as_ref().unwrap();
+        let workers = args
+            .workers
+            .unwrap_or_else(|| bionav_bench::default_workers(w.queries.len() * args.rounds));
+        checks.push(experiments::serve(
+            w,
+            &params,
+            workers,
+            args.rounds,
+            Some(std::path::Path::new("BENCH_serve.json")),
         ));
     }
     if run("ablation-opt") {

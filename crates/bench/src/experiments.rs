@@ -763,6 +763,223 @@ pub fn ablation_expandcost(workload: &Workload) -> ShapeCheck {
     check
 }
 
+/// One query's row inside `BENCH_serve.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServeQueryRow {
+    /// Query name (spec identifier).
+    pub name: String,
+    /// EXPANDs in the oracle navigation script.
+    pub expands: usize,
+    /// §III interaction cost of one replay.
+    pub interaction_cost: usize,
+    /// Full cost including SHOWRESULTS.
+    pub total_cost: usize,
+}
+
+/// The serving benchmark artifact written to `BENCH_serve.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServeReport {
+    /// Worker threads the batch driver used.
+    pub workers: usize,
+    /// How many times each query was replayed.
+    pub rounds: usize,
+    /// Total scripts replayed (`rounds × queries`).
+    pub jobs: usize,
+    /// Engine telemetry: cache hit rate, per-EXPAND p50/p95/p99, sessions/sec.
+    pub stats: bionav_core::ServeStats,
+    /// Per-query navigation costs (identical across rounds and workers).
+    pub queries: Vec<ServeQueryRow>,
+}
+
+/// The serving-layer benchmark: replays the Table I oracle navigations
+/// through the concurrent [`bionav_core::Engine`] — N worker threads, a
+/// shared LRU tree cache, one parked session per in-flight script — and
+/// checks the concurrency is *observably absent* from the results: every
+/// replay's cost equals the single-threaded session's, repeated queries hit
+/// the cache instead of rebuilding, and the telemetry (per-EXPAND
+/// p50/p95/p99, cache hit rate, sessions/sec) lands in `BENCH_serve.json`.
+pub fn serve(
+    workload: &Workload,
+    params: &CostParams,
+    workers: usize,
+    rounds: usize,
+    out: Option<&std::path::Path>,
+) -> ShapeCheck {
+    use bionav_core::engine::{Engine, ScriptOp};
+    use bionav_core::session::Session;
+    use std::sync::Arc;
+
+    let mut check = ShapeCheck::new("serve");
+    let rounds = rounds.max(1);
+
+    // Sequential reference pass: generate each query's oracle TOPDOWN
+    // script (expand the component covering the target until the target is
+    // visible, then SHOWRESULTS) and record the single-threaded cost.
+    let mut scripts: Vec<(String, Vec<ScriptOp>)> = Vec::new();
+    let mut reference: Vec<ServeQueryRow> = Vec::new();
+    for q in &workload.queries {
+        let run = workload.run_query(&q.spec.name);
+        let mut session = Session::new(&run.nav, params.clone());
+        let mut script = Vec::new();
+        let mut guard = 0usize;
+        while !session.active().is_visible(run.target) {
+            let root = session.active().component_root_of(run.target);
+            session
+                .expand(root)
+                .expect("component covering a hidden target is expandable");
+            script.push(ScriptOp::Expand(root));
+            guard += 1;
+            assert!(guard <= run.nav.len(), "oracle navigation must terminate");
+        }
+        session
+            .show_results(run.target)
+            .expect("visible targets can SHOWRESULTS");
+        script.push(ScriptOp::ShowResults(run.target));
+        reference.push(ServeQueryRow {
+            name: q.spec.name.clone(),
+            expands: session.cost().expands,
+            interaction_cost: session.cost().interaction_cost(),
+            total_cost: session.cost().total_cost(),
+        });
+        scripts.push((q.spec.keywords.clone(), script));
+    }
+
+    // The engine resolves raw keyword queries through the workload's
+    // ESearch stand-in; cache capacity holds the whole query set so later
+    // rounds are pure hits.
+    let engine = Engine::new(
+        |query: &str| {
+            let outcome = workload.index.query(query);
+            if outcome.citations.is_empty() {
+                return None;
+            }
+            Some(Arc::new(NavigationTree::build(
+                &workload.hierarchy,
+                &workload.store,
+                &outcome.citations,
+            )))
+        },
+        params.clone(),
+        workload.queries.len().max(1),
+    );
+
+    // `rounds × queries` jobs, interleaved round-robin so concurrent
+    // workers contend on the cache and the session table.
+    let jobs: Vec<(String, Vec<ScriptOp>)> =
+        (0..rounds).flat_map(|_| scripts.iter().cloned()).collect();
+    let outcomes = engine.replay(&jobs, workers);
+    let stats = engine.stats();
+
+    let mut t = Table::new(
+        format!(
+            "Serving bench — {} workers, {} rounds over {} queries",
+            workers,
+            rounds,
+            scripts.len()
+        ),
+        &["query", "EXPANDs", "concurrent cost", "sequential cost"],
+    );
+    let mut all_match = true;
+    let mut all_completed = true;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let expected = &reference[i % reference.len()];
+        match outcome {
+            Some(o) => {
+                let matches = o.cost.interaction_cost() == expected.interaction_cost
+                    && o.cost.total_cost() == expected.total_cost
+                    && o.cost.expands == expected.expands;
+                all_match &= matches;
+                if i < reference.len() {
+                    t.row(vec![
+                        expected.name.clone(),
+                        o.cost.expands.to_string(),
+                        o.cost.interaction_cost().to_string(),
+                        expected.interaction_cost.to_string(),
+                    ]);
+                }
+            }
+            None => all_completed = false,
+        }
+    }
+    t.print();
+
+    let mut s = Table::new("Serving telemetry", &["metric", "value"]);
+    s.row(vec![
+        "cache hit rate".into(),
+        format!("{:.3}", stats.cache_hit_rate),
+    ]);
+    s.row(vec![
+        "cache hits / misses".into(),
+        format!("{} / {}", stats.cache_hits, stats.cache_misses),
+    ]);
+    s.row(vec![
+        "EXPANDs measured".into(),
+        stats.expand_count.to_string(),
+    ]);
+    s.row(vec![
+        "EXPAND p50 (µs)".into(),
+        format!("{:.1}", stats.expand_p50_us),
+    ]);
+    s.row(vec![
+        "EXPAND p95 (µs)".into(),
+        format!("{:.1}", stats.expand_p95_us),
+    ]);
+    s.row(vec![
+        "EXPAND p99 (µs)".into(),
+        format!("{:.1}", stats.expand_p99_us),
+    ]);
+    s.row(vec![
+        "sessions/sec".into(),
+        format!("{:.1}", stats.sessions_per_sec),
+    ]);
+    s.print();
+
+    check.assert("every replay job completed", all_completed);
+    check.assert(
+        "concurrent replay costs are identical to the sequential session",
+        all_match,
+    );
+    check.assert(
+        format!(
+            "repeated queries hit the tree cache (hit rate {:.3})",
+            stats.cache_hit_rate
+        ),
+        rounds < 2 || stats.cache_hit_rate > 0.0,
+    );
+    check.assert(
+        format!(
+            "one tree build per distinct query ({} misses)",
+            stats.cache_misses
+        ),
+        stats.cache_misses as usize == scripts.len(),
+    );
+    check.assert(
+        format!("EXPAND latency measured ({} samples)", stats.expand_count),
+        stats.expand_count > 0 && stats.expand_p99_us >= stats.expand_p50_us,
+    );
+    check.assert(
+        "all sessions closed after the batch",
+        stats.sessions_active == 0 && stats.sessions_opened == stats.sessions_closed,
+    );
+
+    if let Some(path) = out {
+        let report = ServeReport {
+            workers,
+            rounds,
+            jobs: jobs.len(),
+            stats,
+            queries: reference,
+        };
+        match crate::report::write_json(path, &report) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => println!("\nWARNING: could not write {}: {e}", path.display()),
+        }
+    }
+
+    check.print();
+    check
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

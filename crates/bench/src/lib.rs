@@ -38,27 +38,29 @@ pub fn build_workload_with(scale: f64, crawl_associations: bool) -> Workload {
     Workload::build(&cfg)
 }
 
-/// Evaluates every workload query in parallel (one thread per query via a
-/// crossbeam scope), preserving specification order. Results are identical
-/// to `bionav_workload::evaluate` — navigation is deterministic — but the
-/// pass completes in the wall-clock of the slowest query instead of the
-/// sum.
+/// Evaluates every workload query in parallel on a **bounded** worker pool
+/// (at most `min(available_parallelism, queries)` OS threads — a scaled
+/// workload with thousands of queries no longer spawns a thread apiece),
+/// preserving specification order. Results are identical to
+/// `bionav_workload::evaluate` — navigation is deterministic — but the pass
+/// completes in roughly the wall-clock of the slowest queries instead of
+/// the sum.
 pub fn evaluate_parallel(workload: &Workload, params: &CostParams) -> Vec<QueryEval> {
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = workload
-            .queries
-            .iter()
-            .map(|q| {
-                let name = q.spec.name.clone();
-                scope.spawn(move |_| evaluate_query(workload, &name, params))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation threads do not panic"))
-            .collect()
+    let tasks: Vec<&str> = workload
+        .queries
+        .iter()
+        .map(|q| q.spec.name.as_str())
+        .collect();
+    bionav_core::engine::pool::scoped_map(tasks.len(), default_workers(tasks.len()), |i| {
+        evaluate_query(workload, tasks[i], params)
     })
-    .expect("crossbeam scope")
+}
+
+/// Default worker count for bench drivers: the machine's parallelism,
+/// capped by the task count (and at least one).
+pub fn default_workers(tasks: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(4, usize::from);
+    hw.min(tasks).max(1)
 }
 
 #[cfg(test)]

@@ -94,6 +94,14 @@ impl ShapeCheck {
     }
 }
 
+/// Serializes `value` as pretty JSON into `path`, reporting (not panicking
+/// on) IO errors — bench artifacts are best-effort, shape checks are not.
+pub fn write_json<T: serde::Serialize>(path: &std::path::Path, value: &T) -> std::io::Result<()> {
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, json + "\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,30 +1,35 @@
 //! The I/O-free REPL core: one command line in, one response string out.
+//!
+//! Navigation runs through the [`bionav_core::Engine`] serving layer: every
+//! `query` resolves its navigation tree through the engine's LRU cache (so
+//! re-issuing a query is a cache hit, not a rebuild), every navigation
+//! lives in an engine-managed session, and `serve-stats` surfaces the
+//! engine telemetry — cache hit rate, per-EXPAND latency percentiles,
+//! session counts.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use bionav_core::active::ActiveTree;
-use bionav_core::edgecut::heuristic::heuristic_reduced_opt;
-use bionav_core::sim::NavOutcome;
+use bionav_core::engine::{Engine, SessionId, SharedTree};
+use bionav_core::session::SessionState;
 use bionav_core::{CostParams, NavNodeId, NavigationTree};
 
 use crate::Dataset;
 
-/// What `save` writes and `load` restores: the query plus the navigation
-/// state (the tree itself is rebuilt from the query, like the paper's
-/// online subsystem does between requests).
+/// What `save` writes and `load` restores: the query plus the exported
+/// session state (the tree itself is rebuilt from the query, like the
+/// paper's online subsystem does between requests).
 #[derive(serde::Serialize, serde::Deserialize)]
 struct SavedSession {
     keywords: String,
-    active: ActiveTree,
-    tally: NavOutcome,
+    state: SessionState,
 }
 
-/// State of one keyword query under navigation.
+/// State of one keyword query under navigation: the engine session handle
+/// plus the numbering of the last rendered listing.
 struct NavState {
     keywords: String,
-    nav: NavigationTree,
-    active: ActiveTree,
-    tally: NavOutcome,
+    id: SessionId,
     /// The numbering used by the last rendered listing: index `i` shown to
     /// the user as `#(i+1)`.
     numbered: Vec<NavNodeId>,
@@ -49,19 +54,35 @@ impl Response {
     }
 }
 
+/// The navigation-tree builder the REPL's engine uses.
+type ReplBuilder = Box<dyn Fn(&str) -> Option<SharedTree> + Send + Sync>;
+
 /// The interactive navigation loop over one [`Dataset`].
 pub struct Repl {
-    dataset: Dataset,
-    params: CostParams,
+    dataset: Arc<Dataset>,
     state: Option<NavState>,
+    engine: Engine<ReplBuilder>,
 }
 
 impl Repl {
     /// Creates a REPL over a dataset.
     pub fn new(dataset: Dataset, params: CostParams) -> Self {
+        let dataset = Arc::new(dataset);
+        let data = Arc::clone(&dataset);
+        let builder: ReplBuilder = Box::new(move |query: &str| {
+            let outcome = data.index.query(query);
+            if outcome.is_empty() {
+                return None;
+            }
+            Some(Arc::new(NavigationTree::build(
+                &data.hierarchy,
+                &data.store,
+                &outcome.citations,
+            )))
+        });
         Repl {
+            engine: Engine::new(builder, params, 8),
             dataset,
-            params,
             state: None,
         }
     }
@@ -104,7 +125,15 @@ impl Repl {
             "cost" => Response::Text(self.cmd_cost()),
             "save" => Response::Text(self.cmd_save(rest)),
             "load" => Response::Text(self.cmd_load(rest)),
+            "serve-stats" | "stats" => Response::Text(self.cmd_serve_stats()),
             other => Response::Text(format!("unknown command {other:?}; type `help`\n")),
+        }
+    }
+
+    /// Closes the active engine session, if any.
+    fn drop_session(&mut self) {
+        if let Some(old) = self.state.take() {
+            self.engine.close_session(old.id);
         }
     }
 
@@ -116,25 +145,27 @@ impl Repl {
         if outcome.is_empty() {
             return format!("no citations match {keywords:?}\n");
         }
-        let nav = NavigationTree::build(
-            &self.dataset.hierarchy,
-            &self.dataset.store,
-            &outcome.citations,
-        );
-        let active = ActiveTree::new(&nav);
+        self.drop_session();
+        let id = self
+            .engine
+            .open_session(keywords)
+            .expect("non-empty results open a session");
         self.state = Some(NavState {
             keywords: keywords.to_string(),
-            nav,
-            active,
-            tally: NavOutcome::default(),
+            id,
             numbered: Vec::new(),
         });
-        let state = self.state.as_ref().expect("just set");
+        let (concepts, attached) = self
+            .engine
+            .with_session(id, |s| {
+                (s.nav().len() - 1, s.nav().total_attached_with_duplicates())
+            })
+            .expect("just opened");
         format!(
             "{} citations; navigation tree: {} concepts, {} attachments w/ duplicates\n{}",
             outcome.len(),
-            state.nav.len() - 1,
-            state.nav.total_attached_with_duplicates(),
+            concepts,
+            attached,
             self.render_tree()
         )
     }
@@ -143,28 +174,35 @@ impl Repl {
         let Some(state) = self.state.as_mut() else {
             return NO_QUERY.to_string();
         };
-        let vis = state.active.visualize(&state.nav);
-        state.numbered = vis.iter().map(|v| v.node).collect();
-        let mut out = String::new();
-        for (i, v) in vis.iter().enumerate() {
-            // Indent by the chain of *visible* ancestors.
-            let mut depth = 0;
-            let mut cur = v.parent;
-            while let Some(p) = cur {
-                depth += 1;
-                cur = vis.iter().find(|w| w.node == p).and_then(|w| w.parent);
-            }
-            let marker = if v.expandable { "  >>>" } else { "" };
-            let _ = writeln!(
-                out,
-                "{:>3}. {}{} ({}){}",
-                i + 1,
-                "  ".repeat(depth),
-                state.nav.label(v.node),
-                v.component_distinct,
-                marker
-            );
-        }
+        let (out, numbered) = self
+            .engine
+            .with_session(state.id, |s| {
+                let vis = s.visualize();
+                let mut out = String::new();
+                for (i, v) in vis.iter().enumerate() {
+                    // Indent by the chain of *visible* ancestors.
+                    let mut depth = 0;
+                    let mut cur = v.parent;
+                    while let Some(p) = cur {
+                        depth += 1;
+                        cur = vis.iter().find(|w| w.node == p).and_then(|w| w.parent);
+                    }
+                    let marker = if v.expandable { "  >>>" } else { "" };
+                    let _ = writeln!(
+                        out,
+                        "{:>3}. {}{} ({}){}",
+                        i + 1,
+                        "  ".repeat(depth),
+                        s.nav().label(v.node),
+                        v.component_distinct,
+                        marker
+                    );
+                }
+                let numbered = vis.iter().map(|v| v.node).collect();
+                (out, numbered)
+            })
+            .expect("active state always has a live session");
+        state.numbered = numbered;
         out
     }
 
@@ -185,23 +223,26 @@ impl Repl {
             Ok(n) => n,
             Err(e) => return e,
         };
-        let state = self.state.as_mut().expect("pick checked");
-        if state.active.component_size(node) <= 1 {
-            return format!("{:?} hides nothing (no >>>)\n", state.nav.label(node));
+        let id = self.state.as_ref().expect("pick checked").id;
+        let blocked = self
+            .engine
+            .with_session(id, |s| {
+                (s.component_size(node) <= 1).then(|| s.nav().label(node).to_string())
+            })
+            .expect("active state has a live session");
+        if let Some(label) = blocked {
+            return format!("{label:?} hides nothing (no >>>)\n");
         }
-        let out = heuristic_reduced_opt(&state.nav, &state.active, node, &self.params)
+        let start = std::time::Instant::now();
+        let revealed = self
+            .engine
+            .expand(id, node)
+            .expect("active state has a live session")
             .expect("multi-node components expand");
-        state
-            .active
-            .expand(&state.nav, node, &out.cut)
-            .expect("heuristic cuts are valid");
-        state.tally.expands += 1;
-        state.tally.revealed += out.cut.len();
         format!(
-            "revealed {} concepts in {:.1} ms ({} partitions)\n{}",
-            out.cut.len(),
-            out.elapsed.as_secs_f64() * 1e3,
-            out.reduced_size,
+            "revealed {} concepts in {:.1} ms\n{}",
+            revealed.len(),
+            start.elapsed().as_secs_f64() * 1e3,
             self.render_tree()
         )
     }
@@ -210,37 +251,43 @@ impl Repl {
     /// label substring), all inside one visible component.
     fn cmd_cut(&mut self, args: &str) -> String {
         use bionav_core::active::EdgeCut;
-        let Some(state) = self.state.as_mut() else {
+        let Some(state) = self.state.as_ref() else {
             return NO_QUERY.to_string();
         };
         if args.is_empty() {
             return "usage: cut <label substring> [; <label substring>]…\n".to_string();
         }
-        let mut lower = Vec::new();
-        for needle in args.split(';').map(str::trim).filter(|s| !s.is_empty()) {
-            let needle_l = needle.to_lowercase();
-            let hit = state.nav.iter_preorder().find(|&n| {
-                !state.active.is_visible(n) && state.nav.label(n).to_lowercase().contains(&needle_l)
-            });
-            match hit {
-                Some(n) => lower.push(n),
-                None => return format!("no hidden concept matches {needle:?}\n"),
-            }
-        }
-        let root = state.active.component_root_of(lower[0]);
-        let cut = EdgeCut::new(lower);
-        match state.active.expand(&state.nav, root, &cut) {
-            Ok(_) => {
-                state.tally.expands += 1;
-                state.tally.revealed += cut.len();
-                let head = format!(
-                    "manual EdgeCut on {:?} revealed {} concepts\n",
-                    state.nav.label(root),
-                    cut.len()
-                );
-                format!("{head}{}", self.render_tree())
-            }
-            Err(e) => format!("invalid EdgeCut: {e}\n"),
+        let id = state.id;
+        let outcome = self
+            .engine
+            .with_session(id, |s| {
+                let mut lower = Vec::new();
+                for needle in args.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+                    let needle_l = needle.to_lowercase();
+                    let hit = s.nav().iter_preorder().find(|&n| {
+                        !s.active().is_visible(n)
+                            && s.nav().label(n).to_lowercase().contains(&needle_l)
+                    });
+                    match hit {
+                        Some(n) => lower.push(n),
+                        None => return Err(format!("no hidden concept matches {needle:?}\n")),
+                    }
+                }
+                let root = s.active().component_root_of(lower[0]);
+                let cut = EdgeCut::new(lower);
+                match s.expand_with(root, &cut) {
+                    Ok(revealed) => Ok(format!(
+                        "manual EdgeCut on {:?} revealed {} concepts\n",
+                        s.nav().label(root),
+                        revealed.len()
+                    )),
+                    Err(e) => Err(format!("invalid EdgeCut: {e}\n")),
+                }
+            })
+            .expect("active state has a live session");
+        match outcome {
+            Ok(head) => format!("{head}{}", self.render_tree()),
+            Err(e) => e,
         }
     }
 
@@ -250,17 +297,21 @@ impl Repl {
             Ok(n) => n,
             Err(e) => return e,
         };
-        let state = self.state.as_ref().expect("pick checked");
-        let nav = &state.nav;
-        format!(
-            "{label}\n  MeSH level {level}, navigation depth {navd}\n  |L(n)| = {attached}              citations attached directly\n  component: {size} hidden concepts, {distinct}              distinct citations\n",
-            label = nav.label(node),
-            level = nav.hierarchy_depth(node),
-            navd = nav.nav_depth(node),
-            attached = nav.results_count(node),
-            size = state.active.component_size(node),
-            distinct = state.active.component_distinct(nav, node),
-        )
+        let id = self.state.as_ref().expect("pick checked").id;
+        self.engine
+            .with_session(id, |s| {
+                let nav = s.nav();
+                format!(
+                    "{label}\n  MeSH level {level}, navigation depth {navd}\n  |L(n)| = {attached}              citations attached directly\n  component: {size} hidden concepts, {distinct}              distinct citations\n",
+                    label = nav.label(node),
+                    level = nav.hierarchy_depth(node),
+                    navd = nav.nav_depth(node),
+                    attached = nav.results_count(node),
+                    size = s.component_size(node),
+                    distinct = s.component_distinct(node),
+                )
+            })
+            .expect("active state has a live session")
     }
 
     fn cmd_show(&mut self, arg: &str) -> String {
@@ -268,50 +319,57 @@ impl Repl {
             Ok(n) => n,
             Err(e) => return e,
         };
-        let state = self.state.as_mut().expect("pick checked");
-        let set = state.active.component_set(&state.nav, node);
-        state.tally.results_inspected += set.count() as usize;
-        let mut out = format!(
-            "{} citations under {:?}:\n",
-            set.count(),
-            state.nav.label(node)
-        );
-        for (shown, local) in set.iter().enumerate() {
-            if shown == 10 {
-                let _ = writeln!(out, "  … {} more", set.count() as usize - 10);
-                break;
-            }
-            let pmid = state.nav.citation_id(local);
-            let title = self
-                .dataset
-                .store
-                .get(pmid)
-                .map(|c| c.title.as_str())
-                .unwrap_or("<missing>");
-            let _ = writeln!(out, "  PMID {:>8}  {}", pmid.0, title);
-        }
-        out
+        let id = self.state.as_ref().expect("pick checked").id;
+        let dataset = &self.dataset;
+        self.engine
+            .with_session(id, |s| match s.show_results(node) {
+                Err(e) => format!("{e}\n"),
+                Ok(ids) => {
+                    let mut out =
+                        format!("{} citations under {:?}:\n", ids.len(), s.nav().label(node));
+                    for (shown, pmid) in ids.iter().enumerate() {
+                        if shown == 10 {
+                            let _ = writeln!(out, "  … {} more", ids.len() - 10);
+                            break;
+                        }
+                        let title = dataset
+                            .store
+                            .get(*pmid)
+                            .map(|c| c.title.as_str())
+                            .unwrap_or("<missing>");
+                        let _ = writeln!(out, "  PMID {:>8}  {}", pmid.0, title);
+                    }
+                    out
+                }
+            })
+            .expect("active state has a live session")
     }
 
     fn cmd_ignore(&mut self, arg: &str) -> String {
         match self.pick(arg) {
             Ok(n) => {
-                let state = self.state.as_ref().expect("pick checked");
-                format!("ignored {:?}\n", state.nav.label(n))
+                let id = self.state.as_ref().expect("pick checked").id;
+                self.engine
+                    .with_session(id, |s| {
+                        s.ignore(n);
+                        format!("ignored {:?}\n", s.nav().label(n))
+                    })
+                    .expect("active state has a live session")
             }
             Err(e) => e,
         }
     }
 
     fn cmd_back(&mut self) -> String {
-        let Some(state) = self.state.as_mut() else {
+        let Some(state) = self.state.as_ref() else {
             return NO_QUERY.to_string();
         };
-        match state.active.backtrack() {
-            Ok(()) => {
-                state.tally.expands += 1;
-                format!("undid the last expansion\n{}", self.render_tree())
-            }
+        let undone = self
+            .engine
+            .with_session(state.id, |s| s.backtrack())
+            .expect("active state has a live session");
+        match undone {
+            Ok(()) => format!("undid the last expansion\n{}", self.render_tree()),
             Err(e) => format!("{e}\n"),
         }
     }
@@ -326,8 +384,10 @@ impl Repl {
         }
         let saved = SavedSession {
             keywords: state.keywords.clone(),
-            active: state.active.clone(),
-            tally: state.tally.clone(),
+            state: self
+                .engine
+                .with_session(state.id, |s| s.export_state())
+                .expect("active state has a live session"),
         };
         match std::fs::File::create(path)
             .map_err(|e| e.to_string())
@@ -338,8 +398,10 @@ impl Repl {
         }
     }
 
-    /// Restores a navigation saved with `save` (re-runs the query, then
-    /// re-attaches the component state).
+    /// Restores a navigation saved with `save` (re-runs the query through
+    /// the engine — a warm cache makes this a tree-cache hit — then
+    /// re-attaches the session state, which the engine validates against
+    /// the rebuilt tree).
     fn cmd_load(&mut self, path: &str) -> String {
         if path.is_empty() {
             return "usage: load <file>\n".to_string();
@@ -351,40 +413,68 @@ impl Repl {
             Ok(s) => s,
             Err(e) => return format!("load failed: {e}\n"),
         };
-        let outcome = self.dataset.index.query(&saved.keywords);
-        let nav = NavigationTree::build(
-            &self.dataset.hierarchy,
-            &self.dataset.store,
-            &outcome.citations,
-        );
-        if !saved.active.fits(&nav) {
+        let Some(id) = self.engine.restore_session(&saved.keywords, saved.state) else {
             return format!(
-                "load failed: the saved state does not match this dataset's                  result for {:?}\n",
+                "load failed: the saved state does not match this dataset's result for {:?}\n",
                 saved.keywords
             );
-        }
-        let keywords = saved.keywords.clone();
+        };
+        self.drop_session();
         self.state = Some(NavState {
-            keywords: saved.keywords,
-            nav,
-            active: saved.active,
-            tally: saved.tally,
+            keywords: saved.keywords.clone(),
+            id,
             numbered: Vec::new(),
         });
-        format!("restored session for {keywords:?}\n{}", self.render_tree())
+        format!(
+            "restored session for {:?}\n{}",
+            saved.keywords,
+            self.render_tree()
+        )
     }
 
     fn cmd_cost(&self) -> String {
         let Some(state) = self.state.as_ref() else {
             return NO_QUERY.to_string();
         };
+        let cost = self
+            .engine
+            .with_session(state.id, |s| s.cost().clone())
+            .expect("active state has a live session");
         format!(
             "query {:?}: {} concepts examined + {} actions + {} citations listed = {}\n",
             state.keywords,
-            state.tally.revealed,
-            state.tally.expands,
-            state.tally.results_inspected,
-            state.tally.total_cost()
+            cost.revealed,
+            cost.expands,
+            cost.results_inspected,
+            cost.total_cost()
+        )
+    }
+
+    /// Serving-engine telemetry: tree-cache behaviour, session counts,
+    /// per-EXPAND latency percentiles.
+    fn cmd_serve_stats(&self) -> String {
+        let st = self.engine.stats();
+        format!(
+            "serving engine telemetry\n\
+             tree cache : {entries}/{cap} entries, {hits} hits / {misses} misses (hit rate {rate:.1}%), {ev} evictions\n\
+             sessions   : {opened} opened, {closed} closed, {active} active\n\
+             EXPAND     : {n} measured, p50 {p50:.0} µs, p95 {p95:.0} µs, p99 {p99:.0} µs\n\
+             throughput : {sps:.2} sessions/sec over {secs:.1} s\n",
+            entries = st.cache_entries,
+            cap = st.cache_capacity,
+            hits = st.cache_hits,
+            misses = st.cache_misses,
+            rate = st.cache_hit_rate * 100.0,
+            ev = st.cache_evictions,
+            opened = st.sessions_opened,
+            closed = st.sessions_closed,
+            active = st.sessions_active,
+            n = st.expand_count,
+            p50 = st.expand_p50_us,
+            p95 = st.expand_p95_us,
+            p99 = st.expand_p99_us,
+            sps = st.sessions_per_sec,
+            secs = st.elapsed_secs,
         )
     }
 }
@@ -404,6 +494,7 @@ commands:
   cost               the session's accumulated navigation cost
   save <file>        persist the navigation (query + state) as JSON
   load <file>        restore a saved navigation over this dataset
+  serve-stats        engine telemetry: cache hit rate, EXPAND latency, sessions
   help               this text
   quit               leave
 ";
@@ -579,6 +670,22 @@ mod tests {
             .contains("load failed"));
         assert!(r.handle("load").text().contains("usage"));
         assert!(r.handle("save x").text().contains("no active query"));
+    }
+
+    #[test]
+    fn serve_stats_reports_cache_hits_and_expand_latency() {
+        let mut r = repl();
+        let q = query_of(&r);
+        // Telemetry is available before any query.
+        assert!(r.handle("serve-stats").text().contains("tree cache"));
+        r.handle(&format!("query {q}"));
+        r.handle("expand 1");
+        // Re-issuing the same query hits the engine's tree cache.
+        r.handle(&format!("query {q}"));
+        let out = r.handle("stats").text().to_string();
+        assert!(out.contains("1 hits / 1 misses"), "{out}");
+        assert!(out.contains("2 opened, 1 closed, 1 active"), "{out}");
+        assert!(out.contains("1 measured"), "{out}");
     }
 
     #[test]

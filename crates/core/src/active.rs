@@ -277,12 +277,50 @@ impl ActiveTree {
         self.history.len()
     }
 
-    /// Whether this state was created for a navigation tree of `nav`'s
-    /// size — the cheap sanity check used when restoring persisted state
-    /// (paper §VII: the online subsystem keeps navigation state between
-    /// requests).
+    /// Whether this state is structurally valid *for `nav` specifically* —
+    /// the sanity check used when restoring persisted state (paper §VII:
+    /// the online subsystem keeps navigation state between requests).
+    ///
+    /// Beyond matching the node count, every component assignment (the
+    /// current one and every BACKTRACK snapshot) must describe connected
+    /// subtrees of `nav`:
+    ///
+    /// * the tree root is a component root;
+    /// * every node's assigned root is itself a component root;
+    /// * every non-root member's parent belongs to the same component
+    ///   (which transitively forces each component to be a connected
+    ///   subtree rooted at its root).
+    ///
+    /// This rejects state exported from a *different* navigation tree that
+    /// merely happens to have the same node count.
     pub fn fits(&self, nav: &NavigationTree) -> bool {
-        self.comp_root.len() == nav.len() && self.comp_root.iter().all(|r| r.index() < nav.len())
+        std::iter::once(&self.comp_root)
+            .chain(self.history.iter())
+            .all(|assignment| Self::assignment_fits(assignment, nav))
+    }
+
+    /// Checks one `comp_root` snapshot against `nav`'s actual structure.
+    fn assignment_fits(comp: &[NavNodeId], nav: &NavigationTree) -> bool {
+        if comp.len() != nav.len() || comp.is_empty() {
+            return false;
+        }
+        if comp[NavNodeId::ROOT.index()] != NavNodeId::ROOT {
+            return false;
+        }
+        for (i, &root) in comp.iter().enumerate() {
+            if root.index() >= comp.len() || comp[root.index()] != root {
+                return false; // assigned root is out of range or not a root
+            }
+            if root.index() != i {
+                // A non-root member's parent must exist and share the
+                // component (connectivity against `nav`'s actual edges).
+                match nav.parent(NavNodeId(i as u32)) {
+                    Some(p) if comp[p.index()] == root => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
     }
 
     /// The visualization of the active tree (Definition 5): every component

@@ -1,0 +1,754 @@
+//! # Concurrent query-serving engine (the "system" layer over §VII)
+//!
+//! The paper describes BioNav as a deployed online system: a keyword query
+//! arrives, its navigation tree is constructed once, and the user then
+//! navigates interactively. This module turns the reproduction's
+//! single-session pipeline into a **multi-session serving engine**:
+//!
+//! * [`Engine`] holds navigation trees in a capacity-bounded LRU
+//!   [`TreeCache`] keyed by *normalized* query text
+//!   ([`bionav_medline::normalize_phrase`]) — repeated queries share one
+//!   `Arc<NavigationTree>` instead of rebuilding it;
+//! * many concurrent [`Session`]s live in a lock-guarded session table,
+//!   each independently resumable from any worker thread
+//!   (`Session<Arc<NavigationTree>>` is `Send`, enforced at compile time
+//!   below);
+//! * a batch driver ([`Engine::replay`]) replays navigation scripts from N
+//!   pooled worker threads, and [`Engine::stats`] exposes the serving
+//!   telemetry (cache hit rate, per-EXPAND latency percentiles,
+//!   sessions/sec) the bench harness reports.
+//!
+//! Thread-safety audit: `NavigationTree`, `ReducedPlan`, `ActiveTree` and
+//! `SessionState` are plain owned data with no interior mutability, hence
+//! `Send + Sync`; `Session` retains plans behind `Arc` (not `Rc`) so it is
+//! `Send + Sync` whenever its tree handle is. The `const` block at the
+//! bottom of this file makes these guarantees compile-time assertions —
+//! reintroducing an `Rc` (or a `Cell`) anywhere in the navigation stack
+//! fails the build.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::active::EdgeCutError;
+use crate::cost::CostParams;
+use crate::navtree::{NavNodeId, NavigationTree};
+use crate::session::{Session, SessionState};
+use crate::sim::NavOutcome;
+
+pub mod pool {
+    //! A minimal bounded worker pool over `std::thread::scope`.
+    //!
+    //! Replaces the seed's unbounded one-thread-per-task fan-out: `workers`
+    //! OS threads pull task indices from a shared atomic counter until the
+    //! range is drained. Results are returned in task order, so callers see
+    //! output byte-identical to a sequential map.
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Maps `f` over `0..tasks` on at most `workers` threads, returning
+    /// results in task order. `workers` is clamped to `[1, tasks]`; with a
+    /// single worker the map runs inline on the caller's thread.
+    pub fn scoped_map<T, F>(tasks: usize, workers: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, tasks);
+        if workers == 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+        for bucket in buckets {
+            for (i, v) in bucket {
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index is claimed exactly once"))
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn preserves_order_and_runs_every_task() {
+            for workers in [1, 2, 7, 64] {
+                let out = scoped_map(100, workers, |i| i * 3);
+                assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+            }
+        }
+
+        #[test]
+        fn zero_tasks_is_fine() {
+            let out: Vec<u32> = scoped_map(0, 8, |_| unreachable!());
+            assert!(out.is_empty());
+        }
+    }
+}
+
+/// A navigation tree shared between the cache and any number of sessions.
+pub type SharedTree = Arc<NavigationTree>;
+
+/// Handle to a session parked in the engine's session table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(u64);
+
+/// One step of a replayable navigation script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// EXPAND one visible node.
+    Expand(NavNodeId),
+    /// EXPAND visible components in pre-order until the tree is fully
+    /// expanded (the oracle "drill everywhere" load generator).
+    ExpandFully,
+    /// SHOWRESULTS on one visible node.
+    ShowResults(NavNodeId),
+    /// IGNORE a revealed node.
+    Ignore(NavNodeId),
+    /// BACKTRACK the last expansion.
+    Backtrack,
+}
+
+/// What one script replay produced.
+#[derive(Debug, Clone)]
+pub struct ScriptOutcome {
+    /// The (raw) query text the script navigated.
+    pub query: String,
+    /// The session's accumulated §III cost at script end.
+    pub cost: NavOutcome,
+    /// Wall-clock nanoseconds of every EXPAND the script performed.
+    pub expand_ns: Vec<u64>,
+}
+
+/// LRU cache entry.
+struct CacheEntry {
+    tree: SharedTree,
+    last_used: u64,
+}
+
+/// Capacity-bounded LRU of navigation trees keyed by normalized query text.
+struct TreeCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl TreeCache {
+    fn new(capacity: usize) -> Self {
+        TreeCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<SharedTree> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.tree))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: String, tree: SharedTree) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Evict the least-recently-used entry. O(n) scan — capacities
+            // are small (tens to hundreds of hot queries) and eviction only
+            // happens on miss-with-full-cache; sessions holding the evicted
+            // tree keep their `Arc` alive independently.
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                tree,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+/// Serving telemetry snapshot; serializes into `BENCH_serve.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServeStats {
+    /// Tree-cache lookups that found their tree.
+    pub cache_hits: u64,
+    /// Tree-cache lookups that had to build.
+    pub cache_misses: u64,
+    /// Entries dropped by LRU pressure.
+    pub cache_evictions: u64,
+    /// Trees currently cached.
+    pub cache_entries: usize,
+    /// Cache capacity bound.
+    pub cache_capacity: usize,
+    /// `hits / (hits + misses)`, 0.0 when idle.
+    pub cache_hit_rate: f64,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions closed (state exported or dropped).
+    pub sessions_closed: u64,
+    /// Sessions currently parked in the table.
+    pub sessions_active: usize,
+    /// EXPAND operations measured.
+    pub expand_count: usize,
+    /// Median EXPAND latency, microseconds.
+    pub expand_p50_us: f64,
+    /// 95th-percentile EXPAND latency, microseconds.
+    pub expand_p95_us: f64,
+    /// 99th-percentile EXPAND latency, microseconds.
+    pub expand_p99_us: f64,
+    /// Wall-clock seconds since the engine started.
+    pub elapsed_secs: f64,
+    /// Closed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+}
+
+/// A parked session plus the raw query that opened it.
+struct SessionSlot {
+    session: Arc<Mutex<Session<SharedTree>>>,
+    query: String,
+}
+
+/// The concurrent query-serving engine. See the module docs.
+///
+/// `B` builds a navigation tree for a query that misses the cache; it
+/// returns `None` for queries with no results. Builders are called outside
+/// the session-table lock but inside the cache lock (so concurrent misses
+/// on the *same* query build once).
+pub struct Engine<B>
+where
+    B: Fn(&str) -> Option<SharedTree> + Send + Sync,
+{
+    builder: B,
+    params: CostParams,
+    cache: Mutex<TreeCache>,
+    sessions: Mutex<HashMap<u64, SessionSlot>>,
+    next_session: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    expand_ns: Mutex<Vec<u64>>,
+    started: Instant,
+}
+
+impl<B> Engine<B>
+where
+    B: Fn(&str) -> Option<SharedTree> + Send + Sync,
+{
+    /// Creates an engine with the given tree builder, session cost
+    /// parameters, and tree-cache capacity.
+    pub fn new(builder: B, params: CostParams, cache_capacity: usize) -> Self {
+        Engine {
+            builder,
+            params,
+            cache: Mutex::new(TreeCache::new(cache_capacity)),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            expand_ns: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine's cache key for a raw query: lowercased, tokenized,
+    /// whitespace-collapsed (`bionav_medline::normalize_phrase`), so
+    /// `"Prothymosin  Alpha"` and `"prothymosin alpha"` share a tree.
+    pub fn cache_key(query: &str) -> String {
+        bionav_medline::normalize_phrase(query)
+    }
+
+    /// Returns the shared navigation tree for `query`, building and caching
+    /// it on a miss. `None` when the builder reports no results.
+    pub fn tree_for(&self, query: &str) -> Option<SharedTree> {
+        let key = Self::cache_key(query);
+        let mut cache = self.cache.lock();
+        if let Some(tree) = cache.get(&key) {
+            return Some(tree);
+        }
+        let tree = (self.builder)(query)?;
+        cache.insert(key, Arc::clone(&tree));
+        Some(tree)
+    }
+
+    /// Opens a session over `query`'s navigation tree. `None` when the
+    /// query has no results.
+    pub fn open_session(&self, query: &str) -> Option<SessionId> {
+        let tree = self.tree_for(query)?;
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let session = Session::new(tree, self.params.clone());
+        self.sessions.lock().insert(
+            id,
+            SessionSlot {
+                session: Arc::new(Mutex::new(session)),
+                query: query.to_string(),
+            },
+        );
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Some(SessionId(id))
+    }
+
+    /// Runs `f` against the parked session `id`. The session-table lock is
+    /// held only for the lookup; the per-session lock is held for `f`, so
+    /// independent sessions never contend. `None` for unknown ids.
+    pub fn with_session<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut Session<SharedTree>) -> R,
+    ) -> Option<R> {
+        let slot = {
+            let table = self.sessions.lock();
+            Arc::clone(&table.get(&id.0)?.session)
+        };
+        let mut session = slot.lock();
+        Some(f(&mut session))
+    }
+
+    /// EXPAND on a parked session, recording the operation's latency in the
+    /// serving telemetry. `None` for unknown ids.
+    pub fn expand(
+        &self,
+        id: SessionId,
+        node: NavNodeId,
+    ) -> Option<Result<Vec<NavNodeId>, EdgeCutError>> {
+        self.with_session(id, |session| {
+            let start = Instant::now();
+            let result = session.expand(node);
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.expand_ns.lock().push(ns);
+            result
+        })
+    }
+
+    /// Re-parks a previously exported session over `query`'s tree (the
+    /// §VII resume path). `None` when the query has no results *or* the
+    /// state does not fit the rebuilt navigation tree — the
+    /// [`ActiveTree::fits`](crate::active::ActiveTree::fits) connectivity
+    /// validation, so stale or foreign state is refused instead of
+    /// navigating garbage.
+    pub fn restore_session(&self, query: &str, state: SessionState) -> Option<SessionId> {
+        let tree = self.tree_for(query)?;
+        let session = Session::restore(tree, self.params.clone(), state)?;
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().insert(
+            id,
+            SessionSlot {
+                session: Arc::new(Mutex::new(session)),
+                query: query.to_string(),
+            },
+        );
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Some(SessionId(id))
+    }
+
+    /// The raw query a parked session was opened with. `None` for unknown
+    /// ids.
+    pub fn session_query(&self, id: SessionId) -> Option<String> {
+        self.sessions.lock().get(&id.0).map(|s| s.query.clone())
+    }
+
+    /// Closes a session, returning its exported state (for persistence).
+    /// `None` for unknown ids.
+    pub fn close_session(&self, id: SessionId) -> Option<SessionState> {
+        let slot = self.sessions.lock().remove(&id.0)?;
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        let session = slot.session.lock();
+        Some(session.export_state())
+    }
+
+    /// Replays one navigation script in a fresh session over `query`,
+    /// recording per-EXPAND latency, and closes the session. `None` when
+    /// the query has no results.
+    pub fn run_script(&self, query: &str, script: &[ScriptOp]) -> Option<ScriptOutcome> {
+        let id = self.open_session(query)?;
+        let mut expand_ns = Vec::new();
+        for op in script {
+            match op {
+                ScriptOp::Expand(node) => {
+                    let start = Instant::now();
+                    let _ = self.with_session(id, |s| s.expand(*node))?;
+                    expand_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+                ScriptOp::ExpandFully => loop {
+                    let next = self.with_session(id, |s| {
+                        s.nav()
+                            .iter_preorder()
+                            .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1)
+                    })?;
+                    let Some(node) = next else { break };
+                    let start = Instant::now();
+                    let _ = self.with_session(id, |s| s.expand(node))?;
+                    expand_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                },
+                ScriptOp::ShowResults(node) => {
+                    let _ = self.with_session(id, |s| s.show_results(*node))?;
+                }
+                ScriptOp::Ignore(node) => {
+                    self.with_session(id, |s| s.ignore(*node))?;
+                }
+                ScriptOp::Backtrack => {
+                    let _ = self.with_session(id, |s| s.backtrack())?;
+                }
+            }
+        }
+        let cost = self.with_session(id, |s| s.cost().clone())?;
+        self.expand_ns.lock().extend_from_slice(&expand_ns);
+        self.close_session(id)?;
+        Some(ScriptOutcome {
+            query: query.to_string(),
+            cost,
+            expand_ns,
+        })
+    }
+
+    /// The batch driver: replays `jobs` (query, script) pairs on `workers`
+    /// pooled threads, preserving job order in the result. Sessions are
+    /// independent; trees are shared through the cache.
+    pub fn replay(
+        &self,
+        jobs: &[(String, Vec<ScriptOp>)],
+        workers: usize,
+    ) -> Vec<Option<ScriptOutcome>> {
+        pool::scoped_map(jobs.len(), workers, |i| {
+            let (query, script) = &jobs[i];
+            self.run_script(query, script)
+        })
+    }
+
+    /// Snapshot of the serving telemetry.
+    pub fn stats(&self) -> ServeStats {
+        let (hits, misses, evictions, entries, capacity) = {
+            let cache = self.cache.lock();
+            (
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                cache.entries.len(),
+                cache.capacity,
+            )
+        };
+        let mut latencies = self.expand_ns.lock().clone();
+        latencies.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[idx] as f64 / 1_000.0
+        };
+        let opened = self.sessions_opened.load(Ordering::Relaxed);
+        let closed = self.sessions_closed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let lookups = hits + misses;
+        ServeStats {
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_evictions: evictions,
+            cache_entries: entries,
+            cache_capacity: capacity,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            sessions_opened: opened,
+            sessions_closed: closed,
+            sessions_active: self.sessions.lock().len(),
+            expand_count: latencies.len(),
+            expand_p50_us: pct(0.50),
+            expand_p95_us: pct(0.95),
+            expand_p99_us: pct(0.99),
+            elapsed_secs: elapsed,
+            sessions_per_sec: if elapsed > 0.0 {
+                closed as f64 / elapsed
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+// Compile-time thread-safety assertions (see module docs). These are the
+// guarantees the serving layer rests on; if a future change reintroduces
+// `Rc`, `Cell`, or a raw pointer anywhere in the navigation stack, the
+// crate stops compiling right here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<NavigationTree>();
+    assert_send_sync::<crate::edgecut::heuristic::ReducedPlan>();
+    assert_send_sync::<crate::active::ActiveTree>();
+    assert_send_sync::<SessionState>();
+    assert_send_sync::<Session<SharedTree>>();
+    assert_send::<Session<&'static NavigationTree>>();
+    assert_send_sync::<ServeStats>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bionav_medline::corpus::{self, CorpusConfig};
+    use bionav_medline::InvertedIndex;
+    use bionav_mesh::synth::{self, SynthConfig};
+
+    /// A tiny three-query serving fixture: one hierarchy/corpus, trees
+    /// built per keyword on demand.
+    fn fixture_engine() -> Engine<impl Fn(&str) -> Option<SharedTree> + Send + Sync> {
+        let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+        let store = corpus::generate(
+            &h,
+            &CorpusConfig {
+                n_citations: 400,
+                ..CorpusConfig::default()
+            },
+        );
+        let index = InvertedIndex::build(&store);
+        Engine::new(
+            move |query: &str| {
+                let results = index.query(query).citations;
+                if results.is_empty() {
+                    return None;
+                }
+                Some(Arc::new(NavigationTree::build(&h, &store, &results)))
+            },
+            CostParams::default(),
+            2,
+        )
+    }
+
+    #[test]
+    fn cache_hits_and_lru_eviction() {
+        let h = synth::generate(&SynthConfig::small(4, 200)).unwrap();
+        let store = corpus::generate(
+            &h,
+            &CorpusConfig {
+                n_citations: 300,
+                ..CorpusConfig::default()
+            },
+        );
+        let index = InvertedIndex::build(&store);
+        // Three distinct queries with results.
+        let labels: Vec<String> = {
+            let mut seen = Vec::new();
+            for n in h.iter_preorder().skip(1) {
+                let label = h.node(n).label().to_string();
+                if !index.query(&label).citations.is_empty() && !seen.contains(&label) {
+                    seen.push(label);
+                }
+                if seen.len() == 3 {
+                    break;
+                }
+            }
+            seen
+        };
+        assert_eq!(labels.len(), 3, "fixture needs three result-bearing labels");
+
+        let engine = Engine::new(
+            move |query: &str| {
+                let results = index.query(query).citations;
+                if results.is_empty() {
+                    return None;
+                }
+                Some(Arc::new(NavigationTree::build(&h, &store, &results)))
+            },
+            CostParams::default(),
+            2, // capacity below the number of distinct queries
+        );
+
+        // Same tree twice: one miss, one hit; normalization collapses case
+        // and whitespace.
+        let a1 = engine.tree_for(&labels[0]).unwrap();
+        let a2 = engine
+            .tree_for(&format!("  {}  ", labels[0].to_uppercase()))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "normalized queries share one tree");
+
+        // Fill past capacity: labels[1], labels[2] → labels[0] evicted.
+        engine.tree_for(&labels[1]).unwrap();
+        engine.tree_for(&labels[2]).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.cache_entries, 2);
+        assert_eq!(stats.cache_evictions, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 3);
+        assert!(stats.cache_hit_rate > 0.0);
+
+        // The evicted tree rebuilds on demand (a fresh Arc).
+        let a3 = engine.tree_for(&labels[0]).unwrap();
+        assert!(!Arc::ptr_eq(&a1, &a3), "evicted entry was rebuilt");
+    }
+
+    #[test]
+    fn sessions_park_resume_and_close() {
+        let engine = fixture_engine();
+        // Find a query with results by probing node labels through the
+        // engine itself.
+        let query = {
+            let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+            h.iter_preorder()
+                .skip(1)
+                .map(|n| h.node(n).label().to_string())
+                .find(|label| engine.tree_for(label).is_some())
+                .expect("some label has results")
+        };
+        let id = engine.open_session(&query).unwrap();
+        let revealed = engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
+        assert!(!revealed.is_empty());
+        // The session is parked: resume it and inspect.
+        let cost = engine.with_session(id, |s| s.cost().clone()).unwrap();
+        assert_eq!(cost.expands, 1);
+        let state = engine.close_session(id).unwrap();
+        assert_eq!(state.cost.expands, 1);
+        // Closed sessions are gone.
+        assert!(engine.with_session(id, |_| ()).is_none());
+        assert!(engine.close_session(id).is_none());
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.sessions_closed, 1);
+        assert_eq!(stats.sessions_active, 0);
+        assert_eq!(stats.expand_count, 1);
+    }
+
+    #[test]
+    fn concurrent_sessions_over_one_shared_tree_match_sequential() {
+        // N sessions expanding the *same* `Arc<NavigationTree>` from N
+        // threads must each reach full expansion with exactly the cost a
+        // single-threaded session pays — navigation state is per-session,
+        // the tree is immutable shared data.
+        let engine = fixture_engine();
+        let query = {
+            let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+            h.iter_preorder()
+                .skip(1)
+                .map(|n| h.node(n).label().to_string())
+                .find(|label| engine.tree_for(label).is_some_and(|t| t.len() > 3))
+                .expect("some label has a multi-node tree")
+        };
+        let tree = engine.tree_for(&query).unwrap();
+
+        let expand_fully = |tree: SharedTree| -> crate::sim::NavOutcome {
+            let mut s = Session::new(tree, CostParams::default());
+            loop {
+                let next = s
+                    .nav()
+                    .iter_preorder()
+                    .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1);
+                let Some(node) = next else { break };
+                s.expand(node).unwrap();
+            }
+            let full: Vec<_> = s.nav().iter_preorder().collect();
+            for n in full {
+                assert!(s.active().is_visible(n), "full expansion reveals all");
+            }
+            s.cost().clone()
+        };
+
+        let sequential = expand_fully(Arc::clone(&tree));
+        let concurrent: Vec<crate::sim::NavOutcome> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let tree = Arc::clone(&tree);
+                    scope.spawn(move || expand_fully(tree))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for outcome in &concurrent {
+            assert_eq!(outcome, &sequential, "threaded costs equal single-threaded");
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_worker_counts() {
+        let engine = fixture_engine();
+        let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+        let jobs: Vec<(String, Vec<ScriptOp>)> = h
+            .iter_preorder()
+            .skip(1)
+            .map(|n| h.node(n).label().to_string())
+            .filter(|label| engine.tree_for(label).is_some())
+            .take(6)
+            .map(|label| (label, vec![ScriptOp::ExpandFully]))
+            .collect();
+        assert!(jobs.len() >= 2, "fixture needs a few result-bearing labels");
+
+        let single: Vec<_> = engine.replay(&jobs, 1);
+        let pooled: Vec<_> = engine.replay(&jobs, 4);
+        assert_eq!(single.len(), pooled.len());
+        for (a, b) in single.iter().zip(&pooled) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.query, b.query);
+            assert_eq!(
+                a.cost, b.cost,
+                "{}: worker count changed the outcome",
+                a.query
+            );
+            assert_eq!(a.expand_ns.len(), b.expand_ns.len());
+        }
+    }
+
+    #[test]
+    fn unknown_queries_are_refused() {
+        let engine = fixture_engine();
+        assert!(engine.tree_for("zzz-no-such-term-zzz").is_none());
+        assert!(engine.open_session("zzz-no-such-term-zzz").is_none());
+        assert!(engine
+            .run_script("zzz-no-such-term-zzz", &[ScriptOp::ExpandFully])
+            .is_none());
+    }
+}

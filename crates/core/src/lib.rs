@@ -41,6 +41,7 @@ mod bitset;
 pub mod complexity;
 pub mod cost;
 pub mod edgecut;
+pub mod engine;
 pub mod navtree;
 pub mod prob;
 pub mod session;
@@ -50,4 +51,5 @@ pub mod stats;
 pub use active::{ActiveTree, EdgeCut, EdgeCutError, VisNode};
 pub use bitset::CitSet;
 pub use cost::{CostParams, Planner};
+pub use engine::{Engine, ScriptOp, ScriptOutcome, ServeStats, SessionId, SharedTree};
 pub use navtree::{NavNodeId, NavigationTree};

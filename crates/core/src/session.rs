@@ -32,7 +32,9 @@
 //! # Ok::<(), bionav_mesh::MeshError>(())
 //! ```
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bionav_medline::CitationId;
 
@@ -44,9 +46,13 @@ use crate::sim::NavOutcome;
 
 /// A retained reduced tree plus the unit mask describing one of its
 /// sub-components (keyed by the component's root in [`Session::plans`]).
+///
+/// Plans are retained behind an [`Arc`] (not `Rc`): sessions must be
+/// `Send` so the serving engine can park them in a shared table and resume
+/// them from any worker thread.
 #[derive(Debug, Clone)]
 struct PlanEntry {
-    plan: std::rc::Rc<ReducedPlan>,
+    plan: Arc<ReducedPlan>,
     mask: u64,
 }
 
@@ -77,9 +83,16 @@ pub enum Action {
 }
 
 /// An interactive BioNav navigation over one query result.
+///
+/// Generic over how the navigation tree is held: `T` is any
+/// `Borrow<NavigationTree>` — a plain `&NavigationTree` for borrowing
+/// callers (the common case; type inference keeps `Session::new(&nav, …)`
+/// working unchanged) or an `Arc<NavigationTree>` for the serving engine,
+/// whose sessions outlive any one stack frame and hop across worker
+/// threads.
 #[derive(Debug)]
-pub struct Session<'t> {
-    nav: &'t NavigationTree,
+pub struct Session<T: Borrow<NavigationTree>> {
+    nav: T,
     active: ActiveTree,
     params: CostParams,
     log: Vec<Action>,
@@ -90,12 +103,13 @@ pub struct Session<'t> {
     plans: HashMap<NavNodeId, PlanEntry>,
 }
 
-impl<'t> Session<'t> {
+impl<T: Borrow<NavigationTree>> Session<T> {
     /// Starts a session on `nav`; initially only the root is visible.
-    pub fn new(nav: &'t NavigationTree, params: CostParams) -> Self {
+    pub fn new(nav: T, params: CostParams) -> Self {
+        let active = ActiveTree::new(nav.borrow());
         Session {
             nav,
-            active: ActiveTree::new(nav),
+            active,
             params,
             log: Vec::new(),
             cost: NavOutcome::default(),
@@ -104,8 +118,8 @@ impl<'t> Session<'t> {
     }
 
     /// The underlying navigation tree.
-    pub fn nav(&self) -> &'t NavigationTree {
-        self.nav
+    pub fn nav(&self) -> &NavigationTree {
+        self.nav.borrow()
     }
 
     /// The current active tree (read-only state).
@@ -115,7 +129,7 @@ impl<'t> Session<'t> {
 
     /// Distinct citations in the component rooted at the visible `node`.
     pub fn component_distinct(&self, node: NavNodeId) -> u32 {
-        self.active.component_distinct(self.nav, node)
+        self.active.component_distinct(self.nav.borrow(), node)
     }
 
     /// Number of hidden nodes (including `node`) in `node`'s component.
@@ -147,14 +161,15 @@ impl<'t> Session<'t> {
                 self.plans.remove(&node);
             }
         }
-        let comp = self.active.component_nodes(self.nav, node);
-        let Some((outcome, planned)) = plan_component(self.nav, &comp, &self.params) else {
+        let comp = self.active.component_nodes(self.nav.borrow(), node);
+        let Some((outcome, planned)) = plan_component(self.nav.borrow(), &comp, &self.params)
+        else {
             return Err(EdgeCutError::EmptyCut); // singleton: nothing to expand
         };
         let revealed = self.expand_with(node, &outcome.cut)?;
         if self.params.reuse_plans {
             if let Some((plan, cut)) = planned {
-                let plan = std::rc::Rc::new(plan);
+                let plan = Arc::new(plan);
                 self.register_plan(node, &plan, cut.upper_mask, &cut.lowers);
             }
         }
@@ -165,7 +180,7 @@ impl<'t> Session<'t> {
     fn register_plan(
         &mut self,
         upper_root: NavNodeId,
-        plan: &std::rc::Rc<ReducedPlan>,
+        plan: &Arc<ReducedPlan>,
         upper_mask: u64,
         lowers: &[(NavNodeId, u64)],
     ) {
@@ -194,7 +209,7 @@ impl<'t> Session<'t> {
         node: NavNodeId,
         cut: &EdgeCut,
     ) -> Result<Vec<NavNodeId>, EdgeCutError> {
-        self.active.expand(self.nav, node, cut)?;
+        self.active.expand(self.nav.borrow(), node, cut)?;
         // A manual cut changes this component in ways a retained reduced
         // tree does not describe; drop its plan so the next automatic
         // EXPAND re-partitions instead of proposing a stale (and possibly
@@ -216,7 +231,7 @@ impl<'t> Session<'t> {
         if !self.active.is_visible(node) {
             return Err(EdgeCutError::NotAComponentRoot(node));
         }
-        let set = self.active.component_set(self.nav, node);
+        let set = self.active.component_set(self.nav.borrow(), node);
         let ids: Vec<CitationId> = set.iter().map(|i| self.nav().citation_id(i)).collect();
         self.cost.results_inspected += ids.len();
         self.log.push(Action::ShowResults {
@@ -245,7 +260,7 @@ impl<'t> Session<'t> {
 
     /// The current visualization (Definition 5).
     pub fn visualize(&self) -> Vec<VisNode> {
-        self.active.visualize(self.nav)
+        self.active.visualize(self.nav.borrow())
     }
 
     /// The accumulated §III cost of the session so far.
@@ -274,12 +289,8 @@ impl<'t> Session<'t> {
     /// Restores a session from persisted state over `nav`, which must be
     /// the same navigation tree the state was exported from (same query,
     /// same store). Returns `None` when the state does not fit the tree.
-    pub fn restore(
-        nav: &'t NavigationTree,
-        params: CostParams,
-        state: SessionState,
-    ) -> Option<Session<'t>> {
-        if !state.active.fits(nav) {
+    pub fn restore(nav: T, params: CostParams, state: SessionState) -> Option<Session<T>> {
+        if !state.active.fits(nav.borrow()) {
             return None;
         }
         Some(Session {
@@ -513,6 +524,71 @@ mod tests {
             NavigationTree::build(&h, &store, &[CitationId(1)])
         };
         assert!(Session::restore(&other, CostParams::default(), state).is_none());
+    }
+
+    /// Builds a navigation tree over a hand-shaped hierarchy: one
+    /// descriptor per tree number, one citation attached to each.
+    fn shaped_tree(tree_numbers: &[&str]) -> NavigationTree {
+        use bionav_medline::{Citation, CitationId, CitationStore};
+        use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
+        let descriptors: Vec<Descriptor> = tree_numbers
+            .iter()
+            .enumerate()
+            .map(|(i, tn)| {
+                Descriptor::new(
+                    DescriptorId(i as u32 + 1),
+                    format!("d{i}"),
+                    vec![TreeNumber::parse(tn).unwrap()],
+                )
+            })
+            .collect();
+        let h = ConceptHierarchy::from_descriptors(&descriptors).unwrap();
+        let mut store = CitationStore::new();
+        let mut ids = Vec::new();
+        for i in 0..tree_numbers.len() {
+            let id = CitationId(i as u32 + 1);
+            store
+                .insert(Citation::new(
+                    id,
+                    format!("t{i}"),
+                    vec![],
+                    vec![DescriptorId(i as u32 + 1)],
+                    vec![],
+                ))
+                .unwrap();
+            ids.push(id);
+        }
+        NavigationTree::build(&h, &store, &ids)
+    }
+
+    #[test]
+    fn restore_rejects_same_size_foreign_trees() {
+        use crate::active::EdgeCut;
+        // Regression: `ActiveTree::fits` used to check only tree *size*, so
+        // a state exported from one query restored cleanly onto any
+        // equally-sized tree of a different query — and later expansions
+        // then navigated garbage components. The strengthened check
+        // validates every component assignment against the target tree's
+        // actual parent structure.
+        let chain = shaped_tree(&["A01", "A01.100", "A01.100.100"]);
+        let star = shaped_tree(&["A01", "B01", "C01"]);
+        assert_eq!(chain.len(), star.len(), "fixture trees must be equal-sized");
+
+        let mut s = Session::new(&chain, CostParams::default());
+        // Force the cut below d0: components {root, d0} and {d1, d2}.
+        s.expand_with(NavNodeId::ROOT, &EdgeCut::new(vec![NavNodeId(2)]))
+            .unwrap();
+        let state = s.export_state();
+
+        // In the star, node 3's parent is the root — a different component
+        // — so the assignment is not connected there and must be rejected,
+        // even though the sizes agree.
+        assert!(
+            Session::restore(&star, CostParams::default(), state.clone()).is_none(),
+            "same-size foreign tree must be rejected"
+        );
+        // Sanity: the very same state still restores onto its own tree.
+        assert!(Session::restore(&chain, CostParams::default(), state).is_some());
     }
 
     #[test]

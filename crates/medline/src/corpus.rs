@@ -78,11 +78,23 @@ pub fn generate(hierarchy: &ConceptHierarchy, cfg: &CorpusConfig) -> CitationSto
         .collect();
     let total_weight = *cumulative.last().expect("non-empty hierarchy");
 
+    let zipf = ZipfSampler {
+        nodes: &nodes,
+        cumulative: &cumulative,
+        total: total_weight,
+    };
+
     let mut store = CitationStore::new();
     for i in 0..cfg.n_citations {
-        let focus = sample_zipf(&mut rng, &nodes, &cumulative, total_weight);
-        let citation =
-            synthesize_citation(hierarchy, &mut rng, cfg, CitationId(i as u32 + 1), focus);
+        let focus = zipf.sample(&mut rng);
+        let citation = synthesize_citation(
+            hierarchy,
+            &mut rng,
+            cfg,
+            CitationId(i as u32 + 1),
+            focus,
+            &zipf,
+        );
         store
             .insert(citation)
             .expect("generated citation ids are sequential and unique");
@@ -90,10 +102,26 @@ pub fn generate(hierarchy: &ConceptHierarchy, cfg: &CorpusConfig) -> CitationSto
     store
 }
 
-fn sample_zipf(rng: &mut StdRng, nodes: &[NodeId], cumulative: &[f64], total: f64) -> NodeId {
-    let x = rng.gen_range(0.0..total);
-    let idx = cumulative.partition_point(|&c| c < x).min(nodes.len() - 1);
-    nodes[idx]
+/// Popularity-ranked concept sampler: rank `r` is drawn with weight
+/// `1/(r+1)^s`. Used both for the focus concept of each citation *and* for
+/// the filler co-annotations — real MEDLINE co-annotations track concept
+/// popularity, and drawing filler uniformly would dilute the Zipf skew the
+/// generator promises.
+struct ZipfSampler<'a> {
+    nodes: &'a [NodeId],
+    cumulative: &'a [f64],
+    total: f64,
+}
+
+impl ZipfSampler<'_> {
+    fn sample(&self, rng: &mut StdRng) -> NodeId {
+        let x = rng.gen_range(0.0..self.total);
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < x)
+            .min(self.nodes.len() - 1);
+        self.nodes[idx]
+    }
 }
 
 fn synthesize_citation(
@@ -102,6 +130,7 @@ fn synthesize_citation(
     cfg: &CorpusConfig,
     id: CitationId,
     focus: NodeId,
+    zipf: &ZipfSampler<'_>,
 ) -> Citation {
     let focus_node = hierarchy.node(focus);
     let mut annotations: Vec<DescriptorId> = Vec::new();
@@ -130,11 +159,10 @@ fn synthesize_citation(
             }
         }
     }
-    // Random unrelated concepts up to the annotation budget.
+    // Popularity-weighted unrelated concepts up to the annotation budget.
     let target = jitter(rng, cfg.mean_annotations).max(1);
     while annotations.len() < target {
-        let r = NodeId(rng.gen_range(1..hierarchy.len() as u32));
-        push(&mut annotations, r);
+        push(&mut annotations, zipf.sample(rng));
     }
 
     // Wider indexing: extra random concepts plus descendants of the focus.
@@ -149,8 +177,7 @@ fn synthesize_citation(
         }
     }
     while annotations.len() + extra.len() < indexed_target {
-        let r = NodeId(rng.gen_range(1..hierarchy.len() as u32));
-        if let Some(d) = hierarchy.node(r).descriptor() {
+        if let Some(d) = hierarchy.node(zipf.sample(rng)).descriptor() {
             extra.push(d);
         }
     }

@@ -58,7 +58,7 @@ impl WorkloadConfig {
     /// Paper-scale configuration: 48k-node hierarchy, full result sizes.
     pub fn full() -> Self {
         WorkloadConfig {
-            seed: 2009,
+            seed: 2014,
             hierarchy_size: 48_000,
             max_depth: 11,
             scale: 1.0,
@@ -72,7 +72,7 @@ impl WorkloadConfig {
     pub fn scaled(scale: f64) -> Self {
         assert!(scale > 0.0 && scale <= 1.0);
         WorkloadConfig {
-            seed: 2009,
+            seed: 2014,
             hierarchy_size: ((48_000f64 * scale) as usize).max(800),
             max_depth: 9,
             scale,
@@ -773,7 +773,7 @@ mod tests {
     #[ignore = "builds a 100k-node hierarchy with 2× citations (~10s release)"]
     fn double_scale_stays_interactive() {
         let cfg = WorkloadConfig {
-            seed: 2009,
+            seed: 2014,
             hierarchy_size: 100_000,
             max_depth: 11,
             scale: 1.0,

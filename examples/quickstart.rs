@@ -108,7 +108,7 @@ fn main() {
     );
 }
 
-fn print_visualization(session: &Session<'_>) {
+fn print_visualization(session: &Session<&NavigationTree>) {
     let nav = session.nav();
     for v in session.visualize() {
         let indent = "  ".repeat(nav.nav_depth(v.node) as usize);

@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench-authoring surface this workspace uses — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`, `criterion_main!` —
+//! but replaces the statistical machinery with a simple calibrated
+//! median-of-samples measurement printed to stdout. Good enough to compare
+//! orders of magnitude and watch for regressions by eye; not a substitute
+//! for criterion's confidence intervals.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    /// Iterations per sample, chosen by calibration.
+    iters: u64,
+    /// Collected per-iteration sample durations.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `iters` iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.samples
+            .push(total / u32::try_from(self.iters.max(1)).unwrap_or(u32::MAX));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Calibrate the per-sample iteration count so one sample costs
+        // roughly 5ms (bounded to keep total runtime sane).
+        let mut probe = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+        };
+        f(&mut probe, input);
+        let once = probe
+            .samples
+            .first()
+            .copied()
+            .unwrap_or(Duration::from_micros(1));
+        let target = Duration::from_millis(5);
+        let iters = if once.is_zero() {
+            1_000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+
+        let mut bencher = Bencher {
+            iters,
+            samples: Vec::with_capacity(self.sample_count),
+        };
+        for _ in 0..self.sample_count {
+            f(&mut bencher, input);
+        }
+        bencher.samples.sort_unstable();
+        let median = bencher.samples[bencher.samples.len() / 2];
+        let lo = bencher.samples[0];
+        let hi = bencher.samples[bencher.samples.len() - 1];
+        println!(
+            "bench {:<40} median {:>12?}  [{:?} .. {:?}]  ({} samples x {} iters)",
+            format!("{}/{}", self.name, id.label),
+            median,
+            lo,
+            hi,
+            self.sample_count,
+            iters
+        );
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_count: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a bench group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter("noop"), &7u64, |b, x| {
+            b.iter(|| x + 1);
+            ran += 1;
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+}

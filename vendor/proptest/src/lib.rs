@@ -1,0 +1,734 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same test-authoring surface the workspace uses — `proptest!` with
+//! `#![proptest_config(ProptestConfig::with_cases(N))]`, range/tuple/char
+//! class/`collection::vec` strategies, `prop_map` / `prop_flat_map` /
+//! `prop_filter_map` combinators, `prop_assert!` / `prop_assert_eq!` — but
+//! backed by plain deterministic random sampling: each test case draws from
+//! an RNG seeded by the test's path and case index. No shrinking: a failing
+//! case reports its case number (re-runnable because sampling is
+//! deterministic), not a minimized input.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 RNG used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test's module path + name and the case index, so each
+    /// `(test, case)` pair sees a fixed, reproducible stream.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// errors / config
+// ---------------------------------------------------------------------------
+
+/// Failure raised by `prop_assert*` (or returned from a test body).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        TestCaseError(s)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(s: &str) -> Self {
+        TestCaseError(s.to_string())
+    }
+}
+
+/// Per-block configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a second strategy from it,
+    /// and draws from that.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps redrawing until `f` returns `Some`; panics (citing `reason`)
+    /// after too many rejections.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+
+    /// Keeps redrawing until `f` accepts; panics (citing `reason`) after too
+    /// many rejections.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+const MAX_REJECTS: usize = 1_000;
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_REJECTS {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map rejected {MAX_REJECTS} draws: {}",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_REJECTS {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected {MAX_REJECTS} draws: {}", self.reason);
+    }
+}
+
+/// Always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// -- numeric ranges ---------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// -- tuples -----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+// -- `any` ------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Whole-domain strategy for `T`; see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// -- string patterns --------------------------------------------------------
+
+/// Character-class regex subset: `[class]{lo,hi}` atoms, e.g. `"[ -~]{1,40}"`
+/// or `"[a-z]{2,8}"`. Classes support ranges, literals and `\n`/`\t`/`\\`
+/// escapes; quantifiers support `{n}`, `{lo,hi}`, or none (exactly one).
+struct PatternAtom {
+    /// Inclusive `(lo, hi)` char spans.
+    spans: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        assert!(
+            chars[i] == '[',
+            "proptest stub: unsupported regex `{pat}` (only `[class]{{lo,hi}}` atoms)"
+        );
+        i += 1;
+        let mut spans: Vec<(char, char)> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            assert!(
+                i < chars.len(),
+                "proptest stub: unterminated class in `{pat}`"
+            );
+            let c = chars[i];
+            i += 1;
+            match c {
+                ']' => {
+                    if let Some(p) = pending.take() {
+                        spans.push((p, p));
+                    }
+                    break;
+                }
+                '\\' => {
+                    let esc = chars[i];
+                    i += 1;
+                    let lit = match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    if let Some(p) = pending.take() {
+                        spans.push((p, p));
+                    }
+                    pending = Some(lit);
+                }
+                '-' if pending.is_some() && chars.get(i) != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let mut hi = chars[i];
+                    i += 1;
+                    if hi == '\\' {
+                        hi = match chars[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        };
+                        i += 1;
+                    }
+                    assert!(lo <= hi, "proptest stub: inverted range in `{pat}`");
+                    spans.push((lo, hi));
+                }
+                lit => {
+                    if let Some(p) = pending.take() {
+                        spans.push((p, p));
+                    }
+                    pending = Some(lit);
+                }
+            }
+        }
+        assert!(!spans.is_empty(), "proptest stub: empty class in `{pat}`");
+        // Quantifier.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let mut lo = String::new();
+            while chars[i].is_ascii_digit() {
+                lo.push(chars[i]);
+                i += 1;
+            }
+            let lo: usize = lo.parse().expect("bad quantifier");
+            let hi = if chars[i] == ',' {
+                i += 1;
+                let mut hi = String::new();
+                while chars[i].is_ascii_digit() {
+                    hi.push(chars[i]);
+                    i += 1;
+                }
+                hi.parse().expect("bad quantifier")
+            } else {
+                lo
+            };
+            assert!(chars[i] == '}', "proptest stub: bad quantifier in `{pat}`");
+            i += 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { spans, min, max });
+    }
+    atoms
+}
+
+fn sample_class(spans: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = spans
+        .iter()
+        .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+        .sum();
+    let mut x = rng.below(total);
+    for (lo, hi) in spans {
+        let w = u64::from(*hi as u32 - *lo as u32 + 1);
+        if x < w {
+            // Spans in this subset never straddle the surrogate gap.
+            return ::core::char::from_u32(*lo as u32 + x as u32).expect("invalid char in class");
+        }
+        x -= w;
+    }
+    unreachable!()
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(sample_class(&atom.spans, rng));
+            }
+        }
+        out
+    }
+}
+
+// -- modules mirroring the real crate layout --------------------------------
+
+pub mod char {
+    use super::{Strategy, TestRng};
+    use core::primitive::char;
+
+    /// Uniform char in the inclusive range `[lo, hi]`.
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// `proptest::char::range(lo, hi)`: chars in `[lo, hi]` inclusive.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi);
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            loop {
+                let x = self.lo + rng.below(u64::from(self.hi - self.lo + 1)) as u32;
+                if let Some(c) = ::core::char::from_u32(x) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-style function (the `#[test]` attribute is written
+/// explicitly by the caller, matching real proptest) that runs the body for
+/// `cases` deterministic random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        stringify!($name),
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        for case in 0..200u32 {
+            let mut rng = crate::TestRng::for_case("pattern", case);
+            let s = Strategy::generate(&"[ -~]{1,40}", &mut rng);
+            assert!((1..=40).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            let t = Strategy::generate(&"[a-z]{2,8}", &mut rng);
+            assert!((2..=8).contains(&t.len()));
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+            let n = Strategy::generate(&"[ -~\n]{0,400}", &mut rng);
+            assert!(n.chars().count() <= 400);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(
+            (a, b) in (0u32..100, 5usize..=9),
+            v in crate::collection::vec(0u8..10, 1..6),
+            c in crate::char::range('A', 'F'),
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(('A'..='F').contains(&c));
+            if a == u32::MAX {
+                return Ok(());
+            }
+            prop_assert_eq!(a.wrapping_add(0), a);
+        }
+
+        #[test]
+        fn combinators_compose(
+            n in (2usize..=5).prop_flat_map(|n| (crate::Just(n), 0usize..n)),
+            odd in (0u32..1000).prop_filter_map("even", |x| if x % 2 == 1 { Some(x) } else { None }),
+        ) {
+            let (bound, idx) = n;
+            prop_assert!(idx < bound);
+            prop_assert_eq!(odd % 2, 1);
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` available in this
+//! container) and emits impls of the Value-based `serde::Serialize` /
+//! `serde::Deserialize` traits defined by the in-tree `serde` stub.
+//!
+//! Supported surface — exactly what this workspace uses:
+//! * named structs, tuple structs, unit structs (no generics)
+//! * enums with unit, named-field, and tuple variants (externally tagged)
+//! * `#[serde(transparent)]` on single-field structs
+//! * `#[serde(skip)]` on named fields (omitted on serialize, `Default` on
+//!   deserialize)
+//!
+//! Anything else is rejected with a panic so the gap is loud at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+// ---------------------------------------------------------------------------
+// item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+struct Attrs {
+    transparent: bool,
+    skip: bool,
+}
+
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut Attrs) {
+    // Contents of the `(...)` following `serde`.
+    for tok in group.stream() {
+        match tok {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "transparent" => attrs.transparent = true,
+                "skip" => attrs.skip = true,
+                other => panic!("serde stub: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde stub: unsupported serde attribute token `{other}`"),
+        }
+    }
+}
+
+/// Skips one `#[...]` attribute starting at `i` (which points at `#`),
+/// recording `serde(...)` contents into `attrs`. Returns the index after it.
+fn consume_attr(toks: &[TokenTree], i: usize, attrs: &mut Attrs) -> usize {
+    debug_assert!(matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#'));
+    let TokenTree::Group(g) = &toks[i + 1] else {
+        panic!("serde stub: malformed attribute");
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if let Some(TokenTree::Ident(id)) = inner.first() {
+        if id.to_string() == "serde" {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_attr(args, attrs);
+            }
+        }
+    }
+    i + 2
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize, attrs: &mut Attrs) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i = consume_attr(toks, i, attrs);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super) / ...
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skips a type after `:` until a top-level `,` (or end). Tracks `<`/`>`
+/// nesting so commas inside generics don't split the field.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while let Some(tok) = toks.get(i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = Attrs {
+            transparent: false,
+            skip: false,
+        };
+        i = skip_attrs_and_vis(&toks, i, &mut attrs);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            panic!(
+                "serde stub: expected field name, got {:?}",
+                toks.get(i).map(|t| t.to_string())
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde stub: expected `:` after field `{name}`"),
+        }
+        i = skip_type(&toks, i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = Attrs {
+            transparent: false,
+            skip: false,
+        };
+        i = skip_attrs_and_vis(&toks, i, &mut attrs);
+        if attrs.skip {
+            panic!("serde stub: #[serde(skip)] on tuple fields is unsupported");
+        }
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_type(&toks, i);
+        n += 1;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    n
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attrs = Attrs {
+            transparent: false,
+            skip: false,
+        };
+        i = skip_attrs_and_vis(&toks, i, &mut attrs);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            panic!("serde stub: expected enum variant name");
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = Attrs {
+        transparent: false,
+        skip: false,
+    };
+    let mut i = skip_attrs_and_vis(&toks, 0, &mut attrs);
+
+    let Some(TokenTree::Ident(kw)) = toks.get(i) else {
+        panic!("serde stub: expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let Some(TokenTree::Ident(name)) = toks.get(i) else {
+        panic!("serde stub: expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub: generic types are unsupported (derive on `{name}`)");
+        }
+    }
+
+    let data = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!(
+                "serde stub: malformed struct body: {:?}",
+                other.map(|t| t.to_string())
+            ),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g))
+            }
+            _ => panic!("serde stub: malformed enum body"),
+        },
+        other => panic!("serde stub: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        transparent: attrs.transparent,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// code generation
+// ---------------------------------------------------------------------------
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input);
+    let code = match mode {
+        Mode::Ser => gen_serialize(&item),
+        Mode::De => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        panic!(
+            "serde stub: generated invalid code for `{}`: {e:?}",
+            item.name
+        )
+    })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.transparent {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                assert!(
+                    live.len() == 1,
+                    "serde stub: transparent requires exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+            } else {
+                let mut s = String::from(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__fields)");
+                s
+            }
+        }
+        Data::TupleStruct(n) => {
+            if item.transparent {
+                assert!(
+                    *n == 1,
+                    "serde stub: transparent requires exactly one field"
+                );
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            }
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pat: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(__fields))]) }}\n",
+                            pat.join(", ")
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let content = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {content})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n    {body}\n  }}\n}}\n"
+    )
+}
+
+/// Generates the `field: <expr>` initializers for a named-field body read
+/// from the object slice bound to `__obj`.
+fn named_field_inits(ty_name: &str, fields: &[Field]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{0}: match ::serde::__find(__obj, \"{0}\") {{\n  ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\n  ::std::option::Option::None => return ::serde::__missing_field(\"{1}\", \"{0}\"),\n}},\n",
+                f.name, ty_name
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            if item.transparent {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                assert!(
+                    live.len() == 1,
+                    "serde stub: transparent requires exactly one field"
+                );
+                let mut inits = format!(
+                    "{}: ::serde::Deserialize::from_value(__v)?,\n",
+                    live[0].name
+                );
+                for f in fields.iter().filter(|f| f.skip) {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                }
+                format!("::std::result::Result::Ok({name} {{ {inits} }})")
+            } else {
+                format!(
+                    "let __obj = match __v {{\n  ::serde::Value::Object(__m) => __m.as_slice(),\n  _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\")),\n}};\n::std::result::Result::Ok({name} {{\n{inits}}})",
+                    inits = named_field_inits(name, fields)
+                )
+            }
+        }
+        Data::TupleStruct(n) => {
+            if item.transparent {
+                assert!(
+                    *n == 1,
+                    "serde stub: transparent requires exactly one field"
+                );
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = match __v {{\n  ::serde::Value::Array(__a) if __a.len() == {n} => __a,\n  _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected {n}-element array for {name}\")),\n}};\n::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __obj = match __content {{\n  ::serde::Value::Object(__m) => __m.as_slice(),\n  _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected object for variant {name}::{vn}\")),\n}};\nreturn ::std::result::Result::Ok({name}::{vn} {{\n{inits}}});\n}}\n",
+                            inits = named_field_inits(&format!("{name}::{vn}"), fields)
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__content)?)),\n"
+                            ));
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => {{\nlet __arr = match __content {{\n  ::serde::Value::Array(__a) if __a.len() == {n} => __a,\n  _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected array for variant {name}::{vn}\")),\n}};\nreturn ::std::result::Result::Ok({name}::{vn}({}));\n}}\n",
+                                elems.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n  ::serde::Value::Str(__s) => match __s.as_str() {{\n    {unit_arms}\n    _ => {{}}\n  }},\n  ::serde::Value::Object(__m) if __m.len() == 1 => {{\n    let (__tag, __content) = &__m[0];\n    let _ = __content;\n    match __tag.as_str() {{\n      {tagged_arms}\n      _ => {{}}\n    }}\n  }}\n  _ => {{}}\n}}\n::std::result::Result::Err(::serde::Error::custom(\"invalid value for enum {name}\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n  fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n    let _ = __v;\n    {body}\n  }}\n}}\n"
+    )
+}

@@ -1,0 +1,462 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde::Value` tree to JSON text and parses JSON
+//! text back into it. Covers the entry points this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_writer`], [`from_str`],
+//! [`from_reader`].
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// JSON error: message plus (for parse errors) a byte offset.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            offset: None,
+        }
+    }
+    fn at(msg: impl Into<String>, offset: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {off}", self.msg),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serialization
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` keeps a decimal point / exponent so the value
+                // round-trips as a float (1.0 -> "1.0").
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(out, indent, '[', ']', items.iter(), |out, item, ind| {
+            write_value(out, item, ind);
+        }),
+        Value::Object(entries) => write_seq(
+            out,
+            indent,
+            '{',
+            '}',
+            entries.iter(),
+            |out, (k, val), ind| {
+                write_escaped(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, ind);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>),
+) {
+    out.push(open);
+    let n = items.len();
+    let inner = indent.map(|d| d + 1);
+    for (i, item) in items.enumerate() {
+        if let Some(d) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(d));
+        }
+        write_item(out, item, inner);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(d) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(d));
+        }
+    }
+    out.push(close);
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None);
+    Ok(out)
+}
+
+/// Serializes `value` as human-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(0));
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(e.to_string()))
+}
+
+/// Serializes `value` as indented JSON into `writer`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string_pretty(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::at("unexpected end of input", self.pos)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::at(format!("expected `{kw}`"), self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(Error::at("unterminated string", self.pos));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(Error::at("unterminated escape", self.pos));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::at("truncated \\u escape", self.pos))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::at("bad \\u escape", self.pos))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::at("bad \\u escape", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs: read the low half if present.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let lo_hex =
+                                        self.bytes.get(self.pos + 2..self.pos + 6).ok_or_else(
+                                            || Error::at("truncated surrogate", self.pos),
+                                        )?;
+                                    let lo_hex = std::str::from_utf8(lo_hex)
+                                        .map_err(|_| Error::at("bad surrogate", self.pos))?;
+                                    let lo = u32::from_str_radix(lo_hex, 16)
+                                        .map_err(|_| Error::at("bad surrogate", self.pos))?;
+                                    self.pos += 6;
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| Error::at("invalid codepoint", self.pos))?);
+                        }
+                        _ => return Err(Error::at("unknown escape", self.pos)),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::at("invalid utf-8", start))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("invalid number", start))?;
+        if text.is_empty() {
+            return Err(Error::at("expected value", start));
+        }
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::at(format!("invalid number `{text}`"), start))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            entries.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::at("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser::new(s);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::at("trailing characters", parser.pos));
+    }
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Reads all of `reader` and parses it as JSON into a `T`.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader
+        .read_to_string(&mut buf)
+        .map_err(|e| Error::new(e.to_string()))?;
+    from_str(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v = Value::Object(vec![
+            (
+                "a".into(),
+                Value::Array(vec![Value::U64(1), Value::F64(2.5), Value::Null]),
+            ),
+            ("b".into(), Value::Str("x \"y\" \n π".into())),
+            ("c".into(), Value::I64(-4)),
+            ("d".into(), Value::Bool(true)),
+        ]);
+        let text = to_string(&ValueWrap(v.clone())).unwrap();
+        let back: ValueWrap = from_str(&text).unwrap();
+        assert_eq!(back.0, v);
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v = Value::Object(vec![(
+            "k".into(),
+            Value::Array(vec![Value::U64(1), Value::U64(2)]),
+        )]);
+        let text = to_string_pretty(&ValueWrap(v.clone())).unwrap();
+        assert!(text.contains('\n'));
+        let back: ValueWrap = from_str(&text).unwrap();
+        assert_eq!(back.0, v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<ValueWrap>("1 1").is_err());
+        assert!(from_str::<ValueWrap>("{\"a\":}").is_err());
+    }
+
+    /// Test-only passthrough so `Value` itself can ride the public API.
+    #[derive(Debug)]
+    struct ValueWrap(Value);
+
+    impl Serialize for ValueWrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    impl Deserialize for ValueWrap {
+        fn from_value(v: &Value) -> Result<Self, serde::Error> {
+            Ok(ValueWrap(v.clone()))
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! CI latency guard over the serving bench.
+//!
+//! ```text
+//! bench_guard BASELINE.json CURRENT.json [--factor F]
+//! ```
+//!
+//! Compares `stats.expand_p99_us` between the committed baseline and a
+//! fresh `reproduce serve` run, exiting non-zero when the current p99
+//! exceeds `F ×` the baseline (default 2.0). Kept deliberately free of a
+//! JSON tree type: the vendored serde_json is serialize-first, so the
+//! single field we gate on is scanned out of the text.
+
+use std::process::ExitCode;
+
+/// Pulls the numeric value of `"key": <number>` out of a JSON document.
+/// Enough for the flat telemetry block `reproduce serve` writes; not a
+/// general JSON parser.
+fn extract_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn load_p99(path: &str) -> Result<f64, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    extract_number(&doc, "expand_p99_us").ok_or_else(|| format!("{path}: no expand_p99_us field"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut factor = 2.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--factor" => {
+                i += 1;
+                factor = match argv.get(i).and_then(|v| v.parse().ok()) {
+                    Some(f) if f > 0.0 => f,
+                    _ => {
+                        eprintln!("error: --factor needs a positive number");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!("usage: bench_guard BASELINE.json CURRENT.json [--factor F]");
+        return ExitCode::from(2);
+    };
+
+    let (base, cur) = match (load_p99(baseline), load_p99(current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let bound = base * factor;
+    println!(
+        "bench_guard: expand_p99_us baseline {base:.1} µs, current {cur:.1} µs, bound {bound:.1} µs ({factor:.2}×)"
+    );
+    if cur > bound {
+        eprintln!("bench_guard: FAIL — serve EXPAND p99 regressed more than {factor:.2}× over the committed baseline");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_guard: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::extract_number;
+
+    #[test]
+    fn extracts_the_gated_field() {
+        let doc = r#"{ "stats": { "expand_count": 180, "expand_p99_us": 9568.256, "x": 1 } }"#;
+        assert_eq!(extract_number(doc, "expand_p99_us"), Some(9568.256));
+        assert_eq!(extract_number(doc, "expand_count"), Some(180.0));
+        assert_eq!(extract_number(doc, "missing"), None);
+    }
+
+    #[test]
+    fn handles_exponent_and_trailing_brace() {
+        let doc = r#"{"expand_p99_us": 1.5e3}"#;
+        assert_eq!(extract_number(doc, "expand_p99_us"), Some(1500.0));
+    }
+}

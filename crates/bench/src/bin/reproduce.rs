@@ -11,6 +11,8 @@
 //! --crawled:  derive associations through the §VII crawl (deployed path)
 //! --workers W: serving-bench worker threads (default: available parallelism)
 //! --rounds R: serving-bench replays per query (default 3)
+//! --out PATH: where the serving bench writes its telemetry JSON
+//!             (default BENCH_serve.json)
 //! ```
 //!
 //! Exits non-zero when any shape check fails, so CI can gate on the
@@ -29,6 +31,7 @@ struct Args {
     crawled: bool,
     workers: Option<usize>,
     rounds: usize,
+    out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let mut crawled = false;
     let mut workers = None;
     let mut rounds = 3usize;
+    let mut out = "BENCH_serve.json".to_string();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -85,6 +89,10 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--rounds must be at least 1".into());
                 }
             }
+            "--out" => {
+                i += 1;
+                out = argv.get(i).ok_or("--out needs a path")?.clone();
+            }
             "--help" | "-h" => return Err("help".into()),
             name if !name.starts_with('-') => experiment = name.to_string(),
             other => return Err(format!("unknown flag {other}")),
@@ -98,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         crawled,
         workers,
         rounds,
+        out,
     })
 }
 
@@ -109,7 +118,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: reproduce [all|table1|fig8|fig9|fig10|fig11|intro|multi|serve|ablation-opt|ablation-k|ablation-expandcost|ablation-planner|ablation-reuse] [--scale S] [--k K] [--crawled] [--workers W] [--rounds R]"
+                "usage: reproduce [all|table1|fig8|fig9|fig10|fig11|intro|multi|serve|ablation-opt|ablation-k|ablation-expandcost|ablation-planner|ablation-reuse] [--scale S] [--k K] [--crawled] [--workers W] [--rounds R] [--out PATH]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -191,7 +200,7 @@ fn main() -> ExitCode {
             &params,
             workers,
             args.rounds,
-            Some(std::path::Path::new("BENCH_serve.json")),
+            Some(std::path::Path::new(&args.out)),
         ));
     }
     if run("ablation-opt") {

@@ -126,6 +126,7 @@ impl Repl {
             "save" => Response::Text(self.cmd_save(rest)),
             "load" => Response::Text(self.cmd_load(rest)),
             "serve-stats" | "stats" => Response::Text(self.cmd_serve_stats()),
+            "serve-reset" => Response::Text(self.cmd_serve_reset()),
             other => Response::Text(format!("unknown command {other:?}; type `help`\n")),
         }
     }
@@ -477,6 +478,14 @@ impl Repl {
             secs = st.elapsed_secs,
         )
     }
+
+    /// Resets the engine's telemetry window (histogram, cache counters,
+    /// session tallies, wall clock). Cached trees and the live session
+    /// survive — only the statistics restart.
+    fn cmd_serve_reset(&self) -> String {
+        self.engine.reset_stats();
+        "serving telemetry reset (cached trees and live sessions kept)\n".to_string()
+    }
 }
 
 const NO_QUERY: &str = "no active query; start with `query <keywords>`\n";
@@ -495,6 +504,7 @@ commands:
   save <file>        persist the navigation (query + state) as JSON
   load <file>        restore a saved navigation over this dataset
   serve-stats        engine telemetry: cache hit rate, EXPAND latency, sessions
+  serve-reset        restart the telemetry window (keeps trees and sessions)
   help               this text
   quit               leave
 ";
@@ -686,6 +696,22 @@ mod tests {
         assert!(out.contains("1 hits / 1 misses"), "{out}");
         assert!(out.contains("2 opened, 1 closed, 1 active"), "{out}");
         assert!(out.contains("1 measured"), "{out}");
+    }
+
+    #[test]
+    fn serve_reset_restarts_the_telemetry_window() {
+        let mut r = repl();
+        let q = query_of(&r);
+        r.handle(&format!("query {q}"));
+        r.handle("expand 1");
+        assert!(r.handle("stats").text().contains("1 measured"));
+        let out = r.handle("serve-reset").text().to_string();
+        assert!(out.contains("reset"), "{out}");
+        let out = r.handle("stats").text().to_string();
+        assert!(out.contains("0 measured"), "{out}");
+        assert!(out.contains("0 opened, 0 closed, 1 active"), "{out}");
+        // The live session keeps serving after the reset.
+        assert!(!r.handle("ls").text().contains("unknown"));
     }
 
     #[test]

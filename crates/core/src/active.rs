@@ -15,6 +15,7 @@ use std::fmt;
 
 use crate::bitset::CitSet;
 use crate::navtree::{NavNodeId, NavigationTree};
+use crate::scratch::NavScratch;
 
 /// A valid EdgeCut, represented by the lower (child) endpoint of every cut
 /// edge — cutting edge `(parent(c), c)` detaches the subtree of `c`.
@@ -151,6 +152,20 @@ impl ActiveTree {
     /// The paper's `I(root)`: every node of the component rooted at `root`,
     /// in navigation pre-order (so the component root comes first).
     pub fn component_nodes(&self, nav: &NavigationTree, root: NavNodeId) -> Vec<NavNodeId> {
+        let mut out = Vec::new();
+        self.component_nodes_into(nav, root, &mut out);
+        out
+    }
+
+    /// [`ActiveTree::component_nodes`] into a caller-owned buffer — the
+    /// EXPAND hot path reuses one buffer per session instead of allocating
+    /// a fresh component vector per click.
+    pub fn component_nodes_into(
+        &self,
+        nav: &NavigationTree,
+        root: NavNodeId,
+        out: &mut Vec<NavNodeId>,
+    ) {
         debug_assert_eq!(
             nav.len(),
             self.comp_root.len(),
@@ -160,9 +175,11 @@ impl ActiveTree {
             self.is_visible(root),
             "component queries take a component root"
         );
-        nav.iter_preorder()
-            .filter(|&n| self.comp_root[n.index()] == root)
-            .collect()
+        out.clear();
+        out.extend(
+            nav.iter_preorder()
+                .filter(|&n| self.comp_root[n.index()] == root),
+        );
     }
 
     /// Number of nodes in the component rooted at `root`.
@@ -241,13 +258,28 @@ impl ActiveTree {
         root: NavNodeId,
         cut: &EdgeCut,
     ) -> Result<Vec<NavNodeId>, EdgeCutError> {
+        self.expand_in(nav, root, cut, &mut NavScratch::new())
+    }
+
+    /// [`ActiveTree::expand`] with a caller-owned scratch arena: the
+    /// component-reassignment DFS borrows its stack from `scratch` instead
+    /// of allocating one per expansion.
+    pub fn expand_in(
+        &mut self,
+        nav: &NavigationTree,
+        root: NavNodeId,
+        cut: &EdgeCut,
+        scratch: &mut NavScratch,
+    ) -> Result<Vec<NavNodeId>, EdgeCutError> {
         self.validate(nav, root, cut)?;
         self.history.push(self.comp_root.clone());
+        let stack = &mut scratch.arena.dfs;
         for &c in cut.lower_roots() {
             // Reassign the full navigation subtree of `c`, restricted to
             // nodes still in `root`'s component. Valid cuts are not nested,
             // so these regions are disjoint.
-            let mut stack = vec![c];
+            stack.clear();
+            stack.push(c);
             while let Some(n) = stack.pop() {
                 if self.comp_root[n.index()] != root {
                     continue;

@@ -9,15 +9,32 @@
 //! partitions `(P, Q)` corresponds to the original edge
 //! `(parent(root(Q)), root(Q))`, so reduced cuts are always valid cuts of
 //! the component.
+//!
+//! # Single-pass planning
+//!
+//! A fresh EXPAND runs the pipeline **once**: one [`partition_until_in`]
+//! loop, one reduced-problem build, one exact solve — and the solve's memo
+//! table is *retained inside the returned* [`ReducedPlan`], so the plan,
+//! the outcome and the first [`PlannedCut`] all come from the same pass
+//! (see [`plan_component_with`]). The scratch arena
+//! ([`crate::scratch::NavScratch`]) supplies node-indexed epoch-stamped
+//! membership/partition maps, eliminating the per-call hash maps and
+//! `Vec::contains` scans of the original implementation. The historical
+//! two-pass pipeline survives only as the [`reference`] module, which the
+//! equivalence test-suite replays against this one.
 
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use crate::active::{ActiveTree, EdgeCut};
 use crate::bitset::CitSet;
 use crate::cost::CostParams;
-use crate::edgecut::opt::CutProblem;
-use crate::edgecut::partition::{partition_until, Partition};
+use crate::edgecut::counters;
+use crate::edgecut::opt::{CutProblem, SolveCache};
+use crate::edgecut::partition::{partition_until_in, Partition};
 use crate::navtree::{NavNodeId, NavigationTree};
+use crate::scratch::{NavScratch, NodeMap};
 
 /// What one Heuristic-ReducedOpt invocation produced.
 #[derive(Debug, Clone)]
@@ -56,16 +73,34 @@ pub fn heuristic_reduced_opt(
 /// algorithm again for subsequent expansions."
 ///
 /// A plan describes sub-components of the original reduced tree as unit
-/// bitmasks; [`ReducedPlan::cut`] answers later expansions of those
-/// sub-components from the same solved problem (coarser than
-/// re-partitioning, but partition-free and solver-cache-friendly — the
-/// trade the paper makes). When a sub-component shrinks to a single
-/// supernode the plan is exhausted and the caller re-partitions fresh.
-#[derive(Debug, Clone)]
+/// bitmasks, and it carries the **retained solver memo**: the
+/// [`SolveCache`] populated by the initial solve lives inside the plan
+/// behind a mutex, and every later [`ReducedPlan::cut`] call resumes from
+/// it. Because the dynamic program over `R(T̂)` already visited every
+/// connected sub-component mask, a follow-up expansion is a memo lookup
+/// plus the cut mapping — no partitioning and no fresh solve, which is
+/// exactly the paper's claim above. The mutex keeps the plan `Send +
+/// Sync`, so the serving engine can share `Arc<ReducedPlan>`s across
+/// workers. When a sub-component shrinks to a single supernode the plan is
+/// exhausted and the caller re-partitions fresh.
+#[derive(Debug)]
 pub struct ReducedPlan {
     problem: CutProblem,
     /// Partition root (navigation node) of each unit.
     unit_roots: Vec<NavNodeId>,
+    /// The retained solver memo (§VI-B). Interior-mutable so shared plans
+    /// keep learning: any expansion's sub-solves benefit later ones.
+    memo: Mutex<SolveCache>,
+}
+
+impl Clone for ReducedPlan {
+    fn clone(&self) -> Self {
+        ReducedPlan {
+            problem: self.problem.clone(),
+            unit_roots: self.unit_roots.clone(),
+            memo: Mutex::new(self.memo.lock().clone()),
+        }
+    }
 }
 
 impl ReducedPlan {
@@ -84,9 +119,34 @@ impl ReducedPlan {
         self.problem.full_mask()
     }
 
+    /// Number of memoized solver entries currently retained.
+    pub fn memo_len(&self) -> usize {
+        self.memo.lock().len()
+    }
+
     /// Best cut of the sub-component `mask`, or `None` when it has a single
     /// unit left (the caller should re-partition) or the planner declines.
+    ///
+    /// Served from the retained memo: after the initial solve this is a
+    /// cache lookup, not a recomputation.
     pub fn cut(&self, mask: u64, params: &CostParams) -> Option<PlannedCut> {
+        if mask.count_ones() <= 1 {
+            return None;
+        }
+        let mut cache = self.memo.lock();
+        let mut solver = self.problem.solver_with_cache(&mut cache);
+        let lower_units = match params.planner {
+            crate::cost::Planner::Exhaustive => solver.best_cut_myopic(mask).map(|(c, _)| c)?,
+            crate::cost::Planner::Recursive => solver.best_cut(mask)?,
+        };
+        drop(cache);
+        self.map_cut(mask, lower_units)
+    }
+
+    /// [`ReducedPlan::cut`] computed with a throwaway memo, ignoring the
+    /// retained cache. Exists so the equivalence test-suite can assert the
+    /// retained-memo path returns bit-identical cuts; not used in serving.
+    pub fn cut_uncached(&self, mask: u64, params: &CostParams) -> Option<PlannedCut> {
         if mask.count_ones() <= 1 {
             return None;
         }
@@ -95,6 +155,12 @@ impl ReducedPlan {
             crate::cost::Planner::Exhaustive => solver.best_cut_myopic(mask).map(|(c, _)| c)?,
             crate::cost::Planner::Recursive => solver.best_cut(mask)?,
         };
+        self.map_cut(mask, lower_units)
+    }
+
+    /// Maps reduced-tree lower units back to navigation-tree edges and
+    /// component masks.
+    fn map_cut(&self, mask: u64, lower_units: Vec<usize>) -> Option<PlannedCut> {
         if lower_units.is_empty() {
             return None;
         }
@@ -129,70 +195,73 @@ pub struct PlannedCut {
 /// Like [`expand_component`], additionally returning the retained
 /// [`ReducedPlan`] and the post-cut masks so callers (sessions with
 /// [`CostParams::reuse_plans`]) can answer follow-up expansions without
-/// re-partitioning.
+/// re-partitioning. Allocates a throwaway scratch arena; hot callers use
+/// [`plan_component_with`].
 pub fn plan_component(
     nav: &NavigationTree,
     comp: &[NavNodeId],
     params: &CostParams,
 ) -> Option<(ExpandOutcome, Option<(ReducedPlan, PlannedCut)>)> {
-    let outcome = expand_component(nav, comp, params)?;
-    if outcome.reduced_size <= 1 {
-        return Some((outcome, None));
-    }
-    // Rebuild the partitioning deterministically (expand_component already
-    // did; the duplication keeps its public signature lean) and retain it.
-    let parts = partition_until(nav, comp, params.max_partitions);
-    let problem = reduced_problem(nav, &parts, params);
-    let plan = ReducedPlan {
-        problem,
-        unit_roots: parts.iter().map(|p| p.root).collect(),
-    };
-    let planned = plan.cut(plan.full_mask(), params);
-    Some((outcome, planned.map(|p| (plan, p))))
+    let mut scratch = NavScratch::new();
+    plan_component_with(nav, comp, params, &mut scratch)
 }
 
-/// The core of the heuristic, operating on an explicit component node list
-/// (pre-order, `comp[0]` is the component root). Exposed for benches that
-/// measure expansion outside an [`ActiveTree`].
-pub fn expand_component(
+/// The single-pass Heuristic-ReducedOpt pipeline: **one** partitioning
+/// loop, **one** reduced-problem build, **one** exact solve — whose memo
+/// is retained in the returned plan — and the outcome plus first planned
+/// cut derived from that same solve. `scratch` supplies all transient
+/// state; a session threads one arena through every expansion.
+pub fn plan_component_with(
     nav: &NavigationTree,
     comp: &[NavNodeId],
     params: &CostParams,
-) -> Option<ExpandOutcome> {
+    scratch: &mut NavScratch,
+) -> Option<(ExpandOutcome, Option<(ReducedPlan, PlannedCut)>)> {
     if comp.len() < 2 {
         return None;
     }
     let started = Instant::now();
-    let parts = partition_until(nav, comp, params.max_partitions);
+    let parts = partition_until_in(nav, comp, params.max_partitions, scratch);
 
     if parts.len() == 1 {
-        // The whole component fit one partition (tiny component): reveal the
-        // component root's children directly.
-        let children: Vec<NavNodeId> = nav
-            .children(comp[0])
-            .iter()
-            .copied()
-            .filter(|c| comp.contains(c))
-            .collect();
-        return Some(ExpandOutcome {
-            cut: EdgeCut::new(children),
-            reduced_size: 1,
-            estimated_cost: f64::NAN,
-            elapsed: started.elapsed(),
-            fallback: true,
-        });
+        // The whole component fit one partition (tiny component): reveal
+        // the component root's children directly.
+        return tiny_component_fallback(nav, comp, &mut scratch.map, started)
+            .map(|outcome| (outcome, None));
     }
 
-    let problem = reduced_problem(nav, &parts, params);
-    let mut solver = problem.solver();
-    let (estimated_cost, best) = match params.planner {
-        crate::cost::Planner::Exhaustive => match solver.best_cut_myopic(problem.full_mask()) {
-            Some((cut, score)) => (score, Some(cut)),
-            None => (f64::NAN, None),
-        },
-        crate::cost::Planner::Recursive => {
-            let cost = solver.solve_full();
-            (cost, solver.best_cut_full())
+    // Stamp each node's partition id into the scratch map: reduced_parent
+    // becomes an O(1) lookup instead of a per-partition `contains` scan.
+    let map = &mut scratch.map;
+    map.begin(nav.len());
+    for (pid, p) in parts.iter().enumerate() {
+        for &m in &p.nodes {
+            map.set(m.index(), pid as u32);
+        }
+    }
+
+    let problem = reduced_problem(nav, &parts, map, params);
+    let plan = ReducedPlan {
+        problem,
+        unit_roots: parts.iter().map(|p| p.root).collect(),
+        memo: Mutex::new(SolveCache::new()),
+    };
+    let full = plan.full_mask();
+
+    // The one fresh solve; its memo stays in `plan`.
+    counters::note_plan_solve();
+    let (estimated_cost, best) = {
+        let mut cache = plan.memo.lock();
+        let mut solver = plan.problem.solver_with_cache(&mut cache);
+        match params.planner {
+            crate::cost::Planner::Exhaustive => match solver.best_cut_myopic(full) {
+                Some((cut, score)) => (score, Some(cut)),
+                None => (f64::NAN, None),
+            },
+            crate::cost::Planner::Recursive => {
+                let cost = solver.solve_full();
+                (cost, solver.best_cut_full())
+            }
         }
     };
 
@@ -204,24 +273,88 @@ pub fn expand_component(
         // root's (a valid antichain by construction).
         _ => {
             let top: Vec<usize> = (1..parts.len())
-                .filter(|&i| reduced_parent(nav, &parts, i) == 0)
+                .filter(|&i| reduced_parent(nav, &parts[i], map) == 0)
                 .collect();
             (top, true)
         }
     };
+    let planned = if fallback {
+        // A fallback reveal is not a planner decision; retaining the plan
+        // would replay the decline on the sub-components. Matches the
+        // historical behavior of `plan.cut` returning `None` here.
+        None
+    } else {
+        plan.map_cut(full, lower_units.clone())
+    };
     let cut = EdgeCut::new(lower_units.iter().map(|&u| parts[u].root).collect());
-    Some(ExpandOutcome {
+    let outcome = ExpandOutcome {
         cut,
         reduced_size: parts.len(),
         estimated_cost,
         elapsed: started.elapsed(),
         fallback,
+    };
+    Some((outcome, planned.map(|p| (plan, p))))
+}
+
+/// The tiny-component path: the whole component fit one partition, so
+/// reveal the component root's in-component children. Returns `None` —
+/// instead of an empty `EdgeCut` — when a stale `comp` from a racing
+/// caller leaves no revealable child.
+fn tiny_component_fallback(
+    nav: &NavigationTree,
+    comp: &[NavNodeId],
+    map: &mut NodeMap,
+    started: Instant,
+) -> Option<ExpandOutcome> {
+    map.begin(nav.len());
+    for &n in comp {
+        map.set(n.index(), 1);
+    }
+    let mut children: Vec<NavNodeId> = nav
+        .children(comp[0])
+        .iter()
+        .copied()
+        .filter(|c| map.get(c.index()).is_some())
+        .collect();
+    children.dedup();
+    if children.is_empty() {
+        return None;
+    }
+    Some(ExpandOutcome {
+        cut: EdgeCut::new(children),
+        reduced_size: 1,
+        estimated_cost: f64::NAN,
+        elapsed: started.elapsed(),
+        fallback: true,
     })
 }
 
+/// The core of the heuristic, operating on an explicit component node list
+/// (pre-order, `comp[0]` is the component root). Exposed for benches that
+/// measure expansion outside an [`ActiveTree`]. A thin wrapper over
+/// [`plan_component`] that drops the retained plan.
+pub fn expand_component(
+    nav: &NavigationTree,
+    comp: &[NavNodeId],
+    params: &CostParams,
+) -> Option<ExpandOutcome> {
+    plan_component(nav, comp, params).map(|(outcome, _)| outcome)
+}
+
 /// Builds the reduced-tree cut problem over the partitions. `parts[0]` is
-/// the root partition (guaranteed by [`partition_until`]).
-fn reduced_problem(nav: &NavigationTree, parts: &[Partition], params: &CostParams) -> CutProblem {
+/// the root partition (guaranteed by
+/// [`partition_until`](crate::edgecut::partition::partition_until)), and
+/// `map` holds each component node's partition id. Citation unions and
+/// explore-weight sums run in one pass over the component in partition
+/// order — the same member order as the historical implementation, keeping
+/// the f64 sums bit-identical.
+fn reduced_problem(
+    nav: &NavigationTree,
+    parts: &[Partition],
+    map: &NodeMap,
+    params: &CostParams,
+) -> CutProblem {
     let n = parts.len();
     let mut parent: Vec<Option<usize>> = Vec::with_capacity(n);
     let mut sets: Vec<CitSet> = Vec::with_capacity(n);
@@ -231,7 +364,7 @@ fn reduced_problem(nav: &NavigationTree, parts: &[Partition], params: &CostParam
         parent.push(if i == 0 {
             None
         } else {
-            Some(reduced_parent(nav, parts, i))
+            Some(reduced_parent(nav, p, map))
         });
         let mut set = CitSet::new(nav.universe());
         let mut ew = 0.0;
@@ -257,22 +390,171 @@ fn reduced_problem(nav: &NavigationTree, parts: &[Partition], params: &CostParam
     )
 }
 
-/// Index of the partition containing the navigation parent of `parts[i]`'s
-/// root.
-fn reduced_parent(nav: &NavigationTree, parts: &[Partition], i: usize) -> usize {
+/// Index of the partition containing the navigation parent of `part`'s
+/// root — an O(1) lookup in the stamped partition-id map.
+fn reduced_parent(nav: &NavigationTree, part: &Partition, map: &NodeMap) -> usize {
     let up = nav
-        .parent(parts[i].root)
+        .parent(part.root)
         .expect("non-root partitions hang below the component root");
-    parts
-        .iter()
-        .position(|p| p.nodes.contains(&up))
-        .expect("the parent node belongs to some partition of the same component")
+    map.get(up.index())
+        .expect("the parent node belongs to some partition of the same component") as usize
+}
+
+/// The historical two-pass Heuristic-ReducedOpt pipeline, kept verbatim as
+/// the behavioral reference for the equivalence test-suite
+/// (`tests/plan_equivalence.rs`). **Not used in serving** — it runs
+/// `partition_until` twice per planned expansion and solves with throwaway
+/// memos, which is exactly the tail-latency bug the single-pass pipeline
+/// replaces. Do not "optimize" this module; its value is fidelity to the
+/// pre-optimization semantics.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+    use crate::edgecut::partition::partition_until;
+
+    /// Two-pass [`super::plan_component`]: expand, then re-partition and
+    /// re-solve to retain the plan.
+    pub fn plan_component(
+        nav: &NavigationTree,
+        comp: &[NavNodeId],
+        params: &CostParams,
+    ) -> Option<(ExpandOutcome, Option<(ReducedPlan, PlannedCut)>)> {
+        let outcome = expand_component(nav, comp, params)?;
+        if outcome.reduced_size <= 1 {
+            return Some((outcome, None));
+        }
+        // Rebuild the partitioning deterministically and retain it.
+        let parts = partition_until(nav, comp, params.max_partitions);
+        let problem = reference_problem(nav, &parts, params);
+        let plan = ReducedPlan {
+            problem,
+            unit_roots: parts.iter().map(|p| p.root).collect(),
+            memo: Mutex::new(SolveCache::new()),
+        };
+        let planned = plan.cut_uncached(plan.full_mask(), params);
+        Some((outcome, planned.map(|p| (plan, p))))
+    }
+
+    /// Single-shot expansion with a throwaway solver memo.
+    pub fn expand_component(
+        nav: &NavigationTree,
+        comp: &[NavNodeId],
+        params: &CostParams,
+    ) -> Option<ExpandOutcome> {
+        if comp.len() < 2 {
+            return None;
+        }
+        let started = Instant::now();
+        let parts = partition_until(nav, comp, params.max_partitions);
+
+        if parts.len() == 1 {
+            let children: Vec<NavNodeId> = nav
+                .children(comp[0])
+                .iter()
+                .copied()
+                .filter(|c| comp.contains(c))
+                .collect();
+            if children.is_empty() {
+                // The historical code returned an empty EdgeCut here; the
+                // bugfixed pipeline returns None, and the reference adopts
+                // that so outcomes stay comparable (the condition requires
+                // a stale component list either way).
+                return None;
+            }
+            return Some(ExpandOutcome {
+                cut: EdgeCut::new(children),
+                reduced_size: 1,
+                estimated_cost: f64::NAN,
+                elapsed: started.elapsed(),
+                fallback: true,
+            });
+        }
+
+        let problem = reference_problem(nav, &parts, params);
+        let mut solver = problem.solver();
+        let (estimated_cost, best) = match params.planner {
+            crate::cost::Planner::Exhaustive => match solver.best_cut_myopic(problem.full_mask()) {
+                Some((cut, score)) => (score, Some(cut)),
+                None => (f64::NAN, None),
+            },
+            crate::cost::Planner::Recursive => {
+                let cost = solver.solve_full();
+                (cost, solver.best_cut_full())
+            }
+        };
+
+        let (lower_units, fallback) = match best {
+            Some(cut) if !cut.is_empty() => (cut, false),
+            _ => {
+                let top: Vec<usize> = (1..parts.len())
+                    .filter(|&i| reference_parent(nav, &parts, i) == 0)
+                    .collect();
+                (top, true)
+            }
+        };
+        let cut = EdgeCut::new(lower_units.iter().map(|&u| parts[u].root).collect());
+        Some(ExpandOutcome {
+            cut,
+            reduced_size: parts.len(),
+            estimated_cost,
+            elapsed: started.elapsed(),
+            fallback,
+        })
+    }
+
+    /// Reduced-problem build with the historical O(parts × n) parent scan.
+    fn reference_problem(
+        nav: &NavigationTree,
+        parts: &[Partition],
+        params: &CostParams,
+    ) -> CutProblem {
+        let n = parts.len();
+        let mut parent: Vec<Option<usize>> = Vec::with_capacity(n);
+        let mut sets: Vec<CitSet> = Vec::with_capacity(n);
+        let mut member_count: Vec<u32> = Vec::with_capacity(n);
+        let mut explore_weight: Vec<f64> = Vec::with_capacity(n);
+        for (i, p) in parts.iter().enumerate() {
+            parent.push(if i == 0 {
+                None
+            } else {
+                Some(reference_parent(nav, parts, i))
+            });
+            let mut set = CitSet::new(nav.universe());
+            let mut ew = 0.0;
+            for &m in &p.nodes {
+                set.union_with(nav.results(m));
+                ew += nav.explore_weight(m);
+            }
+            sets.push(set);
+            member_count.push(p.nodes.len() as u32);
+            explore_weight.push(ew);
+        }
+        CutProblem::new(
+            parent,
+            sets,
+            member_count,
+            explore_weight,
+            nav.total_explore_weight(),
+            params.clone(),
+        )
+    }
+
+    fn reference_parent(nav: &NavigationTree, parts: &[Partition], i: usize) -> usize {
+        let up = nav
+            .parent(parts[i].root)
+            .expect("non-root partitions hang below the component root");
+        parts
+            .iter()
+            .position(|p| p.nodes.contains(&up))
+            .expect("the parent node belongs to some partition of the same component")
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::active::ActiveTree;
+    use crate::edgecut::partition::partition_until;
     use bionav_medline::{Citation, CitationId, CitationStore};
     use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
 
@@ -490,6 +772,122 @@ mod tests {
                 roots.contains(lower),
                 "cut endpoints must be partition roots"
             );
+        }
+    }
+
+    #[test]
+    fn single_pass_matches_two_pass_reference() {
+        let nav = build_nav();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        for planner in [
+            crate::cost::Planner::Exhaustive,
+            crate::cost::Planner::Recursive,
+        ] {
+            for k in [2usize, 4, 10] {
+                let params = CostParams {
+                    planner,
+                    ..CostParams::default().with_max_partitions(k)
+                };
+                let new = plan_component(&nav, &comp, &params);
+                let old = reference::plan_component(&nav, &comp, &params);
+                match (new, old) {
+                    (None, None) => {}
+                    (Some((no, np)), Some((oo, op))) => {
+                        assert_eq!(no.cut, oo.cut, "planner={planner:?} k={k}");
+                        assert_eq!(no.reduced_size, oo.reduced_size);
+                        assert_eq!(no.fallback, oo.fallback);
+                        assert!(
+                            no.estimated_cost == oo.estimated_cost
+                                || (no.estimated_cost.is_nan() && oo.estimated_cost.is_nan()),
+                            "estimated cost must be bit-identical"
+                        );
+                        match (np, op) {
+                            (None, None) => {}
+                            (Some((nplan, ncut)), Some((oplan, ocut))) => {
+                                assert_eq!(ncut.cut, ocut.cut);
+                                assert_eq!(ncut.upper_mask, ocut.upper_mask);
+                                assert_eq!(ncut.lowers, ocut.lowers);
+                                assert_eq!(nplan.full_mask(), oplan.full_mask());
+                            }
+                            (n, o) => panic!(
+                                "plan retention diverged: new={} old={}",
+                                n.is_some(),
+                                o.is_some()
+                            ),
+                        }
+                    }
+                    (n, o) => panic!("outcomes diverged: new={} old={}", n.is_some(), o.is_some()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_plan_runs_one_partitioning_and_one_solve() {
+        let nav = build_nav();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        let params = CostParams::default();
+        counters::reset();
+        let (_, planned) = plan_component(&nav, &comp, &params).expect("expands");
+        assert_eq!(
+            counters::partition_runs(),
+            1,
+            "fresh EXPAND must partition exactly once"
+        );
+        assert_eq!(
+            counters::plan_solves(),
+            1,
+            "fresh EXPAND must solve exactly once"
+        );
+        // Retained-plan follow-ups partition and solve zero times.
+        let (plan, first) = planned.expect("plan retained");
+        counters::reset();
+        for &(_, mask) in &first.lowers {
+            let _ = plan.cut(mask, &params);
+        }
+        let _ = plan.cut(first.upper_mask, &params);
+        assert_eq!(
+            counters::partition_runs(),
+            0,
+            "retained-plan cuts must not re-partition"
+        );
+        assert_eq!(
+            counters::plan_solves(),
+            0,
+            "retained-plan cuts must not re-solve"
+        );
+    }
+
+    #[test]
+    fn retained_memo_grows_and_cuts_match_uncached() {
+        let nav = build_nav();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        let params = CostParams::default();
+        let (_, planned) = plan_component(&nav, &comp, &params).expect("expands");
+        let (plan, first) = planned.expect("plan retained");
+        assert!(
+            plan.memo_len() > 0,
+            "the initial solve must seed the retained memo"
+        );
+        let masks: Vec<u64> = std::iter::once(first.upper_mask)
+            .chain(first.lowers.iter().map(|&(_, m)| m))
+            .collect();
+        for mask in masks {
+            let cached = plan.cut(mask, &params);
+            let uncached = plan.cut_uncached(mask, &params);
+            match (cached, uncached) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.cut, b.cut);
+                    assert_eq!(a.upper_mask, b.upper_mask);
+                    assert_eq!(a.lowers, b.lowers);
+                }
+                (a, b) => panic!(
+                    "retained/uncached diverged: cached={} uncached={}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
         }
     }
 }

@@ -58,11 +58,70 @@ struct MaskInfo {
     best_cut: Option<Vec<usize>>,
 }
 
-/// The solver: owns the memo table so repeated queries stay cheap.
+/// A retainable memo table for [`CutSolver`]: per-mask exact-DP results
+/// plus per-mask myopic (§V objective) results.
+///
+/// The cache belongs to a *specific* [`CutProblem`]; feeding it to a solver
+/// over a different problem is a logic error (masks would alias). Keep it
+/// next to the problem it was filled for — exactly what
+/// [`ReducedPlan`](crate::edgecut::heuristic::ReducedPlan) does, realizing
+/// the paper's §VI-B observation that once Opt-EdgeCut has run, every
+/// sub-component's cut is already known and follow-up expansions are pure
+/// lookups.
+#[derive(Debug, Clone, Default)]
+pub struct SolveCache {
+    exact: HashMap<u64, MaskInfo>,
+    myopic: HashMap<u64, Option<(Vec<usize>, f64)>>,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized entries (exact + myopic masks).
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.myopic.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.myopic.is_empty()
+    }
+}
+
+/// How a [`CutSolver`] holds its memo: owned (throwaway) or borrowed from a
+/// caller that retains it across solver instances (§VI-B reuse).
 #[derive(Debug)]
-pub struct CutSolver<'p> {
-    problem: &'p CutProblem,
-    memo: HashMap<u64, MaskInfo>,
+enum Memo<'c> {
+    Owned(SolveCache),
+    Shared(&'c mut SolveCache),
+}
+
+impl Memo<'_> {
+    fn cache(&mut self) -> &mut SolveCache {
+        match self {
+            Memo::Owned(c) => c,
+            Memo::Shared(c) => c,
+        }
+    }
+
+    fn cache_ref(&self) -> &SolveCache {
+        match self {
+            Memo::Owned(c) => c,
+            Memo::Shared(c) => c,
+        }
+    }
+}
+
+/// The solver: memoizes per-mask results so repeated queries stay cheap.
+/// Created by [`CutProblem::solver`] (private throwaway memo) or
+/// [`CutProblem::solver_with_cache`] (caller-retained memo).
+#[derive(Debug)]
+pub struct CutSolver<'a> {
+    problem: &'a CutProblem,
+    memo: Memo<'a>,
 }
 
 impl CutProblem {
@@ -187,11 +246,23 @@ impl CutProblem {
         }
     }
 
-    /// Creates a solver over this problem.
+    /// Creates a solver over this problem with a fresh, throwaway memo.
     pub fn solver(&self) -> CutSolver<'_> {
         CutSolver {
             problem: self,
-            memo: HashMap::new(),
+            memo: Memo::Owned(SolveCache::new()),
+        }
+    }
+
+    /// Creates a solver that reads and fills a caller-retained
+    /// [`SolveCache`]. Everything a previous solver over the same problem
+    /// memoized is answered without recomputation — the §VI-B "no need to
+    /// call the algorithm again" reuse. The cache must have been filled for
+    /// *this* problem (masks are problem-relative).
+    pub fn solver_with_cache<'a>(&'a self, cache: &'a mut SolveCache) -> CutSolver<'a> {
+        CutSolver {
+            problem: self,
+            memo: Memo::Shared(cache),
         }
     }
 
@@ -224,7 +295,7 @@ impl CutProblem {
     }
 }
 
-impl<'p> CutSolver<'p> {
+impl CutSolver<'_> {
     /// Minimum expected exploration cost of the full tree.
     pub fn solve_full(&mut self) -> f64 {
         self.solve(self.problem.full_mask())
@@ -240,13 +311,13 @@ impl<'p> CutSolver<'p> {
     /// must be non-empty and connected).
     pub fn solve(&mut self, mask: u64) -> f64 {
         self.ensure(mask);
-        self.memo[&mask].cost
+        self.memo.cache_ref().exact[&mask].cost
     }
 
     /// Optimal cut of component `mask`.
     pub fn best_cut(&mut self, mask: u64) -> Option<Vec<usize>> {
         self.ensure(mask);
-        self.memo[&mask].best_cut.clone()
+        self.memo.cache_ref().exact[&mask].best_cut.clone()
     }
 
     /// Expected cost of the component `mask` when the *first* expansion is
@@ -289,8 +360,20 @@ impl<'p> CutSolver<'p> {
     /// probability-weighted SHOWRESULTS the user runs next — exactly the
     /// TOPDOWN-EXHAUSTIVE cost whose optimization §V proves NP-complete)
     /// and return the minimizing cut with its score. Returns `None` for
-    /// single-unit components (nothing to cut).
+    /// single-unit components (nothing to cut). Results are memoized per
+    /// mask (the myopic plane of [`SolveCache`]), so retained-plan
+    /// expansions answer repeated masks without re-enumeration.
     pub fn best_cut_myopic(&mut self, mask: u64) -> Option<(Vec<usize>, f64)> {
+        if let Some(hit) = self.memo.cache_ref().myopic.get(&mask) {
+            return hit.clone();
+        }
+        let result = self.compute_myopic(mask);
+        self.memo.cache().myopic.insert(mask, result.clone());
+        result
+    }
+
+    /// The uncached §V enumeration behind [`CutSolver::best_cut_myopic`].
+    fn compute_myopic(&mut self, mask: u64) -> Option<(Vec<usize>, f64)> {
         let p = self.problem;
         if mask.count_ones() <= 1 {
             return None;
@@ -327,11 +410,11 @@ impl<'p> CutSolver<'p> {
     }
 
     fn ensure(&mut self, mask: u64) {
-        if self.memo.contains_key(&mask) {
+        if self.memo.cache_ref().exact.contains_key(&mask) {
             return;
         }
         let info = self.compute(mask);
-        self.memo.insert(mask, info);
+        self.memo.cache().exact.insert(mask, info);
     }
 
     fn compute(&mut self, mask: u64) -> MaskInfo {
@@ -630,11 +713,53 @@ mod tests {
         let p = chain();
         let mut s = p.solver();
         let _ = s.solve_full();
-        let memo_after_full = s.memo.len();
+        let memo_after_full = s.memo.cache_ref().exact.len();
         // Sub-component solves hit the memo; the table does not grow.
         let _ = s.solve(0b110);
         let _ = s.solve(0b100);
-        assert_eq!(s.memo.len(), memo_after_full.max(3));
+        assert_eq!(s.memo.cache_ref().exact.len(), memo_after_full.max(3));
+    }
+
+    #[test]
+    fn retained_cache_survives_across_solver_instances() {
+        // The §VI-B reuse: a second solver over the same retained cache
+        // answers previously solved masks without recomputing anything.
+        let p = chain();
+        let mut cache = SolveCache::new();
+        let (full_cost, full_cut) = {
+            let mut s = p.solver_with_cache(&mut cache);
+            let cost = s.solve_full();
+            let cut = s.best_cut_full();
+            let _ = s.best_cut_myopic(p.full_mask());
+            (cost, cut)
+        };
+        let len_after_first = cache.len();
+        assert!(len_after_first > 0);
+        {
+            let mut s2 = p.solver_with_cache(&mut cache);
+            assert_eq!(s2.solve_full().to_bits(), full_cost.to_bits());
+            assert_eq!(s2.best_cut_full(), full_cut);
+            // Sub-component queries are also answered from the cache.
+            let _ = s2.solve(0b110);
+        }
+        assert_eq!(
+            cache.len(),
+            len_after_first,
+            "retained cache must not recompute or grow on replayed masks"
+        );
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn myopic_results_are_memoized_and_stable() {
+        let p = chain();
+        let mut cache = SolveCache::new();
+        let first = p.solver_with_cache(&mut cache).best_cut_myopic(0b111);
+        let second = p.solver_with_cache(&mut cache).best_cut_myopic(0b111);
+        assert_eq!(first, second);
+        // And equal to the uncached enumeration.
+        let fresh = p.solver().best_cut_myopic(0b111);
+        assert_eq!(first, fresh);
     }
 
     #[test]

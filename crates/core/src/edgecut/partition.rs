@@ -14,10 +14,21 @@
 //! navigation tree every non-root node carries results; the floor of 1 only
 //! matters for the (possibly empty) root and keeps zero-weight chains from
 //! producing unbounded partition counts.
+//!
+//! # Allocation discipline
+//!
+//! [`partition_until`] runs the clustering pass many times while it steps
+//! `M`; on MeSH-scale components the per-pass `HashMap` membership index
+//! and fresh buffers used to dominate fresh-EXPAND latency. The `*_in`
+//! variants therefore thread a [`NavScratch`] arena (DESIGN.md §5c)
+//! through the pass: membership is an epoch-stamped node-indexed map, the
+//! cluster buffers are reused across passes, and only the **final** pass
+//! materializes [`Partition`] values. The plain entry points wrap the
+//! `*_in` forms with a throwaway arena and produce bit-identical output.
 
-use std::collections::HashMap;
-
+use crate::edgecut::counters;
 use crate::navtree::{NavNodeId, NavigationTree};
+use crate::scratch::{NavScratch, NodeMap, PartitionArena};
 
 /// One connected partition of a component subtree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,66 +45,95 @@ fn node_weight(nav: &NavigationTree, n: NavNodeId) -> u64 {
     u64::from(nav.results_count(n)).max(1)
 }
 
-/// Partitions the component given by `comp` (its nodes in navigation
-/// pre-order, `comp[0]` being the component root) with weight threshold
-/// `max_weight`. Every partition is connected; partitions may exceed
-/// `max_weight` only when a single node does.
-pub fn partition_component(
+/// Runs one bottom-up clustering pass with threshold `max_weight`.
+///
+/// On return `map` holds the component membership index (node slot →
+/// component index, stamped for the current epoch), and `arena.detached`
+/// holds the component indices of the partition roots — the component root
+/// (index 0) last. `arena.cluster_weight` / `arena.cluster_children` are
+/// pass-local working state.
+fn cluster_pass(
     nav: &NavigationTree,
     comp: &[NavNodeId],
     max_weight: u64,
-) -> Vec<Partition> {
-    assert!(!comp.is_empty(), "cannot partition an empty component");
-    let max_weight = max_weight.max(1);
-    let in_comp: HashMap<NavNodeId, usize> =
-        comp.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    map: &mut NodeMap,
+    arena: &mut PartitionArena,
+) {
+    // Epoch-stamped membership: node slot -> component index.
+    map.begin(nav.len());
+    for (i, &n) in comp.iter().enumerate() {
+        map.set(n.index(), i as u32);
+    }
 
     // cluster_weight[i]: weight of the still-attached cluster rooted at
     // comp[i]; cluster_children[i]: attached child cluster roots.
-    let mut cluster_weight: Vec<u64> = comp.iter().map(|&n| node_weight(nav, n)).collect();
-    let mut cluster_children: Vec<Vec<usize>> = vec![Vec::new(); comp.len()];
-    let mut detached_roots: Vec<usize> = Vec::new();
+    if arena.cluster_weight.len() < comp.len() {
+        arena.cluster_weight.resize(comp.len(), 0);
+        arena.cluster_children.resize(comp.len(), Vec::new());
+    }
+    for (i, &n) in comp.iter().enumerate() {
+        arena.cluster_weight[i] = node_weight(nav, n);
+        arena.cluster_children[i].clear();
+    }
+    arena.detached.clear();
 
     // Pre-order guarantees children come after parents; process in reverse.
     for i in (0..comp.len()).rev() {
         for &c in nav.children(comp[i]) {
-            if let Some(&ci) = in_comp.get(&c) {
-                cluster_children[i].push(ci);
-                cluster_weight[i] += cluster_weight[ci];
+            if let Some(ci) = map.get(c.index()) {
+                let ci = ci as usize;
+                arena.cluster_children[i].push(ci);
+                arena.cluster_weight[i] += arena.cluster_weight[ci];
             }
         }
-        while cluster_weight[i] > max_weight && !cluster_children[i].is_empty() {
+        while arena.cluster_weight[i] > max_weight && !arena.cluster_children[i].is_empty() {
             // Detach the heaviest child cluster as a finished partition.
-            let (pos, &heaviest) = cluster_children[i]
+            // `max_by_key` keeps the *last* maximum on ties, matching the
+            // original implementation's tie-breaking exactly.
+            let (pos, &heaviest) = arena.cluster_children[i]
                 .iter()
                 .enumerate()
-                .max_by_key(|(_, &c)| cluster_weight[c])
+                .max_by_key(|(_, &c)| arena.cluster_weight[c])
                 .expect("non-empty");
-            cluster_children[i].swap_remove(pos);
-            cluster_weight[i] -= cluster_weight[heaviest];
-            detached_roots.push(heaviest);
+            arena.cluster_children[i].swap_remove(pos);
+            let w = arena.cluster_weight[heaviest];
+            arena.cluster_weight[i] -= w;
+            arena.detached.push(heaviest);
         }
     }
-    detached_roots.push(0); // the root's remaining cluster
+    arena.detached.push(0); // the root's remaining cluster
+}
 
-    // Materialize membership: walk down from each partition root, stopping
-    // at detached boundaries.
-    let mut partition_of: Vec<Option<usize>> = vec![None; comp.len()];
-    for (pid, &root_idx) in detached_roots.iter().enumerate() {
-        partition_of[root_idx] = Some(pid);
+/// Materializes the partitions recorded in `arena.detached` by the most
+/// recent [`cluster_pass`] over the same `comp`/`map` state.
+fn materialize(
+    nav: &NavigationTree,
+    comp: &[NavNodeId],
+    map: &NodeMap,
+    arena: &mut PartitionArena,
+) -> Vec<Partition> {
+    // partition_of[i]: partition id of comp[i]; u32::MAX = unassigned.
+    arena.partition_of.clear();
+    arena.partition_of.resize(comp.len(), u32::MAX);
+    for (pid, &root_idx) in arena.detached.iter().enumerate() {
+        arena.partition_of[root_idx] = pid as u32;
     }
     // Pre-order pass: a node inherits its parent's partition unless it is a
     // partition root itself.
-    for i in 1..comp.len() {
-        if partition_of[i].is_some() {
+    for (i, &n) in comp.iter().enumerate().skip(1) {
+        if arena.partition_of[i] != u32::MAX {
             continue;
         }
-        let parent = nav.parent(comp[i]).expect("non-root nodes have parents");
-        let pi = in_comp[&parent];
-        partition_of[i] = partition_of[pi];
+        let parent = nav.parent(n).expect("non-root nodes have parents");
+        let pi = map
+            .get(parent.index())
+            .expect("parents of non-root component members are in the component")
+            as usize;
+        arena.partition_of[i] = arena.partition_of[pi];
     }
 
-    let mut parts: Vec<Partition> = detached_roots
+    let mut parts: Vec<Partition> = arena
+        .detached
         .iter()
         .map(|&ri| Partition {
             root: comp[ri],
@@ -102,9 +142,10 @@ pub fn partition_component(
         })
         .collect();
     for (i, &n) in comp.iter().enumerate() {
-        let pid = partition_of[i].expect("every node lands in a partition");
-        parts[pid].nodes.push(n);
-        parts[pid].weight += node_weight(nav, n);
+        let pid = arena.partition_of[i];
+        debug_assert_ne!(pid, u32::MAX, "every node lands in a partition");
+        parts[pid as usize].nodes.push(n);
+        parts[pid as usize].weight += node_weight(nav, n);
     }
     // Root partition first, the rest in pre-order of their roots.
     parts.sort_by_key(|p| {
@@ -117,22 +158,67 @@ pub fn partition_component(
     parts
 }
 
+/// Partitions the component given by `comp` (its nodes in navigation
+/// pre-order, `comp[0]` being the component root) with weight threshold
+/// `max_weight`. Every partition is connected; partitions may exceed
+/// `max_weight` only when a single node does.
+pub fn partition_component(
+    nav: &NavigationTree,
+    comp: &[NavNodeId],
+    max_weight: u64,
+) -> Vec<Partition> {
+    let mut scratch = NavScratch::new();
+    partition_component_in(nav, comp, max_weight, &mut scratch)
+}
+
+/// [`partition_component`] with a caller-owned scratch arena; allocates
+/// nothing beyond the returned partitions once the arena has warmed up.
+pub fn partition_component_in(
+    nav: &NavigationTree,
+    comp: &[NavNodeId],
+    max_weight: u64,
+    scratch: &mut NavScratch,
+) -> Vec<Partition> {
+    assert!(!comp.is_empty(), "cannot partition an empty component");
+    let max_weight = max_weight.max(1);
+    let (map, arena) = scratch.parts();
+    cluster_pass(nav, comp, max_weight, map, arena);
+    materialize(nav, comp, map, arena)
+}
+
 /// The paper's reduction loop: start from `M = W(C)/k` and increase `M`
 /// gradually until at most `k` partitions are obtained.
 pub fn partition_until(nav: &NavigationTree, comp: &[NavNodeId], k: usize) -> Vec<Partition> {
+    let mut scratch = NavScratch::new();
+    partition_until_in(nav, comp, k, &mut scratch)
+}
+
+/// [`partition_until`] with a caller-owned scratch arena. Intermediate
+/// `M`-steps only count detached clusters; partitions are materialized once
+/// for the accepted threshold, so the loop allocates nothing per step.
+pub fn partition_until_in(
+    nav: &NavigationTree,
+    comp: &[NavNodeId],
+    k: usize,
+    scratch: &mut NavScratch,
+) -> Vec<Partition> {
     assert!(k >= 1);
+    assert!(!comp.is_empty(), "cannot partition an empty component");
+    counters::note_partition_run();
     let total: u64 = comp.iter().map(|&n| node_weight(nav, n)).sum();
     let mut m = (total / k as u64).max(1);
+    let (map, arena) = scratch.parts();
     loop {
-        let parts = partition_component(nav, comp, m);
-        if parts.len() <= k {
-            return parts;
+        cluster_pass(nav, comp, m.max(1), map, arena);
+        if arena.detached.len() <= k {
+            return materialize(nav, comp, map, arena);
         }
         // 15% steps track the smallest M reaching ≤ k reasonably closely,
         // which keeps the reduced tree as fine-grained as allowed.
         m = (m + m / 7).max(m + 1);
         if m >= total {
-            return partition_component(nav, comp, total);
+            cluster_pass(nav, comp, total.max(1), map, arena);
+            return materialize(nav, comp, map, arena);
         }
     }
 }
@@ -337,5 +423,29 @@ mod tests {
         assert_eq!(parts[0].root, sub_root);
         let n: usize = parts.iter().map(|p| p.nodes.len()).sum();
         assert_eq!(n, comp.len());
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_scratch() {
+        // Re-using one arena across many calls with different thresholds
+        // and components must give the same answer as throwaway state.
+        let nav = chain_tree();
+        let comp: Vec<NavNodeId> = nav.iter_preorder().collect();
+        let sub_root = nav.children(NavNodeId::ROOT)[0];
+        let sub = nav.subtree_nodes(sub_root);
+        let mut scratch = NavScratch::new();
+        for m in [1u64, 4, 5, 8, 9, 100, 1000] {
+            let fresh = partition_component(&nav, &comp, m);
+            let reused = partition_component_in(&nav, &comp, m, &mut scratch);
+            assert_eq!(fresh, reused, "M={m} full component");
+            let fresh = partition_component_in(&nav, &sub, m, &mut NavScratch::new());
+            let reused = partition_component_in(&nav, &sub, m, &mut scratch);
+            assert_eq!(fresh, reused, "M={m} subcomponent");
+        }
+        for k in [1usize, 2, 3, 7, 50] {
+            let fresh = partition_until(&nav, &comp, k);
+            let reused = partition_until_in(&nav, &comp, k, &mut scratch);
+            assert_eq!(fresh, reused, "k={k}");
+        }
     }
 }

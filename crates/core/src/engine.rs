@@ -18,25 +18,33 @@
 //!   telemetry (cache hit rate, per-EXPAND latency percentiles,
 //!   sessions/sec) the bench harness reports.
 //!
-//! Thread-safety audit: `NavigationTree`, `ReducedPlan`, `ActiveTree` and
-//! `SessionState` are plain owned data with no interior mutability, hence
-//! `Send + Sync`; `Session` retains plans behind `Arc` (not `Rc`) so it is
-//! `Send + Sync` whenever its tree handle is. The `const` block at the
-//! bottom of this file makes these guarantees compile-time assertions —
-//! reintroducing an `Rc` (or a `Cell`) anywhere in the navigation stack
-//! fails the build.
+//! Thread-safety audit: `NavigationTree`, `ActiveTree` and `SessionState`
+//! are plain owned data with no interior mutability; `ReducedPlan` carries
+//! its retained solver memo behind a mutex; `Session` retains plans behind
+//! `Arc` (not `Rc`) so it is `Send + Sync` whenever its tree handle is.
+//! The `const` block at the bottom of this file makes these guarantees
+//! compile-time assertions — reintroducing an `Rc` (or a `Cell`) anywhere
+//! in the navigation stack fails the build.
+//!
+//! Telemetry is deliberately off the serving hot path: EXPAND latencies go
+//! into a sharded lock-free [`LatencyHistogram`] (fixed memory, no global
+//! log vector), and the live-session gauge is an atomic maintained at
+//! insert/remove time, so [`Engine::stats`] never touches the session
+//! table's lock while workers are serving.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::telemetry::LatencyHistogram;
+
 use crate::active::EdgeCutError;
 use crate::cost::CostParams;
 use crate::navtree::{NavNodeId, NavigationTree};
-use crate::session::{Session, SessionState};
+use crate::session::{CutCache, Session, SessionState};
 use crate::sim::NavOutcome;
 
 pub mod pool {
@@ -121,6 +129,9 @@ pub mod pool {
 /// A navigation tree shared between the cache and any number of sessions.
 pub type SharedTree = Arc<NavigationTree>;
 
+/// A parked session's handle paired with its tree's cross-session cut memo.
+type SessionAndCuts = (Arc<Mutex<Session<SharedTree>>>, Arc<CutCache>);
+
 /// Handle to a session parked in the engine's session table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId(u64);
@@ -152,9 +163,15 @@ pub struct ScriptOutcome {
     pub expand_ns: Vec<u64>,
 }
 
-/// LRU cache entry.
+/// How many distinct components each per-tree [`CutCache`] memoizes before
+/// it stops inserting (fixed memory per cached tree).
+const CUT_CACHE_CAPACITY: usize = 4096;
+
+/// LRU cache entry: the shared tree plus its cross-session cut memo.
+/// Evicting the tree evicts its cuts with it.
 struct CacheEntry {
     tree: SharedTree,
+    cuts: Arc<CutCache>,
     last_used: u64,
 }
 
@@ -180,13 +197,20 @@ impl TreeCache {
         }
     }
 
-    fn get(&mut self, key: &str) -> Option<SharedTree> {
+    /// Zeroes the hit/miss/eviction counters, keeping the cached trees.
+    fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+
+    fn get(&mut self, key: &str) -> Option<(SharedTree, Arc<CutCache>)> {
         self.tick += 1;
         match self.entries.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.hits += 1;
-                Some(Arc::clone(&entry.tree))
+                Some((Arc::clone(&entry.tree), Arc::clone(&entry.cuts)))
             }
             None => {
                 self.misses += 1;
@@ -195,7 +219,7 @@ impl TreeCache {
         }
     }
 
-    fn insert(&mut self, key: String, tree: SharedTree) {
+    fn insert(&mut self, key: String, tree: SharedTree) -> Arc<CutCache> {
         self.tick += 1;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             // Evict the least-recently-used entry. O(n) scan — capacities
@@ -212,13 +236,16 @@ impl TreeCache {
                 self.evictions += 1;
             }
         }
+        let cuts = Arc::new(CutCache::new(CUT_CACHE_CAPACITY));
         self.entries.insert(
             key,
             CacheEntry {
                 tree,
+                cuts: Arc::clone(&cuts),
                 last_used: self.tick,
             },
         );
+        cuts
     }
 }
 
@@ -237,6 +264,12 @@ pub struct ServeStats {
     pub cache_capacity: usize,
     /// `hits / (hits + misses)`, 0.0 when idle.
     pub cache_hit_rate: f64,
+    /// EXPANDs answered from a cross-session [`CutCache`] (summed over the
+    /// currently cached trees).
+    pub cut_cache_hits: u64,
+    /// EXPANDs that fell through to a fresh Heuristic-ReducedOpt solve
+    /// (summed over the currently cached trees).
+    pub cut_cache_misses: u64,
     /// Sessions ever opened.
     pub sessions_opened: u64,
     /// Sessions closed (state exported or dropped).
@@ -257,10 +290,13 @@ pub struct ServeStats {
     pub sessions_per_sec: f64,
 }
 
-/// A parked session plus the raw query that opened it.
+/// A parked session plus the raw query that opened it and the
+/// cross-session cut memo of its tree (resolved once at open time so the
+/// EXPAND hot path never touches the tree-cache lock).
 struct SessionSlot {
     session: Arc<Mutex<Session<SharedTree>>>,
     query: String,
+    cuts: Arc<CutCache>,
 }
 
 /// The concurrent query-serving engine. See the module docs.
@@ -280,8 +316,15 @@ where
     next_session: AtomicU64,
     sessions_opened: AtomicU64,
     sessions_closed: AtomicU64,
-    expand_ns: Mutex<Vec<u64>>,
-    started: Instant,
+    /// Live-session gauge, maintained on insert/remove so `stats()` never
+    /// takes the session-table lock.
+    sessions_active: AtomicUsize,
+    /// EXPAND latency histogram: sharded, lock-free, fixed memory no
+    /// matter how long the engine lives (the predecessor was an unbounded
+    /// `Mutex<Vec<u64>>` every worker contended on).
+    expand_hist: LatencyHistogram,
+    /// Start of the current stats window (reset by [`Engine::reset_stats`]).
+    started: Mutex<Instant>,
 }
 
 impl<B> Engine<B>
@@ -299,8 +342,9 @@ where
             next_session: AtomicU64::new(1),
             sessions_opened: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
-            expand_ns: Mutex::new(Vec::new()),
-            started: Instant::now(),
+            sessions_active: AtomicUsize::new(0),
+            expand_hist: LatencyHistogram::new(),
+            started: Mutex::new(Instant::now()),
         }
     }
 
@@ -314,20 +358,26 @@ where
     /// Returns the shared navigation tree for `query`, building and caching
     /// it on a miss. `None` when the builder reports no results.
     pub fn tree_for(&self, query: &str) -> Option<SharedTree> {
+        self.tree_and_cuts_for(query).map(|(tree, _)| tree)
+    }
+
+    /// The shared tree *and* its cross-session cut memo, building both on a
+    /// miss.
+    fn tree_and_cuts_for(&self, query: &str) -> Option<(SharedTree, Arc<CutCache>)> {
         let key = Self::cache_key(query);
         let mut cache = self.cache.lock();
-        if let Some(tree) = cache.get(&key) {
-            return Some(tree);
+        if let Some(hit) = cache.get(&key) {
+            return Some(hit);
         }
         let tree = (self.builder)(query)?;
-        cache.insert(key, Arc::clone(&tree));
-        Some(tree)
+        let cuts = cache.insert(key, Arc::clone(&tree));
+        Some((tree, cuts))
     }
 
     /// Opens a session over `query`'s navigation tree. `None` when the
     /// query has no results.
     pub fn open_session(&self, query: &str) -> Option<SessionId> {
-        let tree = self.tree_for(query)?;
+        let (tree, cuts) = self.tree_and_cuts_for(query)?;
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         let session = Session::new(tree, self.params.clone());
         self.sessions.lock().insert(
@@ -335,9 +385,11 @@ where
             SessionSlot {
                 session: Arc::new(Mutex::new(session)),
                 query: query.to_string(),
+                cuts,
             },
         );
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.sessions_active.fetch_add(1, Ordering::Relaxed);
         Some(SessionId(id))
     }
 
@@ -357,20 +409,28 @@ where
         Some(f(&mut session))
     }
 
+    /// The parked session's handle plus its tree's cut memo.
+    fn session_and_cuts(&self, id: SessionId) -> Option<SessionAndCuts> {
+        let table = self.sessions.lock();
+        let slot = table.get(&id.0)?;
+        Some((Arc::clone(&slot.session), Arc::clone(&slot.cuts)))
+    }
+
     /// EXPAND on a parked session, recording the operation's latency in the
-    /// serving telemetry. `None` for unknown ids.
+    /// serving telemetry and consulting the tree's cross-session
+    /// [`CutCache`]. `None` for unknown ids.
     pub fn expand(
         &self,
         id: SessionId,
         node: NavNodeId,
     ) -> Option<Result<Vec<NavNodeId>, EdgeCutError>> {
-        self.with_session(id, |session| {
-            let start = Instant::now();
-            let result = session.expand(node);
-            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            self.expand_ns.lock().push(ns);
-            result
-        })
+        let (session, cuts) = self.session_and_cuts(id)?;
+        let mut session = session.lock();
+        let start = Instant::now();
+        let result = session.expand_cached(node, &cuts);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.expand_hist.record(ns);
+        Some(result)
     }
 
     /// Re-parks a previously exported session over `query`'s tree (the
@@ -380,7 +440,7 @@ where
     /// validation, so stale or foreign state is refused instead of
     /// navigating garbage.
     pub fn restore_session(&self, query: &str, state: SessionState) -> Option<SessionId> {
-        let tree = self.tree_for(query)?;
+        let (tree, cuts) = self.tree_and_cuts_for(query)?;
         let session = Session::restore(tree, self.params.clone(), state)?;
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         self.sessions.lock().insert(
@@ -388,9 +448,11 @@ where
             SessionSlot {
                 session: Arc::new(Mutex::new(session)),
                 query: query.to_string(),
+                cuts,
             },
         );
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.sessions_active.fetch_add(1, Ordering::Relaxed);
         Some(SessionId(id))
     }
 
@@ -405,6 +467,7 @@ where
     pub fn close_session(&self, id: SessionId) -> Option<SessionState> {
         let slot = self.sessions.lock().remove(&id.0)?;
         self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        self.sessions_active.fetch_sub(1, Ordering::Relaxed);
         let session = slot.session.lock();
         Some(session.export_state())
     }
@@ -414,23 +477,30 @@ where
     /// the query has no results.
     pub fn run_script(&self, query: &str, script: &[ScriptOp]) -> Option<ScriptOutcome> {
         let id = self.open_session(query)?;
+        // Resolve the slot once: script replay EXPANDs go through the
+        // tree's cross-session cut memo without re-locking the session
+        // table per operation.
+        let (session, cuts) = self.session_and_cuts(id)?;
         let mut expand_ns = Vec::new();
         for op in script {
             match op {
                 ScriptOp::Expand(node) => {
                     let start = Instant::now();
-                    let _ = self.with_session(id, |s| s.expand(*node))?;
+                    let _ = session.lock().expand_cached(*node, &cuts);
                     expand_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 }
                 ScriptOp::ExpandFully => loop {
-                    let next = self.with_session(id, |s| {
-                        s.nav()
+                    let next = {
+                        let s = session.lock();
+                        let found = s
+                            .nav()
                             .iter_preorder()
-                            .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1)
-                    })?;
+                            .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1);
+                        found
+                    };
                     let Some(node) = next else { break };
                     let start = Instant::now();
-                    let _ = self.with_session(id, |s| s.expand(node))?;
+                    let _ = session.lock().expand_cached(node, &cuts);
                     expand_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 },
                 ScriptOp::ShowResults(node) => {
@@ -445,7 +515,9 @@ where
             }
         }
         let cost = self.with_session(id, |s| s.cost().clone())?;
-        self.expand_ns.lock().extend_from_slice(&expand_ns);
+        for &ns in &expand_ns {
+            self.expand_hist.record(ns);
+        }
         self.close_session(id)?;
         Some(ScriptOutcome {
             query: query.to_string(),
@@ -468,30 +540,31 @@ where
         })
     }
 
-    /// Snapshot of the serving telemetry.
+    /// Snapshot of the serving telemetry. Never contends with serving: the
+    /// latency percentiles come from a merged histogram snapshot, and the
+    /// live-session gauge is an atomic — the session table's lock is not
+    /// taken.
     pub fn stats(&self) -> ServeStats {
-        let (hits, misses, evictions, entries, capacity) = {
+        let (hits, misses, evictions, entries, capacity, cut_hits, cut_misses) = {
             let cache = self.cache.lock();
+            let (cut_hits, cut_misses) = cache.entries.values().fold((0u64, 0u64), |(h, m), e| {
+                (h + e.cuts.hits(), m + e.cuts.misses())
+            });
             (
                 cache.hits,
                 cache.misses,
                 cache.evictions,
                 cache.entries.len(),
                 cache.capacity,
+                cut_hits,
+                cut_misses,
             )
         };
-        let mut latencies = self.expand_ns.lock().clone();
-        latencies.sort_unstable();
-        let pct = |q: f64| -> f64 {
-            if latencies.is_empty() {
-                return 0.0;
-            }
-            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-            latencies[idx] as f64 / 1_000.0
-        };
+        let snap = self.expand_hist.snapshot();
+        let pct = |q: f64| -> f64 { snap.percentile(q) as f64 / 1_000.0 };
         let opened = self.sessions_opened.load(Ordering::Relaxed);
         let closed = self.sessions_closed.load(Ordering::Relaxed);
-        let elapsed = self.started.elapsed().as_secs_f64();
+        let elapsed = self.started.lock().elapsed().as_secs_f64();
         let lookups = hits + misses;
         ServeStats {
             cache_hits: hits,
@@ -504,10 +577,12 @@ where
             } else {
                 hits as f64 / lookups as f64
             },
+            cut_cache_hits: cut_hits,
+            cut_cache_misses: cut_misses,
             sessions_opened: opened,
             sessions_closed: closed,
-            sessions_active: self.sessions.lock().len(),
-            expand_count: latencies.len(),
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            expand_count: snap.total() as usize,
             expand_p50_us: pct(0.50),
             expand_p95_us: pct(0.95),
             expand_p99_us: pct(0.99),
@@ -518,6 +593,25 @@ where
                 0.0
             },
         }
+    }
+
+    /// Resets the telemetry window: latency histogram, cache hit/miss/
+    /// eviction counters, opened/closed tallies, and the wall clock all
+    /// restart from zero. Cached trees and parked sessions are untouched
+    /// (the live-session gauge keeps counting them). For long-running REPL
+    /// or daemon processes that want per-window serving stats.
+    pub fn reset_stats(&self) {
+        self.expand_hist.reset();
+        {
+            let mut cache = self.cache.lock();
+            cache.reset_counters();
+            for entry in cache.entries.values_mut() {
+                entry.cuts.reset_counters();
+            }
+        }
+        self.sessions_opened.store(0, Ordering::Relaxed);
+        self.sessions_closed.store(0, Ordering::Relaxed);
+        *self.started.lock() = Instant::now();
     }
 }
 
@@ -535,6 +629,8 @@ const _: () = {
     assert_send_sync::<Session<SharedTree>>();
     assert_send::<Session<&'static NavigationTree>>();
     assert_send_sync::<ServeStats>();
+    assert_send_sync::<LatencyHistogram>();
+    assert_send_sync::<CutCache>();
 };
 
 #[cfg(test)]
@@ -740,6 +836,107 @@ mod tests {
             );
             assert_eq!(a.expand_ns.len(), b.expand_ns.len());
         }
+    }
+
+    #[test]
+    fn reset_stats_clears_the_telemetry_window() {
+        let engine = fixture_engine();
+        let query = {
+            let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+            h.iter_preorder()
+                .skip(1)
+                .map(|n| h.node(n).label().to_string())
+                .find(|label| engine.tree_for(label).is_some())
+                .expect("some label has results")
+        };
+        let id = engine.open_session(&query).unwrap();
+        engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
+        let before = engine.stats();
+        assert_eq!(before.expand_count, 1);
+        assert_eq!(before.sessions_active, 1);
+        assert!(before.cache_hits + before.cache_misses > 0);
+
+        engine.reset_stats();
+        let after = engine.stats();
+        assert_eq!(after.expand_count, 0);
+        assert_eq!(after.expand_p50_us, 0.0);
+        assert_eq!(after.expand_p99_us, 0.0);
+        assert_eq!(after.cache_hits + after.cache_misses, 0);
+        assert_eq!(after.sessions_opened, 0);
+        assert_eq!(after.sessions_closed, 0);
+        assert_eq!(
+            after.sessions_active, 1,
+            "live sessions survive a stats reset"
+        );
+        assert!(
+            after.cache_entries >= 1,
+            "cached trees survive a stats reset"
+        );
+
+        // The engine keeps serving and re-accumulating after the reset.
+        engine.expand(id, NavNodeId::ROOT).unwrap().ok();
+        assert_eq!(engine.stats().expand_count, 1);
+        engine.close_session(id).unwrap();
+        assert_eq!(engine.stats().sessions_active, 0);
+        assert_eq!(engine.stats().sessions_closed, 1);
+    }
+
+    #[test]
+    fn cut_cache_serves_repeat_components_without_solving() {
+        use crate::edgecut::counters;
+        let engine = fixture_engine();
+        let query = {
+            let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+            h.iter_preorder()
+                .skip(1)
+                .map(|n| h.node(n).label().to_string())
+                .find(|label| engine.tree_for(label).is_some_and(|t| t.len() > 3))
+                .expect("some label has a multi-node tree")
+        };
+
+        // The first session over the tree computes the root cut fresh:
+        // exactly one partitioning pipeline run.
+        let a = engine.open_session(&query).unwrap();
+        counters::reset();
+        let first = engine.expand(a, NavNodeId::ROOT).unwrap().unwrap();
+        assert_eq!(
+            counters::partition_runs(),
+            1,
+            "fresh expand partitions once"
+        );
+        engine.close_session(a).unwrap();
+
+        // A later session over the same tree replays the identical
+        // component from the cross-session cut memo: zero partitionings,
+        // zero solves, bit-identical reveal.
+        let b = engine.open_session(&query).unwrap();
+        counters::reset();
+        let second = engine.expand(b, NavNodeId::ROOT).unwrap().unwrap();
+        assert_eq!(
+            counters::partition_runs(),
+            0,
+            "repeat component re-partitioned"
+        );
+        assert_eq!(counters::plan_solves(), 0, "repeat component re-solved");
+        assert_eq!(second, first, "memoized cut diverged from the fresh cut");
+        engine.close_session(b).unwrap();
+
+        let stats = engine.stats();
+        assert!(stats.cut_cache_hits >= 1, "hit went unrecorded");
+        assert!(stats.cut_cache_misses >= 1, "first expand must miss");
+
+        // reset_stats zeroes the memo's counters but keeps its entries, so
+        // serving stays warm across a telemetry window reset.
+        engine.reset_stats();
+        let stats = engine.stats();
+        assert_eq!(stats.cut_cache_hits, 0);
+        assert_eq!(stats.cut_cache_misses, 0);
+        let c = engine.open_session(&query).unwrap();
+        counters::reset();
+        engine.expand(c, NavNodeId::ROOT).unwrap().unwrap();
+        assert_eq!(counters::partition_runs(), 0, "memo entries survive reset");
+        assert!(engine.stats().cut_cache_hits >= 1);
+        engine.close_session(c).unwrap();
     }
 
     #[test]

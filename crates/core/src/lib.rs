@@ -44,12 +44,15 @@ pub mod edgecut;
 pub mod engine;
 pub mod navtree;
 pub mod prob;
+pub mod scratch;
 pub mod session;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 
 pub use active::{ActiveTree, EdgeCut, EdgeCutError, VisNode};
 pub use bitset::CitSet;
 pub use cost::{CostParams, Planner};
 pub use engine::{Engine, ScriptOp, ScriptOutcome, ServeStats, SessionId, SharedTree};
 pub use navtree::{NavNodeId, NavigationTree};
+pub use scratch::NavScratch;

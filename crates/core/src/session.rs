@@ -34,14 +34,19 @@
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use bionav_medline::CitationId;
 
 use crate::active::{ActiveTree, EdgeCut, EdgeCutError, VisNode};
 use crate::cost::CostParams;
-use crate::edgecut::heuristic::{plan_component, ReducedPlan};
+use crate::edgecut::heuristic::{plan_component_with, ReducedPlan};
 use crate::navtree::{NavNodeId, NavigationTree};
+use crate::scratch::NavScratch;
 use crate::sim::NavOutcome;
 
 /// A retained reduced tree plus the unit mask describing one of its
@@ -54,6 +59,101 @@ use crate::sim::NavOutcome;
 struct PlanEntry {
     plan: Arc<ReducedPlan>,
     mask: u64,
+}
+
+/// A bounded, thread-safe memo of `component → EdgeCut` decisions, shared
+/// **across sessions** over the same navigation tree (the serving engine
+/// keeps one per cached tree).
+///
+/// Heuristic-ReducedOpt is a pure function of `(tree, component, params)`,
+/// so for a fixed tree and fixed engine params the cut chosen for a
+/// component is fully determined by the component's node list. Faceted
+/// search engines exploit exactly this by caching per-query doc-set
+/// layouts across refinements; here it means the *first* session over a
+/// query pays the partition+solve for each component it expands, and every
+/// later session replaying the same navigation state gets the identical
+/// cut from one hash lookup. Results are bit-identical by construction —
+/// the cache stores the exact `EdgeCut` the fresh pipeline computed.
+///
+/// Keys are `(hash, len)` fingerprints of the component's pre-order node
+/// list. A hash collision would hand a cut belonging to a different
+/// component to [`Session::expand_cached`]; the session validates every
+/// cached cut against the live component (`ActiveTree` cut validation) and
+/// falls back to a fresh solve when it does not apply, so a collision
+/// costs one failed validation, never a wrong navigation.
+///
+/// Memory is bounded: once `capacity` distinct components are cached,
+/// further misses compute fresh without inserting (no LRU churn on the hot
+/// path; components of one tree are few). Hit/miss counters are relaxed
+/// atomics for engine telemetry.
+#[derive(Debug, Default)]
+pub struct CutCache {
+    map: Mutex<HashMap<(u64, u32), EdgeCut>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CutCache {
+    /// An empty cache holding at most `capacity` distinct components.
+    pub fn new(capacity: usize) -> Self {
+        CutCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of memoized components.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+
+    /// Lookups answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a fresh solve.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the hit/miss counters, keeping the memoized cuts (for
+    /// telemetry-window resets).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Fingerprint of a component's pre-order node list.
+    fn fingerprint(comp: &[NavNodeId]) -> (u64, u32) {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        comp.hash(&mut h);
+        (h.finish(), comp.len() as u32)
+    }
+
+    fn get(&self, fp: (u64, u32)) -> Option<EdgeCut> {
+        let hit = self.map.lock().get(&fp).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn put(&self, fp: (u64, u32), cut: &EdgeCut) {
+        let mut map = self.map.lock();
+        if map.len() < self.capacity || map.contains_key(&fp) {
+            map.insert(fp, cut.clone());
+        }
+    }
 }
 
 /// One logged user action.
@@ -101,6 +201,11 @@ pub struct Session<T: Borrow<NavigationTree>> {
     /// ([`CostParams::reuse_plans`]). Cleared on BACKTRACK — the undo
     /// invalidates the masks.
     plans: HashMap<NavNodeId, PlanEntry>,
+    /// Reusable EXPAND scratch arena (DESIGN.md §5c). Holds no navigation
+    /// state, hence not part of [`SessionState`]; rebuilt empty on restore.
+    scratch: NavScratch,
+    /// Reusable component-node buffer for the EXPAND hot path.
+    comp_buf: Vec<NavNodeId>,
 }
 
 impl<T: Borrow<NavigationTree>> Session<T> {
@@ -114,6 +219,8 @@ impl<T: Borrow<NavigationTree>> Session<T> {
             log: Vec::new(),
             cost: NavOutcome::default(),
             plans: HashMap::new(),
+            scratch: NavScratch::new(),
+            comp_buf: Vec::new(),
         }
     }
 
@@ -146,6 +253,31 @@ impl<T: Borrow<NavigationTree>> Session<T> {
     /// of a component shrinks to one supernode, the session falls back to a
     /// fresh partitioning.
     pub fn expand(&mut self, node: NavNodeId) -> Result<Vec<NavNodeId>, EdgeCutError> {
+        self.expand_impl(node, None)
+    }
+
+    /// [`Session::expand`] consulting a cross-session [`CutCache`] first.
+    ///
+    /// The serving engine passes the cut cache of the session's (shared)
+    /// navigation tree: a component another session already expanded is cut
+    /// identically from one lookup instead of a fresh partition+solve. The
+    /// cache is only consulted with [`CostParams::reuse_plans`] off —
+    /// plan-reusing sessions already answer follow-ups from their retained
+    /// [`ReducedPlan`]s, and short-circuiting them here would skip the plan
+    /// registration those follow-ups depend on.
+    pub fn expand_cached(
+        &mut self,
+        node: NavNodeId,
+        cuts: &CutCache,
+    ) -> Result<Vec<NavNodeId>, EdgeCutError> {
+        self.expand_impl(node, Some(cuts))
+    }
+
+    fn expand_impl(
+        &mut self,
+        node: NavNodeId,
+        cuts: Option<&CutCache>,
+    ) -> Result<Vec<NavNodeId>, EdgeCutError> {
         if !self.active.is_visible(node) {
             return Err(EdgeCutError::NotAComponentRoot(node));
         }
@@ -161,12 +293,39 @@ impl<T: Borrow<NavigationTree>> Session<T> {
                 self.plans.remove(&node);
             }
         }
-        let comp = self.active.component_nodes(self.nav.borrow(), node);
-        let Some((outcome, planned)) = plan_component(self.nav.borrow(), &comp, &self.params)
-        else {
+        // Single-pass pipeline: reuse the session's component buffer and
+        // scratch arena; the plan (with its retained solver memo) and the
+        // applied cut come from the same partition+solve run.
+        let mut comp = std::mem::take(&mut self.comp_buf);
+        self.active
+            .component_nodes_into(self.nav.borrow(), node, &mut comp);
+        // Cross-session memo (engine sessions, reuse_plans off): identical
+        // components take the identical cut another session computed.
+        let fp = match cuts {
+            Some(cache) if !self.params.reuse_plans => {
+                let fp = CutCache::fingerprint(&comp);
+                if let Some(cut) = cache.get(fp) {
+                    if let Ok(revealed) = self.expand_with(node, &cut) {
+                        self.comp_buf = comp;
+                        return Ok(revealed);
+                    }
+                    // Fingerprint collision handed us a foreign cut and
+                    // validation refused it: solve fresh below.
+                }
+                Some(fp)
+            }
+            _ => None,
+        };
+        let planned =
+            plan_component_with(self.nav.borrow(), &comp, &self.params, &mut self.scratch);
+        self.comp_buf = comp;
+        let Some((outcome, planned)) = planned else {
             return Err(EdgeCutError::EmptyCut); // singleton: nothing to expand
         };
         let revealed = self.expand_with(node, &outcome.cut)?;
+        if let (Some(cache), Some(fp)) = (cuts, fp) {
+            cache.put(fp, &outcome.cut);
+        }
         if self.params.reuse_plans {
             if let Some((plan, cut)) = planned {
                 let plan = Arc::new(plan);
@@ -209,7 +368,8 @@ impl<T: Borrow<NavigationTree>> Session<T> {
         node: NavNodeId,
         cut: &EdgeCut,
     ) -> Result<Vec<NavNodeId>, EdgeCutError> {
-        self.active.expand(self.nav.borrow(), node, cut)?;
+        self.active
+            .expand_in(self.nav.borrow(), node, cut, &mut self.scratch)?;
         // A manual cut changes this component in ways a retained reduced
         // tree does not describe; drop its plan so the next automatic
         // EXPAND re-partitions instead of proposing a stale (and possibly
@@ -300,6 +460,8 @@ impl<T: Borrow<NavigationTree>> Session<T> {
             log: state.log,
             cost: state.cost,
             plans: HashMap::new(),
+            scratch: NavScratch::new(),
+            comp_buf: Vec::new(),
         })
     }
 }

@@ -10,6 +10,8 @@
 //! JSON tree type: the vendored serde_json is serialize-first, so the
 //! single field we gate on is scanned out of the text.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 /// Pulls the numeric value of `"key": <number>` out of a JSON document.

@@ -18,6 +18,8 @@
 //! Exits non-zero when any shape check fails, so CI can gate on the
 //! reproduction staying faithful.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::Instant;
 

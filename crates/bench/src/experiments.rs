@@ -1,5 +1,8 @@
 //! One function per paper table/figure plus the DESIGN.md ablations.
 //!
+//! lint: allow-file(no-unwrap) — experiment harness: reproduction runs want
+//! a loud abort with context over silent recovery when a fixture breaks.
+//!
 //! Each experiment prints its table and returns a [`ShapeCheck`] asserting
 //! the qualitative result the paper reports — not the absolute numbers
 //! (their testbed was a 2008 Java/Oracle stack; ours is a simulator), but

@@ -8,6 +8,8 @@
 //! bionav --k 6                # partition budget for Heuristic-ReducedOpt
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -31,6 +31,8 @@ impl Dataset {
     /// citations), deterministic in `seed`.
     pub fn demo(seed: u64, size: usize) -> Dataset {
         let hierarchy =
+            // lint: allow(no-unwrap) — SynthConfig::small() is a fixed valid
+            // config; generation failure is a bug worth aborting the demo for
             synth::generate(&SynthConfig::small(seed, size)).expect("synthetic hierarchies build");
         let store = corpus::generate(
             &hierarchy,

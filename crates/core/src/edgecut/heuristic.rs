@@ -133,6 +133,8 @@ impl ReducedPlan {
         if mask.count_ones() <= 1 {
             return None;
         }
+        // lint: allow(lock-across-solve) — the memo IS the solver's working
+        // state; the lock is plan-private, never shared across sessions
         let mut cache = self.memo.lock();
         let mut solver = self.problem.solver_with_cache(&mut cache);
         let lower_units = match params.planner {
@@ -251,6 +253,8 @@ pub fn plan_component_with(
     // The one fresh solve; its memo stays in `plan`.
     counters::note_plan_solve();
     let (estimated_cost, best) = {
+        // lint: allow(lock-across-solve) — this is the one fresh solve that
+        // seeds the plan-private memo; nothing else can hold this lock yet
         let mut cache = plan.memo.lock();
         let mut solver = plan.problem.solver_with_cache(&mut cache);
         match params.planner {
@@ -307,6 +311,10 @@ fn tiny_component_fallback(
     map: &mut NodeMap,
     started: Instant,
 ) -> Option<ExpandOutcome> {
+    debug_assert!(
+        comp.len() >= 2,
+        "the tiny-component path only runs on multi-node components"
+    );
     map.begin(nav.len());
     for &n in comp {
         map.set(n.index(), 1);
@@ -318,7 +326,14 @@ fn tiny_component_fallback(
         .filter(|c| map.get(c.index()).is_some())
         .collect();
     children.dedup();
+    debug_assert!(
+        children.iter().all(|&c| c != comp[0]),
+        "a component root can never be its own revealable child"
+    );
     if children.is_empty() {
+        // Typed decline, not an empty EdgeCut: a stale `comp` from a racing
+        // caller leaves nothing revealable; the caller maps None onto
+        // EdgeCutError::EmptyCut and the session surfaces it.
         return None;
     }
     Some(ExpandOutcome {
@@ -395,8 +410,12 @@ fn reduced_problem(
 fn reduced_parent(nav: &NavigationTree, part: &Partition, map: &NodeMap) -> usize {
     let up = nav
         .parent(part.root)
+        // lint: allow(no-unwrap) — partition() only emits non-root partitions
+        // below the component root, so the nav parent always exists
         .expect("non-root partitions hang below the component root");
     map.get(up.index())
+        // lint: allow(no-unwrap) — the stamped map covers every node of the
+        // component by construction (see NodeMap::stamp_component)
         .expect("the parent node belongs to some partition of the same component") as usize
 }
 
@@ -542,10 +561,15 @@ pub mod reference {
     fn reference_parent(nav: &NavigationTree, parts: &[Partition], i: usize) -> usize {
         let up = nav
             .parent(parts[i].root)
+            // lint: allow(no-unwrap) — same structural invariant as
+            // reduced_parent above; kept verbatim as the reference
             .expect("non-root partitions hang below the component root");
         parts
             .iter()
+            // lint: allow(hotpath-no-hashmap) — behavioral reference kept
+            // verbatim; not on the serve path (see module docs)
             .position(|p| p.nodes.contains(&up))
+            // lint: allow(no-unwrap) — reference twin of reduced_parent
             .expect("the parent node belongs to some partition of the same component")
     }
 }

@@ -162,6 +162,7 @@ impl CutProblem {
         assert!(parent[0].is_none(), "unit 0 must be the root");
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, &p) in parent.iter().enumerate().skip(1) {
+            // lint: allow(no-unwrap) — asserted above: parent[0] is the only None
             let p = p.expect("only the root lacks a parent");
             assert!(p < i, "parents must precede children (pre-order numbering)");
             children[p].push(i);
@@ -202,6 +203,8 @@ impl CutProblem {
         let index_of = |n: crate::navtree::NavNodeId| {
             comp.iter()
                 .position(|&m| m == n)
+                // lint: allow(no-unwrap) — components are parent-closed by
+                // construction (partition() emits whole subtrees)
                 .expect("parents of members are members")
         };
         let parent: Vec<Option<usize>> = comp
@@ -211,6 +214,8 @@ impl CutProblem {
                 if i == 0 {
                     None
                 } else {
+                    // lint: allow(no-unwrap) — i > 0 means n is not the
+                    // component root, so its nav parent exists
                     Some(index_of(nav.parent(n).expect("non-root")))
                 }
             })
@@ -291,6 +296,8 @@ impl CutProblem {
                 None => true,
                 Some(p) => mask & (1u64 << p) == 0,
             })
+            // lint: allow(no-unwrap) — callers never pass mask == 0, and any
+            // non-empty mask has a minimal element whose parent is outside it
             .expect("masks are non-empty")
     }
 }
@@ -387,6 +394,8 @@ impl CutSolver<'_> {
             let mut score = p.params.expand_cost + self.component_read_cost(upper);
             let mut lower_roots: Vec<usize> = Vec::new();
             for v in iter_mask(mask & !upper) {
+                // lint: allow(no-unwrap) — the root is in every upper prefix,
+                // so v outside `upper` cannot be the root
                 let pv = p.parent[v].expect("non-root units have parents");
                 if upper & (1u64 << pv) != 0 {
                     lower_roots.push(v);
@@ -447,6 +456,8 @@ impl CutSolver<'_> {
             let mut cut_cost = 0.0;
             let mut lower_roots: Vec<usize> = Vec::new();
             for v in iter_mask(mask & !upper) {
+                // lint: allow(no-unwrap) — the root is in every upper prefix,
+                // so v outside `upper` cannot be the root
                 let pv = p.parent[v].expect("non-root units have parents");
                 if upper & (1u64 << pv) != 0 {
                     lower_roots.push(v);
@@ -504,6 +515,8 @@ pub fn simulate_topdown_user(
     // EXPAND with the optimal cut; the DP prices the same choice.
     let cut = solver
         .best_cut(mask)
+        // lint: allow(no-unwrap) — guarded by the px > 0 branch above; the DP
+        // that priced px already materialized this cut
         .expect("px > 0 on a multi-unit component implies a cut exists");
     let mut cost = p.params.expand_cost;
     let mut upper = mask;

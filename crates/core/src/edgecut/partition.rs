@@ -94,6 +94,8 @@ fn cluster_pass(
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, &c)| arena.cluster_weight[c])
+                // lint: allow(no-unwrap) — the while condition just checked
+                // cluster_children[i] is non-empty
                 .expect("non-empty");
             arena.cluster_children[i].swap_remove(pos);
             let w = arena.cluster_weight[heaviest];
@@ -124,11 +126,19 @@ fn materialize(
         if arena.partition_of[i] != u32::MAX {
             continue;
         }
+        // lint: allow(no-unwrap) — skip(1) leaves only non-root members,
+        // whose nav parents exist by tree construction
         let parent = nav.parent(n).expect("non-root nodes have parents");
         let pi = map
             .get(parent.index())
+            // lint: allow(no-unwrap) — components are parent-closed: the
+            // stamped map covers every member's parent (debug-checked below)
             .expect("parents of non-root component members are in the component")
             as usize;
+        debug_assert!(
+            arena.partition_of[pi] != u32::MAX,
+            "pre-order invariant: the parent was assigned before its child"
+        );
         arena.partition_of[i] = arena.partition_of[pi];
     }
 

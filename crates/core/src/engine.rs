@@ -33,11 +33,12 @@
 //! table's lock while workers are serving.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+// The session table, tree cache, and gauges go through the sync shim so the
+// interleave park/resume model explores the production protocol (§5d).
+use crate::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use crate::telemetry::LatencyHistogram;
 
@@ -79,6 +80,9 @@ pub mod pool {
                     scope.spawn(|| {
                         let mut out = Vec::new();
                         loop {
+                            // Relaxed: the counter only hands out distinct
+                            // indices; results flow back via join, which
+                            // synchronizes.
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= tasks {
                                 break;
@@ -91,6 +95,8 @@ pub mod pool {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(no-unwrap) — a panicking worker already poisons
+                // the computation; re-raising on the caller is the contract
                 .map(|h| h.join().expect("pool worker panicked"))
                 .collect()
         });
@@ -102,6 +108,8 @@ pub mod pool {
         }
         slots
             .into_iter()
+            // lint: allow(no-unwrap) — fetch_add hands each index to exactly
+            // one worker, so every slot is filled by construction
             .map(|s| s.expect("every task index is claimed exactly once"))
             .collect()
     }
@@ -388,6 +396,8 @@ where
                 cuts,
             },
         );
+        // Relaxed: monotonic telemetry gauges; readers only aggregate them,
+        // nothing is ordered against the counts.
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
         self.sessions_active.fetch_add(1, Ordering::Relaxed);
         Some(SessionId(id))
@@ -427,6 +437,8 @@ where
         let (session, cuts) = self.session_and_cuts(id)?;
         let mut session = session.lock();
         let start = Instant::now();
+        // lint: allow(lock-across-solve) — per-session lock: one navigator
+        // per session by protocol; independent sessions never contend
         let result = session.expand_cached(node, &cuts);
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.expand_hist.record(ns);
@@ -442,6 +454,8 @@ where
     pub fn restore_session(&self, query: &str, state: SessionState) -> Option<SessionId> {
         let (tree, cuts) = self.tree_and_cuts_for(query)?;
         let session = Session::restore(tree, self.params.clone(), state)?;
+        // Relaxed: the id only needs uniqueness, not ordering with the
+        // table insert below (the table lock orders that).
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         self.sessions.lock().insert(
             id,
@@ -451,6 +465,8 @@ where
                 cuts,
             },
         );
+        // Relaxed: monotonic telemetry gauges; readers only ever aggregate
+        // them, nothing is ordered against the counts.
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
         self.sessions_active.fetch_add(1, Ordering::Relaxed);
         Some(SessionId(id))
@@ -466,6 +482,8 @@ where
     /// `None` for unknown ids.
     pub fn close_session(&self, id: SessionId) -> Option<SessionState> {
         let slot = self.sessions.lock().remove(&id.0)?;
+        // Relaxed: gauge updates; the table lock above already ordered the
+        // removal, and the counters are telemetry-only.
         self.sessions_closed.fetch_add(1, Ordering::Relaxed);
         self.sessions_active.fetch_sub(1, Ordering::Relaxed);
         let session = slot.session.lock();
@@ -486,6 +504,8 @@ where
             match op {
                 ScriptOp::Expand(node) => {
                     let start = Instant::now();
+                    // lint: allow(lock-across-solve) — per-session lock, and
+                    // the replay driver is this session's only user
                     let _ = session.lock().expand_cached(*node, &cuts);
                     expand_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 }
@@ -500,6 +520,8 @@ where
                     };
                     let Some(node) = next else { break };
                     let start = Instant::now();
+                    // lint: allow(lock-across-solve) — per-session lock, and
+                    // the replay driver is this session's only user
                     let _ = session.lock().expand_cached(node, &cuts);
                     expand_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
                 },
@@ -562,6 +584,8 @@ where
         };
         let snap = self.expand_hist.snapshot();
         let pct = |q: f64| -> f64 { snap.percentile(q) as f64 / 1_000.0 };
+        // Relaxed: a stats snapshot tolerates torn reads across gauges;
+        // each load is individually coherent and that is all we report.
         let opened = self.sessions_opened.load(Ordering::Relaxed);
         let closed = self.sessions_closed.load(Ordering::Relaxed);
         let elapsed = self.started.lock().elapsed().as_secs_f64();
@@ -581,6 +605,7 @@ where
             cut_cache_misses: cut_misses,
             sessions_opened: opened,
             sessions_closed: closed,
+            // Relaxed: same snapshot semantics as the loads above.
             sessions_active: self.sessions_active.load(Ordering::Relaxed),
             expand_count: snap.total() as usize,
             expand_p50_us: pct(0.50),
@@ -609,6 +634,8 @@ where
                 entry.cuts.reset_counters();
             }
         }
+        // Relaxed: the reset races in-flight sessions by design (documented
+        // on the method); per-counter coherence is all that is needed.
         self.sessions_opened.store(0, Ordering::Relaxed);
         self.sessions_closed.store(0, Ordering::Relaxed);
         *self.started.lock() = Instant::now();
@@ -638,16 +665,18 @@ mod tests {
     use super::*;
     use bionav_medline::corpus::{self, CorpusConfig};
     use bionav_medline::InvertedIndex;
-    use bionav_mesh::synth::{self, SynthConfig};
+    use bionav_mesh::synth::{self, sanitizer_scaled, SynthConfig};
 
     /// A tiny three-query serving fixture: one hierarchy/corpus, trees
-    /// built per keyword on demand.
+    /// built per keyword on demand. Sizes honor `BIONAV_SANITIZER_SCALE`
+    /// (see [`bionav_mesh::synth::sanitizer_scale`]) so Miri/TSan CI jobs
+    /// stay fast; at the default scale of 1.0 nothing changes.
     fn fixture_engine() -> Engine<impl Fn(&str) -> Option<SharedTree> + Send + Sync> {
-        let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+        let h = synth::generate(&SynthConfig::small(5, sanitizer_scaled(300, 48))).unwrap();
         let store = corpus::generate(
             &h,
             &CorpusConfig {
-                n_citations: 400,
+                n_citations: sanitizer_scaled(400, 64),
                 ..CorpusConfig::default()
             },
         );
@@ -667,11 +696,11 @@ mod tests {
 
     #[test]
     fn cache_hits_and_lru_eviction() {
-        let h = synth::generate(&SynthConfig::small(4, 200)).unwrap();
+        let h = synth::generate(&SynthConfig::small(4, sanitizer_scaled(200, 48))).unwrap();
         let store = corpus::generate(
             &h,
             &CorpusConfig {
-                n_citations: 300,
+                n_citations: sanitizer_scaled(300, 64),
                 ..CorpusConfig::default()
             },
         );
@@ -733,7 +762,7 @@ mod tests {
         // Find a query with results by probing node labels through the
         // engine itself.
         let query = {
-            let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+            let h = synth::generate(&SynthConfig::small(5, sanitizer_scaled(300, 48))).unwrap();
             h.iter_preorder()
                 .skip(1)
                 .map(|n| h.node(n).label().to_string())
@@ -766,7 +795,7 @@ mod tests {
         // the tree is immutable shared data.
         let engine = fixture_engine();
         let query = {
-            let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+            let h = synth::generate(&SynthConfig::small(5, sanitizer_scaled(300, 48))).unwrap();
             h.iter_preorder()
                 .skip(1)
                 .map(|n| h.node(n).label().to_string())
@@ -812,7 +841,7 @@ mod tests {
     #[test]
     fn replay_is_deterministic_across_worker_counts() {
         let engine = fixture_engine();
-        let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+        let h = synth::generate(&SynthConfig::small(5, sanitizer_scaled(300, 48))).unwrap();
         let jobs: Vec<(String, Vec<ScriptOp>)> = h
             .iter_preorder()
             .skip(1)
@@ -842,7 +871,7 @@ mod tests {
     fn reset_stats_clears_the_telemetry_window() {
         let engine = fixture_engine();
         let query = {
-            let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+            let h = synth::generate(&SynthConfig::small(5, sanitizer_scaled(300, 48))).unwrap();
             h.iter_preorder()
                 .skip(1)
                 .map(|n| h.node(n).label().to_string())
@@ -886,7 +915,7 @@ mod tests {
         use crate::edgecut::counters;
         let engine = fixture_engine();
         let query = {
-            let h = synth::generate(&SynthConfig::small(5, 300)).unwrap();
+            let h = synth::generate(&SynthConfig::small(5, sanitizer_scaled(300, 48))).unwrap();
             h.iter_preorder()
                 .skip(1)
                 .map(|n| h.node(n).label().to_string())

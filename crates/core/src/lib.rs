@@ -48,6 +48,7 @@ pub mod scratch;
 pub mod session;
 pub mod sim;
 pub mod stats;
+pub(crate) mod sync;
 pub mod telemetry;
 
 pub use active::{ActiveTree, EdgeCut, EdgeCutError, VisNode};

@@ -35,10 +35,11 @@
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+// CutCache's lock and counters go through the sync shim so the interleave
+// model tests explore the production insert/get/validate paths (§5d).
+use crate::sync::{AtomicU64, Mutex, Ordering};
 
 use bionav_medline::CitationId;
 
@@ -92,6 +93,7 @@ pub struct CutCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl CutCache {
@@ -102,6 +104,7 @@ impl CutCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
@@ -125,11 +128,27 @@ impl CutCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Zeroes the hit/miss counters, keeping the memoized cuts (for
-    /// telemetry-window resets).
+    /// Cached cuts refused by [`ActiveTree`] validation — fingerprint
+    /// collisions that handed a foreign cut to this component. Expected to
+    /// stay zero in practice; the serve path recovers with a fresh solve
+    /// either way, so this is a diagnostic tally, not an error count.
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Records one refused cached cut (see [`CutCache::collisions`]).
+    pub(crate) fn note_collision(&self) {
+        // Relaxed: diagnostic tally only; nothing is ordered against it.
+        self.collisions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zeroes the hit/miss/collision counters, keeping the memoized cuts
+    /// (for telemetry-window resets).
     pub fn reset_counters(&self) {
+        // Relaxed: counter window reset; per-counter coherence suffices.
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.collisions.store(0, Ordering::Relaxed);
     }
 
     /// Fingerprint of a component's pre-order node list.
@@ -141,6 +160,8 @@ impl CutCache {
 
     fn get(&self, fp: (u64, u32)) -> Option<EdgeCut> {
         let hit = self.map.lock().get(&fp).cloned();
+        // Relaxed: hit/miss tallies are telemetry; the map lock above is
+        // what orders the lookup itself.
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -149,10 +170,34 @@ impl CutCache {
     }
 
     fn put(&self, fp: (u64, u32), cut: &EdgeCut) {
+        // An empty cut expands nothing; memoizing one would turn a
+        // transient planner decline into a permanent no-op for every
+        // session hitting this fingerprint. Refuse instead of trusting
+        // the caller.
+        debug_assert!(!cut.is_empty(), "never memoize an empty cut");
+        if cut.is_empty() {
+            return;
+        }
         let mut map = self.map.lock();
         if map.len() < self.capacity || map.contains_key(&fp) {
             map.insert(fp, cut.clone());
         }
+    }
+}
+
+/// Model-checker hooks: the interleave models (`tests/interleave_models.rs`)
+/// drive the private fingerprint/get/put protocol directly, so the explored
+/// code is the production code, not a replica.
+#[cfg(interleave)]
+impl CutCache {
+    /// [`CutCache::get`] keyed by a component node list (model tests only).
+    pub fn model_get(&self, comp: &[NavNodeId]) -> Option<EdgeCut> {
+        self.get(Self::fingerprint(comp))
+    }
+
+    /// [`CutCache::put`] keyed by a component node list (model tests only).
+    pub fn model_put(&self, comp: &[NavNodeId], cut: &EdgeCut) {
+        self.put(Self::fingerprint(comp), cut)
     }
 }
 
@@ -310,7 +355,14 @@ impl<T: Borrow<NavigationTree>> Session<T> {
                         return Ok(revealed);
                     }
                     // Fingerprint collision handed us a foreign cut and
-                    // validation refused it: solve fresh below.
+                    // validation refused it: tally the collision and solve
+                    // fresh below. The memoized entry stays (it is correct
+                    // for the component that wrote it).
+                    cache.note_collision();
+                    debug_assert!(
+                        !cut.is_empty(),
+                        "cache handed out an empty cut; put() must refuse those"
+                    );
                 }
                 Some(fp)
             }
@@ -483,14 +535,16 @@ mod tests {
     use super::*;
     use bionav_medline::corpus::{self, CorpusConfig};
     use bionav_medline::InvertedIndex;
-    use bionav_mesh::synth::{self, SynthConfig};
+    use bionav_mesh::synth::{self, sanitizer_scaled, SynthConfig};
 
+    /// Fixture sizes honor `BIONAV_SANITIZER_SCALE` so instrumented runs
+    /// shrink; the default scale of 1.0 leaves them untouched.
     fn session_nav() -> NavigationTree {
-        let h = synth::generate(&SynthConfig::small(5, 400)).unwrap();
+        let h = synth::generate(&SynthConfig::small(5, sanitizer_scaled(400, 48))).unwrap();
         let store = corpus::generate(
             &h,
             &CorpusConfig {
-                n_citations: 600,
+                n_citations: sanitizer_scaled(600, 64),
                 ..CorpusConfig::default()
             },
         );

@@ -95,6 +95,8 @@ pub fn simulate_bionav(
         while !active.is_visible(target) {
             let root = active.component_root_of(target);
             let out = heuristic_reduced_opt(nav, &active, root, params)
+                // lint: allow(no-unwrap) — !is_visible(target) means root's
+                // component strictly contains target, hence ≥ 2 nodes
                 .expect("a component hiding another node has ≥ 2 nodes");
             let cut = if out.cut.is_empty() {
                 // Degenerate safety net; expand_component never returns an
@@ -116,6 +118,8 @@ pub fn simulate_bionav(
             });
             active
                 .expand(nav, root, &cut)
+                // lint: allow(no-unwrap) — the cut either came from the
+                // planner (validated) or is the full child set of root
                 .expect("heuristic cuts are valid");
             guard += 1;
             assert!(guard <= nav.len(), "expansion loop failed to make progress");

@@ -1,0 +1,29 @@
+//! Synchronization shim for the concurrent serving stack (DESIGN.md §5d).
+//!
+//! Every lock and atomic that participates in a cross-thread protocol —
+//! the sharded [`crate::telemetry::LatencyHistogram`], the
+//! [`crate::session::CutCache`], and the [`crate::engine::Engine`] session
+//! table and gauges — imports its primitives from here instead of naming
+//! `parking_lot` / `std::sync::atomic` directly.
+//!
+//! * In normal builds this re-exports the real types (zero-cost).
+//! * Under `RUSTFLAGS='--cfg interleave'` it swaps in the modeled types from
+//!   the vendored [`interleave`] checker, so the `cfg(interleave)`-gated
+//!   model tests (`tests/interleave_models.rs`) explore the *production*
+//!   code paths — not hand-copied replicas — under a bounded-exhaustive
+//!   scheduler. Outside a model run the modeled types pass through to their
+//!   `std` behavior, so the ordinary unit tests still pass in an
+//!   interleave-cfg'd build.
+//!
+//! The solver memo inside `edgecut::heuristic::ReducedPlan` intentionally
+//! stays on `parking_lot` directly: it is per-plan internal state whose
+//! interleavings are not part of the modeled protocols, and keeping it out
+//! of the shim keeps the model's schedule space small.
+
+#[cfg(not(interleave))]
+pub(crate) use parking_lot::Mutex;
+#[cfg(not(interleave))]
+pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(interleave)]
+pub(crate) use interleave::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};

@@ -22,22 +22,39 @@
 //! is `Send + Sync` by construction (plain atomics) and `reset` simply
 //! zeroes the buckets, so a REPL can clear serving stats in place.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+// The histogram's atomics come from the sync shim so the interleave model
+// tests explore the production record/snapshot/reset paths (DESIGN.md §5d).
+use crate::sync::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicUsize;
 
 /// Number of independent shards; recording threads spread across these
 /// round-robin so concurrent EXPANDs on different workers touch different
-/// cache lines.
+/// cache lines. Under `--cfg interleave` the geometry shrinks to a single
+/// shard with [`BUCKETS`] tiny buckets so the bounded-exhaustive scheduler
+/// can cover every interleaving of record/snapshot/reset in seconds.
+#[cfg(not(interleave))]
 pub const NUM_SHARDS: usize = 16;
+/// Shard count under the interleave model checker (see the non-`interleave`
+/// doc above).
+#[cfg(interleave)]
+pub const NUM_SHARDS: usize = 1;
 
 /// log2 of the number of linear sub-buckets per power-of-two range.
+#[cfg(not(interleave))]
 pub const SUB_BITS: u32 = 5;
 
+#[cfg(not(interleave))]
 const SUBS: usize = 1 << SUB_BITS; // 32 sub-buckets per octave
 /// Total bucket count: one linear bucket per value below `SUBS`, then
 /// `SUBS` sub-buckets for each of the remaining 59 octaves of `u64`.
+#[cfg(not(interleave))]
 pub const BUCKETS: usize = (64 - SUB_BITS as usize - 1) * SUBS + SUBS;
+/// Bucket count under the interleave model checker: tiny identity buckets.
+#[cfg(interleave)]
+pub const BUCKETS: usize = 8;
 
 /// Maps a sample to its bucket index. Monotone in `v`.
+#[cfg(not(interleave))]
 fn bucket_index(v: u64) -> usize {
     if v < SUBS as u64 {
         v as usize
@@ -48,8 +65,15 @@ fn bucket_index(v: u64) -> usize {
     }
 }
 
+/// Model-checker bucket map: clamped identity, still monotone in `v`.
+#[cfg(interleave)]
+fn bucket_index(v: u64) -> usize {
+    (v as usize).min(BUCKETS - 1)
+}
+
 /// Representative value (bucket midpoint) for a bucket index; the inverse
 /// of [`bucket_index`] up to the ≤ 2^-SUB_BITS relative bucket width.
+#[cfg(not(interleave))]
 fn bucket_value(idx: usize) -> u64 {
     if idx < SUBS {
         idx as u64
@@ -63,12 +87,21 @@ fn bucket_value(idx: usize) -> u64 {
     }
 }
 
+/// Model-checker inverse of the clamped-identity [`bucket_index`].
+#[cfg(interleave)]
+fn bucket_value(idx: usize) -> u64 {
+    idx as u64
+}
+
 /// Round-robin source for per-thread shard assignment. Shared across all
 /// histograms: it only decides *which* shard a thread writes, never
-/// aliases data between histograms.
+/// aliases data between histograms. Deliberately a plain `std` atomic even
+/// under `--cfg interleave`: shard placement is not part of the modeled
+/// protocol, and keeping it unmodeled keeps the schedule space small.
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
+    // Relaxed: round-robin ticket draw; no ordering with any other memory.
     static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS;
 }
 
@@ -122,12 +155,15 @@ impl LatencyHistogram {
     /// thread's shard, no locks.
     pub fn record(&self, v: u64) {
         let shard = MY_SHARD.with(|s| *s);
+        // Relaxed: independent monotone counters; readers merge via
+        // snapshot() and tolerate bucket/count skew (documented there).
         self.shards[shard].buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total number of recorded samples.
     pub fn count(&self) -> u64 {
+        // Relaxed: statistics read; may transiently lag in-flight records.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -136,6 +172,8 @@ impl LatencyHistogram {
         let mut counts = vec![0u64; BUCKETS];
         for shard in &self.shards {
             for (acc, b) in counts.iter_mut().zip(shard.buckets.iter()) {
+                // Relaxed: merge is point-in-time-ish by design; concurrent
+                // records may land on either side of the snapshot.
                 *acc += b.load(Ordering::Relaxed);
             }
         }
@@ -148,9 +186,13 @@ impl LatencyHistogram {
     pub fn reset(&self) {
         for shard in &self.shards {
             for b in shard.buckets.iter() {
+                // Relaxed: concurrent records may land on either side of a
+                // reset (documented contract of this method).
                 b.store(0, Ordering::Relaxed);
             }
         }
+        // Relaxed: same reset contract as the buckets above; count-vs-bucket
+        // skew during a racing record is documented benign.
         self.count.store(0, Ordering::Relaxed);
     }
 }
@@ -198,6 +240,9 @@ impl HistogramSnapshot {
 mod tests {
     use super::*;
 
+    // Exact log-linear geometry only exists in non-interleave builds; the
+    // model checker swaps in tiny identity buckets.
+    #[cfg(not(interleave))]
     #[test]
     fn bucket_index_is_monotone_and_value_roundtrips() {
         let mut prev = 0usize;
@@ -222,6 +267,8 @@ mod tests {
         }
     }
 
+    // See above: depends on the full log-linear bucket geometry.
+    #[cfg(not(interleave))]
     #[test]
     fn percentiles_match_sorted_log_within_bucket_error() {
         let hist = LatencyHistogram::new();

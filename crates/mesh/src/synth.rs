@@ -17,6 +17,28 @@ use std::collections::HashSet;
 
 use crate::{ConceptHierarchy, Descriptor, DescriptorId, MeshError, TreeNumber};
 
+/// Workload-shrink multiplier for sanitizer runs.
+///
+/// Reads `BIONAV_SANITIZER_SCALE` — a float in `(0, 1]`, clamped to
+/// `[0.01, 1.0]`, defaulting to `1.0` when unset or unparseable. Heavy test
+/// fixtures multiply node/citation counts by this so instrumented runs
+/// (Miri, ThreadSanitizer) finish in minutes instead of hours; functional
+/// assertions are unchanged, only fixture sizes shrink.
+pub fn sanitizer_scale() -> f64 {
+    std::env::var("BIONAV_SANITIZER_SCALE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map_or(1.0, |s| s.clamp(0.01, 1.0))
+}
+
+/// `n` shrunk by [`sanitizer_scale`] but never below `floor` — fixtures
+/// need a minimum amount of structure for their assertions to be
+/// meaningful (multi-level hierarchies, multi-page components, …).
+pub fn sanitizer_scaled(n: usize, floor: usize) -> usize {
+    let scaled = (n as f64 * sanitizer_scale()).round() as usize;
+    scaled.max(floor)
+}
+
 /// Tuning knobs for the synthetic hierarchy.
 #[derive(Debug, Clone)]
 pub struct SynthConfig {
@@ -76,6 +98,8 @@ pub fn generate_descriptors(cfg: &SynthConfig) -> Vec<Descriptor> {
     for cat in 0..cfg.top_categories {
         let letter = (b'A' + (cat % 26) as u8) as char;
         let root_tn = TreeNumber::parse(&format!("{letter}{:02}", cat / 26 + 1))
+            // lint: allow(no-unwrap) — the format string always yields
+            // `<letter><2 digits>`, the grammar's category form
             .expect("generated category numbers are valid");
         // ±25% jitter keeps categories from being eerily equal-sized.
         let jitter = rng.gen_range(0.75..1.25);

@@ -110,6 +110,8 @@ impl TreeNumber {
         self.raw
             .split('.')
             .next()
+            // lint: allow(no-unwrap) — split() always yields at least one
+            // piece, and parse() rejected empty raw strings
             .expect("tree numbers have at least one segment")
     }
 }

@@ -2,6 +2,10 @@
 //! citation store and keyword index whose statistical surface matches
 //! Table I.
 //!
+//! lint: allow-file(no-unwrap) — offline fixture builder: every expect()
+//! asserts a property the generator itself just established; failing fast
+//! with the message is the desired behavior for a corrupt workload.
+//!
 //! For every query the generator:
 //!
 //! 1. pins the *target concept*: a hierarchy descriptor at the specified

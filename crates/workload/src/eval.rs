@@ -64,6 +64,8 @@ impl QueryEval {
 pub fn evaluate_query(workload: &Workload, name: &str, params: &CostParams) -> QueryEval {
     let prepared = workload
         .query(name)
+        // lint: allow(no-unwrap) — documented panic contract of this fn (see
+        // `# Panics` above); callers iterate the workload's own query names
         .unwrap_or_else(|| panic!("unknown query {name:?}"));
     let run = workload.run_query(name);
     let table1 = Table1Row {

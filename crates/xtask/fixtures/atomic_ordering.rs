@@ -1,0 +1,25 @@
+// Fixture: RMW ops need an explicit Ordering, and every Ordering use needs
+// a nearby justification comment.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn implicit(c: &AtomicU64) {
+    c.fetch_add(1);
+}
+
+pub fn uncommented(c: &AtomicU64) {
+    let x = 1 + 1;
+    let y = x + 1;
+    let z = y + 1;
+    let _ = (x, y, z);
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn commented(c: &AtomicU64) {
+    // Relaxed: the counter is monotonic telemetry; no ordering is derived.
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn annotated(c: &AtomicU64) {
+    // lint: allow(atomic-ordering) — migrated verbatim from the vendored shim
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root that forgot the safety attribute.
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,18 @@
+// Fixture: scanned once under a virtual edgecut path (rules fire) and once
+// under a non-hot-path path (silent).
+use std::collections::HashMap;
+
+pub fn violates(xs: &[u32], up: u32) -> bool {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    seen.insert(up, up);
+    xs.contains(&up)
+}
+
+pub fn fine(map: &HashMap<u32, u32>, up: u32) -> bool {
+    map.contains_key(&up)
+}
+
+pub fn annotated(xs: &[u32], up: u32) -> bool {
+    // lint: allow(hotpath-no-hashmap) — reference module, not on the serve path
+    xs.contains(&up)
+}

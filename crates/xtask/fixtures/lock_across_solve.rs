@@ -1,0 +1,31 @@
+// Fixture: guards held across solver boundaries, dropped guards, annotated
+// designs, and same-line temporary guards.
+pub fn violates(state: &Shared) -> Plan {
+    let guard = state.inner.lock();
+    partition_until(&guard.tree, 4)
+}
+
+pub fn dropped(state: &Shared) -> Plan {
+    let guard = state.inner.lock();
+    let k = guard.budget;
+    drop(guard);
+    partition_until_free(k)
+}
+
+pub fn annotated(state: &Shared) -> Plan {
+    // lint: allow(lock-across-solve) — per-session lock: one user by protocol
+    let guard = state.inner.lock();
+    partition_until(&guard.tree, 4)
+}
+
+pub fn same_line_temporary(state: &Shared) -> Plan {
+    state.inner.lock().expand_cached(4)
+}
+
+pub fn scoped(state: &Shared) -> usize {
+    {
+        let guard = state.inner.lock();
+        let _ = guard.budget;
+    }
+    solve_full(7)
+}

@@ -1,0 +1,10 @@
+// lint: allow-file(no-unwrap) — REPL surface: prompts assume a live session
+pub fn f(v: Vec<u32>) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("non-empty");
+    *a + *b
+}
+
+pub fn g() {
+    panic!("still covered by the file-level allow");
+}

@@ -1,0 +1,27 @@
+// Fixture: annotated and exempt uses must stay silent; a reasonless
+// annotation must NOT suppress.
+pub fn f(v: Vec<u32>) -> u32 {
+    // lint: allow(no-unwrap) — the queue is seeded above; emptiness is a bug
+    let a = v.first().unwrap();
+    let b = v.last().copied().unwrap_or(0); // not a real unwrap()
+    *a + b
+}
+
+pub fn trailing(v: &[u32]) -> u32 {
+    v[0] + v.last().unwrap() // lint: allow(no-unwrap) — indexed above, same bound
+}
+
+pub fn reasonless(v: &[u32]) -> u32 {
+    // lint: allow(no-unwrap)
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_anything_goes() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        v.last().expect("non-empty");
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: the lexer must keep patterns inside literals and comments from
+// ever reaching the rule pass.
+pub fn f() -> &'static str {
+    // This comment mentions x.unwrap() and panic!("boom") harmlessly.
+    let msg = "call .unwrap() at your peril";
+    let raw = r#"panic!("not real") .expect("nothing")"#;
+    let _ = (msg, raw);
+    "ok"
+}
+
+/// Doc text may cite `v.unwrap()` freely.
+pub fn g() -> u32 {
+    0
+}

@@ -1,0 +1,9 @@
+// Fixture: plain library code, every pattern must fire once.
+pub fn f(v: Vec<u32>) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("non-empty");
+    if *a > *b {
+        panic!("inverted");
+    }
+    *a
+}

@@ -1,0 +1,196 @@
+//! Per-rule fixture tests: each fixture under `fixtures/` is scanned with a
+//! virtual workspace-relative path, and the expected findings (and ONLY
+//! those) must fire. This is the acceptance test the analysis-toolchain
+//! issue requires: the lint pass must fail on each seeded violation and
+//! stay silent on the allowlisted/negative twins.
+
+use xtask::scan_source;
+
+/// Rule ids fired per (line, rule) pair, sorted.
+fn hits(path: &str, src: &str) -> Vec<(usize, &'static str)> {
+    let mut v: Vec<(usize, &'static str)> = scan_source(path, src)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect();
+    v.sort();
+    v
+}
+
+fn rules_only(path: &str, src: &str) -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = scan_source(path, src).into_iter().map(|f| f.rule).collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+// ---------------------------------------------------------------------------
+// no-unwrap
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_unwrap_fires_on_each_pattern() {
+    let src = include_str!("../fixtures/no_unwrap_violation.rs");
+    let hits = hits("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        hits,
+        vec![(3, "no-unwrap"), (4, "no-unwrap"), (6, "no-unwrap")],
+        "unwrap/expect/panic must each fire exactly once"
+    );
+}
+
+#[test]
+fn no_unwrap_honors_annotations_and_test_mods() {
+    let src = include_str!("../fixtures/no_unwrap_allowed.rs");
+    let hits = hits("crates/core/src/fixture.rs", src);
+    // Only the reasonless annotation's unwrap (line 16) may fire.
+    assert_eq!(
+        hits,
+        vec![(16, "no-unwrap")],
+        "annotated + trailing-annotated + test-mod uses must be silent; \
+         a reasonless annotation must not suppress"
+    );
+}
+
+#[test]
+fn no_unwrap_allow_file_covers_whole_file() {
+    let src = include_str!("../fixtures/no_unwrap_allow_file.rs");
+    assert!(
+        hits("crates/core/src/fixture.rs", src).is_empty(),
+        "allow-file must cover every occurrence"
+    );
+}
+
+#[test]
+fn no_unwrap_ignores_strings_comments_docs() {
+    let src = include_str!("../fixtures/no_unwrap_in_strings.rs");
+    assert!(hits("crates/core/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn no_unwrap_exempts_bins() {
+    let src = include_str!("../fixtures/no_unwrap_violation.rs");
+    assert!(
+        !rules_only("crates/cli/src/bin/tool.rs", src).contains(&"no-unwrap"),
+        "bin targets are exempt from no-unwrap"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// atomic-ordering
+// ---------------------------------------------------------------------------
+
+#[test]
+fn atomic_ordering_fires_on_implicit_and_uncommented() {
+    let src = include_str!("../fixtures/atomic_ordering.rs");
+    let hits = hits("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        hits,
+        vec![(6, "atomic-ordering"), (14, "atomic-ordering")],
+        "implicit-ordering RMW and uncommented Ordering use must fire; \
+         commented and annotated uses must be silent"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// hotpath-no-hashmap
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hotpath_rule_is_scoped_to_edgecut() {
+    let src = include_str!("../fixtures/hotpath.rs");
+    let hot = hits("crates/core/src/edgecut/fixture.rs", src);
+    assert_eq!(
+        hot,
+        vec![(6, "hotpath-no-hashmap"), (8, "hotpath-no-hashmap")],
+        "HashMap::new and slice .contains(&…) must fire; contains_key and \
+         the annotated scan must not"
+    );
+    assert!(
+        hits("crates/core/src/session.rs", src).is_empty(),
+        "outside edgecut/ the same code is fine"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// lock-across-solve
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_across_solve_tracks_guards() {
+    let src = include_str!("../fixtures/lock_across_solve.rs");
+    let hits = hits("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        hits,
+        vec![(5, "lock-across-solve"), (22, "lock-across-solve")],
+        "live-guard solve and same-line temporary guard must fire; dropped, \
+         annotated, and scope-closed guards must be silent"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// forbid-unsafe
+// ---------------------------------------------------------------------------
+
+#[test]
+fn forbid_unsafe_checks_crate_roots_only() {
+    let missing = include_str!("../fixtures/forbid_missing.rs");
+    let present = include_str!("../fixtures/forbid_present.rs");
+    assert_eq!(
+        rules_only("crates/core/src/lib.rs", missing),
+        vec!["forbid-unsafe"]
+    );
+    assert_eq!(
+        rules_only("crates/cli/src/bin/tool.rs", missing),
+        vec!["forbid-unsafe"],
+        "bin roots are crate roots too"
+    );
+    assert!(rules_only("crates/core/src/lib.rs", present).is_empty());
+    assert!(
+        rules_only("crates/core/src/session.rs", missing).is_empty(),
+        "non-root modules need no attribute"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The rule table itself
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rule_table_is_complete_and_unique() {
+    let mut ids: Vec<&str> = xtask::RULES.iter().map(|r| r.id).collect();
+    ids.sort();
+    assert_eq!(
+        ids,
+        vec![
+            "atomic-ordering",
+            "forbid-unsafe",
+            "hotpath-no-hashmap",
+            "lock-across-solve",
+            "no-unwrap"
+        ]
+    );
+    for r in xtask::RULES {
+        assert!(!r.summary.is_empty() && !r.scope.is_empty() && !r.rationale.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The workspace itself must be clean (same entry point CI uses).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_scan_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let findings = xtask::scan_workspace(&root).expect("workspace scan reads all sources");
+    assert!(
+        findings.is_empty(),
+        "workspace lint violations:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,44 @@
+//! `interleave` — a minimal deterministic interleaving checker ("loom-lite").
+//!
+//! This vendored crate provides modeled concurrency primitives
+//! ([`sync::Mutex`], [`sync::AtomicU64`], [`sync::AtomicUsize`]) plus a
+//! bounded exhaustive scheduler that explores thread interleavings of a
+//! closure run under [`check`] / [`model`].
+//!
+//! # How it works
+//!
+//! Threads spawned via [`thread::spawn`] inside a model run on real OS
+//! threads, but a token-passing controller (see [`check`]) ensures exactly one
+//! modeled thread runs at a time. Every operation on a modeled primitive is a
+//! *yield point*: the scheduler picks which thread runs next, records the
+//! choice, and on subsequent executions replays a prefix of previous choices
+//! before diverging — a depth-first search over the schedule tree. A
+//! *preemption bound* (default 2) caps the number of involuntary context
+//! switches per schedule, which keeps exploration tractable while still
+//! finding the overwhelming majority of real interleaving bugs (empirically,
+//! most concurrency bugs require ≤ 2 preemptions to trigger).
+//!
+//! # Scope and limitations
+//!
+//! * Atomics are explored under **sequential consistency** regardless of the
+//!   `Ordering` passed: weak-memory reorderings are *not* modeled. This finds
+//!   logic races (lost updates, torn check-then-act sequences) but not bugs
+//!   that only manifest under relaxed hardware memory models — those are
+//!   covered by the ThreadSanitizer CI job instead.
+//! * Modeled primitives must be **created inside** the closure passed to
+//!   [`check`]/[`model`] (identifiers are per-execution). Primitives created
+//!   outside any model run fall back to real `std` behavior ("passthrough"),
+//!   so code using them still works in ordinary tests and production builds
+//!   compiled with `--cfg interleave`.
+//! * Deadlocks (all live threads blocked) and assertion panics inside the
+//!   model are reported as failures together with the schedule that produced
+//!   them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{check, model, Config, Failure, Report};

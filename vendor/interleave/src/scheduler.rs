@@ -1,0 +1,555 @@
+//! Token-passing bounded-exhaustive scheduler.
+//!
+//! One [`Controller`] exists per *execution* (one concrete schedule). Modeled
+//! threads run on real OS threads but exactly one holds the "token"
+//! (`State::active`) at a time; every modeled operation routes through a
+//! yield point where the scheduler records a [`Choice`] and hands the token
+//! to the chosen thread. Re-running with a `replay` prefix plus one diverging
+//! index performs depth-first search over the schedule tree.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+/// Sentinel for "no thread holds the token" (all threads finished).
+const NO_ACTIVE: usize = usize::MAX;
+
+/// Exploration limits for [`check`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of *involuntary* context switches (preemptions of a
+    /// runnable thread) per schedule. Forced switches — when the running
+    /// thread blocks or finishes — are always free. Default 2.
+    pub preemption_bound: usize,
+    /// Hard cap on the number of schedules explored before giving up with
+    /// `Report { complete: false }`. Default 500 000.
+    pub max_executions: usize,
+    /// Hard cap on yield points within a single schedule; exceeding it is
+    /// reported as a failure (livelock guard). Default 20 000.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_executions: 500_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Config {
+    /// Convenience constructor overriding only the preemption bound.
+    pub fn with_preemption_bound(bound: usize) -> Self {
+        Config {
+            preemption_bound: bound,
+            ..Config::default()
+        }
+    }
+}
+
+/// Successful exploration summary returned by [`check`].
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub executions: usize,
+    /// True when the bounded schedule tree was exhausted (as opposed to
+    /// hitting `max_executions`).
+    pub complete: bool,
+}
+
+/// A failing schedule found by [`check`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Human-readable description: panic message, deadlock report, or step
+    /// budget overflow.
+    pub message: String,
+    /// Number of schedules executed up to and including the failing one.
+    pub executions: usize,
+    /// The failing schedule as a sequence of thread ids, one per yield
+    /// point. Thread 0 is the root closure.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failed after {} execution(s): {}\nschedule (thread ids per step): {:?}",
+            self.executions, self.message, self.schedule
+        )
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One scheduling decision: the ordered candidate set and the branch taken.
+struct Choice {
+    /// Runnable thread ids at this yield point. When the previously active
+    /// thread is still runnable it is placed first, so index 0 is always the
+    /// "no preemption" branch.
+    candidates: Vec<usize>,
+    /// Index into `candidates` actually taken.
+    index: usize,
+    /// Whether the previously active thread was runnable here (i.e. taking
+    /// `index != 0` constitutes a preemption).
+    prev_runnable: bool,
+    /// Preemption count accumulated *before* this choice, used to honor the
+    /// preemption bound when generating alternatives.
+    preemptions_before: usize,
+}
+
+struct State {
+    statuses: Vec<Status>,
+    active: usize,
+    /// Per-mutex held flag, indexed by mutex id.
+    mutexes: Vec<bool>,
+    trace: Vec<Choice>,
+    /// Choice indices to replay before diverging (DFS prefix).
+    replay: Vec<usize>,
+    preemptions: usize,
+    steps: usize,
+    abort: Option<String>,
+}
+
+pub(crate) struct Controller {
+    cfg: Config,
+    state: StdMutex<State>,
+    cv: Condvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Panic payload used to unwind modeled threads when the execution aborts
+/// (failure found or replay done). Swallowed by `run_modeled`.
+struct AbortSignal;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Controller>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current thread's (controller, thread id), when running inside a model.
+pub(crate) fn current() -> Option<(Arc<Controller>, usize)> {
+    CTX.try_with(|c| c.borrow().clone()).ok().flatten()
+}
+
+fn set_ctx(ctl: Arc<Controller>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((ctl, id)));
+}
+
+fn clear_ctx() {
+    let _ = CTX.try_with(|c| c.borrow_mut().take());
+}
+
+/// Suppress default panic output for panics raised inside modeled threads:
+/// exploration intentionally drives models into failing schedules (and uses
+/// `AbortSignal` panics to unwind), so the noise would be misleading. Panics
+/// outside models keep the previous hook's behavior.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_model = CTX
+                .try_with(|c| c.try_borrow().map(|b| b.is_some()).unwrap_or(true))
+                .unwrap_or(false);
+            if !in_model {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "modeled thread panicked (non-string payload)".to_string()
+    }
+}
+
+impl Controller {
+    fn new(cfg: Config, replay: Vec<usize>) -> Self {
+        Controller {
+            cfg,
+            state: StdMutex::new(State {
+                statuses: Vec::new(),
+                active: NO_ACTIVE,
+                mutexes: Vec::new(),
+                trace: Vec::new(),
+                replay,
+                preemptions: 0,
+                steps: 0,
+                abort: None,
+            }),
+            cv: Condvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock_state();
+        st.mutexes.push(false);
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
+    }
+
+    /// Record a scheduling choice and hand the token to the chosen thread.
+    /// `prev` is the thread making the choice; `prev_runnable` says whether
+    /// it could itself continue (false when it just blocked or finished).
+    fn pick(&self, st: &mut State, prev: usize, prev_runnable: bool) {
+        if st.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        st.steps += 1;
+        if st.steps > self.cfg.max_steps {
+            st.abort = Some(format!(
+                "step budget exceeded ({} yield points): possible livelock",
+                self.cfg.max_steps
+            ));
+            self.cv.notify_all();
+            return;
+        }
+        let mut cands = Vec::new();
+        if prev_runnable {
+            cands.push(prev);
+        }
+        for (i, s) in st.statuses.iter().enumerate() {
+            if *s == Status::Runnable && !(prev_runnable && i == prev) {
+                cands.push(i);
+            }
+        }
+        if cands.is_empty() {
+            if st.statuses.iter().all(|s| *s == Status::Finished) {
+                st.active = NO_ACTIVE;
+            } else {
+                let blocked: Vec<String> = st
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !matches!(s, Status::Finished))
+                    .map(|(i, s)| format!("thread {i}: {s:?}"))
+                    .collect();
+                st.abort = Some(format!(
+                    "deadlock: no runnable thread ({})",
+                    blocked.join(", ")
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let depth = st.trace.len();
+        let index = if depth < st.replay.len() {
+            st.replay[depth].min(cands.len() - 1)
+        } else {
+            0 // default: keep running the previous thread (lazy preemption)
+        };
+        let chosen = cands[index];
+        let preemptions_before = st.preemptions;
+        if prev_runnable && chosen != prev {
+            st.preemptions += 1;
+        }
+        st.trace.push(Choice {
+            candidates: cands,
+            index,
+            prev_runnable,
+            preemptions_before,
+        });
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Block until `me` holds the token; panic with `AbortSignal` if the
+    /// execution aborted.
+    fn wait_token(&self, mut st: StdMutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(AbortSignal);
+            }
+            if st.active == me {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A modeled operation is about to execute on thread `me`: let the
+    /// scheduler decide who runs next, then wait for the token.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.abort.is_none() {
+            self.pick(&mut st, me, true);
+        }
+        self.wait_token(st, me);
+    }
+
+    /// First wait of a freshly spawned modeled thread (no choice recorded —
+    /// the spawner's yield point already decided).
+    fn wait_initial(&self, me: usize) {
+        let st = self.lock_state();
+        self.wait_token(st, me);
+    }
+
+    /// Modeled mutex acquire: one yield point, then block (forced switch)
+    /// while contended.
+    pub(crate) fn lock_mutex(&self, me: usize, mid: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(AbortSignal);
+            }
+            if !st.mutexes[mid] {
+                st.mutexes[mid] = true;
+                return;
+            }
+            st.statuses[me] = Status::BlockedMutex(mid);
+            self.pick(&mut st, me, false);
+            self.wait_token(st, me);
+        }
+    }
+
+    /// Modeled mutex release. Deliberately *not* a yield point: releasing
+    /// only enables other threads, it does not observe shared state, so
+    /// skipping the choice here halves the schedule tree without losing any
+    /// distinguishable interleaving.
+    pub(crate) fn unlock_mutex(&self, mid: usize) {
+        let mut st = self.lock_state();
+        st.mutexes[mid] = false;
+        for s in st.statuses.iter_mut() {
+            if *s == Status::BlockedMutex(mid) {
+                *s = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Modeled `JoinHandle::join`: block until `target` finishes.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(AbortSignal);
+            }
+            if st.statuses[target] == Status::Finished {
+                return;
+            }
+            st.statuses[me] = Status::BlockedJoin(target);
+            self.pick(&mut st, me, false);
+            self.wait_token(st, me);
+        }
+    }
+
+    /// Normal completion of a modeled thread: wake joiners and hand off.
+    fn thread_finished(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.statuses[me] = Status::Finished;
+        for s in st.statuses.iter_mut() {
+            if *s == Status::BlockedJoin(me) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.abort.is_none() {
+            self.pick(&mut st, me, false);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Completion during abort/unwind: mark finished without scheduling.
+    fn thread_finished_quiet(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.statuses[me] = Status::Finished;
+        for s in st.statuses.iter_mut() {
+            if *s == Status::BlockedJoin(me) {
+                *s = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn abort_with(&self, msg: String) {
+        let mut st = self.lock_state();
+        if st.abort.is_none() {
+            st.abort = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Body of every modeled OS thread: install the thread-local context, wait
+/// for the first token grant, run the closure, and report the outcome.
+pub(crate) fn run_modeled<F, T>(
+    ctl: Arc<Controller>,
+    id: usize,
+    f: F,
+    slot: Arc<StdMutex<Option<T>>>,
+) where
+    F: FnOnce() -> T,
+    T: Send,
+{
+    set_ctx(ctl.clone(), id);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        ctl.wait_initial(id);
+        f()
+    }));
+    clear_ctx();
+    match result {
+        Ok(value) => {
+            // Store before marking finished so joiners observe the value.
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            ctl.thread_finished(id);
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<AbortSignal>().is_none() {
+                ctl.abort_with(panic_message(payload.as_ref()));
+            }
+            ctl.thread_finished_quiet(id);
+        }
+    }
+}
+
+/// Compute the DFS successor of a completed trace: scan from the deepest
+/// choice for an untried alternative that respects the preemption bound, and
+/// return the replay prefix selecting it. `None` means the bounded tree is
+/// exhausted.
+fn next_replay(trace: &[Choice], bound: usize) -> Option<Vec<usize>> {
+    for k in (0..trace.len()).rev() {
+        let c = &trace[k];
+        for alt in c.index + 1..c.candidates.len() {
+            // candidates[0] is the previous thread whenever it was runnable,
+            // so any alt != 0 at such a choice is a preemption.
+            let is_preemption = c.prev_runnable && alt != 0;
+            if is_preemption && c.preemptions_before >= bound {
+                continue;
+            }
+            let mut replay: Vec<usize> = trace[..k].iter().map(|c| c.index).collect();
+            replay.push(alt);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+/// Exhaustively explore the interleavings of `f` under `cfg`.
+///
+/// `f` is executed once per schedule; it must be deterministic apart from
+/// scheduling, and every modeled primitive ([`crate::sync::Mutex`],
+/// [`crate::sync::AtomicU64`], …) that participates in the model must be
+/// created *inside* `f` (identifiers are per-execution). Returns the first
+/// failing schedule (panic, deadlock, or livelock guard) as a [`Failure`],
+/// or a [`Report`] once the bounded schedule tree is exhausted.
+pub fn check<F>(cfg: Config, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let f = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let ctl = Arc::new(Controller::new(cfg.clone(), std::mem::take(&mut replay)));
+        let root = ctl.register_thread();
+        debug_assert_eq!(root, 0, "root closure must be thread 0");
+        {
+            let mut st = ctl.lock_state();
+            st.active = root;
+        }
+        let slot: Arc<StdMutex<Option<()>>> = Arc::new(StdMutex::new(None));
+        {
+            let ctl2 = Arc::clone(&ctl);
+            let f2 = Arc::clone(&f);
+            let slot2 = Arc::clone(&slot);
+            let h = std::thread::spawn(move || run_modeled(ctl2, 0, move || f2(), slot2));
+            ctl.push_os_handle(h);
+        }
+        // Join every OS thread of this execution. A handle is always pushed
+        // before its spawner returns from `spawn`, and the spawner's own
+        // handle precedes it here, so draining to empty joins everything.
+        loop {
+            let h = ctl
+                .os_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop();
+            match h {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let st = ctl.lock_state();
+        if let Some(msg) = &st.abort {
+            let schedule = st.trace.iter().map(|c| c.candidates[c.index]).collect();
+            return Err(Failure {
+                message: msg.clone(),
+                executions,
+                schedule,
+            });
+        }
+        match next_replay(&st.trace, cfg.preemption_bound) {
+            Some(next) => {
+                if executions >= cfg.max_executions {
+                    return Ok(Report {
+                        executions,
+                        complete: false,
+                    });
+                }
+                replay = next;
+            }
+            None => {
+                return Ok(Report {
+                    executions,
+                    complete: true,
+                })
+            }
+        }
+    }
+}
+
+/// [`check`] with default [`Config`], panicking on any failure or truncated
+/// exploration. This is the assertion-style entry point for model tests.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match check(Config::default(), f) {
+        Ok(report) => assert!(
+            report.complete,
+            "interleave: exploration truncated after {} executions (raise max_executions or shrink the model)",
+            report.executions
+        ),
+        Err(failure) => panic!("interleave: {failure}"),
+    }
+}

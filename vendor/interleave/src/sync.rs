@@ -1,0 +1,173 @@
+//! Modeled synchronization primitives.
+//!
+//! Inside a [`crate::check`]/[`crate::model`] run, every operation is a
+//! scheduler yield point and atomics are explored under sequential
+//! consistency. Outside a model run ("passthrough"), the types behave
+//! exactly like their `std`/`parking_lot` counterparts, so library code
+//! compiled against this module still works in ordinary tests and builds.
+
+use crate::scheduler::current;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic;
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! modeled_atomic {
+    ($name:ident, $inner:ty, $prim:ty) => {
+        /// Modeled atomic integer: each op is a scheduler yield point inside
+        /// a model run and a plain atomic op (with the caller's ordering)
+        /// outside one. Model exploration is sequentially consistent
+        /// regardless of the ordering argument.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $inner,
+        }
+
+        impl $name {
+            /// Create a new atomic with the given initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    inner: <$inner>::new(v),
+                }
+            }
+
+            fn gate(&self) {
+                if let Some((ctl, me)) = current() {
+                    ctl.yield_point(me);
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.gate();
+                self.inner.load(order)
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: $prim, order: Ordering) {
+                self.gate();
+                self.inner.store(v, order)
+            }
+
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                self.gate();
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                self.gate();
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                self.gate();
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current_v: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.gate();
+                self.inner
+                    .compare_exchange(current_v, new, success, failure)
+            }
+
+            /// Atomic maximum, returning the previous value.
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                self.gate();
+                self.inner.fetch_max(v, order)
+            }
+        }
+    };
+}
+
+modeled_atomic!(AtomicU64, atomic::AtomicU64, u64);
+modeled_atomic!(AtomicUsize, atomic::AtomicUsize, usize);
+
+/// Modeled mutex with a `parking_lot`-shaped API: `lock()` returns the guard
+/// directly (poisoning is recovered internally). Inside a model run the
+/// acquire is a yield point and contention blocks the modeled thread; the
+/// release is deliberately not a yield point (it only enables others).
+///
+/// A mutex participating in a model must be created inside the model closure
+/// — its scheduler identity is assigned on first lock and is only valid for
+/// the execution that assigned it.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: OnceLock<usize>,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            id: OnceLock::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex, blocking the (modeled) thread until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let release = if let Some((ctl, me)) = current() {
+            let mid = *self.id.get_or_init(|| ctl.register_mutex());
+            ctl.lock_mutex(me, mid);
+            Some((ctl, mid))
+        } else {
+            None
+        };
+        // Inside a model the scheduler has granted exclusive ownership, so
+        // this never contends; outside one it is the real blocking lock.
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            inner: Some(guard),
+            release,
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]. Dropping releases the real lock first,
+/// then informs the scheduler so blocked modeled threads become runnable.
+pub struct MutexGuard<'a, T> {
+    inner: Option<StdMutexGuard<'a, T>>,
+    release: Option<(std::sync::Arc<crate::scheduler::Controller>, usize)>,
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the underlying lock before telling the scheduler the
+        // modeled mutex is free, so a woken thread can immediately acquire.
+        drop(self.inner.take());
+        if let Some((ctl, mid)) = self.release.take() {
+            ctl.unlock_mutex(mid);
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release") // unreachable: cleared only in Drop
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release") // unreachable: cleared only in Drop
+    }
+}

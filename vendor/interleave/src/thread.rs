@@ -1,0 +1,77 @@
+//! Modeled thread spawn/join.
+//!
+//! Inside a model run, spawned closures run on real OS threads but are
+//! scheduled cooperatively by the controller; outside one, this is a thin
+//! wrapper over [`std::thread`].
+
+use crate::scheduler::{current, run_modeled, Controller};
+use std::sync::{Arc, Mutex as StdMutex};
+
+enum Inner<T> {
+    Modeled {
+        ctl: Arc<Controller>,
+        id: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (possibly modeled) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    ///
+    /// In a model run a panicking child aborts the whole execution, so this
+    /// returns `Ok` whenever it returns at all; the `Result` shape mirrors
+    /// [`std::thread::JoinHandle::join`] for drop-in use.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Modeled { ctl, id, slot } => {
+                let me = current()
+                    .map(|(_, me)| me)
+                    .expect("modeled JoinHandle joined outside its model run");
+                ctl.join_thread(me, id);
+                let value = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("modeled thread finished without a value");
+                Ok(value)
+            }
+            Inner::Real(h) => h.join(),
+        }
+    }
+}
+
+/// Spawn a thread running `f`. Inside a model run the child is registered
+/// with the scheduler and the spawn itself is a yield point (the scheduler
+/// may run the child immediately or let the parent continue).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((ctl, me)) = current() {
+        let id = ctl.register_thread();
+        let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        {
+            let ctl2 = Arc::clone(&ctl);
+            let slot2 = Arc::clone(&slot);
+            let h = std::thread::spawn(move || run_modeled(ctl2, id, f, slot2));
+            ctl.push_os_handle(h);
+        }
+        // Let the scheduler decide whether the child runs before the parent
+        // continues — spawning is itself an observable ordering decision.
+        ctl.yield_point(me);
+        JoinHandle {
+            inner: Inner::Modeled { ctl, id, slot },
+        }
+    } else {
+        JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        }
+    }
+}

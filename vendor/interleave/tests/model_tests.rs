@@ -1,0 +1,212 @@
+//! Self-tests for the interleave checker: the scheduler must find real
+//! races, must not flag correct synchronization, and must respect its
+//! preemption bound deterministically.
+
+#![forbid(unsafe_code)]
+
+use interleave::sync::{AtomicU64, Mutex, Ordering};
+use interleave::{check, thread, Config};
+use std::sync::Arc;
+
+/// Classic lost update: two threads `load` then `store(v + 1)`. The checker
+/// MUST find the interleaving where both loads happen before either store.
+#[test]
+fn racy_read_modify_write_is_caught() {
+    let result = check(Config::default(), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    // Intentionally torn read-modify-write.
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = result.expect_err("checker must catch the torn RMW");
+    assert!(
+        failure.message.contains("lost update"),
+        "unexpected failure message: {}",
+        failure.message
+    );
+    assert!(!failure.schedule.is_empty());
+}
+
+/// The same lost update needs one preemption to manifest; with a preemption
+/// bound of zero (only forced switches) every schedule is serial and the
+/// model passes. This pins the bound semantics.
+#[test]
+fn preemption_bound_zero_misses_the_race() {
+    let result = check(Config::with_preemption_bound(0), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    let report = result.expect("serial schedules cannot lose the update");
+    assert!(report.complete);
+}
+
+/// `fetch_add` is a single yield point plus an atomic op, so no
+/// interleaving can lose an increment.
+#[test]
+fn atomic_fetch_add_is_safe() {
+    let result = check(Config::default(), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    });
+    let report = result.expect("fetch_add must be race-free");
+    assert!(report.complete, "exploration must finish");
+    assert!(report.executions > 1, "more than one schedule must exist");
+}
+
+/// A mutex-protected read-modify-write is race-free even though the naked
+/// version above is not.
+#[test]
+fn mutex_counter_is_safe() {
+    let result = check(Config::default(), || {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let mut g = c.lock();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 2);
+    });
+    let report = result.expect("mutex counter must be race-free");
+    assert!(report.complete);
+}
+
+/// Classic AB/BA lock-order inversion must be reported as a deadlock, not a
+/// hang.
+#[test]
+fn lock_order_inversion_is_reported_as_deadlock() {
+    let result = check(Config::default(), || {
+        let a = Arc::new(Mutex::new(0u64));
+        let b = Arc::new(Mutex::new(0u64));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let h1 = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+        let h2 = thread::spawn(move || {
+            let _gb = b3.lock();
+            let _ga = a3.lock();
+        });
+        let _ = h1.join();
+        let _ = h2.join();
+    });
+    let failure = result.expect_err("AB/BA must deadlock under some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure message: {}",
+        failure.message
+    );
+}
+
+/// The DFS is deterministic: the same model yields the same execution count
+/// and the same failing schedule every time.
+#[test]
+fn exploration_is_deterministic() {
+    fn run() -> (usize, Vec<usize>) {
+        let failure = check(Config::default(), || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        })
+        .expect_err("racy model");
+        (failure.executions, failure.schedule)
+    }
+    assert_eq!(run(), run());
+}
+
+/// Passthrough: modeled primitives created outside any model run behave like
+/// their std counterparts (library code compiled with `--cfg interleave`
+/// must keep working in ordinary tests).
+#[test]
+fn passthrough_outside_model() {
+    let counter = AtomicU64::new(5);
+    assert_eq!(counter.fetch_add(2, Ordering::Relaxed), 5);
+    assert_eq!(counter.load(Ordering::Relaxed), 7);
+    let m = Mutex::new(1u32);
+    {
+        let mut g = m.lock();
+        *g += 1;
+    }
+    assert_eq!(*m.lock(), 2);
+    let h = thread::spawn(|| 41 + 1);
+    assert_eq!(h.join().unwrap(), 42);
+}
+
+/// `max_executions` truncation is reported as `complete: false`, never as a
+/// spurious failure.
+#[test]
+fn truncation_reports_incomplete() {
+    let cfg = Config {
+        max_executions: 2,
+        ..Config::default()
+    };
+    let report = check(cfg, || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    })
+    .expect("safe model");
+    assert_eq!(report.executions, 2);
+    assert!(!report.complete);
+}

@@ -2,13 +2,24 @@
 //!
 //! ```text
 //! bench_guard BASELINE.json CURRENT.json [--factor F]
+//!             [--overhead-factor G] [--overhead-slack S]
 //! ```
 //!
-//! Compares `stats.expand_p99_us` between the committed baseline and a
-//! fresh `reproduce serve` run, exiting non-zero when the current p99
-//! exceeds `F ×` the baseline (default 2.0). Kept deliberately free of a
-//! JSON tree type: the vendored serde_json is serialize-first, so the
-//! single field we gate on is scanned out of the text.
+//! Two gates:
+//!
+//! * **Regression** — compares `stats.expand_p99_us` between the committed
+//!   baseline and a fresh `reproduce serve` run, exiting non-zero when the
+//!   current p99 exceeds `F ×` the baseline (default 2.0).
+//! * **Tracing overhead** (enabled by `--overhead-factor`) — compares the
+//!   current run's `traced_expand_p99_us` against its own
+//!   `untraced_expand_p99_us`, failing when
+//!   `traced > untraced × G + S µs` (slack default 100 µs, because at
+//!   microsecond scale a multiplicative bound alone is noise-dominated).
+//!   Note this gates the *enabled*-tracing cost; the dormant-site cost
+//!   (a single relaxed atomic load per span site) is bounded above by it.
+//!
+//! Kept deliberately free of a JSON tree type: the vendored serde_json is
+//! serialize-first, so the fields we gate on are scanned out of the text.
 
 #![forbid(unsafe_code)]
 
@@ -16,7 +27,8 @@ use std::process::ExitCode;
 
 /// Pulls the numeric value of `"key": <number>` out of a JSON document.
 /// Enough for the flat telemetry block `reproduce serve` writes; not a
-/// general JSON parser.
+/// general JSON parser. The needle includes the quotes, so
+/// `expand_p99_us` never matches inside `traced_expand_p99_us`.
 fn extract_number(doc: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\"");
     let at = doc.find(&needle)? + needle.len();
@@ -27,15 +39,17 @@ fn extract_number(doc: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn load_p99(path: &str) -> Result<f64, String> {
+fn load_field(path: &str, key: &str) -> Result<f64, String> {
     let doc = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    extract_number(&doc, "expand_p99_us").ok_or_else(|| format!("{path}: no expand_p99_us field"))
+    extract_number(&doc, key).ok_or_else(|| format!("{path}: no {key} field"))
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut factor = 2.0f64;
+    let mut overhead_factor: Option<f64> = None;
+    let mut overhead_slack = 100.0f64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -49,16 +63,42 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--overhead-factor" => {
+                i += 1;
+                overhead_factor = match argv.get(i).and_then(|v| v.parse().ok()) {
+                    Some(f) if f > 0.0 => Some(f),
+                    _ => {
+                        eprintln!("error: --overhead-factor needs a positive number");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--overhead-slack" => {
+                i += 1;
+                overhead_slack = match argv.get(i).and_then(|v| v.parse().ok()) {
+                    Some(s) if s >= 0.0 => s,
+                    _ => {
+                        eprintln!("error: --overhead-slack needs a non-negative number of µs");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             other => paths.push(other.to_string()),
         }
         i += 1;
     }
     let [baseline, current] = paths.as_slice() else {
-        eprintln!("usage: bench_guard BASELINE.json CURRENT.json [--factor F]");
+        eprintln!(
+            "usage: bench_guard BASELINE.json CURRENT.json [--factor F] \
+             [--overhead-factor G] [--overhead-slack S]"
+        );
         return ExitCode::from(2);
     };
 
-    let (base, cur) = match (load_p99(baseline), load_p99(current)) {
+    let (base, cur) = match (
+        load_field(baseline, "expand_p99_us"),
+        load_field(current, "expand_p99_us"),
+    ) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
             for err in [b.err(), c.err()].into_iter().flatten() {
@@ -74,11 +114,36 @@ fn main() -> ExitCode {
     );
     if cur > bound {
         eprintln!("bench_guard: FAIL — serve EXPAND p99 regressed more than {factor:.2}× over the committed baseline");
-        ExitCode::FAILURE
-    } else {
-        println!("bench_guard: ok");
-        ExitCode::SUCCESS
+        return ExitCode::FAILURE;
     }
+
+    if let Some(g) = overhead_factor {
+        let (untraced, traced) = match (
+            load_field(current, "untraced_expand_p99_us"),
+            load_field(current, "traced_expand_p99_us"),
+        ) {
+            (Ok(u), Ok(t)) => (u, t),
+            (u, t) => {
+                for err in [u.err(), t.err()].into_iter().flatten() {
+                    eprintln!("error: {err}");
+                }
+                return ExitCode::from(2);
+            }
+        };
+        let obound = untraced * g + overhead_slack;
+        println!(
+            "bench_guard: tracing overhead — untraced p99 {untraced:.1} µs, traced p99 {traced:.1} µs, bound {obound:.1} µs ({g:.2}× + {overhead_slack:.0} µs slack)"
+        );
+        if traced > obound {
+            eprintln!(
+                "bench_guard: FAIL — enabling span tracing costs more than {g:.2}× + {overhead_slack:.0} µs on the serve EXPAND p99"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("bench_guard: ok");
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -97,5 +162,19 @@ mod tests {
     fn handles_exponent_and_trailing_brace() {
         let doc = r#"{"expand_p99_us": 1.5e3}"#;
         assert_eq!(extract_number(doc, "expand_p99_us"), Some(1500.0));
+    }
+
+    #[test]
+    fn overhead_fields_do_not_collide_with_the_baseline_field() {
+        // The serve report carries all three; the quoted needle keeps the
+        // scans distinct even though the names share a suffix.
+        let doc = r#"{
+            "untraced_expand_p99_us": 100.5,
+            "traced_expand_p99_us": 104.25,
+            "stats": { "expand_p99_us": 100.5 }
+        }"#;
+        assert_eq!(extract_number(doc, "untraced_expand_p99_us"), Some(100.5));
+        assert_eq!(extract_number(doc, "traced_expand_p99_us"), Some(104.25));
+        assert_eq!(extract_number(doc, "expand_p99_us"), Some(100.5));
     }
 }

@@ -21,7 +21,6 @@
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
-use std::time::Instant;
 
 use bionav_bench::experiments;
 use bionav_core::CostParams;
@@ -135,7 +134,7 @@ fn main() -> ExitCode {
     // the workload.
     let needs_workload = args.experiment != "ablation-opt";
     let workload = if needs_workload {
-        let t0 = Instant::now();
+        let t0 = bionav_core::trace::now_ns();
         let w = bionav_bench::build_workload_with(args.scale, args.crawled);
         println!(
             "workload: scale {:.2}{}, hierarchy {} nodes, {} citations, built in {:.1}s",
@@ -147,7 +146,7 @@ fn main() -> ExitCode {
             },
             w.hierarchy.len(),
             w.store.len(),
-            t0.elapsed().as_secs_f64()
+            bionav_core::trace::now_ns().saturating_sub(t0) as f64 / 1e9
         );
         Some(w)
     } else {
@@ -158,9 +157,12 @@ fn main() -> ExitCode {
     let needs_evals = matches!(args.experiment.as_str(), "all" | "fig8" | "fig9" | "fig10");
     let evals = if needs_evals {
         let w = workload.as_ref().expect("evals need the workload");
-        let t0 = Instant::now();
+        let t0 = bionav_core::trace::now_ns();
         let e = bionav_bench::evaluate_parallel(w, &params);
-        println!("evaluation pass: {:.1}s", t0.elapsed().as_secs_f64());
+        println!(
+            "evaluation pass: {:.1}s",
+            bionav_core::trace::now_ns().saturating_sub(t0) as f64 / 1e9
+        );
         Some(e)
     } else {
         None

@@ -790,6 +790,15 @@ pub struct ServeReport {
     pub jobs: usize,
     /// Engine telemetry: cache hit rate, per-EXPAND p50/p95/p99, sessions/sec.
     pub stats: bionav_core::ServeStats,
+    /// EXPAND p99 (µs) of the canonical tracing-off pass (same value as
+    /// `stats.expand_p99_us`; duplicated at the top level so the overhead
+    /// gate can scan it without a JSON tree type).
+    pub untraced_expand_p99_us: f64,
+    /// EXPAND p99 (µs) of the second pass run with span tracing enabled —
+    /// the numerator of the CI overhead gate.
+    pub traced_expand_p99_us: f64,
+    /// Span events the traced pass pushed into the global ring.
+    pub trace_events: u64,
     /// Per-query navigation costs (identical across rounds and workers).
     pub queries: Vec<ServeQueryRow>,
 }
@@ -849,22 +858,26 @@ pub fn serve(
 
     // The engine resolves raw keyword queries through the workload's
     // ESearch stand-in; cache capacity holds the whole query set so later
-    // rounds are pure hits.
-    let engine = Engine::new(
-        |query: &str| {
-            let outcome = workload.index.query(query);
-            if outcome.citations.is_empty() {
-                return None;
-            }
-            Some(Arc::new(NavigationTree::build(
-                &workload.hierarchy,
-                &workload.store,
-                &outcome.citations,
-            )))
-        },
-        params.clone(),
-        workload.queries.len().max(1),
-    );
+    // rounds are pure hits. A factory, because the bench runs two passes
+    // (tracing off, then tracing on) over fresh engines.
+    let make_engine = || {
+        Engine::new(
+            |query: &str| {
+                let outcome = workload.index.query(query);
+                if outcome.citations.is_empty() {
+                    return None;
+                }
+                Some(Arc::new(NavigationTree::build(
+                    &workload.hierarchy,
+                    &workload.store,
+                    &outcome.citations,
+                )))
+            },
+            params.clone(),
+            workload.queries.len().max(1),
+        )
+    };
+    let engine = make_engine();
 
     // `rounds × queries` jobs, interleaved round-robin so concurrent
     // workers contend on the cache and the session table.
@@ -872,6 +885,20 @@ pub fn serve(
         (0..rounds).flat_map(|_| scripts.iter().cloned()).collect();
     let outcomes = engine.replay(&jobs, workers);
     let stats = engine.stats();
+
+    // Traced pass: the same jobs through a fresh engine with span tracing
+    // enabled. The canonical telemetry stays the untraced pass above (so
+    // the committed latency baseline is undisturbed); this pass feeds the
+    // Chrome-trace/Prometheus artifacts and the CI overhead gate, and
+    // re-checks that instrumentation never changes a navigation cost.
+    let pushed_before = bionav_core::trace::ring_pushed();
+    bionav_core::trace::clear_ring();
+    bionav_core::trace::set_enabled(true);
+    let traced_engine = make_engine();
+    let traced_outcomes = traced_engine.replay(&jobs, workers);
+    bionav_core::trace::set_enabled(false);
+    let traced_stats = traced_engine.stats();
+    let trace_events = bionav_core::trace::ring_pushed().saturating_sub(pushed_before);
 
     let mut t = Table::new(
         format!(
@@ -935,7 +962,27 @@ pub fn serve(
         "sessions/sec".into(),
         format!("{:.1}", stats.sessions_per_sec),
     ]);
+    s.row(vec![
+        "traced EXPAND p99 (µs)".into(),
+        format!("{:.1}", traced_stats.expand_p99_us),
+    ]);
+    s.row(vec!["trace events".into(), trace_events.to_string()]);
     s.print();
+
+    let mut b = Table::new(
+        "Per-stage latency (traced pass)",
+        &["stage", "count", "p50 (µs)", "p99 (µs)", "total (ms)"],
+    );
+    for st in &traced_stats.stages {
+        b.row(vec![
+            st.stage.clone(),
+            st.count.to_string(),
+            format!("{:.1}", st.p50_us),
+            format!("{:.1}", st.p99_us),
+            format!("{:.2}", st.total_ms),
+        ]);
+    }
+    b.print();
 
     check.assert("every replay job completed", all_completed);
     check.assert(
@@ -965,17 +1012,68 @@ pub fn serve(
         stats.sessions_active == 0 && stats.sessions_opened == stats.sessions_closed,
     );
 
+    // The traced pass must be observably identical apart from the latency:
+    // same per-query costs, plus a populated stage breakdown and ring.
+    let traced_match = traced_outcomes.iter().enumerate().all(|(i, o)| {
+        let expected = &reference[i % reference.len()];
+        o.as_ref().is_some_and(|o| {
+            o.cost.interaction_cost() == expected.interaction_cost
+                && o.cost.total_cost() == expected.total_cost
+                && o.cost.expands == expected.expands
+        })
+    });
+    check.assert(
+        "traced-pass replay costs are identical to the untraced pass",
+        traced_match,
+    );
+    let stage_count = |name: &str| {
+        traced_stats
+            .stages
+            .iter()
+            .find(|s| s.stage == name)
+            .map_or(0, |s| s.count)
+    };
+    check.assert(
+        format!(
+            "traced pass recorded the planner stages ({} partitions, {} solves)",
+            stage_count("partition"),
+            stage_count("solve"),
+        ),
+        stage_count("partition") > 0 && stage_count("solve") > 0,
+    );
+    check.assert(
+        format!("traced pass pushed span events to the ring ({trace_events})"),
+        trace_events > 0,
+    );
+
     if let Some(path) = out {
         let report = ServeReport {
             workers,
             rounds,
             jobs: jobs.len(),
+            untraced_expand_p99_us: stats.expand_p99_us,
+            traced_expand_p99_us: traced_stats.expand_p99_us,
+            trace_events,
             stats,
             queries: reference,
         };
         match crate::report::write_json(path, &report) {
             Ok(()) => println!("\nwrote {}", path.display()),
             Err(e) => println!("\nWARNING: could not write {}: {e}", path.display()),
+        }
+        // Observability artifacts from the traced pass: a Perfetto-loadable
+        // Chrome trace and a Prometheus text exposition. Derived names
+        // (`BENCH_serve.trace.json`, `BENCH_serve.prom`) sit next to the
+        // telemetry JSON and are not committed.
+        let trace_path = path.with_extension("trace.json");
+        match std::fs::write(&trace_path, bionav_core::trace::chrome_trace_json()) {
+            Ok(()) => println!("wrote {}", trace_path.display()),
+            Err(e) => println!("WARNING: could not write {}: {e}", trace_path.display()),
+        }
+        let prom_path = path.with_extension("prom");
+        match std::fs::write(&prom_path, traced_engine.prometheus_text()) {
+            Ok(()) => println!("wrote {}", prom_path.display()),
+            Err(e) => println!("WARNING: could not write {}: {e}", prom_path.display()),
         }
     }
 

@@ -129,8 +129,9 @@ impl Repl {
             "cost" => Response::Text(self.cmd_cost()),
             "save" => Response::Text(self.cmd_save(rest)),
             "load" => Response::Text(self.cmd_load(rest)),
-            "serve-stats" | "stats" => Response::Text(self.cmd_serve_stats()),
+            "serve-stats" | "stats" => Response::Text(self.cmd_serve_stats(rest)),
             "serve-reset" => Response::Text(self.cmd_serve_reset()),
+            "trace" => Response::Text(self.cmd_trace(rest)),
             other => Response::Text(format!("unknown command {other:?}; type `help`\n")),
         }
     }
@@ -238,7 +239,7 @@ impl Repl {
         if let Some(label) = blocked {
             return format!("{label:?} hides nothing (no >>>)\n");
         }
-        let start = std::time::Instant::now();
+        let start = bionav_core::trace::now_ns();
         let revealed = self
             .engine
             .expand(id, node)
@@ -247,7 +248,7 @@ impl Repl {
         format!(
             "revealed {} concepts in {:.1} ms\n{}",
             revealed.len(),
-            start.elapsed().as_secs_f64() * 1e3,
+            bionav_core::trace::now_ns().saturating_sub(start) as f64 / 1e6,
             self.render_tree()
         )
     }
@@ -456,10 +457,22 @@ impl Repl {
     }
 
     /// Serving-engine telemetry: tree-cache behaviour, session counts,
-    /// per-EXPAND latency percentiles.
-    fn cmd_serve_stats(&self) -> String {
+    /// per-EXPAND latency percentiles, and the per-stage latency breakdown.
+    /// `--json` emits the machine-readable [`ServeStats`] document and
+    /// `--prom` the Prometheus text exposition.
+    fn cmd_serve_stats(&self, rest: &str) -> String {
+        match rest {
+            "--json" => {
+                let mut doc = self.engine.stats().to_json();
+                doc.push('\n');
+                return doc;
+            }
+            "--prom" => return self.engine.prometheus_text(),
+            "" => {}
+            other => return format!("usage: serve-stats [--json|--prom] (got {other:?})\n"),
+        }
         let st = self.engine.stats();
-        format!(
+        let mut out = format!(
             "serving engine telemetry\n\
              tree cache : {entries}/{cap} entries, {hits} hits / {misses} misses (hit rate {rate:.1}%), {ev} evictions\n\
              sessions   : {opened} opened, {closed} closed, {active} active\n\
@@ -480,7 +493,58 @@ impl Repl {
             p99 = st.expand_p99_us,
             sps = st.sessions_per_sec,
             secs = st.elapsed_secs,
-        )
+        );
+        let measured: Vec<_> = st.stages.iter().filter(|s| s.count > 0).collect();
+        if !measured.is_empty() {
+            out.push_str("stages     :\n");
+            for s in measured {
+                let _ = writeln!(
+                    out,
+                    "  {:<13} {:>6}×  p50 {:>7.0} µs  p95 {:>7.0} µs  p99 {:>7.0} µs",
+                    s.stage, s.count, s.p50_us, s.p95_us, s.p99_us
+                );
+            }
+        }
+        out
+    }
+
+    /// The `trace` command: toggle span tracing, report its status, or dump
+    /// the ring as Chrome trace-event JSON.
+    fn cmd_trace(&self, rest: &str) -> String {
+        use bionav_core::trace;
+        let (sub, arg) = match rest.split_once(char::is_whitespace) {
+            Some((s, a)) => (s, a.trim()),
+            None => (rest, ""),
+        };
+        match sub {
+            "on" => {
+                trace::set_enabled(true);
+                "tracing on (span events sampled into the ring)\n".to_string()
+            }
+            "off" => {
+                trace::set_enabled(false);
+                "tracing off\n".to_string()
+            }
+            "dump" => {
+                if arg.is_empty() {
+                    return "usage: trace dump <file>\n".to_string();
+                }
+                let json = trace::chrome_trace_json();
+                match std::fs::write(arg, &json) {
+                    Ok(()) => format!(
+                        "wrote Chrome trace-event JSON to {arg} (load in Perfetto or chrome://tracing)\n"
+                    ),
+                    Err(e) => format!("trace dump failed: {e}\n"),
+                }
+            }
+            "" => format!(
+                "tracing {}: sample 1/{}, {} events ever pushed to the ring\n",
+                if trace::is_enabled() { "on" } else { "off" },
+                trace::sample_every(),
+                trace::ring_pushed(),
+            ),
+            other => format!("usage: trace [on|off|dump <file>] (got {other:?})\n"),
+        }
     }
 
     /// Resets the engine's telemetry window (histogram, cache counters,
@@ -507,7 +571,11 @@ commands:
   cost               the session's accumulated navigation cost
   save <file>        persist the navigation (query + state) as JSON
   load <file>        restore a saved navigation over this dataset
-  serve-stats        engine telemetry: cache hit rate, EXPAND latency, sessions
+  serve-stats        engine telemetry: cache hit rate, EXPAND latency, stages
+  serve-stats --json machine-readable telemetry (one JSON document)
+  serve-stats --prom Prometheus text exposition of the telemetry
+  trace on|off       toggle span tracing into the fixed-memory event ring
+  trace dump <file>  write the ring as Chrome trace-event JSON (Perfetto)
   serve-reset        restart the telemetry window (keeps trees and sessions)
   help               this text
   quit               leave
@@ -516,6 +584,11 @@ commands:
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tests that flip the process-global tracing toggle or clear the
+    /// global span ring (`serve-reset` does, via `Engine::reset_stats`)
+    /// must not interleave with each other.
+    static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn repl() -> Repl {
         Repl::new(Dataset::demo(7, 250), CostParams::default())
@@ -703,7 +776,70 @@ mod tests {
     }
 
     #[test]
+    fn serve_stats_json_and_prom_outputs_are_machine_readable() {
+        let mut r = repl();
+        let q = query_of(&r);
+        r.handle(&format!("query {q}"));
+        r.handle("expand 1");
+
+        let json = r.handle("serve-stats --json").text().to_string();
+        let st = bionav_core::engine::ServeStats::from_json(&json)
+            .expect("serve-stats --json round-trips through ServeStats");
+        assert_eq!(st.expand_count, 1);
+        assert!(
+            st.stages
+                .iter()
+                .any(|s| s.stage == "expand" && s.count == 1),
+            "{json}"
+        );
+
+        let prom = r.handle("serve-stats --prom").text().to_string();
+        assert!(
+            prom.contains("# TYPE bionav_expand_latency_seconds histogram"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("bionav_stage_latency_seconds_count{stage=\"expand\"} 1"),
+            "{prom}"
+        );
+
+        assert!(r.handle("serve-stats --bogus").text().contains("usage"));
+    }
+
+    #[test]
+    fn trace_toggle_and_dump_produce_a_loadable_trace() {
+        let _guard = TRACE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("bionav-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("repl.trace.json");
+        let path = file.to_str().unwrap();
+
+        let mut r = repl();
+        let q = query_of(&r);
+        assert!(r.handle("trace on").text().contains("tracing on"));
+        assert!(r.handle("trace").text().contains("tracing on"));
+        r.handle(&format!("query {q}"));
+        r.handle("expand 1");
+        let out = r.handle(&format!("trace dump {path}")).text().to_string();
+        assert!(out.contains("Chrome trace-event JSON"), "{out}");
+        assert!(r.handle("trace off").text().contains("tracing off"));
+        assert!(r.handle("trace").text().contains("tracing off"));
+
+        let dumped = std::fs::read_to_string(&file).unwrap();
+        assert!(dumped.contains("\"expand\""), "{dumped}");
+        // Usage errors are reported, not panicked on.
+        assert!(r.handle("trace dump").text().contains("usage"));
+        assert!(r.handle("trace sideways").text().contains("usage"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_reset_restarts_the_telemetry_window() {
+        let _guard = TRACE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut r = repl();
         let q = query_of(&r);
         r.handle(&format!("query {q}"));

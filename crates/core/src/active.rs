@@ -271,6 +271,7 @@ impl ActiveTree {
         cut: &EdgeCut,
         scratch: &mut NavScratch,
     ) -> Result<Vec<NavNodeId>, EdgeCutError> {
+        let _sp = crate::trace::span(crate::trace::Stage::ApplyCut);
         self.validate(nav, root, cut)?;
         self.history.push(self.comp_root.clone());
         let stack = &mut scratch.arena.dfs;

@@ -35,6 +35,7 @@ use crate::edgecut::opt::{CutProblem, SolveCache};
 use crate::edgecut::partition::{partition_until_in, Partition};
 use crate::navtree::{NavNodeId, NavigationTree};
 use crate::scratch::{NavScratch, NodeMap};
+use crate::trace::{self, Stage};
 
 /// What one Heuristic-ReducedOpt invocation produced.
 #[derive(Debug, Clone)]
@@ -133,6 +134,7 @@ impl ReducedPlan {
         if mask.count_ones() <= 1 {
             return None;
         }
+        let _sp = trace::span(Stage::MemoCut);
         // lint: allow(lock-across-solve) — the memo IS the solver's working
         // state; the lock is plan-private, never shared across sessions
         let mut cache = self.memo.lock();
@@ -222,8 +224,11 @@ pub fn plan_component_with(
     if comp.len() < 2 {
         return None;
     }
-    let started = Instant::now();
-    let parts = partition_until_in(nav, comp, params.max_partitions, scratch);
+    let started = trace::now_ns();
+    let parts = {
+        let _sp = trace::span(Stage::Partition);
+        partition_until_in(nav, comp, params.max_partitions, scratch)
+    };
 
     if parts.len() == 1 {
         // The whole component fit one partition (tiny component): reveal
@@ -234,6 +239,7 @@ pub fn plan_component_with(
 
     // Stamp each node's partition id into the scratch map: reduced_parent
     // becomes an O(1) lookup instead of a per-partition `contains` scan.
+    let build_sp = trace::span(Stage::ReducedBuild);
     let map = &mut scratch.map;
     map.begin(nav.len());
     for (pid, p) in parts.iter().enumerate() {
@@ -249,10 +255,12 @@ pub fn plan_component_with(
         memo: Mutex::new(SolveCache::new()),
     };
     let full = plan.full_mask();
+    drop(build_sp);
 
     // The one fresh solve; its memo stays in `plan`.
     counters::note_plan_solve();
     let (estimated_cost, best) = {
+        let _sp = trace::span(Stage::Solve);
         // lint: allow(lock-across-solve) — this is the one fresh solve that
         // seeds the plan-private memo; nothing else can hold this lock yet
         let mut cache = plan.memo.lock();
@@ -295,7 +303,7 @@ pub fn plan_component_with(
         cut,
         reduced_size: parts.len(),
         estimated_cost,
-        elapsed: started.elapsed(),
+        elapsed: Duration::from_nanos(trace::now_ns().saturating_sub(started)),
         fallback,
     };
     Some((outcome, planned.map(|p| (plan, p))))
@@ -309,7 +317,7 @@ fn tiny_component_fallback(
     nav: &NavigationTree,
     comp: &[NavNodeId],
     map: &mut NodeMap,
-    started: Instant,
+    started_ns: u64,
 ) -> Option<ExpandOutcome> {
     debug_assert!(
         comp.len() >= 2,
@@ -340,7 +348,7 @@ fn tiny_component_fallback(
         cut: EdgeCut::new(children),
         reduced_size: 1,
         estimated_cost: f64::NAN,
-        elapsed: started.elapsed(),
+        elapsed: Duration::from_nanos(trace::now_ns().saturating_sub(started_ns)),
         fallback: true,
     })
 }
@@ -463,6 +471,9 @@ pub mod reference {
         if comp.len() < 2 {
             return None;
         }
+        // lint: allow(no-naked-instant) — the historical two-pass reference
+        // is kept verbatim for the equivalence suite; it predates the
+        // instrumented clock and never runs on the serve path
         let started = Instant::now();
         let parts = partition_until(nav, comp, params.max_partitions);
 

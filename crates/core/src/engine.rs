@@ -34,13 +34,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 // The session table, tree cache, and gauges go through the sync shim so the
 // interleave park/resume model explores the production protocol (§5d).
 use crate::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use crate::telemetry::LatencyHistogram;
+use crate::trace::{self, Stage, StageMetrics, StageStat};
 
 use crate::active::EdgeCutError;
 use crate::cost::CostParams;
@@ -296,6 +296,27 @@ pub struct ServeStats {
     pub elapsed_secs: f64,
     /// Closed sessions per wall-clock second.
     pub sessions_per_sec: f64,
+    /// Per-stage latency breakdown of the serve path (only stages that
+    /// recorded samples in the current window, in [`Stage::ALL`] order).
+    pub stages: Vec<StageStat>,
+    /// Span events ever pushed to the global trace ring. Monotone across
+    /// [`Engine::reset_stats`] (the ring's push counter survives a clear),
+    /// so it exports as a proper Prometheus counter.
+    pub trace_events: u64,
+}
+
+impl ServeStats {
+    /// Serialize this snapshot as pretty-printed JSON (the `serve-stats
+    /// --json` surface). Serialization of this plain data struct cannot
+    /// fail; the empty-object fallback keeps the exporter total.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Parse a snapshot previously produced by [`ServeStats::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
 }
 
 /// A parked session plus the raw query that opened it and the
@@ -331,8 +352,13 @@ where
     /// matter how long the engine lives (the predecessor was an unbounded
     /// `Mutex<Vec<u64>>` every worker contended on).
     expand_hist: LatencyHistogram,
-    /// Start of the current stats window (reset by [`Engine::reset_stats`]).
-    started: Mutex<Instant>,
+    /// Per-stage latency family (DESIGN.md §5e): one histogram + exact sum
+    /// per [`Stage`], fed by the thread-local capture tape drained after
+    /// each public engine operation.
+    stage: StageMetrics,
+    /// Start of the current stats window, as a [`trace::now_ns`] offset
+    /// (reset by [`Engine::reset_stats`]).
+    started_ns: AtomicU64,
 }
 
 impl<B> Engine<B>
@@ -352,7 +378,18 @@ where
             sessions_closed: AtomicU64::new(0),
             sessions_active: AtomicUsize::new(0),
             expand_hist: LatencyHistogram::new(),
-            started: Mutex::new(Instant::now()),
+            stage: StageMetrics::new(),
+            started_ns: AtomicU64::new(trace::now_ns()),
+        }
+    }
+
+    /// Drain the calling thread's capture tape into the per-stage metrics.
+    /// Called at the end of every public operation: the tape is exact
+    /// (every span, independent of the ring toggle and sampling), so stage
+    /// counts stay consistent with `edgecut::counters`.
+    fn absorb_tape(&self) {
+        for (stage, ns) in trace::take_captured() {
+            self.stage.record(stage, ns);
         }
     }
 
@@ -373,7 +410,10 @@ where
     /// miss.
     fn tree_and_cuts_for(&self, query: &str) -> Option<(SharedTree, Arc<CutCache>)> {
         let key = Self::cache_key(query);
-        let mut cache = self.cache.lock();
+        let mut cache = {
+            let _lk = trace::span(Stage::LockWait);
+            self.cache.lock()
+        };
         if let Some(hit) = cache.get(&key) {
             return Some(hit);
         }
@@ -385,22 +425,36 @@ where
     /// Opens a session over `query`'s navigation tree. `None` when the
     /// query has no results.
     pub fn open_session(&self, query: &str) -> Option<SessionId> {
-        let (tree, cuts) = self.tree_and_cuts_for(query)?;
-        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        let session = Session::new(tree, self.params.clone());
-        self.sessions.lock().insert(
-            id,
-            SessionSlot {
-                session: Arc::new(Mutex::new(session)),
-                query: query.to_string(),
-                cuts,
-            },
-        );
-        // Relaxed: monotonic telemetry gauges; readers only aggregate them,
-        // nothing is ordered against the counts.
-        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
-        self.sessions_active.fetch_add(1, Ordering::Relaxed);
-        Some(SessionId(id))
+        let cap = trace::capture();
+        let out = (|| {
+            let _sp = trace::span(Stage::OpenSession);
+            let (tree, cuts) = self.tree_and_cuts_for(query)?;
+            // Ordering: Relaxed — only id uniqueness matters; the session
+            // itself is published by the table lock below.
+            let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+            let session = Session::new(tree, self.params.clone());
+            let mut table = {
+                let _lk = trace::span(Stage::LockWait);
+                self.sessions.lock()
+            };
+            table.insert(
+                id,
+                SessionSlot {
+                    session: Arc::new(Mutex::new(session)),
+                    query: query.to_string(),
+                    cuts,
+                },
+            );
+            drop(table);
+            // Relaxed: monotonic telemetry gauges; readers only aggregate them,
+            // nothing is ordered against the counts.
+            self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            self.sessions_active.fetch_add(1, Ordering::Relaxed);
+            Some(SessionId(id))
+        })();
+        drop(cap);
+        self.absorb_tape();
+        out
     }
 
     /// Runs `f` against the parked session `id`. The session-table lock is
@@ -412,7 +466,10 @@ where
         f: impl FnOnce(&mut Session<SharedTree>) -> R,
     ) -> Option<R> {
         let slot = {
-            let table = self.sessions.lock();
+            let table = {
+                let _lk = trace::span(Stage::LockWait);
+                self.sessions.lock()
+            };
             Arc::clone(&table.get(&id.0)?.session)
         };
         let mut session = slot.lock();
@@ -421,7 +478,10 @@ where
 
     /// The parked session's handle plus its tree's cut memo.
     fn session_and_cuts(&self, id: SessionId) -> Option<SessionAndCuts> {
-        let table = self.sessions.lock();
+        let table = {
+            let _lk = trace::span(Stage::LockWait);
+            self.sessions.lock()
+        };
         let slot = table.get(&id.0)?;
         Some((Arc::clone(&slot.session), Arc::clone(&slot.cuts)))
     }
@@ -434,15 +494,25 @@ where
         id: SessionId,
         node: NavNodeId,
     ) -> Option<Result<Vec<NavNodeId>, EdgeCutError>> {
-        let (session, cuts) = self.session_and_cuts(id)?;
-        let mut session = session.lock();
-        let start = Instant::now();
-        // lint: allow(lock-across-solve) — per-session lock: one navigator
-        // per session by protocol; independent sessions never contend
-        let result = session.expand_cached(node, &cuts);
-        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.expand_hist.record(ns);
-        Some(result)
+        let cap = trace::capture();
+        let out = (|| {
+            let _sp = trace::span(Stage::Expand);
+            let (slot, cuts) = self.session_and_cuts(id)?;
+            let mut session = {
+                let _lk = trace::span(Stage::LockWait);
+                slot.lock()
+            };
+            let start = trace::now_ns();
+            // lint: allow(lock-across-solve) — per-session lock: one navigator
+            // per session by protocol; independent sessions never contend
+            let result = session.expand_cached(node, &cuts);
+            let ns = trace::now_ns().saturating_sub(start);
+            self.expand_hist.record(ns);
+            Some(result)
+        })();
+        drop(cap);
+        self.absorb_tape();
+        out
     }
 
     /// Re-parks a previously exported session over `query`'s tree (the
@@ -452,24 +522,36 @@ where
     /// validation, so stale or foreign state is refused instead of
     /// navigating garbage.
     pub fn restore_session(&self, query: &str, state: SessionState) -> Option<SessionId> {
-        let (tree, cuts) = self.tree_and_cuts_for(query)?;
-        let session = Session::restore(tree, self.params.clone(), state)?;
-        // Relaxed: the id only needs uniqueness, not ordering with the
-        // table insert below (the table lock orders that).
-        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        self.sessions.lock().insert(
-            id,
-            SessionSlot {
-                session: Arc::new(Mutex::new(session)),
-                query: query.to_string(),
-                cuts,
-            },
-        );
-        // Relaxed: monotonic telemetry gauges; readers only ever aggregate
-        // them, nothing is ordered against the counts.
-        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
-        self.sessions_active.fetch_add(1, Ordering::Relaxed);
-        Some(SessionId(id))
+        let cap = trace::capture();
+        let out = (|| {
+            let _sp = trace::span(Stage::OpenSession);
+            let (tree, cuts) = self.tree_and_cuts_for(query)?;
+            let session = Session::restore(tree, self.params.clone(), state)?;
+            // Relaxed: the id only needs uniqueness, not ordering with the
+            // table insert below (the table lock orders that).
+            let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+            let mut table = {
+                let _lk = trace::span(Stage::LockWait);
+                self.sessions.lock()
+            };
+            table.insert(
+                id,
+                SessionSlot {
+                    session: Arc::new(Mutex::new(session)),
+                    query: query.to_string(),
+                    cuts,
+                },
+            );
+            drop(table);
+            // Relaxed: monotonic telemetry gauges; readers only ever aggregate
+            // them, nothing is ordered against the counts.
+            self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            self.sessions_active.fetch_add(1, Ordering::Relaxed);
+            Some(SessionId(id))
+        })();
+        drop(cap);
+        self.absorb_tape();
+        out
     }
 
     /// The raw query a parked session was opened with. `None` for unknown
@@ -494,58 +576,67 @@ where
     /// recording per-EXPAND latency, and closes the session. `None` when
     /// the query has no results.
     pub fn run_script(&self, query: &str, script: &[ScriptOp]) -> Option<ScriptOutcome> {
-        let id = self.open_session(query)?;
-        // Resolve the slot once: script replay EXPANDs go through the
-        // tree's cross-session cut memo without re-locking the session
-        // table per operation.
-        let (session, cuts) = self.session_and_cuts(id)?;
-        let mut expand_ns = Vec::new();
-        for op in script {
-            match op {
-                ScriptOp::Expand(node) => {
-                    let start = Instant::now();
-                    // lint: allow(lock-across-solve) — per-session lock, and
-                    // the replay driver is this session's only user
-                    let _ = session.lock().expand_cached(*node, &cuts);
-                    expand_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                }
-                ScriptOp::ExpandFully => loop {
-                    let next = {
-                        let s = session.lock();
-                        let found = s
-                            .nav()
-                            .iter_preorder()
-                            .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1);
-                        found
-                    };
-                    let Some(node) = next else { break };
-                    let start = Instant::now();
-                    // lint: allow(lock-across-solve) — per-session lock, and
-                    // the replay driver is this session's only user
-                    let _ = session.lock().expand_cached(node, &cuts);
-                    expand_ns.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                },
-                ScriptOp::ShowResults(node) => {
-                    let _ = self.with_session(id, |s| s.show_results(*node))?;
-                }
-                ScriptOp::Ignore(node) => {
-                    self.with_session(id, |s| s.ignore(*node))?;
-                }
-                ScriptOp::Backtrack => {
-                    let _ = self.with_session(id, |s| s.backtrack())?;
+        let cap = trace::capture();
+        let out = (|| {
+            let _sp = trace::span(Stage::RunScript);
+            let id = self.open_session(query)?;
+            // Resolve the slot once: script replay EXPANDs go through the
+            // tree's cross-session cut memo without re-locking the session
+            // table per operation.
+            let (session, cuts) = self.session_and_cuts(id)?;
+            let mut expand_ns = Vec::new();
+            for op in script {
+                match op {
+                    ScriptOp::Expand(node) => {
+                        let _esp = trace::span(Stage::Expand);
+                        let start = trace::now_ns();
+                        // lint: allow(lock-across-solve) — per-session lock, and
+                        // the replay driver is this session's only user
+                        let _ = session.lock().expand_cached(*node, &cuts);
+                        expand_ns.push(trace::now_ns().saturating_sub(start));
+                    }
+                    ScriptOp::ExpandFully => loop {
+                        let next = {
+                            let s = session.lock();
+                            let found = s
+                                .nav()
+                                .iter_preorder()
+                                .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1);
+                            found
+                        };
+                        let Some(node) = next else { break };
+                        let _esp = trace::span(Stage::Expand);
+                        let start = trace::now_ns();
+                        // lint: allow(lock-across-solve) — per-session lock, and
+                        // the replay driver is this session's only user
+                        let _ = session.lock().expand_cached(node, &cuts);
+                        expand_ns.push(trace::now_ns().saturating_sub(start));
+                    },
+                    ScriptOp::ShowResults(node) => {
+                        let _ = self.with_session(id, |s| s.show_results(*node))?;
+                    }
+                    ScriptOp::Ignore(node) => {
+                        self.with_session(id, |s| s.ignore(*node))?;
+                    }
+                    ScriptOp::Backtrack => {
+                        let _ = self.with_session(id, |s| s.backtrack())?;
+                    }
                 }
             }
-        }
-        let cost = self.with_session(id, |s| s.cost().clone())?;
-        for &ns in &expand_ns {
-            self.expand_hist.record(ns);
-        }
-        self.close_session(id)?;
-        Some(ScriptOutcome {
-            query: query.to_string(),
-            cost,
-            expand_ns,
-        })
+            let cost = self.with_session(id, |s| s.cost().clone())?;
+            for &ns in &expand_ns {
+                self.expand_hist.record(ns);
+            }
+            self.close_session(id)?;
+            Some(ScriptOutcome {
+                query: query.to_string(),
+                cost,
+                expand_ns,
+            })
+        })();
+        drop(cap);
+        self.absorb_tape();
+        out
     }
 
     /// The batch driver: replays `jobs` (query, script) pairs on `workers`
@@ -556,10 +647,20 @@ where
         jobs: &[(String, Vec<ScriptOp>)],
         workers: usize,
     ) -> Vec<Option<ScriptOutcome>> {
-        pool::scoped_map(jobs.len(), workers, |i| {
-            let (query, script) = &jobs[i];
-            self.run_script(query, script)
-        })
+        // The Replay span lives on the calling thread; each `run_script`
+        // call opens its own capture on whichever worker thread runs it,
+        // so worker-side spans drain into the stage metrics worker-side.
+        let cap = trace::capture();
+        let out = {
+            let _sp = trace::span(Stage::Replay);
+            pool::scoped_map(jobs.len(), workers, |i| {
+                let (query, script) = &jobs[i];
+                self.run_script(query, script)
+            })
+        };
+        drop(cap);
+        self.absorb_tape();
+        out
     }
 
     /// Snapshot of the serving telemetry. Never contends with serving: the
@@ -588,7 +689,10 @@ where
         // each load is individually coherent and that is all we report.
         let opened = self.sessions_opened.load(Ordering::Relaxed);
         let closed = self.sessions_closed.load(Ordering::Relaxed);
-        let elapsed = self.started.lock().elapsed().as_secs_f64();
+        // Relaxed: the window start is telemetry; a racing reset only skews
+        // one snapshot's elapsed figure.
+        let elapsed =
+            trace::now_ns().saturating_sub(self.started_ns.load(Ordering::Relaxed)) as f64 / 1e9;
         let lookups = hits + misses;
         ServeStats {
             cache_hits: hits,
@@ -617,16 +721,29 @@ where
             } else {
                 0.0
             },
+            stages: self.stage.stats(),
+            trace_events: trace::ring_pushed(),
         }
     }
 
-    /// Resets the telemetry window: latency histogram, cache hit/miss/
-    /// eviction counters, opened/closed tallies, and the wall clock all
-    /// restart from zero. Cached trees and parked sessions are untouched
-    /// (the live-session gauge keeps counting them). For long-running REPL
-    /// or daemon processes that want per-window serving stats.
+    /// Render the engine's full telemetry as a Prometheus text-format
+    /// exposition (see [`trace::export::prometheus_text`]).
+    pub fn prometheus_text(&self) -> String {
+        trace::export::prometheus_text(&self.stats(), &self.expand_hist.snapshot(), &self.stage)
+    }
+
+    /// Resets the telemetry window in one pass: the EXPAND latency
+    /// histogram, every per-stage histogram and sum, the cache hit/miss/
+    /// eviction counters, opened/closed tallies, the global trace ring's
+    /// events (its monotone push counter survives, see
+    /// [`ServeStats::trace_events`]), and the wall clock all restart from
+    /// zero. Cached trees and parked sessions are untouched (the
+    /// live-session gauge keeps counting them). For long-running REPL or
+    /// daemon processes that want per-window serving stats.
     pub fn reset_stats(&self) {
         self.expand_hist.reset();
+        self.stage.reset();
+        trace::clear_ring();
         {
             let mut cache = self.cache.lock();
             cache.reset_counters();
@@ -638,7 +755,8 @@ where
         // on the method); per-counter coherence is all that is needed.
         self.sessions_opened.store(0, Ordering::Relaxed);
         self.sessions_closed.store(0, Ordering::Relaxed);
-        *self.started.lock() = Instant::now();
+        // Relaxed: window-start stamp, telemetry-only (see stats()).
+        self.started_ns.store(trace::now_ns(), Ordering::Relaxed);
     }
 }
 
@@ -658,6 +776,8 @@ const _: () = {
     assert_send_sync::<ServeStats>();
     assert_send_sync::<LatencyHistogram>();
     assert_send_sync::<CutCache>();
+    assert_send_sync::<StageMetrics>();
+    assert_send_sync::<crate::trace::SpanRing>();
 };
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ pub mod sim;
 pub mod stats;
 pub(crate) mod sync;
 pub mod telemetry;
+pub mod trace;
 
 pub use active::{ActiveTree, EdgeCut, EdgeCutError, VisNode};
 pub use bitset::CitSet;
@@ -57,3 +58,4 @@ pub use cost::{CostParams, Planner};
 pub use engine::{Engine, ScriptOp, ScriptOutcome, ServeStats, SessionId, SharedTree};
 pub use navtree::{NavNodeId, NavigationTree};
 pub use scratch::NavScratch;
+pub use trace::{Stage, StageStat};

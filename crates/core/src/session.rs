@@ -349,7 +349,11 @@ impl<T: Borrow<NavigationTree>> Session<T> {
         let fp = match cuts {
             Some(cache) if !self.params.reuse_plans => {
                 let fp = CutCache::fingerprint(&comp);
-                if let Some(cut) = cache.get(fp) {
+                let probed = {
+                    let _sp = crate::trace::span(crate::trace::Stage::CutCacheLookup);
+                    cache.get(fp)
+                };
+                if let Some(cut) = probed {
                     if let Ok(revealed) = self.expand_with(node, &cut) {
                         self.comp_buf = comp;
                         return Ok(revealed);

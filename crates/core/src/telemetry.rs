@@ -234,6 +234,25 @@ impl HistogramSnapshot {
         // Unreachable given total == Σ counts, but stay total-safe.
         bucket_value(BUCKETS - 1)
     }
+
+    /// Number of samples ≤ `v`, up to bucket resolution (samples sharing
+    /// `v`'s bucket are all counted). Monotone in `v` — exactly what a
+    /// Prometheus cumulative `_bucket{le=...}` series needs.
+    pub fn count_at_or_below(&self, v: u64) -> u64 {
+        let idx = bucket_index(v);
+        self.counts[..=idx.min(BUCKETS - 1)].iter().sum()
+    }
+
+    /// Approximate sum of all samples (Σ count × bucket representative),
+    /// within the histogram's ≤ ~3.2 % relative bucket error. Used for the
+    /// Prometheus `_sum` series where no exact sum is tracked.
+    pub fn approx_sum(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(idx, &c)| c.saturating_mul(bucket_value(idx)))
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,299 @@
+//! Trace and metrics exporters (DESIGN.md §5e).
+//!
+//! Two dependency-free output formats:
+//!
+//! * [`prometheus_text`] — the Prometheus text exposition format
+//!   (`# HELP`/`# TYPE`, cumulative histogram buckets derived from the
+//!   [`LatencyHistogram`](crate::telemetry::LatencyHistogram) log-linear
+//!   geometry via `count_at_or_below`, monotone counters, one gauge).
+//! * [`chrome_trace`] — Chrome trace-event JSON in the *JSON Array
+//!   Format* (a bare array of `B`/`E` duration events), loadable in
+//!   Perfetto and `chrome://tracing`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use super::ring::{SpanEvent, SpanKind};
+use super::{Stage, StageMetrics};
+use crate::engine::ServeStats;
+use crate::telemetry::HistogramSnapshot;
+
+/// Histogram `le` ladder in nanoseconds: powers of two from 1 µs to
+/// ~16.8 s, which brackets every latency the serve path can plausibly
+/// produce. Finite buckets are printed as seconds; `+Inf` closes the
+/// ladder.
+pub fn bucket_ladder_ns() -> impl Iterator<Item = u64> {
+    (0..=24u32).map(|i| 1000u64 << i)
+}
+
+fn write_histogram(
+    out: &mut String,
+    metric: &str,
+    labels: &str,
+    snap: &HistogramSnapshot,
+    sum_ns: u64,
+) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for le_ns in bucket_ladder_ns() {
+        let le = le_ns as f64 / 1e9;
+        let c = snap.count_at_or_below(le_ns);
+        let _ = writeln!(out, "{metric}_bucket{{{labels}{sep}le=\"{le}\"}} {c}");
+    }
+    let _ = writeln!(
+        out,
+        "{metric}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        snap.total()
+    );
+    if labels.is_empty() {
+        let _ = writeln!(out, "{metric}_sum {}", sum_ns as f64 / 1e9);
+        let _ = writeln!(out, "{metric}_count {}", snap.total());
+    } else {
+        let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", sum_ns as f64 / 1e9);
+        let _ = writeln!(out, "{metric}_count{{{labels}}} {}", snap.total());
+    }
+}
+
+/// Render a full Prometheus text-format exposition of the engine's serving
+/// telemetry: the end-to-end EXPAND histogram, the per-stage latency
+/// family (all [`Stage`]s, including idle ones, so the exposition shape is
+/// stable), the cache/session counters, and the monotone trace-event
+/// counter.
+pub fn prometheus_text(
+    stats: &ServeStats,
+    expand: &HistogramSnapshot,
+    stages: &StageMetrics,
+) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_expand_latency_seconds End-to-end EXPAND latency."
+    );
+    let _ = writeln!(out, "# TYPE bionav_expand_latency_seconds histogram");
+    write_histogram(
+        &mut out,
+        "bionav_expand_latency_seconds",
+        "",
+        expand,
+        expand.approx_sum(),
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_stage_latency_seconds Per-stage serve-path span latency."
+    );
+    let _ = writeln!(out, "# TYPE bionav_stage_latency_seconds histogram");
+    for &stage in Stage::ALL.iter() {
+        let labels = format!("stage=\"{}\"", stage.name());
+        write_histogram(
+            &mut out,
+            "bionav_stage_latency_seconds",
+            &labels,
+            &stages.snapshot(stage),
+            stages.sum_ns(stage),
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_tree_cache_lookups_total Navigation-tree cache lookups by result."
+    );
+    let _ = writeln!(out, "# TYPE bionav_tree_cache_lookups_total counter");
+    let _ = writeln!(
+        out,
+        "bionav_tree_cache_lookups_total{{result=\"hit\"}} {}",
+        stats.cache_hits
+    );
+    let _ = writeln!(
+        out,
+        "bionav_tree_cache_lookups_total{{result=\"miss\"}} {}",
+        stats.cache_misses
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_tree_cache_evictions_total Trees dropped by LRU pressure."
+    );
+    let _ = writeln!(out, "# TYPE bionav_tree_cache_evictions_total counter");
+    let _ = writeln!(
+        out,
+        "bionav_tree_cache_evictions_total {}",
+        stats.cache_evictions
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_cut_cache_lookups_total Cross-session cut-cache lookups by result."
+    );
+    let _ = writeln!(out, "# TYPE bionav_cut_cache_lookups_total counter");
+    let _ = writeln!(
+        out,
+        "bionav_cut_cache_lookups_total{{result=\"hit\"}} {}",
+        stats.cut_cache_hits
+    );
+    let _ = writeln!(
+        out,
+        "bionav_cut_cache_lookups_total{{result=\"miss\"}} {}",
+        stats.cut_cache_misses
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_sessions_opened_total Sessions ever opened."
+    );
+    let _ = writeln!(out, "# TYPE bionav_sessions_opened_total counter");
+    let _ = writeln!(
+        out,
+        "bionav_sessions_opened_total {}",
+        stats.sessions_opened
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_sessions_closed_total Sessions ever closed."
+    );
+    let _ = writeln!(out, "# TYPE bionav_sessions_closed_total counter");
+    let _ = writeln!(
+        out,
+        "bionav_sessions_closed_total {}",
+        stats.sessions_closed
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_sessions_active Sessions currently parked in the table."
+    );
+    let _ = writeln!(out, "# TYPE bionav_sessions_active gauge");
+    let _ = writeln!(out, "bionav_sessions_active {}", stats.sessions_active);
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_trace_events_total Span events ever pushed to the trace ring."
+    );
+    let _ = writeln!(out, "# TYPE bionav_trace_events_total counter");
+    let _ = writeln!(out, "bionav_trace_events_total {}", stats.trace_events);
+
+    out
+}
+
+/// One Chrome trace-event object. Field names follow the Trace Event
+/// Format verbatim (the vendored serde has no rename support, so the
+/// struct fields *are* the wire names).
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct ChromeEvent {
+    /// Event name — the [`Stage::name`] of the span.
+    pub name: String,
+    /// Event category (constant `"bionav"`).
+    pub cat: String,
+    /// Phase: `"B"` (span begin) or `"E"` (span end).
+    pub ph: String,
+    /// Timestamp in microseconds since the trace epoch.
+    pub ts: f64,
+    /// Process id (constant 1 — single-process engine).
+    pub pid: u64,
+    /// Trace thread id of the emitting worker.
+    pub tid: u64,
+}
+
+/// Render ring events as Chrome trace-event JSON (JSON Array Format).
+///
+/// The ring overwrites oldest events, so a snapshot can open with `End`
+/// events whose `Begin` was overwritten; Perfetto rejects such stacks, so
+/// unmatched leading `End`s are dropped per thread (depth counter).
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut depth: HashMap<u16, u64> = HashMap::new();
+    let mut out: Vec<ChromeEvent> = Vec::with_capacity(events.len());
+    for e in events {
+        let (ph, keep) = match e.kind {
+            SpanKind::Begin => {
+                *depth.entry(e.tid).or_insert(0) += 1;
+                ("B", true)
+            }
+            SpanKind::End => {
+                let d = depth.entry(e.tid).or_insert(0);
+                if *d == 0 {
+                    // Begin was overwritten by the ring wrap: drop.
+                    ("E", false)
+                } else {
+                    *d -= 1;
+                    ("E", true)
+                }
+            }
+        };
+        if !keep {
+            continue;
+        }
+        let name = Stage::from_index(e.stage)
+            .map(|s| s.name().to_string())
+            .unwrap_or_else(|| format!("stage_{}", e.stage));
+        out.push(ChromeEvent {
+            name,
+            cat: "bionav".to_string(),
+            ph: ph.to_string(),
+            ts: e.ns as f64 / 1_000.0,
+            pid: 1,
+            tid: u64::from(e.tid),
+        });
+    }
+    // Serializing a Vec of plain structs into a String cannot fail; fall
+    // back to an empty array rather than panicking in an exporter.
+    serde_json::to_string(&out).unwrap_or_else(|_| "[]".to_string())
+}
+
+#[cfg(all(test, not(interleave)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_and_spans_the_serve_range() {
+        let ladder: Vec<u64> = bucket_ladder_ns().collect();
+        assert_eq!(ladder.len(), 25);
+        assert_eq!(ladder[0], 1_000); // 1 µs
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        assert!(ladder[24] > 16_000_000_000); // > 16 s
+    }
+
+    #[test]
+    fn chrome_trace_emits_valid_pairs_and_drops_orphan_ends() {
+        let events = vec![
+            // Orphaned End (its Begin was overwritten): must be dropped.
+            SpanEvent {
+                seq: 0,
+                stage: Stage::Solve as u8,
+                kind: SpanKind::End,
+                tid: 1,
+                ns: 500,
+            },
+            SpanEvent {
+                seq: 1,
+                stage: Stage::Partition as u8,
+                kind: SpanKind::Begin,
+                tid: 1,
+                ns: 1_000,
+            },
+            SpanEvent {
+                seq: 2,
+                stage: Stage::Partition as u8,
+                kind: SpanKind::End,
+                tid: 1,
+                ns: 3_000,
+            },
+        ];
+        let json = chrome_trace(&events);
+        let parsed: Vec<ChromeEvent> = serde_json::from_str(&json).expect("exporter emits JSON");
+        assert_eq!(parsed.len(), 2, "orphan End must be dropped");
+        assert_eq!(parsed[0].ph, "B");
+        assert_eq!(parsed[0].name, "partition");
+        assert_eq!(parsed[0].ts, 1.0);
+        assert_eq!(parsed[1].ph, "E");
+        assert_eq!(parsed[1].ts, 3.0);
+        assert_eq!(parsed[1].tid, 1);
+    }
+
+    #[test]
+    fn chrome_trace_of_nothing_is_an_empty_array() {
+        assert_eq!(chrome_trace(&[]), "[]");
+    }
+}

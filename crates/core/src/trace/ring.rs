@@ -1,0 +1,324 @@
+//! Fixed-memory, lock-free span-event ring buffer.
+//!
+//! The ring is the *wire* of the tracing plane: every armed span site pushes
+//! one [`SpanEvent`] at begin and one at end. The geometry is fixed at
+//! construction (power-of-two slot count, three `u64` atomics per slot =
+//! 24 bytes), so a fully saturated trace run allocates nothing — the same
+//! fixed-footprint philosophy as [`crate::telemetry::LatencyHistogram`].
+//!
+//! ## Slot protocol (seqlock per slot)
+//!
+//! Writers claim a global monotone sequence number with one `fetch_add` on
+//! `head`, map it onto a slot with a mask, and publish in four stores:
+//!
+//! ```text
+//! stamp <- 0            (invalidate: readers skip half-written slots)
+//! meta  <- packed       (stage | kind | tid | low 32 bits of seq)
+//! ns    <- timestamp
+//! stamp <- seq + 1      (validate: nonzero stamp encodes seq)
+//! ```
+//!
+//! Readers load `stamp`, skip zero, load `meta` and `ns`, then re-load
+//! `stamp` and accept only if both stamps agree *and* the low 32 sequence
+//! bits embedded in `meta` match the stamp. The double-stamp check defeats
+//! a writer racing the read; the embedded-seq check defeats two *different*
+//! writers lapping the ring between the reader's loads (their stamps would
+//! differ by a multiple of the capacity, but their meta seq bits differ
+//! too). Under the sequentially-consistent interleave model this is proven
+//! exhaustively (`interleave_models.rs`); under real weak memory the
+//! acquire/release pairing keeps the data loads between the two stamp
+//! loads.
+//!
+//! `clear()` zeroes only the stamps: `head` keeps counting, so
+//! [`SpanRing::pushed`] is a proper monotone counter suitable for a
+//! Prometheus `_total` series. As with `LatencyHistogram::reset`, a writer
+//! mid-push during a clear may land its event after the clear — benign,
+//! documented, and explored by the interleave model.
+
+use crate::sync::{AtomicU64, Ordering};
+
+/// What a span event marks: the beginning or the end of a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The span was entered (timestamp = entry time).
+    Begin,
+    /// The span was exited (timestamp = exit time).
+    End,
+}
+
+/// One decoded span event captured from the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Global monotone sequence number assigned at push time.
+    pub seq: u64,
+    /// Index into [`super::Stage::ALL`] identifying the instrumented stage.
+    pub stage: u8,
+    /// Whether this marks the begin or the end of the span.
+    pub kind: SpanKind,
+    /// Low 16 bits of the emitting thread's trace id.
+    pub tid: u16,
+    /// Nanoseconds since the process trace epoch ([`super::now_ns`]).
+    pub ns: u64,
+}
+
+/// Bit layout of the packed `meta` word.
+const KIND_BIT: u64 = 1 << 8;
+const TID_SHIFT: u32 = 16;
+const SEQ_SHIFT: u32 = 32;
+
+fn pack_meta(stage: u8, kind: SpanKind, tid: u16, seq: u64) -> u64 {
+    let kind_bit = match kind {
+        SpanKind::Begin => 0,
+        SpanKind::End => KIND_BIT,
+    };
+    u64::from(stage) | kind_bit | (u64::from(tid) << TID_SHIFT) | ((seq & 0xffff_ffff) << SEQ_SHIFT)
+}
+
+fn unpack_meta(meta: u64) -> (u8, SpanKind, u16, u32) {
+    let stage = (meta & 0xff) as u8;
+    let kind = if meta & KIND_BIT != 0 {
+        SpanKind::End
+    } else {
+        SpanKind::Begin
+    };
+    let tid = ((meta >> TID_SHIFT) & 0xffff) as u16;
+    let seq_lo = (meta >> SEQ_SHIFT) as u32;
+    (stage, kind, tid, seq_lo)
+}
+
+/// One ring slot: a per-slot seqlock of three atomics.
+struct Slot {
+    /// `0` = invalid / mid-write; otherwise `seq + 1` of the resident event.
+    stamp: AtomicU64,
+    /// Packed stage/kind/tid/seq-low word.
+    meta: AtomicU64,
+    /// Event timestamp in nanoseconds since the trace epoch.
+    ns: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            stamp: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Lock-free fixed-capacity ring of span events (see module docs for the
+/// slot protocol).
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+}
+
+impl SpanRing {
+    /// Create a ring with `capacity` slots, rounded up to a power of two
+    /// (minimum 2). All memory is allocated here; `push` never allocates.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::empty()).collect();
+        SpanRing {
+            slots: slots.into_boxed_slice(),
+            mask: (cap as u64) - 1,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Monotone count of events ever pushed (survives [`clear`]; suitable
+    /// as a Prometheus counter).
+    ///
+    /// [`clear`]: SpanRing::clear
+    pub fn pushed(&self) -> u64 {
+        // Ordering: Relaxed — a monotone statistic read for reporting; no
+        // other memory depends on its value.
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Push one event. Wait-free for writers: one `fetch_add` plus four
+    /// stores; old events are overwritten once the ring wraps.
+    pub fn push(&self, stage: u8, kind: SpanKind, tid: u16, ns: u64) {
+        // Ordering: Relaxed — the fetch_add only needs atomicity to hand
+        // out unique sequence numbers; publication order is carried by the
+        // Release stores below.
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        // Ordering: Release on the invalidation store so it cannot be
+        // reordered after the data stores from the *previous* occupant's
+        // perspective; readers that see stamp == 0 skip the slot.
+        slot.stamp.store(0, Ordering::Release);
+        // Ordering: Release on both data stores — they must be visible
+        // before the validating stamp store below is observed.
+        slot.meta
+            .store(pack_meta(stage, kind, tid, seq), Ordering::Release);
+        slot.ns.store(ns, Ordering::Release);
+        // Ordering: Release — publishes the slot; a reader that acquires
+        // this stamp value observes the meta/ns stores above.
+        slot.stamp.store(seq + 1, Ordering::Release);
+    }
+
+    /// Seeded *torn* push used only by the interleave meta-test: validates
+    /// the stamp **before** storing `ns`, so a racing reader can accept a
+    /// stale timestamp. Proves the model checker actually sees through the
+    /// slot protocol.
+    #[cfg(interleave)]
+    pub fn model_torn_push(&self, stage: u8, kind: SpanKind, tid: u16, ns: u64) {
+        // Ordering: Relaxed — same claim as `push`; the bug under test is
+        // the store sequencing below, not the claim.
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        // Ordering: Release — mirrors `push`.
+        slot.stamp.store(0, Ordering::Release);
+        slot.meta
+            .store(pack_meta(stage, kind, tid, seq), Ordering::Release);
+        // BUG (seeded): the slot is validated before `ns` lands.
+        slot.stamp.store(seq + 1, Ordering::Release);
+        slot.ns.store(ns, Ordering::Release);
+    }
+
+    /// Snapshot every currently-valid slot, sorted by sequence number.
+    /// Slots being rewritten concurrently are skipped (seqlock reject), so
+    /// the snapshot is always internally consistent, never blocking any
+    /// writer.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let mut events = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            // Ordering: Acquire — pairs with the writer's validating
+            // Release store; on acceptance the data loads below observe
+            // the matching meta/ns values.
+            let s1 = slot.stamp.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            // Ordering: Acquire on the data loads keeps them ordered
+            // before the re-validating stamp load below.
+            let meta = slot.meta.load(Ordering::Acquire);
+            let ns = slot.ns.load(Ordering::Acquire);
+            // Ordering: Acquire — the second stamp read must not be
+            // hoisted above the data loads.
+            let s2 = slot.stamp.load(Ordering::Acquire);
+            if s1 != s2 {
+                continue; // a writer raced us; drop the slot
+            }
+            let (stage, kind, tid, seq_lo) = unpack_meta(meta);
+            let seq = s1 - 1;
+            if (seq & 0xffff_ffff) as u32 != seq_lo {
+                continue; // two writers lapped the slot between our loads
+            }
+            events.push(SpanEvent {
+                seq,
+                stage,
+                kind,
+                tid,
+                ns,
+            });
+        }
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Invalidate every slot without resetting the monotone push counter.
+    /// A writer mid-push may still land one event after the clear — the
+    /// same benign window as `LatencyHistogram::reset`, explored by the
+    /// interleave model.
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            // Ordering: Release — keeps the invalidation ordered after any
+            // prior reads of the slot on this thread; readers merely skip
+            // zero stamps.
+            slot.stamp.store(0, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(all(test, not(interleave)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(SpanRing::new(0).capacity(), 2);
+        assert_eq!(SpanRing::new(3).capacity(), 4);
+        assert_eq!(SpanRing::new(8).capacity(), 8);
+    }
+
+    #[test]
+    fn push_snapshot_round_trip() {
+        let ring = SpanRing::new(8);
+        ring.push(3, SpanKind::Begin, 7, 1_000);
+        ring.push(3, SpanKind::End, 7, 2_500);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].stage, 3);
+        assert_eq!(events[0].kind, SpanKind::Begin);
+        assert_eq!(events[0].tid, 7);
+        assert_eq!(events[0].ns, 1_000);
+        assert_eq!(events[1].kind, SpanKind::End);
+        assert_eq!(events[1].ns, 2_500);
+        assert_eq!(ring.pushed(), 2);
+    }
+
+    #[test]
+    fn wrap_overwrites_oldest() {
+        let ring = SpanRing::new(2);
+        for i in 0..5u64 {
+            ring.push(0, SpanKind::Begin, 0, 100 * i);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2, "only the newest capacity slots survive");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert_eq!(ring.pushed(), 5, "push counter is monotone through wraps");
+    }
+
+    #[test]
+    fn clear_empties_slots_but_not_counter() {
+        let ring = SpanRing::new(4);
+        ring.push(1, SpanKind::Begin, 0, 10);
+        ring.push(1, SpanKind::End, 0, 20);
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.pushed(), 2);
+        ring.push(2, SpanKind::Begin, 1, 30);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 2, "sequence numbering continues after clear");
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_a_snapshot() {
+        use std::sync::Arc;
+        let ring = Arc::new(SpanRing::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        // Encode the writer id in both tid and ns so a torn
+                        // read would be detectable below.
+                        ring.push(t as u8, SpanKind::Begin, t, u64::from(t) * 1_000_000 + i);
+                    }
+                });
+            }
+            for _ in 0..50 {
+                for e in ring.snapshot() {
+                    assert_eq!(
+                        e.ns / 1_000_000,
+                        u64::from(e.tid),
+                        "snapshot observed a torn slot"
+                    );
+                    assert_eq!(e.stage, e.tid as u8);
+                }
+            }
+        });
+        assert_eq!(ring.pushed(), 800);
+    }
+}

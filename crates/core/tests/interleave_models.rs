@@ -1,10 +1,12 @@
-//! Deterministic interleaving models for the three riskiest concurrent
-//! structures of the serving stack (DESIGN.md §5d):
+//! Deterministic interleaving models for the riskiest concurrent
+//! structures of the serving stack (DESIGN.md §5d/§5e):
 //!
 //! 1. [`bionav_core::telemetry::LatencyHistogram`] record / snapshot / reset,
 //! 2. the cross-session [`CutCache`] insert / get / capacity protocol,
 //! 3. the [`Engine`] park / resume session protocol (open → expand → close
-//!    from concurrent workers).
+//!    from concurrent workers),
+//! 4. the [`bionav_core::trace::SpanRing`] seqlock slot protocol
+//!    (writers vs snapshot vs clear), plus a seeded torn-write meta-test.
 //!
 //! Compiled and run only under `RUSTFLAGS='--cfg interleave'`, which swaps
 //! `bionav_core`'s sync shim onto the vendored `interleave` model checker:
@@ -275,7 +277,123 @@ fn engine_park_resume_protocol() {
 }
 
 // ---------------------------------------------------------------------------
-// 4. Meta-test: the checker must catch a seeded race
+// 4. Trace ring (DESIGN.md §5e)
+// ---------------------------------------------------------------------------
+
+/// Two writers race a mid-flight snapshot of a deliberately tiny (2-slot)
+/// ring: every accepted event must be internally consistent (its `ns`
+/// encodes its `tid`), the mid-snapshot can never exceed the capacity, and
+/// after both writers join, both sequence numbers are observable.
+#[test]
+fn trace_ring_concurrent_writers_and_snapshot() {
+    use bionav_core::trace::{SpanKind, SpanRing};
+    explore(
+        "trace_ring_concurrent_writers_and_snapshot",
+        Config::default(),
+        || {
+            let ring = Arc::new(SpanRing::new(2));
+            let writers: Vec<_> = (0..2u16)
+                .map(|t| {
+                    let ring = Arc::clone(&ring);
+                    interleave::thread::spawn(move || {
+                        // Encode the writer in both tid and ns so a torn
+                        // slot (meta from one writer, ns from the other)
+                        // is detectable below.
+                        ring.push(t as u8, SpanKind::Begin, t, 1_000 + u64::from(t));
+                    })
+                })
+                .collect();
+            let mid = ring.snapshot();
+            assert!(mid.len() <= 2, "snapshot exceeded ring capacity");
+            for e in &mid {
+                assert_eq!(
+                    e.ns,
+                    1_000 + u64::from(e.tid),
+                    "torn slot: meta/ns from different writers"
+                );
+                assert_eq!(e.stage, e.tid as u8, "torn slot: stage/tid mismatch");
+            }
+            for w in writers {
+                w.join().unwrap();
+            }
+            let fin = ring.snapshot();
+            assert_eq!(fin.len(), 2, "both events must survive in a 2-slot ring");
+            let mut seqs: Vec<u64> = fin.iter().map(|e| e.seq).collect();
+            seqs.sort_unstable();
+            assert_eq!(seqs, vec![0, 1], "each push claims a unique sequence");
+            assert_eq!(ring.pushed(), 2, "push counter is exact");
+        },
+    );
+}
+
+/// `clear` racing a writer: the documented benign window (a mid-push event
+/// may land after the clear) is allowed, but every event a snapshot accepts
+/// must still be internally consistent, and a clear *after* the writer
+/// joins must empty the ring without rewinding the monotone counter.
+#[test]
+fn trace_ring_clear_vs_writer() {
+    use bionav_core::trace::{SpanKind, SpanRing};
+    explore("trace_ring_clear_vs_writer", Config::default(), || {
+        let ring = Arc::new(SpanRing::new(2));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            interleave::thread::spawn(move || {
+                ring.push(1, SpanKind::Begin, 1, 1_001);
+                ring.push(1, SpanKind::End, 1, 1_001);
+            })
+        };
+        ring.clear();
+        let mid = ring.snapshot();
+        assert!(mid.len() <= 2);
+        for e in &mid {
+            assert_eq!(e.ns, 1_001, "accepted event must be fully written");
+            assert_eq!(e.tid, 1);
+        }
+        writer.join().unwrap();
+        ring.clear();
+        assert!(
+            ring.snapshot().is_empty(),
+            "a quiescent clear must empty the ring"
+        );
+        assert_eq!(ring.pushed(), 2, "clear never rewinds the push counter");
+    });
+}
+
+/// Meta-test for the ring protocol: `model_torn_push` validates the slot
+/// *before* storing `ns`, so a racing reader can accept a stale timestamp.
+/// The checker MUST find that interleaving — otherwise the passing models
+/// above prove nothing about the real seqlock.
+#[test]
+fn meta_torn_ring_write_is_flagged() {
+    use bionav_core::trace::{SpanKind, SpanRing};
+    let result = check(Config::default(), || {
+        let ring = Arc::new(SpanRing::new(2));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            interleave::thread::spawn(move || {
+                // Seeded bug: stamp validated before ns lands.
+                ring.model_torn_push(1, SpanKind::Begin, 1, 999);
+            })
+        };
+        for e in ring.snapshot() {
+            assert_eq!(e.ns, 999, "torn ring write: accepted a stale timestamp");
+        }
+        writer.join().unwrap();
+    });
+    let failure = result.expect_err("the checker MUST flag the torn ring write");
+    assert!(
+        failure.message.contains("torn"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    println!(
+        "meta: torn ring write flagged after {} executions, schedule {:?}",
+        failure.executions, failure.schedule
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 5. Meta-test: the checker must catch a seeded race
 // ---------------------------------------------------------------------------
 
 /// A knowingly racy read-modify-write counter. If the scheduler ever stops

@@ -1,0 +1,22 @@
+// Fixture: annotated and test-region clock reads must stay silent; a
+// reasonless annotation must NOT suppress.
+pub fn reference_timing() -> std::time::Duration {
+    // lint: allow(no-naked-instant) — historical reference kept verbatim; never on the serve path
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+pub fn reasonless() -> std::time::Duration {
+    // lint: allow(no-naked-instant)
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_the_clock() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

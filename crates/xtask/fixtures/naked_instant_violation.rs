@@ -1,0 +1,14 @@
+// Fixture: raw clock reads outside the trace module must fire.
+use std::time::{Instant, SystemTime};
+
+pub fn times_a_build() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn wall_clock_stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -55,6 +55,14 @@ pub const RULES: &[Rule] = &[
                     per-session lock)",
     },
     Rule {
+        id: "no-naked-instant",
+        summary: "no Instant::now() / SystemTime::now() outside the trace module and telemetry.rs",
+        scope: "all first-party sources except crates/core/src/trace/ and telemetry.rs",
+        rationale: "serve-path timing must flow through trace::now_ns() (one monotone epoch) so \
+                    spans, histograms, and exporters agree; ad-hoc clock reads drift from the \
+                    trace plane and dodge the overhead budget",
+    },
+    Rule {
         id: "forbid-unsafe",
         summary: "every crate root declares #![forbid(unsafe_code)]",
         scope: "crate roots: src/lib.rs, src/main.rs, src/bin/*.rs",
@@ -263,6 +271,11 @@ const HOTPATH_PATTERNS: &[(&str, &str)] = &[
     ),
 ];
 
+const CLOCK_PATTERNS: &[(&str, &str)] = &[
+    ("Instant::now(", "naked Instant::now() read"),
+    ("SystemTime::now(", "naked SystemTime::now() read"),
+];
+
 const SOLVE_PATTERNS: &[&str] = &[
     "partition_until",
     "plan_component",
@@ -340,6 +353,11 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
 
     let bin = is_bin(path);
     let edgecut = path.contains("/edgecut/");
+    // The trace module and the latency histograms are the two places that
+    // legitimately read the raw clock; everything else goes through
+    // trace::now_ns() so all timing shares one monotone epoch.
+    let clock_exempt =
+        path.contains("/trace/") || path.ends_with("trace.rs") || path.ends_with("telemetry.rs");
     let mut guards: Vec<Guard> = Vec::new();
     let mut depth = 0usize;
 
@@ -416,6 +434,19 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
                         i,
                         "hotpath-no-hashmap",
                         format!("{what}; route through the scratch.rs arenas"),
+                    );
+                }
+            }
+        }
+
+        // no-naked-instant -------------------------------------------------
+        if !clock_exempt {
+            for (pat, what) in CLOCK_PATTERNS {
+                if code.contains(pat) && !allows.allowed(i, "no-naked-instant") {
+                    push(
+                        i,
+                        "no-naked-instant",
+                        format!("{what}; use bionav_core::trace::now_ns() or a trace span"),
                     );
                 }
             }

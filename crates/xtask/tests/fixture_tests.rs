@@ -152,6 +152,58 @@ fn forbid_unsafe_checks_crate_roots_only() {
 }
 
 // ---------------------------------------------------------------------------
+// no-naked-instant
+// ---------------------------------------------------------------------------
+
+#[test]
+fn naked_instant_fires_on_raw_clock_reads() {
+    let src = include_str!("../fixtures/naked_instant_violation.rs");
+    let hits = hits("crates/core/src/engine.rs", src);
+    assert_eq!(
+        hits,
+        vec![(5, "no-naked-instant"), (10, "no-naked-instant")],
+        "Instant::now and SystemTime::now must each fire exactly once"
+    );
+}
+
+#[test]
+fn naked_instant_applies_to_bins_too() {
+    let src = include_str!("../fixtures/naked_instant_violation.rs");
+    assert!(
+        rules_only("crates/bench/src/bin/reproduce.rs", src).contains(&"no-naked-instant"),
+        "bins time the serve path; the clock rule must cover them"
+    );
+}
+
+#[test]
+fn naked_instant_honors_annotations_and_test_mods() {
+    let src = include_str!("../fixtures/naked_instant_allowed.rs");
+    let hits = hits("crates/core/src/engine.rs", src);
+    // Only the reasonless annotation's read (line 11) may fire.
+    assert_eq!(
+        hits,
+        vec![(11, "no-naked-instant")],
+        "a reasoned allow and test-mod reads must be silent; \
+         a reasonless annotation must not suppress"
+    );
+}
+
+#[test]
+fn naked_instant_exempts_the_trace_module_and_telemetry() {
+    let src = include_str!("../fixtures/naked_instant_violation.rs");
+    for path in [
+        "crates/core/src/trace/mod.rs",
+        "crates/core/src/trace/ring.rs",
+        "crates/core/src/telemetry.rs",
+    ] {
+        assert!(
+            !rules_only(path, src).contains(&"no-naked-instant"),
+            "{path} is the clock's home; the rule must not fire there"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The rule table itself
 // ---------------------------------------------------------------------------
 
@@ -166,6 +218,7 @@ fn rule_table_is_complete_and_unique() {
             "forbid-unsafe",
             "hotpath-no-hashmap",
             "lock-across-solve",
+            "no-naked-instant",
             "no-unwrap"
         ]
     );

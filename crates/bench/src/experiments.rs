@@ -911,14 +911,16 @@ pub fn serve(
     );
     let mut all_match = true;
     let mut all_completed = true;
+    let mut degraded_jobs = 0u64;
     for (i, outcome) in outcomes.iter().enumerate() {
         let expected = &reference[i % reference.len()];
         match outcome {
-            Some(o) => {
+            Ok(o) => {
                 let matches = o.cost.interaction_cost() == expected.interaction_cost
                     && o.cost.total_cost() == expected.total_cost
                     && o.cost.expands == expected.expands;
                 all_match &= matches;
+                degraded_jobs += u64::from(o.degraded_expands);
                 if i < reference.len() {
                     t.row(vec![
                         expected.name.clone(),
@@ -928,7 +930,7 @@ pub fn serve(
                     ]);
                 }
             }
-            None => all_completed = false,
+            Err(_) => all_completed = false,
         }
     }
     t.print();
@@ -1011,12 +1013,27 @@ pub fn serve(
         "all sessions closed after the batch",
         stats.sessions_active == 0 && stats.sessions_opened == stats.sessions_closed,
     );
+    // The fault plane must be silent on the clean path (DESIGN.md §5f):
+    // with the default policy and no armed failpoints, nothing degrades,
+    // nothing is shed, nothing panics — per-query costs above are the
+    // exact pipeline's, bit-identical to the sequential reference.
+    check.assert(
+        format!(
+            "clean path: no degraded EXPANDs ({} engine, {} per-job)",
+            stats.degraded_expands, degraded_jobs
+        ),
+        stats.degraded_expands == 0 && degraded_jobs == 0,
+    );
+    check.assert(
+        "clean path: nothing shed, no panics, no quarantine",
+        stats.shed_expands == 0 && stats.session_panics == 0 && stats.sessions_quarantined == 0,
+    );
 
     // The traced pass must be observably identical apart from the latency:
     // same per-query costs, plus a populated stage breakdown and ring.
     let traced_match = traced_outcomes.iter().enumerate().all(|(i, o)| {
         let expected = &reference[i % reference.len()];
-        o.as_ref().is_some_and(|o| {
+        o.as_ref().is_ok_and(|o| {
             o.cost.interaction_cost() == expected.interaction_cost
                 && o.cost.total_cost() == expected.total_cost
                 && o.cost.expands == expected.expands

@@ -54,6 +54,16 @@ pub fn evaluate_parallel(workload: &Workload, params: &CostParams) -> Vec<QueryE
     bionav_core::engine::pool::scoped_map(tasks.len(), default_workers(tasks.len()), |i| {
         evaluate_query(workload, tasks[i], params)
     })
+    .into_iter()
+    .map(|slot| match slot {
+        Ok(eval) => eval,
+        // The pool isolates per-task panics (DESIGN.md §5f); for this
+        // offline driver a lost query is fatal, so surface it loudly
+        // instead of silently dropping the row.
+        // lint: allow(no-unwrap) — offline bench driver: a lost evaluation row must abort the run
+        Err(p) => panic!("evaluation of query #{} panicked: {}", p.task, p.message),
+    })
+    .collect()
 }
 
 /// Default worker count for bench drivers: the machine's parallelism,

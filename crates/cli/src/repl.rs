@@ -136,10 +136,12 @@ impl Repl {
         }
     }
 
-    /// Closes the active engine session, if any.
+    /// Closes the active engine session, if any. The exported state is
+    /// discarded (the REPL only persists on `save`), and an unknown-session
+    /// refusal is moot — the slot is gone either way.
     fn drop_session(&mut self) {
         if let Some(old) = self.state.take() {
-            self.engine.close_session(old.id);
+            let _ = self.engine.close_session(old.id);
         }
     }
 
@@ -240,15 +242,19 @@ impl Repl {
             return format!("{label:?} hides nothing (no >>>)\n");
         }
         let start = bionav_core::trace::now_ns();
-        let revealed = self
-            .engine
-            .expand(id, node)
-            .expect("active state has a live session")
-            .expect("multi-node components expand");
+        let reply = match self.engine.expand(id, node) {
+            Ok(reply) => reply,
+            Err(e) => return format!("expand failed: {e}\n"),
+        };
+        let degraded = match reply.degraded {
+            Some(reason) => format!(" [degraded: {}]", reason.name()),
+            None => String::new(),
+        };
         format!(
-            "revealed {} concepts in {:.1} ms\n{}",
-            revealed.len(),
+            "revealed {} concepts in {:.1} ms{}\n{}",
+            reply.revealed.len(),
             bionav_core::trace::now_ns().saturating_sub(start) as f64 / 1e6,
+            degraded,
             self.render_tree()
         )
     }
@@ -419,11 +425,11 @@ impl Repl {
             Ok(s) => s,
             Err(e) => return format!("load failed: {e}\n"),
         };
-        let Some(id) = self.engine.restore_session(&saved.keywords, saved.state) else {
-            return format!(
-                "load failed: the saved state does not match this dataset's result for {:?}\n",
-                saved.keywords
-            );
+        let id = match self.engine.restore_session(&saved.keywords, saved.state) {
+            Ok(id) => id,
+            Err(e) => {
+                return format!("load failed for {:?}: {e}\n", saved.keywords);
+            }
         };
         self.drop_session();
         self.state = Some(NavState {
@@ -463,9 +469,15 @@ impl Repl {
     fn cmd_serve_stats(&self, rest: &str) -> String {
         match rest {
             "--json" => {
-                let mut doc = self.engine.stats().to_json();
-                doc.push('\n');
-                return doc;
+                // Serialization failure is reported, not papered over with
+                // a placeholder document (DESIGN.md §5f error taxonomy).
+                return match self.engine.stats().to_json() {
+                    Ok(mut doc) => {
+                        doc.push('\n');
+                        doc
+                    }
+                    Err(e) => format!("serve-stats --json failed: {e}\n"),
+                };
             }
             "--prom" => return self.engine.prometheus_text(),
             "" => {}
@@ -477,7 +489,8 @@ impl Repl {
              tree cache : {entries}/{cap} entries, {hits} hits / {misses} misses (hit rate {rate:.1}%), {ev} evictions\n\
              sessions   : {opened} opened, {closed} closed, {active} active\n\
              EXPAND     : {n} measured, p50 {p50:.0} µs, p95 {p95:.0} µs, p99 {p99:.0} µs\n\
-             throughput : {sps:.2} sessions/sec over {secs:.1} s\n",
+             throughput : {sps:.2} sessions/sec over {secs:.1} s\n\
+             fault plane: {deg} degraded ({myo} myopic / {sta} static), {shed} shed, {pan} panics, {quar} quarantined\n",
             entries = st.cache_entries,
             cap = st.cache_capacity,
             hits = st.cache_hits,
@@ -493,6 +506,12 @@ impl Repl {
             p99 = st.expand_p99_us,
             sps = st.sessions_per_sec,
             secs = st.elapsed_secs,
+            deg = st.degraded_expands,
+            myo = st.degraded_myopic,
+            sta = st.degraded_static,
+            shed = st.shed_expands,
+            pan = st.session_panics,
+            quar = st.sessions_quarantined,
         );
         let measured: Vec<_> = st.stages.iter().filter(|s| s.count > 0).collect();
         if !measured.is_empty() {

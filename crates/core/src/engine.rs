@@ -31,8 +31,36 @@
 //! log vector), and the live-session gauge is an atomic maintained at
 //! insert/remove time, so [`Engine::stats`] never touches the session
 //! table's lock while workers are serving.
+//!
+//! ## Fault tolerance (DESIGN.md §5f)
+//!
+//! An interactive EXPAND must always come back, fast, even when the solver
+//! hits a pathological component or a worker dies. Three mechanisms:
+//!
+//! * **Typed errors** — every public entry point returns
+//!   `Result<_, `[`EngineError`]`>` instead of a bare `Option`, so callers
+//!   can tell an unknown query from a shed request from a quarantined
+//!   session.
+//! * **The degradation ladder** — under a configurable [`DegradePolicy`]
+//!   (deadline / component-size budget) or an injected fault
+//!   ([`fault`]), EXPAND degrades monotonically: exact
+//!   Opt-EdgeCut → retained-memo myopic cut → static show-all-children
+//!   cut. Every degraded answer is still a *valid* EdgeCut (validated by
+//!   the active tree), is flagged with a [`DegradeReason`] in the reply,
+//!   and is tallied in [`ServeStats`] / the trace plane
+//!   ([`Stage::Degraded`]) / the Prometheus exposition. With the default
+//!   policy and no armed faults the ladder never fires and per-query
+//!   costs are bit-identical to the exact pipeline (chaos-tested).
+//! * **Panic isolation & quarantine** — EXPAND bodies and pool-worker
+//!   tasks run inside [`fault::isolate`]; a panic
+//!   becomes a typed error, the affected session is quarantined (visible
+//!   in stats; [`Engine::close_session`] still drains it) and the batch
+//!   keeps going. An admission gate bounds in-flight EXPANDs and sheds
+//!   load with [`EngineError::Overloaded`] instead of queueing
+//!   unboundedly.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 // The session table, tree cache, and gauges go through the sync shim so the
@@ -44,6 +72,7 @@ use crate::trace::{self, Stage, StageMetrics, StageStat};
 
 use crate::active::EdgeCutError;
 use crate::cost::CostParams;
+use crate::fault::{self, FailSite, Fault};
 use crate::navtree::{NavNodeId, NavigationTree};
 use crate::session::{CutCache, Session, SessionState};
 use crate::sim::NavOutcome;
@@ -55,26 +84,58 @@ pub mod pool {
     //! OS threads pull task indices from a shared atomic counter until the
     //! range is drained. Results are returned in task order, so callers see
     //! output byte-identical to a sequential map.
+    //!
+    //! **Panic isolation** (DESIGN.md §5f): each task body runs inside
+    //! [`fault::isolate`]. A panicking task yields a
+    //! typed [`WorkerPanicked`] in its own slot while the worker thread
+    //! keeps draining the counter — one bad task never loses the other
+    //! tasks' results or aborts the batch.
 
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    use crate::fault::{self, FailSite};
+
+    /// One pool task panicked; the other tasks' results are unaffected.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WorkerPanicked {
+        /// Index of the panicking task in `0..tasks`.
+        pub task: usize,
+        /// The panic payload, stringified.
+        pub message: String,
+    }
+
     /// Maps `f` over `0..tasks` on at most `workers` threads, returning
-    /// results in task order. `workers` is clamped to `[1, tasks]`; with a
-    /// single worker the map runs inline on the caller's thread.
-    pub fn scoped_map<T, F>(tasks: usize, workers: usize, f: F) -> Vec<T>
+    /// per-task results in task order — `Ok(value)` or the typed
+    /// [`WorkerPanicked`] if that task's body panicked. `workers` is
+    /// clamped to `[1, tasks]`; with a single worker the map runs inline
+    /// on the caller's thread (panics are isolated the same way).
+    pub fn scoped_map<T, F>(tasks: usize, workers: usize, f: F) -> Vec<Result<T, WorkerPanicked>>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        // Failpoint + isolation wrapper shared by the inline and pooled
+        // paths. The `PoolWorker` site models a task body dying: any fired
+        // fault panics here, inside the isolate region.
+        let run = |i: usize| -> Result<T, WorkerPanicked> {
+            fault::isolate(|| {
+                if fault::hit(FailSite::PoolWorker).is_some() {
+                    // Every fault action at this site models a worker death.
+                    fault::injected_panic(FailSite::PoolWorker);
+                }
+                f(i)
+            })
+            .map_err(|message| WorkerPanicked { task: i, message })
+        };
         if tasks == 0 {
             return Vec::new();
         }
         let workers = workers.clamp(1, tasks);
         if workers == 1 {
-            return (0..tasks).map(f).collect();
+            return (0..tasks).map(run).collect();
         }
         let next = AtomicUsize::new(0);
-        let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let buckets: Vec<Vec<(usize, Result<T, WorkerPanicked>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -87,7 +148,7 @@ pub mod pool {
                             if i >= tasks {
                                 break;
                             }
-                            out.push((i, f(i)));
+                            out.push((i, run(i)));
                         }
                         out
                     })
@@ -95,12 +156,13 @@ pub mod pool {
                 .collect();
             handles
                 .into_iter()
-                // lint: allow(no-unwrap) — a panicking worker already poisons
-                // the computation; re-raising on the caller is the contract
-                .map(|h| h.join().expect("pool worker panicked"))
+                // lint: allow(no-unwrap) — task bodies are caught by
+                // fault::isolate above, so a worker thread itself never
+                // panics; join can only fail if the runtime is broken
+                .map(|h| h.join().expect("pool worker thread panicked"))
                 .collect()
         });
-        let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<T, WorkerPanicked>>> = (0..tasks).map(|_| None).collect();
         for bucket in buckets {
             for (i, v) in bucket {
                 slots[i] = Some(v);
@@ -122,14 +184,40 @@ pub mod pool {
         fn preserves_order_and_runs_every_task() {
             for workers in [1, 2, 7, 64] {
                 let out = scoped_map(100, workers, |i| i * 3);
-                assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+                assert_eq!(out, (0..100).map(|i| Ok(i * 3)).collect::<Vec<_>>());
             }
         }
 
         #[test]
         fn zero_tasks_is_fine() {
-            let out: Vec<u32> = scoped_map(0, 8, |_| unreachable!());
+            let out: Vec<Result<u32, WorkerPanicked>> = scoped_map(0, 8, |_| unreachable!());
             assert!(out.is_empty());
+        }
+
+        #[test]
+        fn one_panicking_task_does_not_lose_the_others() {
+            // Regression (DESIGN.md §5f): the old pool re-raised a worker
+            // panic on the caller, aborting the whole batch. Now the
+            // panicking task reports typed and every other slot survives —
+            // across worker counts, including the inline single-worker path.
+            for workers in [1, 2, 4, 16] {
+                let out = scoped_map(20, workers, |i| {
+                    if i == 7 {
+                        panic!("task 7 exploded");
+                    }
+                    i * 2
+                });
+                assert_eq!(out.len(), 20);
+                for (i, slot) in out.iter().enumerate() {
+                    if i == 7 {
+                        let err = slot.as_ref().expect_err("task 7 must report its panic");
+                        assert_eq!(err.task, 7);
+                        assert!(err.message.contains("task 7 exploded"), "{}", err.message);
+                    } else {
+                        assert_eq!(slot.as_ref().copied(), Ok(i * 2), "slot {i} lost");
+                    }
+                }
+            }
         }
     }
 }
@@ -169,6 +257,167 @@ pub struct ScriptOutcome {
     pub cost: NavOutcome,
     /// Wall-clock nanoseconds of every EXPAND the script performed.
     pub expand_ns: Vec<u64>,
+    /// How many of the script's EXPANDs were answered by the degradation
+    /// ladder (0 on the clean path — asserted by `reproduce -- serve`).
+    pub degraded_expands: u32,
+}
+
+/// Why an EXPAND was answered by the degradation ladder instead of the
+/// exact planner (DESIGN.md §5f).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// The [`DegradePolicy::expand_deadline_ns`] budget was already spent
+    /// when the planning decision was made.
+    Deadline,
+    /// The component exceeded [`DegradePolicy::exact_node_budget`] nodes.
+    StepBudget,
+    /// An armed failpoint ([`crate::fault`]) fired at solver entry.
+    Fault,
+}
+
+impl DegradeReason {
+    /// Stable snake_case name (metrics labels, REPL output).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeReason::Deadline => "deadline",
+            DegradeReason::StepBudget => "step_budget",
+            DegradeReason::Fault => "fault",
+        }
+    }
+}
+
+/// What [`Engine::expand`] returns on success: the revealed concepts plus
+/// whether (and why) the answer came from the degradation ladder rather
+/// than the exact planner. `degraded == None` means the cut is the exact
+/// pipeline's, bit-identical to a single-session run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandReply {
+    /// The newly revealed component roots, in cut order.
+    pub revealed: Vec<NavNodeId>,
+    /// `Some(reason)` when a ladder rung answered instead of the exact
+    /// planner.
+    pub degraded: Option<DegradeReason>,
+}
+
+/// The serving engine's error taxonomy (DESIGN.md §5f). Replaces the bare
+/// `Option` returns: callers can tell a bad query from shed load from a
+/// quarantined session, and react accordingly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query has no results (the tree builder returned nothing).
+    UnknownQuery(String),
+    /// No session with this id is parked in the table.
+    UnknownSession(SessionId),
+    /// The session exists but could not be engaged right now (an injected
+    /// lock-acquisition fault; transient — retry later).
+    SessionBusy(SessionId),
+    /// The session was quarantined after a panic; it no longer serves
+    /// operations, but [`Engine::close_session`] still drains its state.
+    Quarantined(SessionId),
+    /// The admission gate shed this EXPAND
+    /// ([`DegradePolicy::max_inflight_expands`]); nothing was executed.
+    Overloaded,
+    /// Building the navigation tree failed (builder panic or injected
+    /// tree-build fault); carries the failure message.
+    TreeBuildFailed(String),
+    /// The session panicked during this operation and has been moved to
+    /// quarantine; carries the panic payload.
+    SessionPanicked {
+        /// The now-quarantined session.
+        id: SessionId,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A pool worker task panicked during a batch replay.
+    WorkerPanicked {
+        /// Index of the failed job.
+        task: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A persisted [`SessionState`] does not fit the query's rebuilt tree
+    /// (stale or foreign state; the `ActiveTree::fits` validation).
+    StateMismatch,
+    /// The navigation itself refused the operation (hidden node, singleton
+    /// component, invalid cut, …).
+    Cut(EdgeCutError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownQuery(q) => write!(f, "query has no results: {q:?}"),
+            EngineError::UnknownSession(id) => write!(f, "unknown session {id:?}"),
+            EngineError::SessionBusy(id) => write!(f, "session {id:?} is busy; retry"),
+            EngineError::Quarantined(id) => {
+                write!(f, "session {id:?} is quarantined after a panic")
+            }
+            EngineError::Overloaded => write!(f, "engine overloaded; EXPAND shed"),
+            EngineError::TreeBuildFailed(msg) => write!(f, "navigation tree build failed: {msg}"),
+            EngineError::SessionPanicked { id, message } => {
+                write!(f, "session {id:?} panicked and was quarantined: {message}")
+            }
+            EngineError::WorkerPanicked { task, message } => {
+                write!(f, "replay job {task} panicked: {message}")
+            }
+            EngineError::StateMismatch => {
+                write!(f, "persisted session state does not fit the query's tree")
+            }
+            EngineError::Cut(e) => write!(f, "navigation refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<EdgeCutError> for EngineError {
+    fn from(e: EdgeCutError) -> Self {
+        EngineError::Cut(e)
+    }
+}
+
+/// Bounded-time serving policy: when EXPAND drops onto the degradation
+/// ladder, and how much concurrent EXPAND load the engine admits
+/// (DESIGN.md §5f). The default policy never degrades and admits far more
+/// in-flight EXPANDs than any worker pool this engine runs — the clean
+/// serve path is unchanged (chaos-tested bit-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Wall-clock budget for one EXPAND, nanoseconds, measured from
+    /// admission (lock waits included). If it is already spent when the
+    /// planning decision is made, the ladder answers instead of the exact
+    /// solver. `0` disables the deadline.
+    pub expand_deadline_ns: u64,
+    /// Largest component (node count) the exact planner is given; bigger
+    /// components degrade. `0` disables the budget.
+    pub exact_node_budget: usize,
+    /// Maximum concurrently in-flight EXPANDs before the admission gate
+    /// sheds with [`EngineError::Overloaded`]. `0` disables the gate.
+    pub max_inflight_expands: usize,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            expand_deadline_ns: 0,
+            exact_node_budget: 0,
+            max_inflight_expands: 1024,
+        }
+    }
+}
+
+/// RAII release for the admission gate's in-flight EXPAND counter: the
+/// slot is freed when the guard drops, which happens even when the gated
+/// operation panics (the guard lives outside [`fault::isolate`]'s
+/// `catch_unwind` in the caller's frame).
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        // Relaxed: saturation-counter release; see the admission contract
+        // on `Engine::admit_expand` — no ordering is carried through it.
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// How many distinct components each per-tree [`CutCache`] memoizes before
@@ -284,6 +533,21 @@ pub struct ServeStats {
     pub sessions_closed: u64,
     /// Sessions currently parked in the table.
     pub sessions_active: usize,
+    /// Parked sessions currently quarantined after a panic (a subset of
+    /// `sessions_active`; they drain through [`Engine::close_session`]).
+    pub sessions_quarantined: usize,
+    /// Sessions ever quarantined after a panic escaped into the engine.
+    pub session_panics: u64,
+    /// EXPANDs answered by the degradation ladder (any rung) in this
+    /// stats window. 0 on the clean serve path.
+    pub degraded_expands: u64,
+    /// Ladder EXPANDs answered by the retained-memo myopic rung.
+    pub degraded_myopic: u64,
+    /// Ladder EXPANDs answered by the static show-all-children rung.
+    pub degraded_static: u64,
+    /// EXPANDs shed by the admission gate
+    /// ([`DegradePolicy::max_inflight_expands`]) in this stats window.
+    pub shed_expands: u64,
     /// EXPAND operations measured.
     pub expand_count: usize,
     /// Median EXPAND latency, microseconds.
@@ -307,10 +571,16 @@ pub struct ServeStats {
 
 impl ServeStats {
     /// Serialize this snapshot as pretty-printed JSON (the `serve-stats
-    /// --json` surface). Serialization of this plain data struct cannot
-    /// fail; the empty-object fallback keeps the exporter total.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    /// --json` surface).
+    ///
+    /// Returns the serializer's error instead of swallowing it: the old
+    /// `"{}"` fallback silently handed downstream parsers an empty object,
+    /// which `bench_guard` would then misread as missing gates. A plain
+    /// data struct cannot actually fail to serialize, so callers may
+    /// `expect` — but the taxonomy makes the impossible case loud, not
+    /// invisible.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parse a snapshot previously produced by [`ServeStats::to_json`].
@@ -326,6 +596,12 @@ struct SessionSlot {
     session: Arc<Mutex<Session<SharedTree>>>,
     query: String,
     cuts: Arc<CutCache>,
+    /// Set when a panic escaped an operation on this session: the state
+    /// may violate navigation invariants, so the slot stops serving
+    /// (`expand`/`with_session` refuse) and only `close_session` — which
+    /// merely exports — will touch it again. Guarded by the session-table
+    /// lock; no separate quarantine set, so there is no second lock order.
+    poisoned: bool,
 }
 
 /// The concurrent query-serving engine. See the module docs.
@@ -359,6 +635,20 @@ where
     /// Start of the current stats window, as a [`trace::now_ns`] offset
     /// (reset by [`Engine::reset_stats`]).
     started_ns: AtomicU64,
+    /// Degradation-ladder / admission policy (DESIGN.md §5f).
+    policy: DegradePolicy,
+    /// EXPANDs currently in flight (admission gate counter).
+    inflight_expands: AtomicUsize,
+    /// EXPANDs shed by the admission gate in the current stats window.
+    shed_expands: AtomicU64,
+    /// Ladder answers from the retained-memo myopic rung.
+    degraded_myopic: AtomicU64,
+    /// Ladder answers from the static show-all-children rung.
+    degraded_static: AtomicU64,
+    /// Sessions ever quarantined (monotone within a stats window).
+    session_panics: AtomicU64,
+    /// Parked sessions currently poisoned (gauge; decremented on drain).
+    sessions_quarantined: AtomicUsize,
 }
 
 impl<B> Engine<B>
@@ -366,7 +656,9 @@ where
     B: Fn(&str) -> Option<SharedTree> + Send + Sync,
 {
     /// Creates an engine with the given tree builder, session cost
-    /// parameters, and tree-cache capacity.
+    /// parameters, and tree-cache capacity. The degradation/admission
+    /// policy defaults to "never degrade" ([`DegradePolicy::default`]);
+    /// set one with [`Engine::with_policy`] or [`Engine::set_policy`].
     pub fn new(builder: B, params: CostParams, cache_capacity: usize) -> Self {
         Engine {
             builder,
@@ -380,7 +672,32 @@ where
             expand_hist: LatencyHistogram::new(),
             stage: StageMetrics::new(),
             started_ns: AtomicU64::new(trace::now_ns()),
+            policy: DegradePolicy::default(),
+            inflight_expands: AtomicUsize::new(0),
+            shed_expands: AtomicU64::new(0),
+            degraded_myopic: AtomicU64::new(0),
+            degraded_static: AtomicU64::new(0),
+            session_panics: AtomicU64::new(0),
+            sessions_quarantined: AtomicUsize::new(0),
         }
+    }
+
+    /// Builder-style [`DegradePolicy`] override.
+    pub fn with_policy(mut self, policy: DegradePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the degradation/admission policy. Takes `&mut self`: the
+    /// policy is plain data read by serving threads, so it can only change
+    /// while no worker holds the engine.
+    pub fn set_policy(&mut self, policy: DegradePolicy) {
+        self.policy = policy;
+    }
+
+    /// The active degradation/admission policy.
+    pub fn policy(&self) -> &DegradePolicy {
+        &self.policy
     }
 
     /// Drain the calling thread's capture tape into the per-stage metrics.
@@ -401,30 +718,52 @@ where
     }
 
     /// Returns the shared navigation tree for `query`, building and caching
-    /// it on a miss. `None` when the builder reports no results.
+    /// it on a miss. `None` when the builder reports no results (or the
+    /// build failed; use the typed [`Engine::open_session`] path to tell
+    /// the two apart).
     pub fn tree_for(&self, query: &str) -> Option<SharedTree> {
-        self.tree_and_cuts_for(query).map(|(tree, _)| tree)
+        self.tree_and_cuts_for(query).ok().map(|(tree, _)| tree)
     }
 
     /// The shared tree *and* its cross-session cut memo, building both on a
-    /// miss.
-    fn tree_and_cuts_for(&self, query: &str) -> Option<(SharedTree, Arc<CutCache>)> {
+    /// miss. The builder runs inside [`fault::isolate`]: a panicking build
+    /// (or an injected [`FailSite::TreeBuild`] fault) becomes a typed
+    /// [`EngineError::TreeBuildFailed`] and leaves the cache consistent
+    /// (the key is only inserted after a successful build).
+    fn tree_and_cuts_for(&self, query: &str) -> Result<(SharedTree, Arc<CutCache>), EngineError> {
         let key = Self::cache_key(query);
         let mut cache = {
             let _lk = trace::span(Stage::LockWait);
             self.cache.lock()
         };
         if let Some(hit) = cache.get(&key) {
-            return Some(hit);
+            return Ok(hit);
         }
-        let tree = (self.builder)(query)?;
+        let built = fault::isolate(|| {
+            // Failpoint: tree build (DESIGN.md §5f).
+            match fault::hit(FailSite::TreeBuild) {
+                Some(Fault::Panic) => fault::injected_panic(FailSite::TreeBuild),
+                Some(_) => Err(EngineError::TreeBuildFailed(
+                    "injected tree-build fault".to_string(),
+                )),
+                None => Ok((self.builder)(query)),
+            }
+        });
+        let tree = match built {
+            Ok(Ok(Some(tree))) => tree,
+            Ok(Ok(None)) => return Err(EngineError::UnknownQuery(query.to_string())),
+            Ok(Err(e)) => return Err(e),
+            Err(message) => return Err(EngineError::TreeBuildFailed(message)),
+        };
         let cuts = cache.insert(key, Arc::clone(&tree));
-        Some((tree, cuts))
+        Ok((tree, cuts))
     }
 
-    /// Opens a session over `query`'s navigation tree. `None` when the
-    /// query has no results.
-    pub fn open_session(&self, query: &str) -> Option<SessionId> {
+    /// Opens a session over `query`'s navigation tree.
+    ///
+    /// Typed failures: [`EngineError::UnknownQuery`] when the query has no
+    /// results, [`EngineError::TreeBuildFailed`] when the build died.
+    pub fn open_session(&self, query: &str) -> Result<SessionId, EngineError> {
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::OpenSession);
@@ -443,6 +782,7 @@ where
                     session: Arc::new(Mutex::new(session)),
                     query: query.to_string(),
                     cuts,
+                    poisoned: false,
                 },
             );
             drop(table);
@@ -450,7 +790,7 @@ where
             // nothing is ordered against the counts.
             self.sessions_opened.fetch_add(1, Ordering::Relaxed);
             self.sessions_active.fetch_add(1, Ordering::Relaxed);
-            Some(SessionId(id))
+            Ok(SessionId(id))
         })();
         drop(cap);
         self.absorb_tape();
@@ -459,7 +799,9 @@ where
 
     /// Runs `f` against the parked session `id`. The session-table lock is
     /// held only for the lookup; the per-session lock is held for `f`, so
-    /// independent sessions never contend. `None` for unknown ids.
+    /// independent sessions never contend. `None` for unknown *or
+    /// quarantined* ids (quarantined sessions only drain, via
+    /// [`Engine::close_session`]).
     pub fn with_session<R>(
         &self,
         id: SessionId,
@@ -470,45 +812,215 @@ where
                 let _lk = trace::span(Stage::LockWait);
                 self.sessions.lock()
             };
-            Arc::clone(&table.get(&id.0)?.session)
+            let slot = table.get(&id.0)?;
+            if slot.poisoned {
+                return None;
+            }
+            Arc::clone(&slot.session)
         };
         let mut session = slot.lock();
         Some(f(&mut session))
     }
 
-    /// The parked session's handle plus its tree's cut memo.
-    fn session_and_cuts(&self, id: SessionId) -> Option<SessionAndCuts> {
+    /// The parked session's handle plus its tree's cut memo; typed refusal
+    /// for unknown or quarantined sessions.
+    fn session_and_cuts(&self, id: SessionId) -> Result<SessionAndCuts, EngineError> {
         let table = {
             let _lk = trace::span(Stage::LockWait);
             self.sessions.lock()
         };
-        let slot = table.get(&id.0)?;
-        Some((Arc::clone(&slot.session), Arc::clone(&slot.cuts)))
+        let slot = table.get(&id.0).ok_or(EngineError::UnknownSession(id))?;
+        if slot.poisoned {
+            return Err(EngineError::Quarantined(id));
+        }
+        Ok((Arc::clone(&slot.session), Arc::clone(&slot.cuts)))
     }
 
-    /// EXPAND on a parked session, recording the operation's latency in the
-    /// serving telemetry and consulting the tree's cross-session
-    /// [`CutCache`]. `None` for unknown ids.
-    pub fn expand(
+    /// Move a session to quarantine after a panic escaped an operation on
+    /// it: the slot stops serving, the gauges tick, and only
+    /// [`Engine::close_session`] (which merely exports state) touches it
+    /// again. Callers must NOT hold the session's own lock — the table
+    /// lock is the only lock taken here (single lock order: table, then
+    /// session, never the reverse).
+    fn quarantine_session(&self, id: SessionId) {
+        let mut table = {
+            let _lk = trace::span(Stage::LockWait);
+            self.sessions.lock()
+        };
+        if let Some(slot) = table.get_mut(&id.0) {
+            if !slot.poisoned {
+                slot.poisoned = true;
+                // Relaxed: telemetry gauges maintained under the table lock;
+                // readers only aggregate them.
+                self.session_panics.fetch_add(1, Ordering::Relaxed);
+                self.sessions_quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Interleave-model hook (compiled only under `--cfg interleave`):
+    /// drive the quarantine transition directly. [`fault::hit`] is a no-op
+    /// in that configuration — injected panics never fire — but the
+    /// quarantine *protocol* (table-lock-only poisoning racing concurrent
+    /// open / expand / close) is exactly what the model checker must
+    /// explore, so the transition is exposed as a first-class model input.
+    #[cfg(interleave)]
+    pub fn model_quarantine(&self, id: SessionId) {
+        self.quarantine_session(id);
+    }
+
+    /// Admission gate (DESIGN.md §5f): admit one EXPAND or shed with
+    /// [`EngineError::Overloaded`]. The returned guard releases the slot
+    /// on drop (panic-safe — a quarantined EXPAND still releases).
+    fn admit_expand(&self) -> Result<InflightGuard<'_>, EngineError> {
+        let limit = self.policy.max_inflight_expands;
+        // Relaxed: the gate is a saturation counter, not a lock; admitting
+        // one EXPAND too many under a torn race only means the bound is
+        // `limit + workers` in the worst case, which is fine for shedding.
+        let prev = self.inflight_expands.fetch_add(1, Ordering::Relaxed);
+        if limit != 0 && prev >= limit {
+            // Relaxed: undo the optimistic admit; same counter contract.
+            self.inflight_expands.fetch_sub(1, Ordering::Relaxed);
+            self.shed_expands.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Overloaded);
+        }
+        Ok(InflightGuard(&self.inflight_expands))
+    }
+
+    /// Decide whether this EXPAND degrades, and why — evaluated with the
+    /// session lock held, before any planning work. `t0` is the admission
+    /// timestamp (so lock waits count against the deadline).
+    fn choose_degrade(
+        &self,
+        session: &Session<SharedTree>,
+        node: NavNodeId,
+        t0: u64,
+    ) -> Option<DegradeReason> {
+        // Failpoint: solver entry (DESIGN.md §5f).
+        if let Some(f) = fault::hit(FailSite::SolverEntry) {
+            match f {
+                Fault::Panic => fault::injected_panic(FailSite::SolverEntry),
+                _ => return Some(DegradeReason::Fault),
+            }
+        }
+        let budget = self.policy.exact_node_budget;
+        if budget != 0 && session.component_size(node) > budget {
+            return Some(DegradeReason::StepBudget);
+        }
+        let deadline = self.policy.expand_deadline_ns;
+        if deadline != 0 && trace::now_ns().saturating_sub(t0) >= deadline {
+            return Some(DegradeReason::Deadline);
+        }
+        None
+    }
+
+    /// The graceful-degradation ladder (DESIGN.md §5f), monotone by
+    /// construction: exact Opt-EdgeCut → retained-memo myopic cut → static
+    /// show-all-children cut. Each rung either answers with a valid,
+    /// [`ActiveTree`](crate::active::ActiveTree)-validated EdgeCut or
+    /// falls to the next; only a failure no rung can fix (hidden node,
+    /// singleton component) surfaces as an error.
+    fn ladder_expand(
+        &self,
+        session: &mut Session<SharedTree>,
+        cuts: &CutCache,
+        node: NavNodeId,
+        t0: u64,
+    ) -> Result<(Vec<NavNodeId>, Option<DegradeReason>), EdgeCutError> {
+        match self.choose_degrade(session, node, t0) {
+            None => session.expand_cached(node, cuts).map(|r| (r, None)),
+            Some(reason) => {
+                let _sp = trace::span(Stage::Degraded);
+                match session.expand_degraded_memo(node) {
+                    Some(Ok(revealed)) => {
+                        // Relaxed: telemetry tally, nothing ordered through it.
+                        self.degraded_myopic.fetch_add(1, Ordering::Relaxed);
+                        Ok((revealed, Some(reason)))
+                    }
+                    Some(Err(EdgeCutError::NotAComponentRoot(n))) => {
+                        // No rung can expand a hidden node.
+                        Err(EdgeCutError::NotAComponentRoot(n))
+                    }
+                    // No retained plan (or the memo cut no longer applies):
+                    // drop to the static rung.
+                    None | Some(Err(_)) => {
+                        let revealed = session.expand_static(node)?;
+                        // Relaxed: telemetry tally, nothing ordered through it.
+                        self.degraded_static.fetch_add(1, Ordering::Relaxed);
+                        Ok((revealed, Some(reason)))
+                    }
+                }
+            }
+        }
+    }
+
+    /// One gated, panic-isolated EXPAND over an already-resolved session
+    /// slot. Returns the engine-level outcome; the inner `Result` is the
+    /// navigation-level cut outcome plus the operation's wall time
+    /// (recorded in the latency histogram for both cut outcomes, matching
+    /// the pre-taxonomy telemetry).
+    #[allow(clippy::type_complexity)]
+    fn expand_on_slot(
         &self,
         id: SessionId,
+        slot: &Arc<Mutex<Session<SharedTree>>>,
+        cuts: &CutCache,
         node: NavNodeId,
-    ) -> Option<Result<Vec<NavNodeId>, EdgeCutError>> {
-        let cap = trace::capture();
-        let out = (|| {
-            let _sp = trace::span(Stage::Expand);
-            let (slot, cuts) = self.session_and_cuts(id)?;
+    ) -> Result<(Result<ExpandReply, EdgeCutError>, u64), EngineError> {
+        let _gate = self.admit_expand()?;
+        let t0 = trace::now_ns();
+        let isolated = fault::isolate(|| {
+            // Failpoint: session-lock acquisition (DESIGN.md §5f).
+            if let Some(f) = fault::hit(FailSite::SessionLock) {
+                match f {
+                    Fault::Panic => fault::injected_panic(FailSite::SessionLock),
+                    _ => return Err(EngineError::SessionBusy(id)),
+                }
+            }
             let mut session = {
                 let _lk = trace::span(Stage::LockWait);
                 slot.lock()
             };
-            let start = trace::now_ns();
-            // lint: allow(lock-across-solve) — per-session lock: one navigator
-            // per session by protocol; independent sessions never contend
-            let result = session.expand_cached(node, &cuts);
-            let ns = trace::now_ns().saturating_sub(start);
-            self.expand_hist.record(ns);
-            Some(result)
+            // lint: allow(lock-across-solve) — per-session lock: one
+            // navigator per session by protocol; sessions never contend
+            Ok(self.ladder_expand(&mut session, cuts, node, t0))
+        });
+        let ns = trace::now_ns().saturating_sub(t0);
+        match isolated {
+            Ok(Ok(laddered)) => {
+                self.expand_hist.record(ns);
+                Ok((
+                    laddered.map(|(revealed, degraded)| ExpandReply { revealed, degraded }),
+                    ns,
+                ))
+            }
+            Ok(Err(engine_err)) => Err(engine_err),
+            Err(message) => {
+                // The panic unwound out of the session lock; whatever state
+                // it left behind is untrusted. Quarantine (table lock only —
+                // the session guard died in the unwind).
+                self.quarantine_session(id);
+                Err(EngineError::SessionPanicked { id, message })
+            }
+        }
+    }
+
+    /// EXPAND on a parked session: admission-gated, panic-isolated,
+    /// degradation-laddered, latency-recorded, consulting the tree's
+    /// cross-session [`CutCache`].
+    ///
+    /// Typed failures: [`EngineError::UnknownSession`] /
+    /// [`EngineError::Quarantined`] for bad ids,
+    /// [`EngineError::Overloaded`] when shed,
+    /// [`EngineError::SessionPanicked`] when this call's panic quarantined
+    /// the session, [`EngineError::Cut`] when the navigation refused.
+    pub fn expand(&self, id: SessionId, node: NavNodeId) -> Result<ExpandReply, EngineError> {
+        let cap = trace::capture();
+        let out = (|| {
+            let _sp = trace::span(Stage::Expand);
+            let (slot, cuts) = self.session_and_cuts(id)?;
+            let (result, _ns) = self.expand_on_slot(id, &slot, &cuts, node)?;
+            result.map_err(EngineError::Cut)
         })();
         drop(cap);
         self.absorb_tape();
@@ -516,17 +1028,23 @@ where
     }
 
     /// Re-parks a previously exported session over `query`'s tree (the
-    /// §VII resume path). `None` when the query has no results *or* the
-    /// state does not fit the rebuilt navigation tree — the
+    /// §VII resume path). Typed refusals: [`EngineError::UnknownQuery`]
+    /// when the query has no results, [`EngineError::StateMismatch`] when
+    /// the state does not fit the rebuilt navigation tree — the
     /// [`ActiveTree::fits`](crate::active::ActiveTree::fits) connectivity
-    /// validation, so stale or foreign state is refused instead of
-    /// navigating garbage.
-    pub fn restore_session(&self, query: &str, state: SessionState) -> Option<SessionId> {
+    /// validation, so stale, corrupt, or foreign state is refused with an
+    /// error (never a panic) instead of navigating garbage.
+    pub fn restore_session(
+        &self,
+        query: &str,
+        state: SessionState,
+    ) -> Result<SessionId, EngineError> {
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::OpenSession);
             let (tree, cuts) = self.tree_and_cuts_for(query)?;
-            let session = Session::restore(tree, self.params.clone(), state)?;
+            let session = Session::restore(tree, self.params.clone(), state)
+                .ok_or(EngineError::StateMismatch)?;
             // Relaxed: the id only needs uniqueness, not ordering with the
             // table insert below (the table lock orders that).
             let id = self.next_session.fetch_add(1, Ordering::Relaxed);
@@ -540,6 +1058,7 @@ where
                     session: Arc::new(Mutex::new(session)),
                     query: query.to_string(),
                     cuts,
+                    poisoned: false,
                 },
             );
             drop(table);
@@ -547,7 +1066,7 @@ where
             // them, nothing is ordered against the counts.
             self.sessions_opened.fetch_add(1, Ordering::Relaxed);
             self.sessions_active.fetch_add(1, Ordering::Relaxed);
-            Some(SessionId(id))
+            Ok(SessionId(id))
         })();
         drop(cap);
         self.absorb_tape();
@@ -561,92 +1080,144 @@ where
     }
 
     /// Closes a session, returning its exported state (for persistence).
-    /// `None` for unknown ids.
-    pub fn close_session(&self, id: SessionId) -> Option<SessionState> {
-        let slot = self.sessions.lock().remove(&id.0)?;
+    /// [`EngineError::UnknownSession`] for unknown ids. Quarantined
+    /// sessions are *drainable*: closing one succeeds, exports whatever
+    /// state the session held before its panic, and releases the
+    /// quarantine gauge.
+    pub fn close_session(&self, id: SessionId) -> Result<SessionState, EngineError> {
+        let slot = self
+            .sessions
+            .lock()
+            .remove(&id.0)
+            .ok_or(EngineError::UnknownSession(id))?;
         // Relaxed: gauge updates; the table lock above already ordered the
         // removal, and the counters are telemetry-only.
         self.sessions_closed.fetch_add(1, Ordering::Relaxed);
         self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+        if slot.poisoned {
+            // Relaxed: quarantine gauge release; same telemetry contract.
+            self.sessions_quarantined.fetch_sub(1, Ordering::Relaxed);
+        }
         let session = slot.session.lock();
-        Some(session.export_state())
+        Ok(session.export_state())
     }
 
     /// Replays one navigation script in a fresh session over `query`,
-    /// recording per-EXPAND latency, and closes the session. `None` when
-    /// the query has no results.
-    pub fn run_script(&self, query: &str, script: &[ScriptOp]) -> Option<ScriptOutcome> {
+    /// recording per-EXPAND latency, and closes the session. Each EXPAND
+    /// goes through the full serving path (admission gate, panic
+    /// isolation, degradation ladder) — [`ScriptOutcome::degraded_expands`]
+    /// counts the ladder answers. Typed failures propagate as
+    /// [`EngineError`]; the fresh session is drained before any error
+    /// surfaces, so a failing script never leaks a parked session.
+    pub fn run_script(
+        &self,
+        query: &str,
+        script: &[ScriptOp],
+    ) -> Result<ScriptOutcome, EngineError> {
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::RunScript);
             let id = self.open_session(query)?;
-            // Resolve the slot once: script replay EXPANDs go through the
-            // tree's cross-session cut memo without re-locking the session
-            // table per operation.
-            let (session, cuts) = self.session_and_cuts(id)?;
-            let mut expand_ns = Vec::new();
-            for op in script {
-                match op {
-                    ScriptOp::Expand(node) => {
-                        let _esp = trace::span(Stage::Expand);
-                        let start = trace::now_ns();
-                        // lint: allow(lock-across-solve) — per-session lock, and
-                        // the replay driver is this session's only user
-                        let _ = session.lock().expand_cached(*node, &cuts);
-                        expand_ns.push(trace::now_ns().saturating_sub(start));
-                    }
-                    ScriptOp::ExpandFully => loop {
-                        let next = {
-                            let s = session.lock();
-                            let found = s
-                                .nav()
-                                .iter_preorder()
-                                .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1);
-                            found
-                        };
-                        let Some(node) = next else { break };
-                        let _esp = trace::span(Stage::Expand);
-                        let start = trace::now_ns();
-                        // lint: allow(lock-across-solve) — per-session lock, and
-                        // the replay driver is this session's only user
-                        let _ = session.lock().expand_cached(node, &cuts);
-                        expand_ns.push(trace::now_ns().saturating_sub(start));
-                    },
-                    ScriptOp::ShowResults(node) => {
-                        let _ = self.with_session(id, |s| s.show_results(*node))?;
-                    }
-                    ScriptOp::Ignore(node) => {
-                        self.with_session(id, |s| s.ignore(*node))?;
-                    }
-                    ScriptOp::Backtrack => {
-                        let _ = self.with_session(id, |s| s.backtrack())?;
-                    }
-                }
+            let finished = self.run_ops(id, query, script);
+            if finished.is_err() {
+                // Drain on failure — works even when the error quarantined
+                // the session (close still exports its pre-panic state).
+                // The close outcome is secondary to the error in flight.
+                let _ = self.close_session(id);
             }
-            let cost = self.with_session(id, |s| s.cost().clone())?;
-            for &ns in &expand_ns {
-                self.expand_hist.record(ns);
-            }
-            self.close_session(id)?;
-            Some(ScriptOutcome {
-                query: query.to_string(),
-                cost,
-                expand_ns,
-            })
+            finished
         })();
         drop(cap);
         self.absorb_tape();
         out
     }
 
+    /// The script interpreter behind [`Engine::run_script`], separated so
+    /// the caller can drain the session on any error path.
+    fn run_ops(
+        &self,
+        id: SessionId,
+        query: &str,
+        script: &[ScriptOp],
+    ) -> Result<ScriptOutcome, EngineError> {
+        // Resolve the slot once: script replay EXPANDs go through the
+        // tree's cross-session cut memo without re-locking the session
+        // table per operation.
+        let (session, cuts) = self.session_and_cuts(id)?;
+        let mut expand_ns = Vec::new();
+        let mut degraded_expands = 0u32;
+        let drive = |node: NavNodeId,
+                     expand_ns: &mut Vec<u64>,
+                     degraded_expands: &mut u32|
+         -> Result<(), EngineError> {
+            let _esp = trace::span(Stage::Expand);
+            let (result, ns) = self.expand_on_slot(id, &session, &cuts, node)?;
+            expand_ns.push(ns);
+            // Cut refusals are ignored, matching the seed's replay
+            // semantics (scripts may over-expand); engine errors propagate.
+            if let Ok(reply) = result {
+                if reply.degraded.is_some() {
+                    *degraded_expands += 1;
+                }
+            }
+            Ok(())
+        };
+        for op in script {
+            match op {
+                ScriptOp::Expand(node) => {
+                    drive(*node, &mut expand_ns, &mut degraded_expands)?;
+                }
+                ScriptOp::ExpandFully => loop {
+                    let next = {
+                        let s = session.lock();
+                        let found = s
+                            .nav()
+                            .iter_preorder()
+                            .find(|&n| s.active().is_visible(n) && s.component_size(n) > 1);
+                        found
+                    };
+                    let Some(node) = next else { break };
+                    drive(node, &mut expand_ns, &mut degraded_expands)?;
+                },
+                ScriptOp::ShowResults(node) => {
+                    let _ = self
+                        .with_session(id, |s| s.show_results(*node))
+                        .ok_or(EngineError::UnknownSession(id))?;
+                }
+                ScriptOp::Ignore(node) => {
+                    self.with_session(id, |s| s.ignore(*node))
+                        .ok_or(EngineError::UnknownSession(id))?;
+                }
+                ScriptOp::Backtrack => {
+                    let _ = self
+                        .with_session(id, |s| s.backtrack())
+                        .ok_or(EngineError::UnknownSession(id))?;
+                }
+            }
+        }
+        let cost = self
+            .with_session(id, |s| s.cost().clone())
+            .ok_or(EngineError::UnknownSession(id))?;
+        self.close_session(id)?;
+        Ok(ScriptOutcome {
+            query: query.to_string(),
+            cost,
+            expand_ns,
+            degraded_expands,
+        })
+    }
+
     /// The batch driver: replays `jobs` (query, script) pairs on `workers`
     /// pooled threads, preserving job order in the result. Sessions are
-    /// independent; trees are shared through the cache.
+    /// independent; trees are shared through the cache. A job whose worker
+    /// task panicked outside the engine's own isolation comes back as
+    /// [`EngineError::WorkerPanicked`] in its own slot — one bad job never
+    /// aborts the batch (DESIGN.md §5f).
     pub fn replay(
         &self,
         jobs: &[(String, Vec<ScriptOp>)],
         workers: usize,
-    ) -> Vec<Option<ScriptOutcome>> {
+    ) -> Vec<Result<ScriptOutcome, EngineError>> {
         // The Replay span lives on the calling thread; each `run_script`
         // call opens its own capture on whichever worker thread runs it,
         // so worker-side spans drain into the stage metrics worker-side.
@@ -660,7 +1231,15 @@ where
         };
         drop(cap);
         self.absorb_tape();
-        out
+        out.into_iter()
+            .map(|slot| match slot {
+                Ok(job_result) => job_result,
+                Err(p) => Err(EngineError::WorkerPanicked {
+                    task: p.task,
+                    message: p.message,
+                }),
+            })
+            .collect()
     }
 
     /// Snapshot of the serving telemetry. Never contends with serving: the
@@ -711,6 +1290,19 @@ where
             sessions_closed: closed,
             // Relaxed: same snapshot semantics as the loads above.
             sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            // Relaxed: fault-plane tallies; same per-counter coherence.
+            sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
+            // Relaxed: ditto — monotone panic tally, no cross-counter order.
+            session_panics: self.session_panics.load(Ordering::Relaxed),
+            // Relaxed: the total is a sum of two independent tallies; a
+            // snapshot racing an increment is off by at most the in-flight op.
+            degraded_expands: self.degraded_myopic.load(Ordering::Relaxed)
+                + self.degraded_static.load(Ordering::Relaxed),
+            // Relaxed: per-rung tallies, same snapshot semantics.
+            degraded_myopic: self.degraded_myopic.load(Ordering::Relaxed),
+            degraded_static: self.degraded_static.load(Ordering::Relaxed),
+            // Relaxed: admission-shed tally, same snapshot semantics.
+            shed_expands: self.shed_expands.load(Ordering::Relaxed),
             expand_count: snap.total() as usize,
             expand_p50_us: pct(0.50),
             expand_p95_us: pct(0.95),
@@ -755,6 +1347,14 @@ where
         // on the method); per-counter coherence is all that is needed.
         self.sessions_opened.store(0, Ordering::Relaxed);
         self.sessions_closed.store(0, Ordering::Relaxed);
+        // Relaxed: fault-plane window counters restart with the window. The
+        // quarantine *gauge* is deliberately NOT reset — it tracks parked
+        // poisoned sessions still in the table, like the live-session gauge.
+        self.session_panics.store(0, Ordering::Relaxed);
+        self.degraded_myopic.store(0, Ordering::Relaxed);
+        // Relaxed: same window-restart semantics as the stores above.
+        self.degraded_static.store(0, Ordering::Relaxed);
+        self.shed_expands.store(0, Ordering::Relaxed);
         // Relaxed: window-start stamp, telemetry-only (see stats()).
         self.started_ns.store(trace::now_ns(), Ordering::Relaxed);
     }
@@ -890,21 +1490,29 @@ mod tests {
                 .expect("some label has results")
         };
         let id = engine.open_session(&query).unwrap();
-        let revealed = engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
-        assert!(!revealed.is_empty());
+        let reply = engine.expand(id, NavNodeId::ROOT).unwrap();
+        assert!(!reply.revealed.is_empty());
+        assert_eq!(reply.degraded, None, "clean path must not degrade");
         // The session is parked: resume it and inspect.
         let cost = engine.with_session(id, |s| s.cost().clone()).unwrap();
         assert_eq!(cost.expands, 1);
         let state = engine.close_session(id).unwrap();
         assert_eq!(state.cost.expands, 1);
-        // Closed sessions are gone.
+        // Closed sessions are gone, with a typed refusal.
         assert!(engine.with_session(id, |_| ()).is_none());
-        assert!(engine.close_session(id).is_none());
+        assert!(matches!(
+            engine.close_session(id),
+            Err(EngineError::UnknownSession(_))
+        ));
         let stats = engine.stats();
         assert_eq!(stats.sessions_opened, 1);
         assert_eq!(stats.sessions_closed, 1);
         assert_eq!(stats.sessions_active, 0);
         assert_eq!(stats.expand_count, 1);
+        assert_eq!(stats.degraded_expands, 0);
+        assert_eq!(stats.shed_expands, 0);
+        assert_eq!(stats.session_panics, 0);
+        assert_eq!(stats.sessions_quarantined, 0);
     }
 
     #[test]
@@ -999,7 +1607,7 @@ mod tests {
                 .expect("some label has results")
         };
         let id = engine.open_session(&query).unwrap();
-        engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
+        engine.expand(id, NavNodeId::ROOT).unwrap();
         let before = engine.stats();
         assert_eq!(before.expand_count, 1);
         assert_eq!(before.sessions_active, 1);
@@ -1022,8 +1630,9 @@ mod tests {
             "cached trees survive a stats reset"
         );
 
-        // The engine keeps serving and re-accumulating after the reset.
-        engine.expand(id, NavNodeId::ROOT).unwrap().ok();
+        // The engine keeps serving and re-accumulating after the reset
+        // (a Cut refusal on the re-expanded root still counts a serve).
+        let _ = engine.expand(id, NavNodeId::ROOT);
         assert_eq!(engine.stats().expand_count, 1);
         engine.close_session(id).unwrap();
         assert_eq!(engine.stats().sessions_active, 0);
@@ -1047,7 +1656,7 @@ mod tests {
         // exactly one partitioning pipeline run.
         let a = engine.open_session(&query).unwrap();
         counters::reset();
-        let first = engine.expand(a, NavNodeId::ROOT).unwrap().unwrap();
+        let first = engine.expand(a, NavNodeId::ROOT).unwrap().revealed;
         assert_eq!(
             counters::partition_runs(),
             1,
@@ -1060,7 +1669,7 @@ mod tests {
         // zero solves, bit-identical reveal.
         let b = engine.open_session(&query).unwrap();
         counters::reset();
-        let second = engine.expand(b, NavNodeId::ROOT).unwrap().unwrap();
+        let second = engine.expand(b, NavNodeId::ROOT).unwrap().revealed;
         assert_eq!(
             counters::partition_runs(),
             0,
@@ -1082,7 +1691,7 @@ mod tests {
         assert_eq!(stats.cut_cache_misses, 0);
         let c = engine.open_session(&query).unwrap();
         counters::reset();
-        engine.expand(c, NavNodeId::ROOT).unwrap().unwrap();
+        engine.expand(c, NavNodeId::ROOT).unwrap();
         assert_eq!(counters::partition_runs(), 0, "memo entries survive reset");
         assert!(engine.stats().cut_cache_hits >= 1);
         engine.close_session(c).unwrap();
@@ -1092,9 +1701,94 @@ mod tests {
     fn unknown_queries_are_refused() {
         let engine = fixture_engine();
         assert!(engine.tree_for("zzz-no-such-term-zzz").is_none());
-        assert!(engine.open_session("zzz-no-such-term-zzz").is_none());
-        assert!(engine
-            .run_script("zzz-no-such-term-zzz", &[ScriptOp::ExpandFully])
-            .is_none());
+        assert!(matches!(
+            engine.open_session("zzz-no-such-term-zzz"),
+            Err(EngineError::UnknownQuery(_))
+        ));
+        assert!(matches!(
+            engine.run_script("zzz-no-such-term-zzz", &[ScriptOp::ExpandFully]),
+            Err(EngineError::UnknownQuery(_))
+        ));
+    }
+
+    /// Finds a result-bearing query on `engine` (fixture helper for the
+    /// fault-plane tests below).
+    fn fixture_query(engine: &Engine<impl Fn(&str) -> Option<SharedTree> + Send + Sync>) -> String {
+        let h = synth::generate(&SynthConfig::small(5, sanitizer_scaled(300, 48))).unwrap();
+        h.iter_preorder()
+            .skip(1)
+            .map(|n| h.node(n).label().to_string())
+            .find(|label| engine.tree_for(label).is_some_and(|t| t.len() > 3))
+            .expect("some label has a multi-node tree")
+    }
+
+    #[test]
+    fn admission_gate_sheds_past_the_inflight_limit() {
+        let engine = fixture_engine().with_policy(DegradePolicy {
+            max_inflight_expands: 2,
+            ..DegradePolicy::default()
+        });
+        // Exercise the gate mechanics directly: two slots admit, the third
+        // sheds, and dropping a guard frees its slot.
+        let g1 = engine.admit_expand().unwrap();
+        let _g2 = engine.admit_expand().unwrap();
+        assert!(matches!(
+            engine.admit_expand(),
+            Err(EngineError::Overloaded)
+        ));
+        assert_eq!(engine.stats().shed_expands, 1);
+        drop(g1);
+        let _g3 = engine.admit_expand().unwrap();
+        assert_eq!(engine.stats().shed_expands, 1, "freed slot admits again");
+    }
+
+    #[test]
+    fn step_budget_degrades_to_a_valid_static_cut() {
+        // An absurdly small exact-planner budget forces every EXPAND onto
+        // the ladder; with no retained plans the static rung answers.
+        let engine = fixture_engine().with_policy(DegradePolicy {
+            exact_node_budget: 1,
+            ..DegradePolicy::default()
+        });
+        let query = fixture_query(&engine);
+        let id = engine.open_session(&query).unwrap();
+        let reply = engine.expand(id, NavNodeId::ROOT).unwrap();
+        assert_eq!(reply.degraded, Some(DegradeReason::StepBudget));
+        assert!(!reply.revealed.is_empty());
+        // The degraded answer is a real expansion: the revealed nodes are
+        // visible and the session keeps navigating.
+        engine
+            .with_session(id, |s| {
+                for &n in &reply.revealed {
+                    assert!(s.active().is_visible(n));
+                }
+                assert_eq!(s.cost().expands, 1);
+            })
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.degraded_expands, 1);
+        assert_eq!(stats.degraded_static, 1);
+        assert_eq!(stats.degraded_myopic, 0);
+        engine.close_session(id).unwrap();
+    }
+
+    // NOTE: fault-*arming* engine tests (injected panics, quarantine flow,
+    // bit-identical forced cache misses) live in `tests/chaos.rs` — the
+    // registry is process-global and the lib test binary runs on parallel
+    // threads, so arming here would leak faults into unrelated tests. The
+    // policy-driven tests above (gate, step budget) never arm the registry.
+
+    #[test]
+    fn serve_stats_json_roundtrip_reports_errors() {
+        let engine = fixture_engine();
+        let stats = engine.stats();
+        // The satellite contract: serialization failures surface as a typed
+        // `Err`, never as a silent `"{}"` placeholder.
+        let json = stats.to_json().expect("plain stats struct serializes");
+        assert!(json.contains("\"degraded_expands\""));
+        assert!(json.contains("\"shed_expands\""));
+        let back = ServeStats::from_json(&json).expect("roundtrip parses");
+        assert_eq!(back.degraded_expands, stats.degraded_expands);
+        assert_eq!(back.sessions_quarantined, stats.sessions_quarantined);
     }
 }

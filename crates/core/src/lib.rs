@@ -42,6 +42,7 @@ pub mod complexity;
 pub mod cost;
 pub mod edgecut;
 pub mod engine;
+pub mod fault;
 pub mod navtree;
 pub mod prob;
 pub mod scratch;
@@ -55,7 +56,11 @@ pub mod trace;
 pub use active::{ActiveTree, EdgeCut, EdgeCutError, VisNode};
 pub use bitset::CitSet;
 pub use cost::{CostParams, Planner};
-pub use engine::{Engine, ScriptOp, ScriptOutcome, ServeStats, SessionId, SharedTree};
+pub use engine::{
+    DegradePolicy, DegradeReason, Engine, EngineError, ExpandReply, ScriptOp, ScriptOutcome,
+    ServeStats, SessionId, SharedTree,
+};
+pub use fault::{FailSite, Fault, FaultPlan};
 pub use navtree::{NavNodeId, NavigationTree};
 pub use scratch::NavScratch;
 pub use trace::{Stage, StageStat};

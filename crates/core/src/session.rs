@@ -349,9 +349,19 @@ impl<T: Borrow<NavigationTree>> Session<T> {
         let fp = match cuts {
             Some(cache) if !self.params.reuse_plans => {
                 let fp = CutCache::fingerprint(&comp);
-                let probed = {
-                    let _sp = crate::trace::span(crate::trace::Stage::CutCacheLookup);
-                    cache.get(fp)
+                // Failpoint: the cut-cache probe (DESIGN.md §5f). An
+                // injected `Error` skips the probe — observably a forced
+                // miss; the fresh solve below recomputes the bit-identical
+                // cut, so costs are unchanged (chaos-tested).
+                let probed = match crate::fault::hit(crate::fault::FailSite::CutCacheProbe) {
+                    Some(crate::fault::Fault::Panic) => {
+                        crate::fault::injected_panic(crate::fault::FailSite::CutCacheProbe)
+                    }
+                    Some(_) => None,
+                    None => {
+                        let _sp = crate::trace::span(crate::trace::Stage::CutCacheLookup);
+                        cache.get(fp)
+                    }
                 };
                 if let Some(cut) = probed {
                     if let Ok(revealed) = self.expand_with(node, &cut) {
@@ -440,6 +450,64 @@ impl<T: Borrow<NavigationTree>> Session<T> {
             revealed: revealed.clone(),
         });
         Ok(revealed)
+    }
+
+    /// Degradation-ladder rung 1 (DESIGN.md §5f): cut `node`'s component
+    /// from its **retained reduced-plan memo** with the myopic
+    /// ([`Planner::Exhaustive`](crate::cost::Planner::Exhaustive)) solver
+    /// plane — a bounded-time answer (a memo probe plus one shallow
+    /// enumeration over ≤ `max_partitions` supernodes; no partitioning, no
+    /// recursive DP).
+    ///
+    /// Returns `None` when the rung does not apply — no retained plan for
+    /// this component (sessions without [`CostParams::reuse_plans`], or a
+    /// component that never came out of a planned cut) or a plan exhausted
+    /// to a single supernode — so the ladder can drop to the static rung.
+    /// `Some(Err(_))` reports a real cut failure (e.g. expanding a hidden
+    /// node), which no lower rung can fix either.
+    pub fn expand_degraded_memo(
+        &mut self,
+        node: NavNodeId,
+    ) -> Option<Result<Vec<NavNodeId>, EdgeCutError>> {
+        if !self.active.is_visible(node) {
+            return Some(Err(EdgeCutError::NotAComponentRoot(node)));
+        }
+        let entry = self.plans.get(&node).cloned()?;
+        let myopic = CostParams {
+            planner: crate::cost::Planner::Exhaustive,
+            ..self.params.clone()
+        };
+        let planned = entry.plan.cut(entry.mask, &myopic)?;
+        match self.expand_with(node, &planned.cut) {
+            Ok(revealed) => {
+                self.register_plan(node, &entry.plan, planned.upper_mask, &planned.lowers);
+                Some(Ok(revealed))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// Degradation-ladder rung 2 (DESIGN.md §5f): the static
+    /// show-all-children cut — reveal every hidden child of `node`, ranked
+    /// like the paper's GoPubMed-style baseline
+    /// ([`baseline::ranked_children`](crate::baseline::ranked_children)).
+    /// O(children) work, no solver; always applicable to an expandable
+    /// component, and validated like any other [`EdgeCut`] by the active
+    /// tree (a degraded cut is never allowed to corrupt navigation state).
+    pub fn expand_static(&mut self, node: NavNodeId) -> Result<Vec<NavNodeId>, EdgeCutError> {
+        if !self.active.is_visible(node) {
+            return Err(EdgeCutError::NotAComponentRoot(node));
+        }
+        let cut: Vec<NavNodeId> = crate::baseline::ranked_children(self.nav.borrow(), node)
+            .into_iter()
+            .filter(|&c| !self.active.is_visible(c))
+            .collect();
+        if cut.is_empty() {
+            // Singleton component: nothing to reveal (same contract as the
+            // exact pipeline's typed decline).
+            return Err(EdgeCutError::EmptyCut);
+        }
+        self.expand_with(node, &EdgeCut::new(cut))
     }
 
     /// SHOWRESULTS: lists the PMIDs of `node`'s component.
@@ -844,6 +912,73 @@ mod tests {
             assert!(guard < nav.len(), "stale plan wedged the session");
         }
         let _ = revealed;
+    }
+
+    #[test]
+    fn expand_static_reveals_every_hidden_child() {
+        let nav = session_nav();
+        let mut s = Session::new(&nav, CostParams::default());
+        let revealed = s.expand_static(NavNodeId::ROOT).unwrap();
+        // Rung 2 is the GoPubMed-style baseline: all of the root's
+        // children come out at once, every one now visible.
+        let children = nav.children(NavNodeId::ROOT);
+        assert_eq!(revealed.len(), children.len());
+        for &c in children {
+            assert!(s.active().is_visible(c));
+        }
+        // The degraded cut went through ActiveTree validation like any
+        // other cut: the state round-trips restore.
+        let state = s.export_state();
+        assert!(Session::restore(&nav, CostParams::default(), state).is_some());
+        // Hidden / singleton nodes keep their typed errors.
+        assert!(matches!(
+            s.expand_static(NavNodeId::ROOT),
+            Err(EdgeCutError::EmptyCut) | Ok(_)
+        ));
+        let hidden = nav.iter_preorder().find(|&n| !s.active().is_visible(n));
+        if let Some(hidden) = hidden {
+            assert!(matches!(
+                s.expand_static(hidden),
+                Err(EdgeCutError::NotAComponentRoot(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn expand_degraded_memo_serves_only_from_retained_plans() {
+        let nav = session_nav();
+        // Without reuse_plans there is never a retained plan: rung 1 must
+        // decline so the ladder drops to the static rung.
+        let mut fresh = Session::new(&nav, CostParams::default());
+        fresh.expand(NavNodeId::ROOT).unwrap();
+        assert!(fresh.expand_degraded_memo(NavNodeId::ROOT).is_none());
+
+        // With reuse_plans, the first exact expand retains the plan and the
+        // memo rung answers follow-ups with a valid cut.
+        let params = CostParams {
+            reuse_plans: true,
+            ..CostParams::default()
+        };
+        let mut s = Session::new(&nav, params);
+        s.expand(NavNodeId::ROOT).unwrap();
+        if s.component_size(NavNodeId::ROOT) > 1 {
+            let revealed = s
+                .expand_degraded_memo(NavNodeId::ROOT)
+                .expect("retained plan present")
+                .expect("memo cut applies");
+            assert!(!revealed.is_empty());
+            for &n in &revealed {
+                assert!(s.active().is_visible(n));
+            }
+        }
+        // Hidden nodes keep their typed error even on the memo rung.
+        let hidden = nav.iter_preorder().find(|&n| !s.active().is_visible(n));
+        if let Some(hidden) = hidden {
+            assert!(matches!(
+                s.expand_degraded_memo(hidden),
+                Some(Err(EdgeCutError::NotAComponentRoot(_)))
+            ));
+        }
     }
 
     #[test]

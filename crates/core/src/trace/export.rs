@@ -170,6 +170,50 @@ pub fn prometheus_text(
 
     let _ = writeln!(
         out,
+        "# HELP bionav_degraded_expands_total EXPANDs answered by the \
+         graceful-degradation ladder, by rung (DESIGN.md \u{a7}5f)."
+    );
+    let _ = writeln!(out, "# TYPE bionav_degraded_expands_total counter");
+    let _ = writeln!(
+        out,
+        "bionav_degraded_expands_total{{rung=\"myopic\"}} {}",
+        stats.degraded_myopic
+    );
+    let _ = writeln!(
+        out,
+        "bionav_degraded_expands_total{{rung=\"static\"}} {}",
+        stats.degraded_static
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_shed_expands_total EXPANDs refused by the admission gate."
+    );
+    let _ = writeln!(out, "# TYPE bionav_shed_expands_total counter");
+    let _ = writeln!(out, "bionav_shed_expands_total {}", stats.shed_expands);
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_session_panics_total Session operations that panicked \
+         and were caught (the session is quarantined)."
+    );
+    let _ = writeln!(out, "# TYPE bionav_session_panics_total counter");
+    let _ = writeln!(out, "bionav_session_panics_total {}", stats.session_panics);
+
+    let _ = writeln!(
+        out,
+        "# HELP bionav_sessions_quarantined Poisoned sessions still parked \
+         in the table (drained by close_session)."
+    );
+    let _ = writeln!(out, "# TYPE bionav_sessions_quarantined gauge");
+    let _ = writeln!(
+        out,
+        "bionav_sessions_quarantined {}",
+        stats.sessions_quarantined
+    );
+
+    let _ = writeln!(
+        out,
         "# HELP bionav_trace_events_total Span events ever pushed to the trace ring."
     );
     let _ = writeln!(out, "# TYPE bionav_trace_events_total counter");

@@ -90,11 +90,15 @@ pub enum Stage {
     ApplyCut = 9,
     /// Waiting to acquire the tree-cache or session-table lock.
     LockWait = 10,
+    /// An EXPAND answered by the graceful-degradation ladder (DESIGN.md
+    /// §5f) instead of the exact planner — the span covers the degraded
+    /// rung (retained-memo myopic cut or static show-all-children cut).
+    Degraded = 11,
 }
 
 impl Stage {
     /// Number of stages (length of [`Stage::ALL`]).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every stage, indexed by discriminant.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -109,6 +113,7 @@ impl Stage {
         Stage::CutCacheLookup,
         Stage::ApplyCut,
         Stage::LockWait,
+        Stage::Degraded,
     ];
 
     /// Stable snake_case name used in metrics labels and trace events.
@@ -125,6 +130,7 @@ impl Stage {
             Stage::CutCacheLookup => "cut_cache",
             Stage::ApplyCut => "apply_cut",
             Stage::LockWait => "lock_wait",
+            Stage::Degraded => "degraded",
         }
     }
 

@@ -4,7 +4,8 @@
 //! 1. [`bionav_core::telemetry::LatencyHistogram`] record / snapshot / reset,
 //! 2. the cross-session [`CutCache`] insert / get / capacity protocol,
 //! 3. the [`Engine`] park / resume session protocol (open → expand → close
-//!    from concurrent workers),
+//!    from concurrent workers), plus the quarantine transition (DESIGN.md
+//!    §5f) racing a healthy neighbor's open / expand / close,
 //! 4. the [`bionav_core::trace::SpanRing`] seqlock slot protocol
 //!    (writers vs snapshot vs clear), plus a seeded torn-write meta-test.
 //!
@@ -30,7 +31,9 @@ use std::sync::Arc;
 
 use bionav_core::session::CutCache;
 use bionav_core::telemetry::LatencyHistogram;
-use bionav_core::{CostParams, EdgeCut, Engine, NavNodeId, NavigationTree, SharedTree};
+use bionav_core::{
+    CostParams, EdgeCut, Engine, EngineError, NavNodeId, NavigationTree, SharedTree,
+};
 use bionav_medline::{Citation, CitationId, CitationStore};
 use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
 use interleave::{check, Config};
@@ -260,8 +263,12 @@ fn engine_park_resume_protocol() {
                         .expect("fixture query has results");
                     let expanded = engine
                         .expand(id, NavNodeId::ROOT)
-                        .expect("session is parked");
-                    assert!(expanded.is_ok(), "root EXPAND must succeed");
+                        .expect("root EXPAND on a parked session must succeed");
+                    assert!(
+                        !expanded.revealed.is_empty(),
+                        "root EXPAND must reveal concepts"
+                    );
+                    assert!(expanded.degraded.is_none(), "clean path never degrades");
                     engine.close_session(id).expect("session closes once");
                 })
             })
@@ -273,6 +280,74 @@ fn engine_park_resume_protocol() {
         assert_eq!(stats.sessions_opened, 2);
         assert_eq!(stats.sessions_closed, 2);
         assert_eq!(stats.sessions_active, 0, "gauge must balance");
+    });
+}
+
+/// A session quarantined mid-flight (modeling a caught EXPAND panic,
+/// driven through [`Engine::model_quarantine`] since injected faults are
+/// compiled out under interleave) racing a healthy neighbor: no schedule
+/// may deadlock, the poisoned session is refused with the typed
+/// `Quarantined` error (or served, if its EXPAND ran before the quarantine
+/// landed — both legal), `close_session` still drains it in every
+/// schedule, and the quarantine gauge balances to zero after the drain.
+#[test]
+fn engine_quarantine_protocol() {
+    let tree: SharedTree = Arc::new(fig3_tree());
+    let cfg = Config {
+        preemption_bound: 2,
+        max_executions: 400_000,
+        ..Config::default()
+    };
+    explore("engine_quarantine_protocol", cfg, move || {
+        let tree = Arc::clone(&tree);
+        let engine = Arc::new(Engine::new(
+            move |_query: &str| Some(Arc::clone(&tree)),
+            CostParams::default(),
+            2,
+        ));
+        let doomed = engine
+            .open_session("cell death")
+            .expect("fixture query has results");
+        let poisoner = {
+            let engine = Arc::clone(&engine);
+            interleave::thread::spawn(move || {
+                engine.model_quarantine(doomed);
+            })
+        };
+        let navigator = {
+            let engine = Arc::clone(&engine);
+            interleave::thread::spawn(move || {
+                // A *different* session must keep serving regardless of
+                // where the quarantine transition lands in the schedule.
+                let healthy = engine
+                    .open_session("cell death")
+                    .expect("fixture query has results");
+                let reply = engine
+                    .expand(healthy, NavNodeId::ROOT)
+                    .expect("healthy session serves");
+                assert!(reply.degraded.is_none(), "clean path never degrades");
+                engine.close_session(healthy).expect("healthy closes");
+                // EXPAND on the doomed session: served if it beat the
+                // quarantine, refused with the typed error otherwise —
+                // never a panic, never a deadlock.
+                match engine.expand(doomed, NavNodeId::ROOT) {
+                    Ok(_) | Err(EngineError::Quarantined(_)) => {}
+                    Err(other) => panic!("unexpected EXPAND refusal: {other}"),
+                }
+            })
+        };
+        poisoner.join().unwrap();
+        navigator.join().unwrap();
+        // The quarantined slot is visible in the gauge, still drains, and
+        // the books balance afterwards.
+        assert_eq!(engine.stats().sessions_quarantined, 1);
+        engine
+            .close_session(doomed)
+            .expect("quarantined slot drains");
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_quarantined, 0, "drain releases the gauge");
+        assert_eq!(stats.sessions_active, 0, "gauge must balance");
+        assert_eq!(stats.sessions_opened, stats.sessions_closed);
     });
 }
 

@@ -94,7 +94,7 @@ fn stage_breakdown_counts_match_edgecut_counters() {
     // are exact, not sampled.
     counters::reset();
     let a = engine.open_session(&query).unwrap();
-    let first = engine.expand(a, NavNodeId::ROOT).unwrap().unwrap();
+    let first = engine.expand(a, NavNodeId::ROOT).unwrap().revealed;
     let stats = engine.stats();
     assert_eq!(
         counters::partition_runs(),
@@ -137,7 +137,7 @@ fn stage_breakdown_counts_match_edgecut_counters() {
     // no new partition/solve spans, but one more cut-cache probe.
     counters::reset();
     let b = engine.open_session(&query).unwrap();
-    let second = engine.expand(b, NavNodeId::ROOT).unwrap().unwrap();
+    let second = engine.expand(b, NavNodeId::ROOT).unwrap().revealed;
     assert_eq!(second, first);
     assert_eq!(counters::partition_runs(), 0);
     let stats = engine.stats();
@@ -164,7 +164,7 @@ fn run_script_and_replay_feed_the_stage_family() {
         (query.clone(), vec![bionav_core::ScriptOp::ExpandFully]),
     ];
     let out = engine.replay(&jobs, 2);
-    assert!(out.iter().all(|o| o.is_some()));
+    assert!(out.iter().all(|o| o.is_ok()));
     let stats = engine.stats();
     assert_eq!(stage_count(&stats, Stage::Replay), 1);
     assert_eq!(stage_count(&stats, Stage::RunScript), 2);
@@ -188,7 +188,7 @@ fn reset_stats_clears_stages_and_ring_in_one_pass() {
     let engine = fixture_engine();
     let query = multi_node_query(&engine);
     let id = engine.open_session(&query).unwrap();
-    engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
+    engine.expand(id, NavNodeId::ROOT).unwrap();
     let before = engine.stats();
     assert!(!before.stages.is_empty());
     assert!(
@@ -217,7 +217,7 @@ fn reset_stats_clears_stages_and_ring_in_one_pass() {
 
     // Recording across the reset boundary: the next window only holds the
     // new window's samples.
-    engine.expand(id, NavNodeId::ROOT).unwrap().ok();
+    let _ = engine.expand(id, NavNodeId::ROOT);
     let next = engine.stats();
     assert_eq!(stage_count(&next, Stage::Expand), 1);
     assert_eq!(next.expand_count, 1);
@@ -242,11 +242,11 @@ fn serve_stats_json_round_trips() {
     let engine = fixture_engine();
     let query = multi_node_query(&engine);
     let id = engine.open_session(&query).unwrap();
-    engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
+    engine.expand(id, NavNodeId::ROOT).unwrap();
     let stats = engine.stats();
     assert!(!stats.stages.is_empty());
 
-    let json = stats.to_json();
+    let json = stats.to_json().expect("stats snapshot serializes");
     assert!(json.contains("\"expand_p99_us\""));
     assert!(json.contains("\"stages\""));
     assert!(json.contains("\"partition\""));
@@ -273,7 +273,7 @@ fn prometheus_exposition_has_types_and_monotone_buckets() {
     let engine = fixture_engine();
     let query = multi_node_query(&engine);
     let id = engine.open_session(&query).unwrap();
-    engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
+    engine.expand(id, NavNodeId::ROOT).unwrap();
     let text = engine.prometheus_text();
 
     // The exact # TYPE lines CI smoke-greps for.
@@ -285,12 +285,20 @@ fn prometheus_exposition_has_types_and_monotone_buckets() {
         "# TYPE bionav_sessions_opened_total counter",
         "# TYPE bionav_sessions_active gauge",
         "# TYPE bionav_trace_events_total counter",
+        "# TYPE bionav_degraded_expands_total counter",
+        "# TYPE bionav_shed_expands_total counter",
+        "# TYPE bionav_session_panics_total counter",
+        "# TYPE bionav_sessions_quarantined gauge",
     ] {
         assert!(text.contains(line), "missing exposition line: {line}");
     }
     assert!(text.contains("bionav_stage_latency_seconds_bucket{stage=\"partition\",le="));
     assert!(text.contains("bionav_stage_latency_seconds_count{stage=\"partition\"} 1"));
     assert!(text.contains("le=\"+Inf\""));
+    // The fault plane is silent on this clean path but still exposed.
+    assert!(text.contains("bionav_degraded_expands_total{rung=\"myopic\"} 0"));
+    assert!(text.contains("bionav_degraded_expands_total{rung=\"static\"} 0"));
+    assert!(text.contains("bionav_shed_expands_total 0"));
 
     // Cumulative histogram buckets must be monotone non-decreasing.
     let mut prev: Option<u64> = None;
@@ -324,7 +332,7 @@ fn chrome_trace_export_is_loadable_event_json() {
     let engine = fixture_engine();
     let query = multi_node_query(&engine);
     let id = engine.open_session(&query).unwrap();
-    engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
+    engine.expand(id, NavNodeId::ROOT).unwrap();
     trace::set_enabled(false);
 
     let json = trace::chrome_trace_json();
@@ -365,7 +373,7 @@ fn disabled_tracing_emits_no_ring_events_from_the_serve_path() {
     let query = multi_node_query(&engine);
     let before = trace::ring_pushed();
     let id = engine.open_session(&query).unwrap();
-    engine.expand(id, NavNodeId::ROOT).unwrap().unwrap();
+    engine.expand(id, NavNodeId::ROOT).unwrap();
     engine.close_session(id).unwrap();
     assert_eq!(
         trace::ring_pushed(),

@@ -1,0 +1,29 @@
+// Fixture: ad-hoc unwind boundaries outside fault.rs must fire; mentions
+// in comments/docs ("catch_unwind") and strings never trigger, and a
+// reasoned annotation suppresses exactly one use.
+pub fn swallow_panics(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(f).is_ok()
+}
+
+pub fn qualified_differently(f: impl FnOnce() + std::panic::UnwindSafe) {
+    use std::panic;
+    let _ = panic::catch_unwind(f);
+}
+
+pub fn documented_only() -> &'static str {
+    // The API reference talks about catch_unwind but never calls it.
+    "catch_unwind"
+}
+
+pub fn annotated(f: impl FnOnce() + std::panic::UnwindSafe) {
+    // lint: allow(no-catch-unwind) — FFI shim fixture: the boundary is audited here
+    let _ = std::panic::catch_unwind(f);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_assert_on_panics() {
+        assert!(std::panic::catch_unwind(|| panic!("boom")).is_err());
+    }
+}

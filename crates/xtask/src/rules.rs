@@ -63,6 +63,14 @@ pub const RULES: &[Rule] = &[
                     trace plane and dodge the overhead budget",
     },
     Rule {
+        id: "no-catch-unwind",
+        summary: "no std::panic::catch_unwind outside crates/core/src/fault.rs",
+        scope: "all first-party sources except crates/core/src/fault.rs",
+        rationale: "panic isolation is a policy decision, not a local convenience: every unwind \
+                    boundary must flow through fault::isolate so injected panics, quarantine \
+                    accounting, and the session_panics counter stay in one place",
+    },
+    Rule {
         id: "forbid-unsafe",
         summary: "every crate root declares #![forbid(unsafe_code)]",
         scope: "crate roots: src/lib.rs, src/main.rs, src/bin/*.rs",
@@ -358,6 +366,10 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
     // trace::now_ns() so all timing shares one monotone epoch.
     let clock_exempt =
         path.contains("/trace/") || path.ends_with("trace.rs") || path.ends_with("telemetry.rs");
+    // fault::isolate is the single sanctioned unwind boundary; everywhere
+    // else panic isolation must be delegated so the quarantine accounting
+    // cannot be bypassed.
+    let unwind_exempt = path.ends_with("core/src/fault.rs");
     let mut guards: Vec<Guard> = Vec::new();
     let mut depth = 0usize;
 
@@ -437,6 +449,17 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
                     );
                 }
             }
+        }
+
+        // no-catch-unwind --------------------------------------------------
+        if !unwind_exempt && code.contains("catch_unwind") && !allows.allowed(i, "no-catch-unwind")
+        {
+            push(
+                i,
+                "no-catch-unwind",
+                "catch_unwind outside fault.rs; route panic isolation through fault::isolate"
+                    .to_string(),
+            );
         }
 
         // no-naked-instant -------------------------------------------------

@@ -128,6 +128,42 @@ fn lock_across_solve_tracks_guards() {
 }
 
 // ---------------------------------------------------------------------------
+// no-catch-unwind
+// ---------------------------------------------------------------------------
+
+#[test]
+fn catch_unwind_fires_outside_fault_rs() {
+    let src = include_str!("../fixtures/catch_unwind_violation.rs");
+    let hits = hits("crates/core/src/engine.rs", src);
+    assert_eq!(
+        hits,
+        vec![(5, "no-catch-unwind"), (10, "no-catch-unwind")],
+        "both call spellings must fire; comment/string mentions, the \
+         annotated boundary, and test-mod asserts must be silent"
+    );
+}
+
+#[test]
+fn catch_unwind_is_sanctioned_in_fault_rs() {
+    // The fault-exempt twin: the *same* source scanned under the registry's
+    // path produces no findings — fault::isolate is the one unwind home.
+    let src = include_str!("../fixtures/catch_unwind_violation.rs");
+    assert!(
+        !rules_only("crates/core/src/fault.rs", src).contains(&"no-catch-unwind"),
+        "crates/core/src/fault.rs is the sanctioned catch_unwind home"
+    );
+}
+
+#[test]
+fn catch_unwind_applies_to_bins_too() {
+    let src = include_str!("../fixtures/catch_unwind_violation.rs");
+    assert!(
+        rules_only("crates/cli/src/bin/tool.rs", src).contains(&"no-catch-unwind"),
+        "bins must not swallow panics either; quarantine accounting lives in fault.rs"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // forbid-unsafe
 // ---------------------------------------------------------------------------
 
@@ -218,6 +254,7 @@ fn rule_table_is_complete_and_unique() {
             "forbid-unsafe",
             "hotpath-no-hashmap",
             "lock-across-solve",
+            "no-catch-unwind",
             "no-naked-instant",
             "no-unwrap"
         ]

@@ -82,11 +82,16 @@ fn bench_tree_cache(c: &mut Criterion) {
     });
 
     group.bench_with_input(BenchmarkId::new("miss", "q0"), &query, |b, q| {
-        b.iter(|| {
-            // A fresh engine per build: every lookup is a miss.
-            let engine = make_engine(&workload);
-            engine.tree_for(black_box(q))
-        });
+        // A fresh engine per lookup so every lookup is a miss; the engine
+        // is built in untimed setup, so the sample is the miss path alone
+        // (keyword query + skeleton build + insert), not engine
+        // construction.
+        b.iter_with_setup(
+            || make_engine(&workload),
+            |engine| {
+                engine.tree_for(black_box(q));
+            },
+        );
     });
     group.finish();
 }

@@ -5,11 +5,14 @@
 //!             [--overhead-factor G] [--overhead-slack S]
 //! ```
 //!
-//! Two gates:
+//! Three gates:
 //!
 //! * **Regression** — compares `stats.expand_p99_us` between the committed
 //!   baseline and a fresh `reproduce serve` run, exiting non-zero when the
 //!   current p99 exceeds `F ×` the baseline (default 2.0).
+//! * **Cold open** — the same `F ×` comparison over `open_session_p99_us`,
+//!   so the lazy-embedding cold path cannot quietly regress back to the
+//!   eager full-bitset build.
 //! * **Tracing overhead** (enabled by `--overhead-factor`) — compares the
 //!   current run's `traced_expand_p99_us` against its own
 //!   `untraced_expand_p99_us`, failing when
@@ -117,6 +120,27 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let (obase, ocur) = match (
+        load_field(baseline, "open_session_p99_us"),
+        load_field(current, "open_session_p99_us"),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let obound = obase * factor;
+    println!(
+        "bench_guard: open_session_p99_us baseline {obase:.1} µs, current {ocur:.1} µs, bound {obound:.1} µs ({factor:.2}×)"
+    );
+    if ocur > obound {
+        eprintln!("bench_guard: FAIL — cold-open p99 regressed more than {factor:.2}× over the committed baseline");
+        return ExitCode::FAILURE;
+    }
+
     if let Some(g) = overhead_factor {
         let (untraced, traced) = match (
             load_field(current, "untraced_expand_p99_us"),
@@ -176,5 +200,24 @@ mod tests {
         assert_eq!(extract_number(doc, "untraced_expand_p99_us"), Some(100.5));
         assert_eq!(extract_number(doc, "traced_expand_p99_us"), Some(104.25));
         assert_eq!(extract_number(doc, "expand_p99_us"), Some(100.5));
+    }
+
+    #[test]
+    fn cold_open_field_does_not_collide_with_its_sub_stages() {
+        // The serve report also carries the hit/cold sub-stage p99s and the
+        // per-stage rows (`"stage": "open_session"`); the quoted needle must
+        // land on the top-level aggregate only.
+        let doc = r#"{
+            "open_session_hit_p99_us": 40.25,
+            "open_session_cold_p99_us": 1900.75,
+            "open_session_p99_us": 1200.5,
+            "stats": { "stages": [ { "stage": "open_session", "p99_us": 1200.5 } ] }
+        }"#;
+        assert_eq!(extract_number(doc, "open_session_p99_us"), Some(1200.5));
+        assert_eq!(extract_number(doc, "open_session_hit_p99_us"), Some(40.25));
+        assert_eq!(
+            extract_number(doc, "open_session_cold_p99_us"),
+            Some(1900.75)
+        );
     }
 }

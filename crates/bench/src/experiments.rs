@@ -797,6 +797,17 @@ pub struct ServeReport {
     /// EXPAND p99 (µs) of the second pass run with span tracing enabled —
     /// the numerator of the CI overhead gate.
     pub traced_expand_p99_us: f64,
+    /// open_session p99 (µs) of the canonical untraced pass — the cold-open
+    /// latency the lazy-embedding work targets, duplicated at the top level
+    /// (from `stats.stages`) so bench_guard can scan it without a JSON tree
+    /// type.
+    pub open_session_p99_us: f64,
+    /// p99 (µs) of the cache-hit sub-stage of open_session (tree already in
+    /// the LRU; skeleton shared, no build at all).
+    pub open_session_hit_p99_us: f64,
+    /// p99 (µs) of the cold-build sub-stage of open_session (cache miss:
+    /// ESearch + skeleton build; bitset payloads stay lazy).
+    pub open_session_cold_p99_us: f64,
     /// Span events the traced pass pushed into the global ring.
     pub trace_events: u64,
     /// Per-query navigation costs (identical across rounds and workers).
@@ -886,6 +897,21 @@ pub fn serve(
     let outcomes = engine.replay(&jobs, workers);
     let stats = engine.stats();
 
+    // Cold-open telemetry from the canonical untraced pass: the
+    // open_session stage plus its cache-hit / cold-build sub-stages (the
+    // engine records one sub-stage sample per open, tape-only, so the
+    // split never double-counts in the span ring).
+    let stage_stat = |name: &str| -> (u64, f64) {
+        stats
+            .stages
+            .iter()
+            .find(|s| s.stage == name)
+            .map_or((0, 0.0), |s| (s.count, s.p99_us))
+    };
+    let (open_count, open_p99) = stage_stat("open_session");
+    let (hit_count, hit_p99) = stage_stat("open_session_hit");
+    let (cold_count, cold_p99) = stage_stat("open_session_cold");
+
     // Traced pass: the same jobs through a fresh engine with span tracing
     // enabled. The canonical telemetry stays the untraced pass above (so
     // the committed latency baseline is undisturbed); this pass feeds the
@@ -965,6 +991,18 @@ pub fn serve(
         format!("{:.1}", stats.sessions_per_sec),
     ]);
     s.row(vec![
+        "open_session p99 (µs)".into(),
+        format!("{open_p99:.1}"),
+    ]);
+    s.row(vec![
+        "open_session hit p99 (µs)".into(),
+        format!("{hit_p99:.1}"),
+    ]);
+    s.row(vec![
+        "open_session cold p99 (µs)".into(),
+        format!("{cold_p99:.1}"),
+    ]);
+    s.row(vec![
         "traced EXPAND p99 (µs)".into(),
         format!("{:.1}", traced_stats.expand_p99_us),
     ]);
@@ -1012,6 +1050,27 @@ pub fn serve(
     check.assert(
         "all sessions closed after the batch",
         stats.sessions_active == 0 && stats.sessions_opened == stats.sessions_closed,
+    );
+    // The open_session split must tile: every open is classified as exactly
+    // one of cache-hit or cold-build, and the classification agrees with
+    // the tree cache's own counters.
+    check.assert(
+        format!("every open_session is hit or cold ({open_count} = {hit_count} + {cold_count})"),
+        open_count > 0 && open_count == hit_count + cold_count,
+    );
+    check.assert(
+        format!(
+            "cold-build opens match cache misses ({cold_count} vs {})",
+            stats.cache_misses
+        ),
+        cold_count == stats.cache_misses,
+    );
+    check.assert(
+        format!(
+            "cache-hit opens match cache hits ({hit_count} vs {})",
+            stats.cache_hits
+        ),
+        hit_count == stats.cache_hits,
     );
     // The fault plane must be silent on the clean path (DESIGN.md §5f):
     // with the default policy and no armed failpoints, nothing degrades,
@@ -1070,6 +1129,9 @@ pub fn serve(
             jobs: jobs.len(),
             untraced_expand_p99_us: stats.expand_p99_us,
             traced_expand_p99_us: traced_stats.expand_p99_us,
+            open_session_p99_us: open_p99,
+            open_session_hit_p99_us: hit_p99,
+            open_session_cold_p99_us: cold_p99,
             trace_events,
             stats,
             queries: reference,

@@ -519,7 +519,7 @@ impl Repl {
             for s in measured {
                 let _ = writeln!(
                     out,
-                    "  {:<13} {:>6}×  p50 {:>7.0} µs  p95 {:>7.0} µs  p99 {:>7.0} µs",
+                    "  {:<17} {:>6}×  p50 {:>7.0} µs  p95 {:>7.0} µs  p99 {:>7.0} µs",
                     s.stage, s.count, s.p50_us, s.p95_us, s.p99_us
                 );
             }

@@ -432,6 +432,12 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// One in-flight cold build: the slot is locked by the building thread for
+/// the duration of the build, so joiners block on `lock()` instead of
+/// re-running the builder, then read the published result. Uses the sync
+/// shim's `Mutex`, so the interleave checker models the latch.
+type FlightSlot = Arc<Mutex<Option<Result<(SharedTree, Arc<CutCache>), EngineError>>>>;
+
 /// Capacity-bounded LRU of navigation trees keyed by normalized query text.
 struct TreeCache {
     capacity: usize,
@@ -461,6 +467,11 @@ impl TreeCache {
         self.evictions = 0;
     }
 
+    /// Probe only: bumps the hit counter on a find. Misses are counted by
+    /// the caller when it commits to a build (`count_miss`), because with
+    /// single-flight builds a probe miss may still be served by another
+    /// thread's in-flight build — which counts as a hit, exactly as it did
+    /// when the second thread queued on the cache lock instead.
     fn get(&mut self, key: &str) -> Option<(SharedTree, Arc<CutCache>)> {
         self.tick += 1;
         match self.entries.get_mut(key) {
@@ -469,11 +480,18 @@ impl TreeCache {
                 self.hits += 1;
                 Some((Arc::clone(&entry.tree), Arc::clone(&entry.cuts)))
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            None => None,
         }
+    }
+
+    /// One lookup resolved by (attempting) a fresh build.
+    fn count_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// One lookup served by joining another thread's in-flight build.
+    fn count_flight_hit(&mut self) {
+        self.hits += 1;
     }
 
     fn insert(&mut self, key: String, tree: SharedTree) -> Arc<CutCache> {
@@ -607,9 +625,10 @@ struct SessionSlot {
 /// The concurrent query-serving engine. See the module docs.
 ///
 /// `B` builds a navigation tree for a query that misses the cache; it
-/// returns `None` for queries with no results. Builders are called outside
-/// the session-table lock but inside the cache lock (so concurrent misses
-/// on the *same* query build once).
+/// returns `None` for queries with no results. Builders are called with no
+/// engine lock held except the per-key flight latch (concurrent misses on
+/// the *same* query still build once; misses on *different* queries build
+/// in parallel, and cache hits never wait behind a build).
 pub struct Engine<B>
 where
     B: Fn(&str) -> Option<SharedTree> + Send + Sync,
@@ -617,6 +636,10 @@ where
     builder: B,
     params: CostParams,
     cache: Mutex<TreeCache>,
+    /// In-flight cold builds keyed like the cache. Builders run outside
+    /// the cache lock (cache hits never queue behind a build); this
+    /// registry is what still guarantees one build per key.
+    flights: Mutex<HashMap<String, FlightSlot>>,
     sessions: Mutex<HashMap<u64, SessionSlot>>,
     next_session: AtomicU64,
     sessions_opened: AtomicU64,
@@ -664,6 +687,7 @@ where
             builder,
             params,
             cache: Mutex::new(TreeCache::new(cache_capacity)),
+            flights: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             sessions_opened: AtomicU64::new(0),
@@ -722,7 +746,7 @@ where
     /// build failed; use the typed [`Engine::open_session`] path to tell
     /// the two apart).
     pub fn tree_for(&self, query: &str) -> Option<SharedTree> {
-        self.tree_and_cuts_for(query).ok().map(|(tree, _)| tree)
+        self.tree_and_cuts_for(query).ok().map(|(tree, _, _)| tree)
     }
 
     /// The shared tree *and* its cross-session cut memo, building both on a
@@ -730,33 +754,126 @@ where
     /// (or an injected [`FailSite::TreeBuild`] fault) becomes a typed
     /// [`EngineError::TreeBuildFailed`] and leaves the cache consistent
     /// (the key is only inserted after a successful build).
-    fn tree_and_cuts_for(&self, query: &str) -> Result<(SharedTree, Arc<CutCache>), EngineError> {
+    /// The trailing `bool` is true on a tree-cache hit, false when the
+    /// skeleton was built cold — `open_session` records the hit/cold
+    /// sub-stage from it.
+    ///
+    /// Builds run *outside* the cache lock: the lock is held only for the
+    /// probe and the post-build insert, so cache hits never queue behind a
+    /// concurrent cold build (pre-flight, a 4-worker cold round put ~22 ms
+    /// of build time on *hit* opens). One build per key is preserved by
+    /// the `flights` registry: the first miss becomes the leader and holds
+    /// its [`FlightSlot`] lock for the duration of the build; later misses
+    /// on the same key block on that lock and read the published result —
+    /// the same "second thread waits, then is served" outcome as the old
+    /// build-under-lock scheme, so they count as cache hits. Failed builds
+    /// publish their error, cache nothing, and retire the flight, so the
+    /// next call retries the build (unchanged failure semantics).
+    fn tree_and_cuts_for(
+        &self,
+        query: &str,
+    ) -> Result<(SharedTree, Arc<CutCache>, bool), EngineError> {
         let key = Self::cache_key(query);
-        let mut cache = {
-            let _lk = trace::span(Stage::LockWait);
-            self.cache.lock()
-        };
-        if let Some(hit) = cache.get(&key) {
-            return Ok(hit);
-        }
-        let built = fault::isolate(|| {
-            // Failpoint: tree build (DESIGN.md §5f).
-            match fault::hit(FailSite::TreeBuild) {
-                Some(Fault::Panic) => fault::injected_panic(FailSite::TreeBuild),
-                Some(_) => Err(EngineError::TreeBuildFailed(
-                    "injected tree-build fault".to_string(),
-                )),
-                None => Ok((self.builder)(query)),
+        loop {
+            {
+                let mut cache = {
+                    let _lk = trace::span(Stage::LockWait);
+                    self.cache.lock()
+                };
+                if let Some((tree, cuts)) = cache.get(&key) {
+                    return Ok((tree, cuts, true));
+                }
             }
-        });
-        let tree = match built {
-            Ok(Ok(Some(tree))) => tree,
-            Ok(Ok(None)) => return Err(EngineError::UnknownQuery(query.to_string())),
-            Ok(Err(e)) => return Err(e),
-            Err(message) => return Err(EngineError::TreeBuildFailed(message)),
-        };
-        let cuts = cache.insert(key, Arc::clone(&tree));
-        Ok((tree, cuts))
+
+            // Miss: start this key's flight, or join the one in progress.
+            // The leader latches its fresh slot while still holding the
+            // registry lock (the slot `Arc` is unshared at that point, so
+            // the lock can never block): no joiner can observe a
+            // registered-but-unlatched flight, so a joiner's `slot.lock()`
+            // below always returns a published result.
+            let fresh: FlightSlot = Arc::new(Mutex::new(None));
+            let mut joined: Option<FlightSlot> = None;
+            let slot_guard = {
+                let mut flights = self.flights.lock();
+                match flights.get(&key) {
+                    Some(slot) => {
+                        joined = Some(Arc::clone(slot));
+                        None
+                    }
+                    None => {
+                        let guard = fresh.lock();
+                        flights.insert(key.clone(), Arc::clone(&fresh));
+                        Some(guard)
+                    }
+                }
+            };
+
+            if let Some(slot) = joined {
+                // Joiner: block until the leader publishes, then take its
+                // result. (The empty-slot case is unreachable by the latch
+                // order above; re-probing is the safe response.)
+                let published = {
+                    let _lk = trace::span(Stage::LockWait);
+                    slot.lock().clone()
+                };
+                match published {
+                    Some(result) => {
+                        let mut cache = self.cache.lock();
+                        match &result {
+                            // Served by the other thread's build: a hit,
+                            // exactly as when it queued on the cache lock.
+                            Ok(_) => cache.count_flight_hit(),
+                            Err(_) => cache.count_miss(),
+                        }
+                        return result.map(|(tree, cuts)| (tree, cuts, true));
+                    }
+                    None => continue,
+                }
+            }
+
+            // Leader: build with no lock held but the flight slot's.
+            // lint: allow(no-unwrap) — joined is None here, so the registry
+            // match above took the Vacant arm and latched the fresh slot
+            let mut slot_guard = slot_guard.expect("non-joiner holds the latch");
+            let built = fault::isolate(|| {
+                // Failpoint: tree build (DESIGN.md §5f).
+                match fault::hit(FailSite::TreeBuild) {
+                    Some(Fault::Panic) => fault::injected_panic(FailSite::TreeBuild),
+                    Some(_) => Err(EngineError::TreeBuildFailed(
+                        "injected tree-build fault".to_string(),
+                    )),
+                    None => Ok((self.builder)(query)),
+                }
+            });
+            let result = match built {
+                Ok(Ok(Some(tree))) => {
+                    let mut cache = self.cache.lock();
+                    cache.count_miss();
+                    let cuts = cache.insert(key.clone(), Arc::clone(&tree));
+                    Ok((tree, cuts))
+                }
+                Ok(Ok(None)) => {
+                    self.cache.lock().count_miss();
+                    Err(EngineError::UnknownQuery(query.to_string()))
+                }
+                Ok(Err(e)) => {
+                    self.cache.lock().count_miss();
+                    Err(e)
+                }
+                Err(message) => {
+                    self.cache.lock().count_miss();
+                    Err(EngineError::TreeBuildFailed(message))
+                }
+            };
+            // Publish, retire the flight, then release the latch: joiners
+            // already holding the slot `Arc` read the result; arrivals
+            // after the retire re-probe the cache (success) or start a
+            // fresh flight (failure — so failed builds are retried).
+            *slot_guard = Some(result.clone());
+            self.flights.lock().remove(&key);
+            drop(slot_guard);
+            return result.map(|(tree, cuts)| (tree, cuts, false));
+        }
     }
 
     /// Opens a session over `query`'s navigation tree.
@@ -767,7 +884,8 @@ where
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::OpenSession);
-            let (tree, cuts) = self.tree_and_cuts_for(query)?;
+            let t0 = trace::now_ns();
+            let (tree, cuts, cache_hit) = self.tree_and_cuts_for(query)?;
             // Ordering: Relaxed — only id uniqueness matters; the session
             // itself is published by the table lock below.
             let id = self.next_session.fetch_add(1, Ordering::Relaxed);
@@ -790,6 +908,17 @@ where
             // nothing is ordered against the counts.
             self.sessions_opened.fetch_add(1, Ordering::Relaxed);
             self.sessions_active.fetch_add(1, Ordering::Relaxed);
+            // A cache-hit open and a cold skeleton build are different
+            // operations; record the same interval under the split
+            // sub-stage so their percentiles don't blend.
+            trace::record(
+                if cache_hit {
+                    Stage::OpenSessionHit
+                } else {
+                    Stage::OpenSessionCold
+                },
+                trace::now_ns().saturating_sub(t0),
+            );
             Ok(SessionId(id))
         })();
         drop(cap);
@@ -1042,7 +1171,8 @@ where
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::OpenSession);
-            let (tree, cuts) = self.tree_and_cuts_for(query)?;
+            let t0 = trace::now_ns();
+            let (tree, cuts, cache_hit) = self.tree_and_cuts_for(query)?;
             let session = Session::restore(tree, self.params.clone(), state)
                 .ok_or(EngineError::StateMismatch)?;
             // Relaxed: the id only needs uniqueness, not ordering with the
@@ -1066,6 +1196,15 @@ where
             // them, nothing is ordered against the counts.
             self.sessions_opened.fetch_add(1, Ordering::Relaxed);
             self.sessions_active.fetch_add(1, Ordering::Relaxed);
+            // Same hit/cold split as `open_session`.
+            trace::record(
+                if cache_hit {
+                    Stage::OpenSessionHit
+                } else {
+                    Stage::OpenSessionCold
+                },
+                trace::now_ns().saturating_sub(t0),
+            );
             Ok(SessionId(id))
         })();
         drop(cap);

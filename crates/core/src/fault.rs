@@ -8,7 +8,8 @@
 //!
 //! 1. **Failpoints** — named injection sites ([`FailSite`]) threaded
 //!    through the serve path (solver entry, cut-cache probe, tree build,
-//!    session-lock acquisition, pool workers). A chaos test arms a seeded
+//!    lazy subtree materialization, session-lock acquisition, pool
+//!    workers). A chaos test arms a seeded
 //!    [`FaultPlan`]; each site then fires a [`Fault`] on a deterministic
 //!    pseudo-random schedule. **Disarmed (the production default), a
 //!    failpoint costs exactly one relaxed atomic load** — the same
@@ -55,11 +56,16 @@ pub enum FailSite {
     SessionLock = 3,
     /// A worker-pool task body (`engine::pool::scoped_map`).
     PoolWorker = 4,
+    /// First-touch materialization of a lazy navigation-tree subtree
+    /// (DESIGN.md §5g). Accessors have no error channel, so any armed
+    /// fault here fires as an injected panic inside the caller's
+    /// [`isolate`] region.
+    TreeMaterialize = 5,
 }
 
 impl FailSite {
     /// Number of sites (length of [`FailSite::ALL`]).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Every site, indexed by discriminant.
     pub const ALL: [FailSite; FailSite::COUNT] = [
@@ -68,6 +74,7 @@ impl FailSite {
         FailSite::TreeBuild,
         FailSite::SessionLock,
         FailSite::PoolWorker,
+        FailSite::TreeMaterialize,
     ];
 
     /// Stable snake_case name (docs, panic messages, failpoint catalog).
@@ -78,6 +85,7 @@ impl FailSite {
             FailSite::TreeBuild => "tree_build",
             FailSite::SessionLock => "session_lock",
             FailSite::PoolWorker => "pool_worker",
+            FailSite::TreeMaterialize => "tree_materialize",
         }
     }
 }

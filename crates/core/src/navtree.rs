@@ -9,6 +9,23 @@
 //! tree). The result — the *navigation tree* — preserves every
 //! ancestor/descendant relationship among nodes that carry results.
 //!
+//! # Layout (DESIGN.md §5g)
+//!
+//! The tree is a struct-of-arrays arena in pre-order: per-node scalars live
+//! in parallel `Vec`s, children and per-node result lists in CSR form (one
+//! contiguous index array plus `n + 1` offsets). Because pre-order stores
+//! every subtree as a contiguous id range, `subtree_end` gives O(1)
+//! ancestry tests and allocation-light subtree walks.
+//!
+//! Construction is split in two: the **skeleton** (topology, labels,
+//! depths, result lists, counts, explore weights) is built eagerly in one
+//! pass over the hierarchy, while the **bitset payload** — the per-node
+//! `CitSet`s and cached subtree unions, the only O(nodes × universe) part —
+//! is materialized lazily per top-level subtree on first touch by an
+//! EXPAND or SHOWRESULTS (`Stage::Materialize` in the trace plane, the
+//! `tree_materialize` failpoint in the chaos plane). A cold `open_session`
+//! therefore costs O(attachments + hierarchy), not O(nodes × universe).
+//!
 //! ```
 //! use bionav_core::{NavigationTree, NavNodeId};
 //! use bionav_medline::{Citation, CitationId, CitationStore};
@@ -32,12 +49,14 @@
 //! # Ok::<(), bionav_mesh::MeshError>(())
 //! ```
 
-use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use bionav_medline::{CitationId, CitationStore};
-use bionav_mesh::{ConceptHierarchy, NodeId as HNodeId};
+use bionav_mesh::{ConceptHierarchy, DescriptorId, HierarchyColumns, NodeId as HNodeId};
 
 use crate::bitset::CitSet;
+use crate::fault::{self, FailSite};
+use crate::trace::{self, Stage};
 
 /// Index of a node within a [`NavigationTree`]; the root is always id 0.
 #[derive(
@@ -58,32 +77,128 @@ impl NavNodeId {
     }
 }
 
+/// Sentinel in the `parent` column: the root has no parent.
+const NO_PARENT: u32 = u32::MAX;
+/// Sentinel in the `top_of` column: the root belongs to no top-level
+/// subtree.
+const NO_TOP: u32 = u32::MAX;
+
+/// The lazily-built bitset payload of one top-level subtree.
 #[derive(Debug, Clone)]
-struct NavNode {
-    hierarchy_node: HNodeId,
-    label: String,
-    hierarchy_depth: u16,
-    nav_depth: u16,
-    parent: Option<NavNodeId>,
-    children: Vec<NavNodeId>,
-    /// Citations attached *directly* at this node (`R(n)` in the paper).
-    results: CitSet,
-    results_count: u32,
-    /// `|R(n)| / ln |LT(n)|` — the unnormalized EXPLORE weight (§IV).
-    explore_weight: f64,
+struct SubtreeSets {
+    /// `R(n)` per node, indexed by `id - top.start`.
+    results: Vec<CitSet>,
+    /// Cached `∪ R(m)` over each node's full navigation subtree, same
+    /// indexing.
+    subtree: Vec<CitSet>,
+}
+
+/// One top-level subtree (a child of the root plus its descendants) and its
+/// on-first-touch payload.
+#[derive(Debug)]
+struct LazySubtree {
+    /// First node id of the subtree (the root child itself).
+    start: u32,
+    /// One past the last node id of the subtree (pre-order ranges are
+    /// contiguous).
+    end: u32,
+    /// Materialized bitsets; `std::sync::OnceLock` does not poison on a
+    /// panicking initializer, so an injected `tree_materialize` fault
+    /// leaves the cell empty and the next touch retries cleanly.
+    sets: OnceLock<SubtreeSets>,
 }
 
 /// The navigation tree of one query result: the maximum embedding of the
 /// concept hierarchy in which every non-root node carries attached
 /// citations.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NavigationTree {
-    nodes: Vec<NavNode>,
+    // ---- eager skeleton (struct-of-arrays, pre-order) ----
+    /// The hierarchy position each navigation node embeds.
+    hierarchy_node: Vec<HNodeId>,
+    /// Concept labels, concatenated into one arena string (owned copies;
+    /// the tree outlives the hierarchy in the engine's tree cache). Node
+    /// `i`'s label is `labels[label_off[i]..label_off[i + 1]]` — one
+    /// allocation for the whole tree instead of one `String` per node.
+    labels: String,
+    label_off: Vec<u32>,
+    /// Depth in the original hierarchy (the paper's "MeSH level").
+    hierarchy_depth: Vec<u32>,
+    /// Depth within the navigation tree (root = 0).
+    nav_depth: Vec<u32>,
+    /// Parent id per node; [`NO_PARENT`] for the root.
+    parent: Vec<u32>,
+    /// CSR children: node `i`'s children are
+    /// `child_idx[child_off[i]..child_off[i + 1]]`, in sibling order.
+    child_idx: Vec<NavNodeId>,
+    child_off: Vec<u32>,
+    /// Exclusive end of each node's pre-order subtree range
+    /// (`id..subtree_end[id]` is exactly the subtree).
+    subtree_end: Vec<u32>,
+    /// CSR result lists: node `i`'s attached citations (sorted local
+    /// indices, deduplicated) are `result_idx[result_off[i]..result_off[i + 1]]`.
+    result_idx: Vec<u32>,
+    result_off: Vec<u32>,
+    /// `|R(n)| / ln |LT(n)|` — the unnormalized EXPLORE weight (§IV).
+    explore_weight: Vec<f64>,
+    total_explore_weight: f64,
     /// Local index → PMID for the distinct citations of the query result.
     citations: Vec<CitationId>,
-    /// Cached `∪ R(m)` over each node's full navigation subtree.
-    subtree_sets: Vec<CitSet>,
-    total_explore_weight: f64,
+
+    // ---- lazy bitset payload ----
+    /// One entry per child of the root, in id order.
+    tops: Vec<LazySubtree>,
+    /// Node id → index into `tops`; [`NO_TOP`] for the root.
+    top_of: Vec<u32>,
+    /// Cached `∪ R(m)` over the whole tree (the root's subtree set);
+    /// unions every top's set, materializing them all.
+    root_subtree: OnceLock<CitSet>,
+    /// `R(root)` — always empty, stored so `results(ROOT)` can hand out a
+    /// reference without materializing anything.
+    empty_results: CitSet,
+}
+
+impl Clone for NavigationTree {
+    fn clone(&self) -> Self {
+        NavigationTree {
+            hierarchy_node: self.hierarchy_node.clone(),
+            labels: self.labels.clone(),
+            label_off: self.label_off.clone(),
+            hierarchy_depth: self.hierarchy_depth.clone(),
+            nav_depth: self.nav_depth.clone(),
+            parent: self.parent.clone(),
+            child_idx: self.child_idx.clone(),
+            child_off: self.child_off.clone(),
+            subtree_end: self.subtree_end.clone(),
+            result_idx: self.result_idx.clone(),
+            result_off: self.result_off.clone(),
+            explore_weight: self.explore_weight.clone(),
+            total_explore_weight: self.total_explore_weight,
+            citations: self.citations.clone(),
+            tops: self
+                .tops
+                .iter()
+                .map(|t| LazySubtree {
+                    start: t.start,
+                    end: t.end,
+                    sets: clone_cell(&t.sets),
+                })
+                .collect(),
+            top_of: self.top_of.clone(),
+            root_subtree: clone_cell(&self.root_subtree),
+            empty_results: self.empty_results.clone(),
+        }
+    }
+}
+
+/// Clone a `OnceLock`, carrying over an already-materialized value (so a
+/// clone never re-pays materialization the original already did).
+fn clone_cell<T: Clone>(cell: &OnceLock<T>) -> OnceLock<T> {
+    let out = OnceLock::new();
+    if let Some(v) = cell.get() {
+        let _ = out.set(v.clone());
+    }
+    out
 }
 
 impl NavigationTree {
@@ -112,6 +227,12 @@ impl NavigationTree {
     /// Distinct counts (and hence SHOWRESULTS costs) stay unweighted: the
     /// user still reads every listed citation. Non-finite or negative
     /// weights are clamped to 0.
+    ///
+    /// Only the skeleton is built here; the per-node bitsets materialize
+    /// lazily on first accessor touch (see the module docs). The build is
+    /// bit-deterministic run-to-run: attachment iterates the sorted
+    /// `citations` vec, so every per-node result list comes out in
+    /// ascending local-index order regardless of input order.
     pub fn build_weighted(
         hierarchy: &ConceptHierarchy,
         store: &CitationStore,
@@ -123,11 +244,6 @@ impl NavigationTree {
         citations.sort();
         citations.dedup();
         let universe = citations.len();
-        let local: HashMap<CitationId, u32> = citations
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i as u32))
-            .collect();
         let weights: Vec<f64> = citations
             .iter()
             .map(|&id| {
@@ -140,144 +256,340 @@ impl NavigationTree {
             })
             .collect();
 
-        // Attach citations to hierarchy positions.
-        let mut attached: HashMap<HNodeId, Vec<u32>> = HashMap::new();
-        for (&pmid, &idx) in &local {
-            for &concept in store.associations(pmid) {
-                for &pos in hierarchy.nodes_of(concept) {
-                    attached.entry(pos).or_default().push(idx);
+        // Every per-concept input comes from a dense column — the
+        // hierarchy's descriptor→positions CSR and the store's
+        // `ln(global_count)` — so the only hash probes left in the whole
+        // build are one `associations` lookup per citation, resolved here
+        // once and reused by both attachment passes.
+        let cols = hierarchy.columns();
+        let assoc: Vec<&[DescriptorId]> = citations
+            .iter()
+            .map(|&pmid| store.associations(pmid))
+            .collect();
+
+        // Attach citations to hierarchy positions: a CSR over the dense
+        // hierarchy-node ids, filled by two passes over the sorted
+        // `citations` (count, then place) — a counting sort by position.
+        // Iterating the sorted vec — not a hash map — makes the build
+        // bit-deterministic; each position's list is produced in ascending
+        // local-index order, and any duplicates of one index (the same
+        // citation reaching the same position through two of its concepts)
+        // land adjacently.
+        let hn = hierarchy.len();
+        let mut att_count = vec![0u32; hn];
+        for concepts in &assoc {
+            for &concept in *concepts {
+                for &pos in cols.positions_of(concept.0) {
+                    att_count[pos.index()] += 1;
+                }
+            }
+        }
+        let mut att_off = vec![0u32; hn + 1];
+        for i in 0..hn {
+            att_off[i + 1] = att_off[i] + att_count[i];
+        }
+        let mut att = vec![0u32; att_off[hn] as usize];
+        let mut cursor: Vec<u32> = att_off[..hn].to_vec();
+        for (idx, concepts) in assoc.iter().enumerate() {
+            for &concept in *concepts {
+                for &pos in cols.positions_of(concept.0) {
+                    let slot = &mut cursor[pos.index()];
+                    att[*slot as usize] = idx as u32;
+                    *slot += 1;
                 }
             }
         }
 
-        // Maximum embedding, computed in one post-order pass (paper §II):
-        // an empty-results node is replaced by its children; empty leaves
-        // vanish. Nodes are created children-first into a temp arena.
-        struct TempNode {
-            hierarchy_node: HNodeId,
-            children: Vec<usize>,
-            results: CitSet,
-        }
-        let mut temp: Vec<TempNode> = Vec::new();
-
-        fn embed(
-            hierarchy: &ConceptHierarchy,
-            attached: &HashMap<HNodeId, Vec<u32>>,
-            universe: usize,
-            temp: &mut Vec<TempNode>,
-            hnode: HNodeId,
-        ) -> Vec<usize> {
-            let mut child_forest: Vec<usize> = Vec::new();
-            for &c in hierarchy.node(hnode).children() {
-                child_forest.extend(embed(hierarchy, attached, universe, temp, c));
+        // Which hierarchy subtrees contain any attachment at all: the
+        // hierarchy arena keeps parents before children, so one reverse
+        // pass over the flat parent column folds the flags bottom-up and
+        // the embedding walk below can prune entire empty subtrees without
+        // visiting them.
+        let hparent = cols.parent();
+        let mut occupied: Vec<bool> = att_count.iter().map(|&c| c > 0).collect();
+        for i in (1..hn).rev() {
+            if occupied[i] && hparent[i] != HierarchyColumns::NO_PARENT {
+                occupied[hparent[i] as usize] = true;
             }
-            match attached.get(&hnode) {
-                Some(list) if !list.is_empty() => {
-                    let mut results = CitSet::new(universe);
-                    for &i in list {
-                        results.insert(i as usize);
+        }
+
+        // Maximum embedding (paper §II) in ONE explicit-stack pre-order
+        // walk: a non-root hierarchy node survives iff it carries
+        // attachments; a removed node's children are spliced up to its
+        // nearest surviving ancestor. Splicing preserves relative order,
+        // so the embedded tree's pre-order is exactly the hierarchy
+        // pre-order restricted to survivors — nodes come out already
+        // numbered in pre-order, no renumbering pass needed. The explicit
+        // work-stack (rather than recursion) is load-bearing: a
+        // deep-narrow hierarchy (`synth::deep_chain`, 100k+ levels) would
+        // overflow the thread stack and abort the process, bypassing the
+        // panic-isolation plane entirely.
+        // Every attached position survives, so the node count is known
+        // up front — size the columns once instead of doubling up to it.
+        let n_exact = 1 + att_count.iter().filter(|&&c| c > 0).count();
+        let hdepth = cols.depth();
+        let mut hierarchy_node: Vec<HNodeId> = Vec::with_capacity(n_exact);
+        hierarchy_node.push(HNodeId::ROOT);
+        let mut labels = String::with_capacity(n_exact * 16);
+        labels.push_str(cols.label(0));
+        let mut label_off: Vec<u32> = Vec::with_capacity(n_exact + 1);
+        label_off.push(0);
+        label_off.push(labels.len() as u32);
+        let mut hierarchy_depth: Vec<u32> = Vec::with_capacity(n_exact);
+        hierarchy_depth.push(0);
+        let mut parent: Vec<u32> = Vec::with_capacity(n_exact);
+        parent.push(NO_PARENT);
+        let mut result_off: Vec<u32> = Vec::with_capacity(n_exact + 1);
+        result_off.extend([0, 0]); // root: empty list
+        let mut result_idx: Vec<u32> = Vec::with_capacity(att.len());
+
+        // (hierarchy node, nav id of its nearest surviving ancestor)
+        let mut stack: Vec<(HNodeId, u32)> = Vec::new();
+        for &c in cols.children(0).iter().rev() {
+            if occupied[c.index()] {
+                stack.push((c, 0));
+            }
+        }
+        while let Some((h, up)) = stack.pop() {
+            let hi = h.index();
+            let (a, b) = (att_off[hi] as usize, att_off[hi + 1] as usize);
+            let nav_parent = if a < b {
+                let id = parent.len() as u32;
+                hierarchy_node.push(h);
+                labels.push_str(cols.label(hi));
+                label_off.push(labels.len() as u32);
+                hierarchy_depth.push(hdepth[hi]);
+                parent.push(up);
+                // Copy the attachment list, dropping duplicates (always
+                // adjacent — see the attachment pass above). The previous
+                // node's list may end in the same index, so only compare
+                // within this node's slice.
+                let before = result_idx.len();
+                for &x in &att[a..b] {
+                    if result_idx.len() == before || result_idx[result_idx.len() - 1] != x {
+                        result_idx.push(x);
                     }
-                    temp.push(TempNode {
-                        hierarchy_node: hnode,
-                        children: child_forest,
-                        results,
-                    });
-                    vec![temp.len() - 1]
                 }
-                _ => child_forest,
+                result_off.push(result_idx.len() as u32);
+                id
+            } else {
+                up
+            };
+            for &c in cols.children(hi).iter().rev() {
+                if occupied[c.index()] {
+                    stack.push((c, nav_parent));
+                }
+            }
+        }
+        let n = parent.len();
+
+        // CSR children from the parent column: because ids are pre-order,
+        // sibling order by id equals hierarchy child order.
+        let mut child_off = vec![0u32; n + 1];
+        for i in 1..n {
+            child_off[parent[i] as usize + 1] += 1;
+        }
+        for i in 0..n {
+            child_off[i + 1] += child_off[i];
+        }
+        let mut child_idx = vec![NavNodeId(0); child_off[n] as usize];
+        let mut cursor: Vec<u32> = child_off[..n].to_vec();
+        for i in 1..n {
+            let slot = &mut cursor[parent[i] as usize];
+            child_idx[*slot as usize] = NavNodeId(i as u32);
+            *slot += 1;
+        }
+
+        // Navigation depths: parents precede children in pre-order, so one
+        // forward pass suffices.
+        let mut nav_depth = vec![0u32; n];
+        for i in 1..n {
+            nav_depth[i] = nav_depth[parent[i] as usize] + 1;
+        }
+
+        // Subtree ranges: children have larger pre-order indices than their
+        // parents, so a reverse pass folds each node's exclusive range end
+        // into its parent bottom-up.
+        let mut subtree_end: Vec<u32> = (1..=n as u32).collect();
+        for i in (1..n).rev() {
+            let p = parent[i] as usize;
+            if subtree_end[p] < subtree_end[i] {
+                subtree_end[p] = subtree_end[i];
             }
         }
 
-        let mut root_children: Vec<usize> = Vec::new();
-        for &c in hierarchy.root().children() {
-            root_children.extend(embed(hierarchy, &attached, universe, &mut temp, c));
-        }
-        temp.push(TempNode {
-            hierarchy_node: bionav_mesh::NodeId::ROOT,
-            children: root_children,
-            results: CitSet::new(universe),
-        });
-        let temp_root = temp.len() - 1;
-
-        // Renumber to pre-order with the root at index 0.
-        let mut order: Vec<usize> = Vec::with_capacity(temp.len());
-        let mut stack = vec![temp_root];
-        while let Some(t) = stack.pop() {
-            order.push(t);
-            stack.extend(temp[t].children.iter().rev());
-        }
-        let mut new_id = vec![u32::MAX; temp.len()];
-        for (new, &old) in order.iter().enumerate() {
-            new_id[old] = new as u32;
-        }
-
-        let mut nodes: Vec<NavNode> = Vec::with_capacity(temp.len());
-        for &old in &order {
-            let t = &temp[old];
-            let h = hierarchy.node(t.hierarchy_node);
-            let results_count = t.results.count();
-            let explore_weight = if results_count == 0 {
-                0.0
+        // EXPLORE weights straight off the deduplicated result lists. The
+        // lists are ascending, so the weighted sums visit citations in the
+        // same order a bitset iteration would — bit-identical f64 results.
+        // The denominator comes off the store's dense `ln(global_count)`
+        // column; `global_count` floors at 2, so the out-of-column fallback
+        // ln 2 is the very value the unmemoized path used to compute.
+        let ln_floor = 2_f64.ln();
+        let lnc = store.ln_global_counts();
+        let hdescriptor = cols.descriptor();
+        let mut explore_weight = vec![0f64; n];
+        let mut total_explore_weight = 0f64;
+        for i in 1..n {
+            let (a, b) = (result_off[i] as usize, result_off[i + 1] as usize);
+            if a == b {
+                continue;
+            }
+            let d = hdescriptor[hierarchy_node[i].index()];
+            let denom = if d == HierarchyColumns::NO_DESCRIPTOR {
+                ln_floor
             } else {
-                let global = h
-                    .descriptor()
-                    .map(|d| store.global_count(d))
-                    .unwrap_or(2)
-                    .max(2);
-                let weighted: f64 = t.results.iter().map(|i| weights[i]).sum();
-                weighted / (global as f64).ln()
+                lnc.get(d as usize).copied().unwrap_or(ln_floor)
             };
-            nodes.push(NavNode {
-                hierarchy_node: t.hierarchy_node,
-                label: h.label().to_string(),
-                hierarchy_depth: h.depth(),
-                nav_depth: 0,
-                parent: None,
-                children: t.children.iter().map(|&c| NavNodeId(new_id[c])).collect(),
-                results: t.results.clone(),
-                results_count,
-                explore_weight,
+            let weighted: f64 = result_idx[a..b].iter().map(|&x| weights[x as usize]).sum();
+            explore_weight[i] = weighted / denom;
+            total_explore_weight += explore_weight[i];
+        }
+
+        // Top-level subtrees (children of the root) own the lazy payload.
+        let mut top_of = vec![NO_TOP; n];
+        let root_children = &child_idx[child_off[0] as usize..child_off[1] as usize];
+        let mut tops = Vec::with_capacity(root_children.len());
+        for &c in root_children {
+            let (start, end) = (c.0, subtree_end[c.index()]);
+            for i in start..end {
+                top_of[i as usize] = tops.len() as u32;
+            }
+            tops.push(LazySubtree {
+                start,
+                end,
+                sets: OnceLock::new(),
             });
         }
-        // Parent pointers and navigation depths (parents precede children in
-        // pre-order, so one forward pass suffices).
-        for i in 0..nodes.len() {
-            let children = nodes[i].children.clone();
-            let depth = nodes[i].nav_depth;
-            for c in children {
-                nodes[c.index()].parent = Some(NavNodeId(i as u32));
-                nodes[c.index()].nav_depth = depth + 1;
-            }
-        }
 
-        // Subtree result sets, post-order (children have larger pre-order
-        // ids than... no: children have larger indices in pre-order, so a
-        // reverse pass accumulates bottom-up).
-        let mut subtree_sets: Vec<CitSet> = nodes.iter().map(|n| n.results.clone()).collect();
-        for i in (0..nodes.len()).rev() {
-            if let Some(p) = nodes[i].parent {
-                let (head, tail) = subtree_sets.split_at_mut(i);
-                head[p.index()].union_with(&tail[0]);
-            }
-        }
-
-        let total_explore_weight = nodes.iter().map(|n| n.explore_weight).sum();
         NavigationTree {
-            nodes,
-            citations,
-            subtree_sets,
+            hierarchy_node,
+            labels,
+            label_off,
+            hierarchy_depth,
+            nav_depth,
+            parent,
+            child_idx,
+            child_off,
+            subtree_end,
+            result_idx,
+            result_off,
+            explore_weight,
             total_explore_weight,
+            citations,
+            tops,
+            top_of,
+            root_subtree: OnceLock::new(),
+            empty_results: CitSet::new(universe),
         }
     }
 
+    // -----------------------------------------------------------------------
+    // Lazy materialization
+    // -----------------------------------------------------------------------
+
+    /// Materialized payload of top `k`, building it on first touch.
+    fn sets_for(&self, k: usize) -> &SubtreeSets {
+        self.tops[k].sets.get_or_init(|| self.build_sets(k))
+    }
+
+    /// Build top `k`'s bitsets: per-node `R(n)` from the CSR result lists,
+    /// then the cached subtree unions in one reverse pass (children have
+    /// larger pre-order indices than their parents, so walking indices
+    /// downward folds every subtree into its parent bottom-up).
+    fn build_sets(&self, k: usize) -> SubtreeSets {
+        let _sp = trace::span(Stage::Materialize);
+        // The `tree_materialize` failpoint (DESIGN.md §5f/§5g): accessors
+        // have no error channel, so any armed fault fires as an injected
+        // panic. Callers on the serve path are inside `fault::isolate`,
+        // which quarantines the session; the untouched `OnceLock` retries
+        // cleanly on the next touch.
+        if fault::hit(FailSite::TreeMaterialize).is_some() {
+            fault::injected_panic(FailSite::TreeMaterialize);
+        }
+        let top = &self.tops[k];
+        let (s, e) = (top.start as usize, top.end as usize);
+        let universe = self.citations.len();
+        let mut results = Vec::with_capacity(e - s);
+        for i in s..e {
+            let mut set = CitSet::new(universe);
+            let (a, b) = (self.result_off[i] as usize, self.result_off[i + 1] as usize);
+            for &x in &self.result_idx[a..b] {
+                set.insert(x as usize);
+            }
+            results.push(set);
+        }
+        let mut subtree = results.clone();
+        for i in (1..e - s).rev() {
+            // Parents of non-top nodes stay inside the top's range.
+            let p = self.parent[s + i] as usize - s;
+            let (head, tail) = subtree.split_at_mut(i);
+            head[p].union_with(&tail[0]);
+        }
+        SubtreeSets { results, subtree }
+    }
+
+    /// The root's subtree set: the union over every top-level subtree
+    /// (materializing them all).
+    fn root_set(&self) -> &CitSet {
+        self.root_subtree.get_or_init(|| {
+            let mut set = CitSet::new(self.citations.len());
+            for k in 0..self.tops.len() {
+                set.union_with(&self.sets_for(k).subtree[0]);
+            }
+            set
+        })
+    }
+
+    /// Index into `tops` for a non-root node.
+    fn top_index(&self, id: NavNodeId) -> Option<usize> {
+        let t = self.top_of[id.index()];
+        (t != NO_TOP).then_some(t as usize)
+    }
+
+    /// Eagerly materialize the bitsets of every top-level subtree touched
+    /// by `nodes`.
+    ///
+    /// Accessors materialize on their own, but the serve path calls this at
+    /// a defined point (before fingerprinting and planning a cold
+    /// component) so `Stage::Materialize` time is not smeared into
+    /// `Stage::Solve` spans.
+    pub fn materialize_for<I: IntoIterator<Item = NavNodeId>>(&self, nodes: I) {
+        for node in nodes {
+            if let Some(k) = self.top_index(node) {
+                let _ = self.sets_for(k);
+            }
+        }
+    }
+
+    /// Materialize every top-level subtree (and the root set) — the eager
+    /// build, for baselines and equivalence tests.
+    pub fn materialize_all(&self) {
+        let _ = self.root_set();
+    }
+
+    /// How many top-level subtrees have materialized bitsets so far.
+    pub fn materialized_subtrees(&self) -> usize {
+        self.tops.iter().filter(|t| t.sets.get().is_some()).count()
+    }
+
+    /// Total number of top-level subtrees (children of the root), i.e. the
+    /// lazy-materialization granularity.
+    pub fn lazy_subtrees(&self) -> usize {
+        self.tops.len()
+    }
+
+    // -----------------------------------------------------------------------
+    // Accessors
+    // -----------------------------------------------------------------------
+
     /// Number of nodes, root included.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.parent.len()
     }
 
     /// Whether the tree holds only the root.
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 1
+        self.parent.len() <= 1
     }
 
     /// Number of distinct citations in the query result.
@@ -290,53 +602,61 @@ impl NavigationTree {
         self.citations[local]
     }
 
-    fn raw(&self, id: NavNodeId) -> &NavNode {
-        &self.nodes[id.index()]
-    }
-
     /// Concept label of a node.
     pub fn label(&self, id: NavNodeId) -> &str {
-        &self.raw(id).label
+        let i = id.index();
+        &self.labels[self.label_off[i] as usize..self.label_off[i + 1] as usize]
     }
 
     /// The hierarchy position this navigation node embeds.
     pub fn hierarchy_node(&self, id: NavNodeId) -> HNodeId {
-        self.raw(id).hierarchy_node
+        self.hierarchy_node[id.index()]
     }
 
     /// Depth of the node in the original hierarchy (the paper's "MeSH level").
-    pub fn hierarchy_depth(&self, id: NavNodeId) -> u16 {
-        self.raw(id).hierarchy_depth
+    pub fn hierarchy_depth(&self, id: NavNodeId) -> u32 {
+        self.hierarchy_depth[id.index()]
     }
 
     /// Depth within the navigation tree (root = 0).
-    pub fn nav_depth(&self, id: NavNodeId) -> u16 {
-        self.raw(id).nav_depth
+    pub fn nav_depth(&self, id: NavNodeId) -> u32 {
+        self.nav_depth[id.index()]
     }
 
     /// Parent in the navigation tree.
     pub fn parent(&self, id: NavNodeId) -> Option<NavNodeId> {
-        self.raw(id).parent
+        let p = self.parent[id.index()];
+        (p != NO_PARENT).then_some(NavNodeId(p))
     }
 
     /// Children in the navigation tree.
     pub fn children(&self, id: NavNodeId) -> &[NavNodeId] {
-        &self.raw(id).children
+        let i = id.index();
+        &self.child_idx[self.child_off[i] as usize..self.child_off[i + 1] as usize]
     }
 
     /// Citations attached directly at this node (`R(n)`).
+    ///
+    /// First touch materializes the node's top-level subtree.
     pub fn results(&self, id: NavNodeId) -> &CitSet {
-        &self.raw(id).results
+        match self.top_index(id) {
+            Some(k) => {
+                let top = &self.tops[k];
+                &self.sets_for(k).results[id.index() - top.start as usize]
+            }
+            None => &self.empty_results,
+        }
     }
 
-    /// `|R(n)|`.
+    /// `|R(n)|`. Skeleton data — never materializes.
     pub fn results_count(&self, id: NavNodeId) -> u32 {
-        self.raw(id).results_count
+        let i = id.index();
+        self.result_off[i + 1] - self.result_off[i]
     }
 
     /// The unnormalized EXPLORE weight `|R(n)| / ln |LT(n)|` (§IV).
     pub fn explore_weight(&self, id: NavNodeId) -> f64 {
-        self.raw(id).explore_weight
+        self.explore_weight[id.index()]
     }
 
     /// Sum of EXPLORE weights over the whole tree (the §IV normalizer).
@@ -345,56 +665,55 @@ impl NavigationTree {
     }
 
     /// Distinct citations in the *full* navigation subtree of `id`.
+    ///
+    /// First touch materializes the node's top-level subtree (all of them
+    /// for the root).
     pub fn subtree_set(&self, id: NavNodeId) -> &CitSet {
-        &self.subtree_sets[id.index()]
+        match self.top_index(id) {
+            Some(k) => {
+                let top = &self.tops[k];
+                &self.sets_for(k).subtree[id.index() - top.start as usize]
+            }
+            None => self.root_set(),
+        }
     }
 
     /// `|subtree_set(id)|` — the count the static interface displays.
     pub fn subtree_distinct(&self, id: NavNodeId) -> u32 {
-        self.subtree_sets[id.index()].count()
+        self.subtree_set(id).count()
     }
 
     /// Pre-order iteration over node ids (root first).
     pub fn iter_preorder(&self) -> impl Iterator<Item = NavNodeId> + '_ {
         // Nodes are stored in pre-order by construction.
-        (0..self.nodes.len() as u32).map(NavNodeId)
+        (0..self.parent.len() as u32).map(NavNodeId)
     }
 
     /// The node ids of the full subtree rooted at `id`, pre-order.
     pub fn subtree_nodes(&self, id: NavNodeId) -> Vec<NavNodeId> {
-        let mut out = Vec::new();
-        let mut stack = vec![id];
-        while let Some(n) = stack.pop() {
-            out.push(n);
-            stack.extend(self.children(n).iter().rev());
-        }
-        out
+        // Pre-order subtrees are contiguous id ranges.
+        (id.0..self.subtree_end[id.index()])
+            .map(NavNodeId)
+            .collect()
     }
 
     /// Whether `ancestor` properly precedes `node` on its root path.
     pub fn is_ancestor(&self, ancestor: NavNodeId, node: NavNodeId) -> bool {
-        let mut cur = self.parent(node);
-        while let Some(p) = cur {
-            if p == ancestor {
-                return true;
-            }
-            cur = self.parent(p);
-        }
-        false
+        ancestor.0 < node.0 && node.0 < self.subtree_end[ancestor.index()]
     }
 
     /// Finds a node by label (linear scan; for tests/examples).
     pub fn find_by_label(&self, label: &str) -> Option<NavNodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.label == label)
-            .map(|i| NavNodeId(i as u32))
+        (0..self.parent.len())
+            .find_map(|i| (self.label(NavNodeId(i as u32)) == label).then_some(NavNodeId(i as u32)))
     }
 
     /// Sum over all nodes of `|R(n)|` — the "citations with duplicates"
     /// statistic of Table I (30,895 for the paper's `prothymosin` query).
     pub fn total_attached_with_duplicates(&self) -> u64 {
-        self.nodes.iter().map(|n| n.results_count as u64).sum()
+        // Per-node counts are the CSR list lengths, so the sum is just the
+        // concatenated length.
+        self.result_idx.len() as u64
     }
 }
 
@@ -630,5 +949,115 @@ mod tests {
         assert_eq!(nav.len(), 1); // only the root
         assert!(nav.is_empty());
         assert_eq!(nav.universe(), 1); // the citation exists, just unreachable
+        assert_eq!(nav.lazy_subtrees(), 0);
+        assert_eq!(nav.subtree_distinct(NavNodeId::ROOT), 0);
+    }
+
+    #[test]
+    fn build_is_bit_deterministic_across_input_orders() {
+        let h = hierarchy();
+        let store = store_with(&[(5, &[2, 4]), (9, &[4, 3]), (2, &[3, 6])]);
+        let fwd = [CitationId(5), CitationId(9), CitationId(2)];
+        let rev = [CitationId(2), CitationId(9), CitationId(5)];
+        let a = NavigationTree::build(&h, &store, &fwd);
+        let b = NavigationTree::build(&h, &store, &rev);
+        assert_eq!(a.result_idx, b.result_idx);
+        assert_eq!(a.result_off, b.result_off);
+        assert_eq!(a.parent, b.parent);
+        assert_eq!(
+            a.total_explore_weight().to_bits(),
+            b.total_explore_weight().to_bits()
+        );
+        for id in a.iter_preorder() {
+            assert_eq!(
+                a.explore_weight(id).to_bits(),
+                b.explore_weight(id).to_bits()
+            );
+            assert_eq!(a.results(id), b.results(id));
+            assert_eq!(a.subtree_set(id), b.subtree_set(id));
+        }
+    }
+
+    #[test]
+    fn materialization_is_lazy_and_per_top_subtree() {
+        let h = hierarchy();
+        // Two top-level navigation subtrees: A's branch and E's branch.
+        let store = store_with(&[(1, &[1, 4]), (2, &[5, 6])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1), CitationId(2)]);
+        assert_eq!(nav.lazy_subtrees(), 2);
+        assert_eq!(nav.materialized_subtrees(), 0, "build materializes nothing");
+        // Skeleton accessors stay lazy.
+        let a = nav.find_by_label("A").unwrap();
+        let e = nav.find_by_label("E").unwrap();
+        assert_eq!(nav.results_count(a), 1);
+        assert!(nav.children(a).len() == 1 && nav.parent(a) == Some(NavNodeId::ROOT));
+        assert!(nav.explore_weight(a) > 0.0);
+        assert_eq!(nav.materialized_subtrees(), 0);
+        // Touching one branch materializes only that branch.
+        assert_eq!(nav.subtree_distinct(a), 1);
+        assert_eq!(nav.materialized_subtrees(), 1);
+        assert!(nav.results(e).contains(1));
+        assert_eq!(nav.materialized_subtrees(), 2);
+        // The root set unions the tops.
+        assert_eq!(nav.subtree_distinct(NavNodeId::ROOT), 2);
+    }
+
+    #[test]
+    fn materialize_for_touches_only_named_components() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[1]), (2, &[5])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1), CitationId(2)]);
+        let a = nav.find_by_label("A").unwrap();
+        nav.materialize_for([a, NavNodeId::ROOT]);
+        assert_eq!(nav.materialized_subtrees(), 1);
+        nav.materialize_all();
+        assert_eq!(nav.materialized_subtrees(), nav.lazy_subtrees());
+    }
+
+    #[test]
+    fn clone_carries_materialized_payload() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[1]), (2, &[5])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1), CitationId(2)]);
+        let a = nav.find_by_label("A").unwrap();
+        let _ = nav.results(a);
+        let cloned = nav.clone();
+        assert_eq!(cloned.materialized_subtrees(), 1);
+        // The clone's unmaterialized tops still materialize on demand.
+        let e = cloned.find_by_label("E").unwrap();
+        assert_eq!(cloned.subtree_distinct(e), 1);
+        assert_eq!(nav.materialized_subtrees(), 1, "original untouched");
+    }
+
+    #[test]
+    fn subtree_ranges_agree_with_a_children_walk() {
+        let h = hierarchy();
+        let store = store_with(&[(1, &[1, 2, 3, 4, 5, 6])]);
+        let nav = NavigationTree::build(&h, &store, &[CitationId(1)]);
+        for id in nav.iter_preorder() {
+            // DFS over children, the pre-CSR definition of the subtree.
+            let mut dfs = Vec::new();
+            let mut stack = vec![id];
+            while let Some(m) = stack.pop() {
+                dfs.push(m);
+                stack.extend(nav.children(m).iter().rev());
+            }
+            assert_eq!(nav.subtree_nodes(id), dfs);
+            for other in nav.iter_preorder() {
+                let walked = {
+                    let mut cur = nav.parent(other);
+                    let mut found = false;
+                    while let Some(p) = cur {
+                        if p == id {
+                            found = true;
+                            break;
+                        }
+                        cur = nav.parent(p);
+                    }
+                    found
+                };
+                assert_eq!(nav.is_ancestor(id, other), walked);
+            }
+        }
     }
 }

@@ -15,7 +15,7 @@ pub struct NavTreeStats {
     /// bushiness that motivates selective reveal).
     pub max_width: usize,
     /// Maximum navigation depth (root = level 0).
-    pub max_height: u16,
+    pub max_height: u32,
     /// Total citations attached over all nodes, duplicates counted
     /// (30,895 for `prothymosin`).
     pub citations_with_duplicates: u64,
@@ -44,7 +44,7 @@ impl NavTreeStats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TargetStats {
     /// Depth of the target concept in the original hierarchy ("MeSH level").
-    pub mesh_level: u16,
+    pub mesh_level: u32,
     /// `|L(n)|`: query-result citations attached directly to the target.
     pub attached_citations: u32,
     /// `|LT(n)|`: the concept's global citation count in all of MEDLINE.

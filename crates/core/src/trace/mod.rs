@@ -94,11 +94,21 @@ pub enum Stage {
     /// §5f) instead of the exact planner — the span covers the degraded
     /// rung (retained-memo myopic cut or static show-all-children cut).
     Degraded = 11,
+    /// First-touch materialization of a lazy navigation-tree subtree's
+    /// result/subtree bitsets (DESIGN.md §5g).
+    Materialize = 12,
+    /// `Engine::open_session` sub-stage: the tree came from the tree
+    /// cache. Recorded via [`record`] alongside the enclosing
+    /// [`Stage::OpenSession`] span, so hit/cold percentiles don't blend.
+    OpenSessionHit = 13,
+    /// `Engine::open_session` sub-stage: cache miss, the tree skeleton was
+    /// built cold. See [`Stage::OpenSessionHit`].
+    OpenSessionCold = 14,
 }
 
 impl Stage {
     /// Number of stages (length of [`Stage::ALL`]).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 15;
 
     /// Every stage, indexed by discriminant.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -114,6 +124,9 @@ impl Stage {
         Stage::ApplyCut,
         Stage::LockWait,
         Stage::Degraded,
+        Stage::Materialize,
+        Stage::OpenSessionHit,
+        Stage::OpenSessionCold,
     ];
 
     /// Stable snake_case name used in metrics labels and trace events.
@@ -131,6 +144,9 @@ impl Stage {
             Stage::ApplyCut => "apply_cut",
             Stage::LockWait => "lock_wait",
             Stage::Degraded => "degraded",
+            Stage::Materialize => "materialize",
+            Stage::OpenSessionHit => "open_session_hit",
+            Stage::OpenSessionCold => "open_session_cold",
         }
     }
 
@@ -352,6 +368,25 @@ impl Drop for CaptureGuard {
         CAPTURE.with(|c| c.set(c.get().saturating_sub(1)));
     }
 }
+
+/// Append an already-measured interval to the active capture tape, as if a
+/// span for `stage` had just closed.
+///
+/// This is for *derived* sub-stages whose wall-clock interval is already
+/// covered by an enclosing real span (e.g. the open-session hit/cold
+/// split): re-opening a span would double-emit begin/end events to the
+/// ring, so the caller times the interval itself and records it tape-only.
+/// Outside an active capture this is a no-op, matching the span fast path.
+#[cfg(not(interleave))]
+pub fn record(stage: Stage, ns: u64) {
+    if CAPTURE.with(|c| c.get() > 0) {
+        TAPE.with(|tape| tape.borrow_mut().push((stage, ns)));
+    }
+}
+
+/// No-op under the interleave model (see [`span`]).
+#[cfg(interleave)]
+pub fn record(_stage: Stage, _ns: u64) {}
 
 /// Drain the thread-local capture tape, returning every `(stage, ns)` pair
 /// recorded since the tape was opened (or last drained).
@@ -600,6 +635,24 @@ mod tests {
         assert_eq!(m.count(Stage::Solve), 0);
         assert_eq!(m.sum_ns(Stage::Solve), 0);
         assert!(m.stats().is_empty());
+    }
+
+    #[test]
+    fn record_is_tape_only_and_capture_gated() {
+        let _g = lock();
+        set_enabled(false);
+        clear_ring();
+        record(Stage::OpenSessionCold, 1_000);
+        assert!(
+            take_captured().is_empty(),
+            "record outside a capture is a no-op"
+        );
+        let before = ring_pushed();
+        let cap = capture();
+        record(Stage::OpenSessionHit, 2_000);
+        drop(cap);
+        assert_eq!(ring_pushed(), before, "record never touches the ring");
+        assert_eq!(take_captured(), vec![(Stage::OpenSessionHit, 2_000)]);
     }
 
     #[test]

@@ -365,6 +365,63 @@ fn tree_build_faults_surface_as_typed_errors_then_recover() {
 }
 
 #[test]
+fn materialize_panic_quarantines_then_retries_bit_identical() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    let engine = fixture_engine();
+    let query = multi_node_queries(&engine, 1, 3)[0].clone();
+    let job = vec![(query.clone(), vec![ScriptOp::ExpandFully])];
+
+    // Unarmed reference pass on a separate engine (so the engine under
+    // test still has a fully *unmaterialized* cached tree).
+    let reference = fixture_engine().replay(&job, 1)[0]
+        .as_ref()
+        .expect("unarmed replay completes")
+        .cost
+        .clone();
+
+    // open_session builds only the skeleton, so the materialize failpoint
+    // must not fire yet — first touch is the EXPAND below.
+    let doomed = {
+        let _armed = fault::scoped(FaultPlan::new(chaos_seed()).site_limited(
+            FailSite::TreeMaterialize,
+            1,
+            Fault::Panic,
+            1,
+        ));
+        let doomed = engine.open_session(&query).unwrap();
+        assert_eq!(
+            fault::fires(FailSite::TreeMaterialize),
+            0,
+            "open_session must not materialize"
+        );
+        match engine.expand(doomed, NavNodeId::ROOT).unwrap_err() {
+            EngineError::SessionPanicked { id, ref message } => {
+                assert_eq!(id, doomed);
+                assert!(
+                    message.starts_with(INJECTED_PANIC_PREFIX)
+                        && message.contains("tree_materialize"),
+                    "unexpected payload: {message}"
+                );
+            }
+            other => panic!("expected SessionPanicked, got {other:?}"),
+        }
+        assert_eq!(fault::fires(FailSite::TreeMaterialize), 1);
+        doomed
+    };
+    assert_eq!(engine.stats().sessions_quarantined, 1);
+    engine.close_session(doomed).unwrap();
+
+    // Recovery on the SAME cached tree: the panicking initializer left the
+    // OnceLock cells empty (std OnceLock does not poison), so the next
+    // touch rebuilds cleanly and the cost is bit-identical to the
+    // reference.
+    let outcome = engine.replay(&job, 1).remove(0).expect("recovery replay");
+    assert_eq!(outcome.cost, reference, "post-fault cost diverged");
+    assert_eq!(outcome.degraded_expands, 0);
+}
+
+#[test]
 fn session_lock_fault_is_transient_and_never_quarantines() {
     let _serial = chaos_lock();
     let engine = fixture_engine();

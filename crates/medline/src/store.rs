@@ -63,6 +63,11 @@ pub struct CitationStore {
     count_overrides: HashMap<DescriptorId, u64>,
     /// Counts observed in the stored corpus, maintained incrementally.
     observed_counts: HashMap<DescriptorId, u64>,
+    /// Dense `ln(global_count)` column (see
+    /// [`ln_global_counts`](Self::ln_global_counts)): derived data, built
+    /// on first use, dropped on every mutation and skipped on the wire.
+    #[serde(skip)]
+    ln_counts: std::sync::OnceLock<Vec<f64>>,
 }
 
 impl CitationStore {
@@ -86,6 +91,7 @@ impl CitationStore {
         if self.by_id.contains_key(&citation.id) {
             return Err(StoreError::DuplicateCitation(citation.id));
         }
+        self.ln_counts.take();
         for &c in &citation.indexed {
             *self.observed_counts.entry(c).or_insert(0) += 1;
         }
@@ -129,7 +135,36 @@ impl CitationStore {
     /// Installs a MEDLINE-scale global count for a concept, overriding the
     /// corpus-observed count.
     pub fn set_global_count(&mut self, concept: DescriptorId, count: u64) {
+        self.ln_counts.take();
         self.count_overrides.insert(concept, count);
+    }
+
+    /// `ln(global_count)` for every concept, as one dense column indexed by
+    /// raw descriptor id; ids beyond the column (or never observed) take
+    /// the same `ln 2` the [`global_count`](Self::global_count) floor
+    /// yields. Built on first use and cached until the next mutation.
+    /// Whole-tree passes (the navigation-tree EXPLORE weights divide by
+    /// this, §IV) read the column instead of probing two hash maps and
+    /// re-deriving the logarithm per node.
+    pub fn ln_global_counts(&self) -> &[f64] {
+        self.ln_counts.get_or_init(|| {
+            let domain = self
+                .observed_counts
+                .keys()
+                .chain(self.count_overrides.keys())
+                .map(|d| d.0 as usize + 1)
+                .max()
+                .unwrap_or(0);
+            let mut column = vec![2_f64.ln(); domain];
+            for (&d, &c) in &self.observed_counts {
+                column[d.0 as usize] = (c.max(2) as f64).ln();
+            }
+            // Overrides win, exactly as in `global_count`.
+            for (&d, &c) in &self.count_overrides {
+                column[d.0 as usize] = (c.max(2) as f64).ln();
+            }
+            column
+        })
     }
 
     /// The corpus-observed count (diagnostics; prefer

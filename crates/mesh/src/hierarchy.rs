@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -27,15 +28,18 @@ impl NodeId {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Node {
     label: String,
-    /// `None` only for the synthetic root.
+    /// `None` for the synthetic root and auto-created placeholders.
     descriptor: Option<DescriptorId>,
-    /// `None` only for the synthetic root.
+    /// `None` for the synthetic root and for synthesized arenas built via
+    /// [`ConceptHierarchy::from_arena_parts`] (e.g. `synth::deep_chain`),
+    /// whose shapes are impractical to express as dotted positions.
     tree_number: Option<TreeNumber>,
     parent: Option<NodeId>,
     children: Vec<NodeId>,
     /// Depth from the root (root = 0). Cached because the cost model and the
     /// evaluation (Table I "MeSH level of target") query it constantly.
-    depth: u16,
+    /// `u32`: synthetic deep-chain hierarchies exceed 65k levels.
+    depth: u32,
 }
 
 /// The MeSH concept hierarchy (Definition 1 of the paper): a labeled tree of
@@ -52,6 +56,136 @@ pub struct ConceptHierarchy {
     nodes: Vec<Node>,
     /// DescriptorId → all positions it occupies.
     positions: HashMap<DescriptorId, Vec<NodeId>>,
+    /// Columnar view of the arena, built on first use (see
+    /// [`ConceptHierarchy::columns`]). Derived data — skipped on the wire
+    /// and rebuilt lazily after deserialization.
+    #[serde(skip)]
+    columns: OnceLock<HierarchyColumns>,
+}
+
+/// Struct-of-arrays view of a hierarchy arena: per-node scalars in parallel
+/// columns, children in CSR form, labels concatenated into one arena
+/// string. Whole-arena passes (the navigation-tree build walks tens of
+/// thousands of nodes per query) read these contiguous columns instead of
+/// pointer-chasing heap-allocated [`Node`] structs.
+#[derive(Debug, Clone)]
+pub struct HierarchyColumns {
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    descriptor: Vec<u32>,
+    child_off: Vec<u32>,
+    child_idx: Vec<NodeId>,
+    label_off: Vec<u32>,
+    labels: String,
+    /// Descriptor-indexed positions CSR: raw descriptor id `d` occupies
+    /// `pos_idx[pos_off[d]..pos_off[d + 1]]`, in arena order. The hash-free
+    /// analogue of the `positions` map (descriptor ids are near-dense, so
+    /// the offsets column stays small).
+    pos_off: Vec<u32>,
+    pos_idx: Vec<NodeId>,
+}
+
+impl HierarchyColumns {
+    /// Sentinel in [`parent`](Self::parent) for the root.
+    pub const NO_PARENT: u32 = u32::MAX;
+    /// Sentinel in [`descriptor`](Self::descriptor) for descriptor-less
+    /// nodes (the root and auto-created placeholders).
+    pub const NO_DESCRIPTOR: u32 = u32::MAX;
+
+    fn build(nodes: &[Node]) -> HierarchyColumns {
+        let n = nodes.len();
+        let mut parent = Vec::with_capacity(n);
+        let mut depth = Vec::with_capacity(n);
+        let mut descriptor = Vec::with_capacity(n);
+        let mut child_off = Vec::with_capacity(n + 1);
+        let mut child_idx = Vec::with_capacity(n.saturating_sub(1));
+        let mut label_off = Vec::with_capacity(n + 1);
+        let mut labels = String::new();
+        child_off.push(0);
+        label_off.push(0);
+        for node in nodes {
+            parent.push(node.parent.map_or(Self::NO_PARENT, |p| p.0));
+            depth.push(node.depth);
+            descriptor.push(node.descriptor.map_or(Self::NO_DESCRIPTOR, |d| d.0));
+            child_idx.extend_from_slice(&node.children);
+            child_off.push(child_idx.len() as u32);
+            labels.push_str(&node.label);
+            label_off.push(labels.len() as u32);
+        }
+        // Positions CSR: counting sort of node ids by raw descriptor id.
+        // Scattering in ascending node order reproduces exactly the lists
+        // the `positions` hash map holds (each is filled in arena order).
+        let domain = descriptor
+            .iter()
+            .filter(|&&d| d != Self::NO_DESCRIPTOR)
+            .map(|&d| d as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut pos_off = vec![0u32; domain + 1];
+        for &d in &descriptor {
+            if d != Self::NO_DESCRIPTOR {
+                pos_off[d as usize + 1] += 1;
+            }
+        }
+        for i in 0..domain {
+            pos_off[i + 1] += pos_off[i];
+        }
+        let mut pos_idx = vec![NodeId(0); pos_off[domain] as usize];
+        let mut cursor = pos_off.clone();
+        for (i, &d) in descriptor.iter().enumerate() {
+            if d != Self::NO_DESCRIPTOR {
+                pos_idx[cursor[d as usize] as usize] = NodeId(i as u32);
+                cursor[d as usize] += 1;
+            }
+        }
+        HierarchyColumns {
+            parent,
+            depth,
+            descriptor,
+            child_off,
+            child_idx,
+            label_off,
+            labels,
+            pos_off,
+            pos_idx,
+        }
+    }
+
+    /// Parent ids per node ([`NO_PARENT`](Self::NO_PARENT) for the root).
+    pub fn parent(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// Depth from the root per node (root = 0).
+    pub fn depth(&self) -> &[u32] {
+        &self.depth
+    }
+
+    /// Raw descriptor id per node
+    /// ([`NO_DESCRIPTOR`](Self::NO_DESCRIPTOR) when absent).
+    pub fn descriptor(&self) -> &[u32] {
+        &self.descriptor
+    }
+
+    /// Children of node `i`, in tree-number order.
+    pub fn children(&self, i: usize) -> &[NodeId] {
+        &self.child_idx[self.child_off[i] as usize..self.child_off[i + 1] as usize]
+    }
+
+    /// Label of node `i`.
+    pub fn label(&self, i: usize) -> &str {
+        &self.labels[self.label_off[i] as usize..self.label_off[i + 1] as usize]
+    }
+
+    /// All positions of raw descriptor id `d`, in arena order — the
+    /// hash-free analogue of [`ConceptHierarchy::nodes_of`]. Unknown ids
+    /// yield an empty slice.
+    pub fn positions_of(&self, d: u32) -> &[NodeId] {
+        match self.pos_off.get(d as usize..d as usize + 2) {
+            Some(w) => &self.pos_idx[w[0] as usize..w[1] as usize],
+            None => &[],
+        }
+    }
 }
 
 impl ConceptHierarchy {
@@ -63,6 +197,67 @@ impl ConceptHierarchy {
     /// this.
     pub fn from_descriptors(descriptors: &[Descriptor]) -> Result<Self, MeshError> {
         HierarchyBuilder::new().build(descriptors)
+    }
+
+    /// Builds a hierarchy directly from pre-resolved arena parts, bypassing
+    /// tree numbers entirely. Crate-internal: the synthetic generators use
+    /// it for shapes that are impractical to express as tree numbers (a
+    /// 100k-level chain's dotted position strings alone would be quadratic
+    /// in the depth). Synthesized nodes carry no [`TreeNumber`].
+    ///
+    /// # Panics
+    /// Entry 0 must be the root (`parents[0] == None`, and only entry 0 may
+    /// be parentless); every other parent index must refer to an *earlier*
+    /// entry, preserving the arena's parent-before-child order that depth
+    /// computation and bottom-up passes rely on. All three slices must have
+    /// equal length.
+    pub(crate) fn from_arena_parts(
+        labels: Vec<String>,
+        descriptors: Vec<Option<DescriptorId>>,
+        parents: Vec<Option<u32>>,
+    ) -> ConceptHierarchy {
+        assert_eq!(labels.len(), parents.len(), "labels/parents length");
+        assert_eq!(
+            descriptors.len(),
+            parents.len(),
+            "descriptors/parents length"
+        );
+        assert!(
+            parents.first().is_some_and(Option::is_none),
+            "entry 0 must be the parentless root"
+        );
+        let mut nodes: Vec<Node> = Vec::with_capacity(labels.len());
+        let mut positions: HashMap<DescriptorId, Vec<NodeId>> = HashMap::new();
+        for (i, (label, descriptor)) in labels.into_iter().zip(descriptors).enumerate() {
+            let id = NodeId(i as u32);
+            let (parent, depth) = match parents[i] {
+                None => {
+                    assert!(i == 0, "only entry 0 may be parentless");
+                    (None, 0)
+                }
+                Some(p) => {
+                    assert!((p as usize) < i, "parents must precede children");
+                    nodes[p as usize].children.push(id);
+                    (Some(NodeId(p)), nodes[p as usize].depth + 1)
+                }
+            };
+            if let Some(d) = descriptor {
+                positions.entry(d).or_default().push(id);
+            }
+            nodes.push(Node {
+                label,
+                descriptor,
+                tree_number: None,
+                parent,
+                children: Vec::new(),
+                depth,
+            });
+        }
+        ConceptHierarchy {
+            nodes,
+            positions,
+            columns: OnceLock::new(),
+        }
     }
 
     /// Total number of nodes, including the synthetic root.
@@ -96,6 +291,13 @@ impl ConceptHierarchy {
             hierarchy: self,
             id,
         }
+    }
+
+    /// The columnar (SoA) view of the arena, built on first use and cached
+    /// for the hierarchy's lifetime. Cheap to call afterwards.
+    pub fn columns(&self) -> &HierarchyColumns {
+        self.columns
+            .get_or_init(|| HierarchyColumns::build(&self.nodes))
     }
 
     /// All positions of a descriptor, or an empty slice if unknown.
@@ -167,7 +369,7 @@ impl ConceptHierarchy {
     }
 
     /// Maximum depth of any node (root = 0).
-    pub fn max_depth(&self) -> u16 {
+    pub fn max_depth(&self) -> u32 {
         self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
     }
 }
@@ -215,7 +417,7 @@ impl<'h> NodeRef<'h> {
     }
 
     /// Depth from the root (root = 0; top-level categories = 1).
-    pub fn depth(&self) -> u16 {
+    pub fn depth(&self) -> u32 {
         self.raw().depth
     }
 
@@ -370,7 +572,11 @@ impl HierarchyBuilder {
             positions.entry(desc.id).or_default().push(id);
         }
 
-        Ok(ConceptHierarchy { nodes, positions })
+        Ok(ConceptHierarchy {
+            nodes,
+            positions,
+            columns: OnceLock::new(),
+        })
     }
 }
 
@@ -413,7 +619,7 @@ mod tests {
         let h = ConceptHierarchy::from_descriptors(&sample()).unwrap();
         let apoptosis = h.nodes_of(DescriptorId(4));
         assert_eq!(apoptosis.len(), 2);
-        let depths: Vec<u16> = apoptosis.iter().map(|&id| h.node(id).depth()).collect();
+        let depths: Vec<u32> = apoptosis.iter().map(|&id| h.node(id).depth()).collect();
         assert!(depths.contains(&2) && depths.contains(&4));
     }
 
@@ -530,6 +736,27 @@ mod tests {
             .build(&sample())
             .unwrap();
         assert_eq!(h.root().label(), "GO");
+    }
+
+    #[test]
+    fn arena_parts_constructor_builds_consistent_hierarchy() {
+        let h = ConceptHierarchy::from_arena_parts(
+            vec!["MeSH".into(), "a".into(), "b".into(), "c".into()],
+            vec![
+                None,
+                Some(DescriptorId(1)),
+                Some(DescriptorId(2)),
+                Some(DescriptorId(1)),
+            ],
+            vec![None, Some(0), Some(1), Some(0)],
+        );
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.node(NodeId(2)).depth(), 2);
+        assert_eq!(h.max_depth(), 2);
+        assert_eq!(h.nodes_of(DescriptorId(1)), &[NodeId(1), NodeId(3)]);
+        assert!(h.is_ancestor(NodeId::ROOT, NodeId(2)));
+        assert!(h.node(NodeId(1)).tree_number().is_none());
+        assert_eq!(h.root().children(), &[NodeId(1), NodeId(3)]);
     }
 
     #[test]

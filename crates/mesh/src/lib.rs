@@ -37,5 +37,5 @@ pub mod xml;
 
 pub use concept::{Descriptor, DescriptorId};
 pub use error::MeshError;
-pub use hierarchy::{ConceptHierarchy, HierarchyBuilder, NodeId, NodeRef};
+pub use hierarchy::{ConceptHierarchy, HierarchyBuilder, HierarchyColumns, NodeId, NodeRef};
 pub use treenum::TreeNumber;

@@ -50,7 +50,7 @@ pub struct SynthConfig {
     /// Number of top-level categories (MeSH 2009 has 16: A–N, V, Z).
     pub top_categories: usize,
     /// Maximum tree depth, root excluded (MeSH: ~11).
-    pub max_depth: u16,
+    pub max_depth: u32,
     /// Fraction of descriptors that receive a second tree position, grafted
     /// under an unrelated parent (MeSH descriptors are frequently
     /// poly-hierarchical; this is what creates duplicate citations across
@@ -125,6 +125,32 @@ pub fn generate(cfg: &SynthConfig) -> Result<ConceptHierarchy, MeshError> {
     ConceptHierarchy::from_descriptors(&generate_descriptors(cfg))
 }
 
+/// A degenerate deep-narrow hierarchy: one chain of `levels` concept nodes
+/// under the root, node `i` (1-based) labeled `chain-i` and carrying
+/// `DescriptorId(i)`.
+///
+/// This is the adversarial shape for anything that recurses per hierarchy
+/// level — at 100k+ levels it overflows the default thread stack, which is
+/// why the navigation-tree embedding walks with an explicit work-stack
+/// (see the deep-chain regression tests in `bionav-core`). Built through
+/// the direct arena constructor: expressing a 100k-level chain as dotted
+/// tree-number strings would cost quadratic memory, so the nodes carry no
+/// tree number.
+pub fn deep_chain(levels: usize) -> ConceptHierarchy {
+    let mut labels = Vec::with_capacity(levels + 1);
+    let mut descriptors = Vec::with_capacity(levels + 1);
+    let mut parents = Vec::with_capacity(levels + 1);
+    labels.push("MeSH".to_string());
+    descriptors.push(None);
+    parents.push(None);
+    for i in 1..=levels {
+        labels.push(format!("chain-{i}"));
+        descriptors.push(Some(DescriptorId(i as u32)));
+        parents.push(Some((i - 1) as u32));
+    }
+    ConceptHierarchy::from_arena_parts(labels, descriptors, parents)
+}
+
 /// Recursively grows the subtree at `tn`, consuming `budget` nodes total
 /// (including the node at `tn` itself).
 #[allow(clippy::too_many_arguments)]
@@ -134,9 +160,9 @@ fn grow_subtree(
     out: &mut Vec<Descriptor>,
     next_id: &mut u32,
     tn: TreeNumber,
-    depth: u16,
+    depth: u32,
     budget: usize,
-    max_depth: u16,
+    max_depth: u32,
 ) {
     debug_assert!(budget >= 1);
     let id = DescriptorId(*next_id);
@@ -227,7 +253,7 @@ fn graft_extra_positions(rng: &mut StdRng, descriptors: &mut [Descriptor], cfg: 
     let hosts: Vec<TreeNumber> = descriptors
         .iter()
         .flat_map(|d| d.tree_numbers.iter())
-        .filter(|t| (t.depth() as u16) < cfg.max_depth)
+        .filter(|t| (t.depth() as u32) < cfg.max_depth)
         .cloned()
         .collect();
     if hosts.is_empty() {
@@ -448,6 +474,19 @@ mod tests {
         assert!(multi > 0, "extra_position_rate should yield poly-hierarchy");
         // And the result still builds strictly (all parents exist).
         ConceptHierarchy::from_descriptors(&descs).unwrap();
+    }
+
+    #[test]
+    fn deep_chain_is_a_single_spine() {
+        let h = deep_chain(1_000);
+        assert_eq!(h.len(), 1_001);
+        assert_eq!(h.max_depth(), 1_000);
+        assert_eq!(h.root().children().len(), 1);
+        let leaf = h.nodes_of(DescriptorId(1_000));
+        assert_eq!(leaf.len(), 1);
+        assert_eq!(h.node(leaf[0]).depth(), 1_000);
+        assert!(h.node(leaf[0]).is_leaf());
+        assert_eq!(h.node(leaf[0]).label(), "chain-1000");
     }
 
     #[test]

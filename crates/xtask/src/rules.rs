@@ -40,11 +40,13 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "hotpath-no-hashmap",
         summary: "no HashMap::new / HashSet::new / BTreeMap::new / slice .contains(&…) in the \
-                  edgecut hot path",
-        scope: "crates/core/src/edgecut/",
+                  edgecut hot path or the navigation-tree build",
+        scope: "crates/core/src/edgecut/ and crates/core/src/navtree.rs",
         rationale: "the EXPAND tail-latency work routes per-call state through the epoch-stamped \
-                    arenas in scratch.rs; ad-hoc maps and O(n) scans reintroduce the p99 regressions \
-                    PR 2 removed",
+                    arenas in scratch.rs, and the cold-path rebuild keeps the tree build on flat \
+                    sorted columns (hash iteration order is also nondeterministic, which would \
+                    break the build's bit-determinism); ad-hoc maps and O(n) scans reintroduce \
+                    the p99 regressions PRs 2 and 6 removed",
     },
     Rule {
         id: "lock-across-solve",
@@ -270,12 +272,21 @@ const ORDERING_VARIANTS: &[&str] = &[
 ];
 
 const HOTPATH_PATTERNS: &[(&str, &str)] = &[
-    ("HashMap::new(", "HashMap::new() in the edgecut hot path"),
-    ("HashSet::new(", "HashSet::new() in the edgecut hot path"),
-    ("BTreeMap::new(", "BTreeMap::new() in the edgecut hot path"),
+    (
+        "HashMap::new(",
+        "HashMap::new() in a latency-budgeted hot path",
+    ),
+    (
+        "HashSet::new(",
+        "HashSet::new() in a latency-budgeted hot path",
+    ),
+    (
+        "BTreeMap::new(",
+        "BTreeMap::new() in a latency-budgeted hot path",
+    ),
     (
         ".contains(&",
-        "O(n) .contains(&…) scan in the edgecut hot path",
+        "O(n) .contains(&…) scan in a latency-budgeted hot path",
     ),
 ];
 
@@ -330,7 +341,7 @@ fn is_bin(path: &str) -> bool {
 }
 
 /// Lint one source file. `path` is workspace-relative and drives scoping
-/// (bin exemption, edgecut hot path, crate-root detection) — fixture tests
+/// (bin exemption, hot-path regions, crate-root detection) — fixture tests
 /// pass virtual paths.
 pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
     let lines = lexer::split(src);
@@ -360,7 +371,10 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
     }
 
     let bin = is_bin(path);
-    let edgecut = path.contains("/edgecut/");
+    // The two latency-budgeted regions: the EXPAND hot path (edgecut) and
+    // the cold-open tree build (navtree), which is additionally required to
+    // be bit-deterministic — hash iteration order would break that too.
+    let hotpath = path.contains("/edgecut/") || path.ends_with("core/src/navtree.rs");
     // The trace module and the latency histograms are the two places that
     // legitimately read the raw clock; everything else goes through
     // trace::now_ns() so all timing shares one monotone epoch.
@@ -439,13 +453,15 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
         }
 
         // hotpath-no-hashmap ----------------------------------------------
-        if edgecut {
+        if hotpath {
             for (pat, what) in HOTPATH_PATTERNS {
                 if code.contains(pat) && !allows.allowed(i, "hotpath-no-hashmap") {
                     push(
                         i,
                         "hotpath-no-hashmap",
-                        format!("{what}; route through the scratch.rs arenas"),
+                        format!(
+                            "{what}; route through the scratch.rs arenas or flat sorted columns"
+                        ),
                     );
                 }
             }

@@ -96,18 +96,24 @@ fn atomic_ordering_fires_on_implicit_and_uncommented() {
 // ---------------------------------------------------------------------------
 
 #[test]
-fn hotpath_rule_is_scoped_to_edgecut() {
+fn hotpath_rule_is_scoped_to_edgecut_and_navtree() {
     let src = include_str!("../fixtures/hotpath.rs");
-    let hot = hits("crates/core/src/edgecut/fixture.rs", src);
+    let expected = vec![(6, "hotpath-no-hashmap"), (8, "hotpath-no-hashmap")];
     assert_eq!(
-        hot,
-        vec![(6, "hotpath-no-hashmap"), (8, "hotpath-no-hashmap")],
+        hits("crates/core/src/edgecut/fixture.rs", src),
+        expected,
         "HashMap::new and slice .contains(&…) must fire; contains_key and \
          the annotated scan must not"
     );
+    assert_eq!(
+        hits("crates/core/src/navtree.rs", src),
+        expected,
+        "the cold-open tree build is under the same budget (and must stay \
+         bit-deterministic), so the rule fires there too"
+    );
     assert!(
         hits("crates/core/src/session.rs", src).is_empty(),
-        "outside edgecut/ the same code is fine"
+        "outside the two hot-path regions the same code is fine"
     );
 }
 

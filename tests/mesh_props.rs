@@ -89,7 +89,7 @@ proptest! {
             let nodes = h.nodes_of(d.id);
             prop_assert_eq!(nodes.len(), 1);
             let node = h.node(nodes[0]);
-            prop_assert_eq!(usize::from(node.depth()), d.tree_numbers[0].depth());
+            prop_assert_eq!(node.depth() as usize, d.tree_numbers[0].depth());
         }
         // Pre-order visits every node exactly once.
         let visited: HashSet<_> = h.iter_preorder().collect();

@@ -53,6 +53,26 @@ impl Bencher {
         self.samples
             .push(total / u32::try_from(self.iters.max(1)).unwrap_or(u32::MAX));
     }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding the setup
+    /// cost from the sample (Criterion's `iter_batched` with per-iteration
+    /// batches). Use when the routine consumes state that is expensive to
+    /// construct — e.g. a cache-miss path that needs a fresh engine.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples
+            .push(total / u32::try_from(self.iters.max(1)).unwrap_or(u32::MAX));
+    }
 }
 
 /// A named collection of related benchmarks.

@@ -3,9 +3,11 @@
 //! ```text
 //! bench_guard BASELINE.json CURRENT.json [--factor F]
 //!             [--overhead-factor G] [--overhead-slack S]
+//!             [--sharded SWEEP.json] [--sharded-factor H]
+//! bench_guard --sharded SWEEP.json            # sharded gate alone
 //! ```
 //!
-//! Three gates:
+//! Four gates:
 //!
 //! * **Regression** — compares `stats.expand_p99_us` between the committed
 //!   baseline and a fresh `reproduce serve` run, exiting non-zero when the
@@ -20,6 +22,13 @@
 //!   microsecond scale a multiplicative bound alone is noise-dominated).
 //!   Note this gates the *enabled*-tracing cost; the dormant-site cost
 //!   (a single relaxed atomic load per span site) is bounded above by it.
+//! * **Shard scaling** (enabled by `--sharded`) — reads a fresh
+//!   `reproduce serve-sharded` sweep and requires the 4-shard tier to
+//!   deliver at least `H ×` the 1-shard sessions/sec (default 2.0).
+//!   Both figures come from the *same* file and machine, so the gate is
+//!   a self-relative scaling check — robust to host speed — and it keeps
+//!   the sharded tier from quietly collapsing back to a routing veneer
+//!   over one engine.
 //!
 //! Kept deliberately free of a JSON tree type: the vendored serde_json is
 //! serialize-first, so the fields we gate on are scanned out of the text.
@@ -53,6 +62,8 @@ fn main() -> ExitCode {
     let mut factor = 2.0f64;
     let mut overhead_factor: Option<f64> = None;
     let mut overhead_slack = 100.0f64;
+    let mut sharded: Option<String> = None;
+    let mut sharded_factor = 2.0f64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -86,14 +97,65 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--sharded" => {
+                i += 1;
+                sharded = match argv.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("error: --sharded needs a SWEEP.json path");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--sharded-factor" => {
+                i += 1;
+                sharded_factor = match argv.get(i).and_then(|v| v.parse().ok()) {
+                    Some(f) if f > 0.0 => f,
+                    _ => {
+                        eprintln!("error: --sharded-factor needs a positive number");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             other => paths.push(other.to_string()),
         }
         i += 1;
     }
+    // The shard-scaling gate is self-contained (both figures live in the
+    // sweep file), so it can run with or without the baseline/current pair.
+    if let Some(sweep) = &sharded {
+        let (s1, s4) = match (
+            load_field(sweep, "sharded_sessions_per_sec_1"),
+            load_field(sweep, "sharded_sessions_per_sec_4"),
+        ) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => {
+                for err in [a.err(), b.err()].into_iter().flatten() {
+                    eprintln!("error: {err}");
+                }
+                return ExitCode::from(2);
+            }
+        };
+        let sbound = s1 * sharded_factor;
+        println!(
+            "bench_guard: sharded sessions/sec — 1 shard {s1:.1}, 4 shards {s4:.1}, bound {sbound:.1} ({sharded_factor:.2}×)"
+        );
+        if s4 < sbound {
+            eprintln!(
+                "bench_guard: FAIL — the 4-shard tier delivers less than {sharded_factor:.2}× the 1-shard sessions/sec"
+            );
+            return ExitCode::FAILURE;
+        }
+        if paths.is_empty() {
+            println!("bench_guard: ok");
+            return ExitCode::SUCCESS;
+        }
+    }
     let [baseline, current] = paths.as_slice() else {
         eprintln!(
             "usage: bench_guard BASELINE.json CURRENT.json [--factor F] \
-             [--overhead-factor G] [--overhead-slack S]"
+             [--overhead-factor G] [--overhead-slack S] \
+             [--sharded SWEEP.json] [--sharded-factor H]"
         );
         return ExitCode::from(2);
     };
@@ -200,6 +262,30 @@ mod tests {
         assert_eq!(extract_number(doc, "untraced_expand_p99_us"), Some(100.5));
         assert_eq!(extract_number(doc, "traced_expand_p99_us"), Some(104.25));
         assert_eq!(extract_number(doc, "expand_p99_us"), Some(100.5));
+    }
+
+    #[test]
+    fn sharded_sweep_keys_scan_without_colliding() {
+        // BENCH_sharded.json carries a `sweep` array whose rows all hold a
+        // bare `sessions_per_sec`; the shard-suffixed flat keys must land
+        // on the top-level figures only.
+        let doc = r#"{
+            "sweep": [
+                { "shards": 1, "sessions_per_sec": 100.0 },
+                { "shards": 4, "sessions_per_sec": 250.0 }
+            ],
+            "sharded_sessions_per_sec_1": 100.0,
+            "sharded_sessions_per_sec_4": 250.0
+        }"#;
+        assert_eq!(
+            extract_number(doc, "sharded_sessions_per_sec_1"),
+            Some(100.0)
+        );
+        assert_eq!(
+            extract_number(doc, "sharded_sessions_per_sec_4"),
+            Some(250.0)
+        );
+        assert_eq!(extract_number(doc, "sharded_sessions_per_sec_8"), None);
     }
 
     #[test]

@@ -5,14 +5,20 @@
 //! reproduce [EXPERIMENT] [--scale S] [--k K]
 //!
 //! EXPERIMENT: all (default) | table1 | fig8 | fig9 | fig10 | fig11 | intro | multi | serve |
-//!             ablation-opt | ablation-k | ablation-expandcost | ablation-planner | ablation-reuse
+//!             serve-sharded | ablation-opt | ablation-k | ablation-expandcost |
+//!             ablation-planner | ablation-reuse
 //! --scale S:  workload scale, 0 < S ≤ 1 (default 1.0 = paper scale)
 //! --k K:      Heuristic-ReducedOpt partition budget (default 10)
 //! --crawled:  derive associations through the §VII crawl (deployed path)
 //! --workers W: serving-bench worker threads (default: available parallelism)
 //! --rounds R: serving-bench replays per query (default 3)
 //! --out PATH: where the serving bench writes its telemetry JSON
-//!             (default BENCH_serve.json)
+//!             (default BENCH_serve.json; BENCH_sharded.json for serve-sharded)
+//!
+//! `serve-sharded` sweeps the sharded tier at 1/2/4/8 shards and is the
+//! one experiment *not* included in `all`: the sweep replays the serving
+//! workload four times over, which would dominate the cheap CI pass. CI
+//! runs it explicitly in the bench-guard step.
 //! ```
 //!
 //! Exits non-zero when any shape check fails, so CI can gate on the
@@ -119,7 +125,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!(
-                "usage: reproduce [all|table1|fig8|fig9|fig10|fig11|intro|multi|serve|ablation-opt|ablation-k|ablation-expandcost|ablation-planner|ablation-reuse] [--scale S] [--k K] [--crawled] [--workers W] [--rounds R] [--out PATH]"
+                "usage: reproduce [all|table1|fig8|fig9|fig10|fig11|intro|multi|serve|serve-sharded|ablation-opt|ablation-k|ablation-expandcost|ablation-planner|ablation-reuse] [--scale S] [--k K] [--crawled] [--workers W] [--rounds R] [--out PATH]"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -205,6 +211,25 @@ fn main() -> ExitCode {
             workers,
             args.rounds,
             Some(std::path::Path::new(&args.out)),
+        ));
+    }
+    // Exact name only — see the module docs for why `all` skips it.
+    if args.experiment == "serve-sharded" {
+        let w = workload.as_ref().unwrap();
+        let workers = args
+            .workers
+            .unwrap_or_else(|| bionav_bench::default_workers(w.queries.len() * args.rounds));
+        let out = if args.out == "BENCH_serve.json" {
+            "BENCH_sharded.json".to_string()
+        } else {
+            args.out.clone()
+        };
+        checks.push(experiments::serve_sharded(
+            w,
+            &params,
+            workers,
+            args.rounds,
+            Some(std::path::Path::new(&out)),
         ));
     }
     if run("ablation-opt") {

@@ -814,30 +814,20 @@ pub struct ServeReport {
     pub queries: Vec<ServeQueryRow>,
 }
 
-/// The serving-layer benchmark: replays the Table I oracle navigations
-/// through the concurrent [`bionav_core::Engine`] — N worker threads, a
-/// shared LRU tree cache, one parked session per in-flight script — and
-/// checks the concurrency is *observably absent* from the results: every
-/// replay's cost equals the single-threaded session's, repeated queries hit
-/// the cache instead of rebuilding, and the telemetry (per-EXPAND
-/// p50/p95/p99, cache hit rate, sessions/sec) lands in `BENCH_serve.json`.
-pub fn serve(
+/// Sequential reference pass shared by the serving benches: each query's
+/// oracle TOPDOWN script (expand the component covering the target until
+/// the target is visible, then SHOWRESULTS) plus its single-threaded cost
+/// — the bit-identical anchor every concurrent replay is checked against.
+fn oracle_scripts(
     workload: &Workload,
     params: &CostParams,
-    workers: usize,
-    rounds: usize,
-    out: Option<&std::path::Path>,
-) -> ShapeCheck {
-    use bionav_core::engine::{Engine, ScriptOp};
+) -> (
+    Vec<(String, Vec<bionav_core::engine::ScriptOp>)>,
+    Vec<ServeQueryRow>,
+) {
+    use bionav_core::engine::ScriptOp;
     use bionav_core::session::Session;
-    use std::sync::Arc;
 
-    let mut check = ShapeCheck::new("serve");
-    let rounds = rounds.max(1);
-
-    // Sequential reference pass: generate each query's oracle TOPDOWN
-    // script (expand the component covering the target until the target is
-    // visible, then SHOWRESULTS) and record the single-threaded cost.
     let mut scripts: Vec<(String, Vec<ScriptOp>)> = Vec::new();
     let mut reference: Vec<ServeQueryRow> = Vec::new();
     for q in &workload.queries {
@@ -866,6 +856,29 @@ pub fn serve(
         });
         scripts.push((q.spec.keywords.clone(), script));
     }
+    (scripts, reference)
+}
+
+/// The serving-layer benchmark: replays the Table I oracle navigations
+/// through the concurrent [`bionav_core::Engine`] — N worker threads, a
+/// shared LRU tree cache, one parked session per in-flight script — and
+/// checks the concurrency is *observably absent* from the results: every
+/// replay's cost equals the single-threaded session's, repeated queries hit
+/// the cache instead of rebuilding, and the telemetry (per-EXPAND
+/// p50/p95/p99, cache hit rate, sessions/sec) lands in `BENCH_serve.json`.
+pub fn serve(
+    workload: &Workload,
+    params: &CostParams,
+    workers: usize,
+    rounds: usize,
+    out: Option<&std::path::Path>,
+) -> ShapeCheck {
+    use bionav_core::engine::{Engine, ScriptOp};
+    use std::sync::Arc;
+
+    let mut check = ShapeCheck::new("serve");
+    let rounds = rounds.max(1);
+    let (scripts, reference) = oracle_scripts(workload, params);
 
     // The engine resolves raw keyword queries through the workload's
     // ESearch stand-in; cache capacity holds the whole query set so later
@@ -1153,6 +1166,326 @@ pub fn serve(
         match std::fs::write(&prom_path, traced_engine.prometheus_text()) {
             Ok(()) => println!("wrote {}", prom_path.display()),
             Err(e) => println!("WARNING: could not write {}: {e}", prom_path.display()),
+        }
+    }
+
+    check.print();
+    check
+}
+
+/// Shard counts the scaling bench sweeps.
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Per-shard tree-cache capacity for the sweep. Held *constant across the
+/// sweep* — a shard is a fixed resource budget, and scaling out adds
+/// budget — so the tier's aggregate cache grows with the shard count. At
+/// one shard the ten Table I queries thrash a four-slot LRU (every open
+/// is a cold rebuild); by four shards the consistent-hash router splits
+/// the query set into per-shard working sets that fit, and opens become
+/// warm hits. That capacity multiplication is routing invariant 1 of
+/// [`bionav_core::ShardedEngine`], and it is hardware-independent — on a
+/// multi-core host the per-shard locks also stop contending, stacking a
+/// second speedup on top.
+const SHARD_CACHE_CAPACITY: usize = 4;
+
+/// Browse-only sessions (open, look at the roots, close — an empty
+/// script) per Table I query per round. Real serving traffic is mostly
+/// such short sessions; they are exactly the open/close churn the
+/// admission path serializes on, so they dominate the sessions/sec
+/// figure while the oracle scripts anchor correctness.
+const BROWSE_PER_QUERY: usize = 8;
+
+/// One sweep point of the shard-scaling bench.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ShardSweepRow {
+    /// Shard count of this point.
+    pub shards: usize,
+    /// Tier throughput over the measured window (merged stats).
+    pub sessions_per_sec: f64,
+    /// Merged EXPAND p99 (µs) across shards.
+    pub expand_p99_us: f64,
+    /// Merged open_session p99 (µs) across shards.
+    pub open_session_p99_us: f64,
+    /// Merged tree-cache hit rate — the mechanism behind the scaling.
+    pub cache_hit_rate: f64,
+    /// Cold tree rebuilds in the measured window.
+    pub cache_misses: u64,
+    /// Widest shard stats window (s).
+    pub elapsed_secs: f64,
+}
+
+/// `BENCH_sharded.json`: the sweep plus flat `sharded_*_N` keys so
+/// `bench_guard --sharded` can scan the gate inputs without a JSON tree
+/// type (same convention as [`ServeReport`]'s top-level duplicates).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)] // field names are the wire format; the row docs cover them
+pub struct ShardedServeReport {
+    pub workers: usize,
+    pub rounds: usize,
+    pub browse_per_query: usize,
+    pub cache_capacity_per_shard: usize,
+    pub jobs_per_point: usize,
+    pub sweep: Vec<ShardSweepRow>,
+    pub sharded_sessions_per_sec_1: f64,
+    pub sharded_sessions_per_sec_2: f64,
+    pub sharded_sessions_per_sec_4: f64,
+    pub sharded_sessions_per_sec_8: f64,
+    pub sharded_expand_p99_us_1: f64,
+    pub sharded_expand_p99_us_2: f64,
+    pub sharded_expand_p99_us_4: f64,
+    pub sharded_expand_p99_us_8: f64,
+    pub sharded_open_session_p99_us_1: f64,
+    pub sharded_open_session_p99_us_2: f64,
+    pub sharded_open_session_p99_us_4: f64,
+    pub sharded_open_session_p99_us_8: f64,
+    pub sharded_speedup_4_over_1: f64,
+}
+
+/// The shard-scaling bench: the same churn-heavy serving workload
+/// (oracle navigations + browse-only sessions over the Table I queries)
+/// replayed through [`bionav_core::ShardedEngine`] tiers of 1, 2, 4, and
+/// 8 shards at a **fixed total worker count** and a **fixed per-shard
+/// cache budget** ([`SHARD_CACHE_CAPACITY`]). Each point warms the tier,
+/// resets telemetry, then measures one replay window; the merged
+/// sessions/sec per point lands in `BENCH_sharded.json`, where CI's
+/// `bench_guard --sharded` gates 4-shard ≥ 2× 1-shard. Correctness is
+/// checked the same way `serve` does: every oracle replay's cost is
+/// bit-identical to the sequential session, at every shard count.
+pub fn serve_sharded(
+    workload: &Workload,
+    params: &CostParams,
+    workers: usize,
+    rounds: usize,
+    out: Option<&std::path::Path>,
+) -> ShapeCheck {
+    use bionav_core::engine::{Engine, ScriptOp};
+    use bionav_core::ShardedEngine;
+    use std::sync::Arc;
+
+    let mut check = ShapeCheck::new("serve-sharded");
+    let rounds = rounds.max(1);
+    let workers = workers.max(1);
+    let (scripts, reference) = oracle_scripts(workload, params);
+
+    // Round-robin job tape: per round, every query's oracle script once,
+    // then BROWSE_PER_QUERY browse waves cycling across the queries — the
+    // cyclic access pattern is the worst case for an undersized LRU, and
+    // it is what a population of users issuing the whole query mix looks
+    // like to the tier.
+    let mut jobs: Vec<(String, Vec<ScriptOp>)> = Vec::new();
+    for _ in 0..rounds {
+        for (query, script) in &scripts {
+            jobs.push((query.clone(), script.clone()));
+        }
+        for _ in 0..BROWSE_PER_QUERY {
+            for (query, _) in &scripts {
+                jobs.push((query.clone(), Vec::new()));
+            }
+        }
+    }
+    let per_round = scripts.len() * (1 + BROWSE_PER_QUERY);
+    let oracle_row = |i: usize| -> Option<&ServeQueryRow> {
+        let in_round = i % per_round;
+        (in_round < reference.len()).then(|| &reference[in_round])
+    };
+
+    let mut t = Table::new(
+        format!(
+            "Shard scaling — {} total workers, {} jobs/point ({} oracle + {} browse per round × {} rounds)",
+            workers,
+            jobs.len(),
+            scripts.len(),
+            scripts.len() * BROWSE_PER_QUERY,
+            rounds,
+        ),
+        &[
+            "shards",
+            "sessions/sec",
+            "speedup",
+            "hit rate",
+            "cold builds",
+            "EXPAND p99 (µs)",
+            "open p99 (µs)",
+        ],
+    );
+
+    let mut sweep: Vec<ShardSweepRow> = Vec::new();
+    let mut all_completed = true;
+    let mut all_match = true;
+    let mut clean = true;
+    let mut tiled = true;
+    let mut prom_4 = None;
+    for &n_shards in &SHARD_SWEEP {
+        let sharded = ShardedEngine::new(n_shards, |_| {
+            Engine::new(
+                |query: &str| {
+                    let outcome = workload.index.query(query);
+                    if outcome.citations.is_empty() {
+                        return None;
+                    }
+                    Some(Arc::new(NavigationTree::build(
+                        &workload.hierarchy,
+                        &workload.store,
+                        &outcome.citations,
+                    )))
+                },
+                params.clone(),
+                SHARD_CACHE_CAPACITY,
+            )
+        });
+
+        // Warm pass (one browse per distinct query): whatever fits each
+        // shard's budget is cached before the window opens, so the sweep
+        // compares steady states, not first-touch effects.
+        let warm: Vec<(String, Vec<ScriptOp>)> = scripts
+            .iter()
+            .map(|(q, _)| (q.clone(), Vec::new()))
+            .collect();
+        for outcome in sharded.replay(&warm, workers) {
+            all_completed &= outcome.is_ok();
+        }
+        sharded.reset_stats();
+
+        let outcomes = sharded.replay(&jobs, workers);
+        let stats = sharded.stats();
+
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                Ok(o) => match oracle_row(i) {
+                    Some(expected) => {
+                        all_match &= o.cost.expands == expected.expands
+                            && o.cost.interaction_cost() == expected.interaction_cost
+                            && o.cost.total_cost() == expected.total_cost;
+                    }
+                    None => all_match &= o.cost.expands == 0,
+                },
+                Err(_) => all_completed = false,
+            }
+        }
+        tiled &= stats.sessions_opened == jobs.len() as u64
+            && stats.sessions_closed == stats.sessions_opened
+            && stats.sessions_active == 0;
+        clean &= stats.degraded_expands == 0
+            && stats.shed_expands == 0
+            && stats.session_panics == 0
+            && stats.sessions_quarantined == 0;
+
+        let open_p99 = stats
+            .stages
+            .iter()
+            .find(|s| s.stage == "open_session")
+            .map_or(0.0, |s| s.p99_us);
+        let row = ShardSweepRow {
+            shards: n_shards,
+            sessions_per_sec: stats.sessions_per_sec,
+            expand_p99_us: stats.expand_p99_us,
+            open_session_p99_us: open_p99,
+            cache_hit_rate: stats.cache_hit_rate,
+            cache_misses: stats.cache_misses,
+            elapsed_secs: stats.elapsed_secs,
+        };
+        t.row(vec![
+            n_shards.to_string(),
+            format!("{:.1}", row.sessions_per_sec),
+            format!(
+                "{:.2}×",
+                row.sessions_per_sec
+                    / sweep
+                        .first()
+                        .map_or(row.sessions_per_sec, |f: &ShardSweepRow| f.sessions_per_sec)
+            ),
+            format!("{:.3}", row.cache_hit_rate),
+            row.cache_misses.to_string(),
+            format!("{:.1}", row.expand_p99_us),
+            format!("{:.1}", row.open_session_p99_us),
+        ]);
+        if n_shards == 4 {
+            prom_4 = Some(sharded.prometheus_text());
+        }
+        sweep.push(row);
+    }
+    t.print();
+
+    let point = |n: usize| -> &ShardSweepRow {
+        sweep
+            .iter()
+            .find(|r| r.shards == n)
+            .expect("sweep covers 1, 2, 4, 8")
+    };
+    let speedup = point(4).sessions_per_sec / point(1).sessions_per_sec.max(f64::MIN_POSITIVE);
+
+    check.assert(
+        "every replay job completed at every shard count",
+        all_completed,
+    );
+    check.assert(
+        "oracle replay costs are bit-identical to the sequential session at every shard count",
+        all_match,
+    );
+    check.assert(
+        "sessions tile at every point (opened = closed = jobs, none left active)",
+        tiled,
+    );
+    check.assert(
+        "clean path: nothing degraded, shed, panicked, or quarantined",
+        clean,
+    );
+    check.assert(
+        format!(
+            "one shard thrashes its cache budget ({} cold builds, hit rate {:.3})",
+            point(1).cache_misses,
+            point(1).cache_hit_rate
+        ),
+        point(1).cache_misses > 0,
+    );
+    check.assert(
+        format!(
+            "four shards turn the working set warm (hit rate {:.3} vs {:.3})",
+            point(4).cache_hit_rate,
+            point(1).cache_hit_rate
+        ),
+        point(4).cache_hit_rate > point(1).cache_hit_rate,
+    );
+    check.assert(
+        format!("the tier scales ({speedup:.2}× sessions/sec at 4 shards vs 1)"),
+        speedup > 1.0,
+    );
+
+    if let Some(path) = out {
+        let report = ShardedServeReport {
+            workers,
+            rounds,
+            browse_per_query: BROWSE_PER_QUERY,
+            cache_capacity_per_shard: SHARD_CACHE_CAPACITY,
+            jobs_per_point: jobs.len(),
+            sharded_sessions_per_sec_1: point(1).sessions_per_sec,
+            sharded_sessions_per_sec_2: point(2).sessions_per_sec,
+            sharded_sessions_per_sec_4: point(4).sessions_per_sec,
+            sharded_sessions_per_sec_8: point(8).sessions_per_sec,
+            sharded_expand_p99_us_1: point(1).expand_p99_us,
+            sharded_expand_p99_us_2: point(2).expand_p99_us,
+            sharded_expand_p99_us_4: point(4).expand_p99_us,
+            sharded_expand_p99_us_8: point(8).expand_p99_us,
+            sharded_open_session_p99_us_1: point(1).open_session_p99_us,
+            sharded_open_session_p99_us_2: point(2).open_session_p99_us,
+            sharded_open_session_p99_us_4: point(4).open_session_p99_us,
+            sharded_open_session_p99_us_8: point(8).open_session_p99_us,
+            sharded_speedup_4_over_1: speedup,
+            sweep,
+        };
+        match crate::report::write_json(path, &report) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => println!("\nWARNING: could not write {}: {e}", path.display()),
+        }
+        // Observability artifact: the 4-shard point's Prometheus
+        // exposition, one shard="i"-labeled series set per shard (CI's
+        // observability smoke greps the labels).
+        if let Some(prom) = prom_4 {
+            let prom_path = path.with_extension("prom");
+            match std::fs::write(&prom_path, prom) {
+                Ok(()) => println!("wrote {}", prom_path.display()),
+                Err(e) => println!("WARNING: could not write {}: {e}", prom_path.display()),
+            }
         }
     }
 

@@ -25,6 +25,7 @@
 
 pub mod dataset;
 mod repl;
+pub mod serve;
 
 pub use dataset::Dataset;
-pub use repl::{Repl, Response};
+pub use repl::{sharded_engine, Repl, ReplBuilder, Response};

@@ -14,9 +14,9 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use bionav_core::engine::{Engine, SessionId, SharedTree};
+use bionav_core::engine::{Engine, SharedTree};
 use bionav_core::session::SessionState;
-use bionav_core::{CostParams, NavNodeId, NavigationTree};
+use bionav_core::{CostParams, NavNodeId, NavigationTree, ShardSessionId, ShardedEngine};
 
 use crate::Dataset;
 
@@ -33,7 +33,7 @@ struct SavedSession {
 /// plus the numbering of the last rendered listing.
 struct NavState {
     keywords: String,
-    id: SessionId,
+    id: ShardSessionId,
     /// The numbering used by the last rendered listing: index `i` shown to
     /// the user as `#(i+1)`.
     numbered: Vec<NavNodeId>,
@@ -59,20 +59,19 @@ impl Response {
 }
 
 /// The navigation-tree builder the REPL's engine uses.
-type ReplBuilder = Box<dyn Fn(&str) -> Option<SharedTree> + Send + Sync>;
+pub type ReplBuilder = Box<dyn Fn(&str) -> Option<SharedTree> + Send + Sync>;
 
-/// The interactive navigation loop over one [`Dataset`].
-pub struct Repl {
-    dataset: Arc<Dataset>,
-    state: Option<NavState>,
-    engine: Engine<ReplBuilder>,
-}
-
-impl Repl {
-    /// Creates a REPL over a dataset.
-    pub fn new(dataset: Dataset, params: CostParams) -> Self {
-        let dataset = Arc::new(dataset);
-        let data = Arc::clone(&dataset);
+/// Builds the sharded serving tier every front end (REPL and `serve`)
+/// navigates through: `n_shards` engines, each with its own tree builder
+/// over the shared dataset and a per-shard cache of `cache_capacity`.
+pub fn sharded_engine(
+    dataset: &Arc<Dataset>,
+    params: CostParams,
+    n_shards: usize,
+    cache_capacity: usize,
+) -> ShardedEngine<ReplBuilder> {
+    ShardedEngine::new(n_shards, |_| {
+        let data = Arc::clone(dataset);
         let builder: ReplBuilder = Box::new(move |query: &str| {
             let outcome = data.index.query(query);
             if outcome.is_empty() {
@@ -84,8 +83,30 @@ impl Repl {
                 &outcome.citations,
             )))
         });
+        Engine::new(builder, params.clone(), cache_capacity)
+    })
+}
+
+/// The interactive navigation loop over one [`Dataset`].
+pub struct Repl {
+    dataset: Arc<Dataset>,
+    state: Option<NavState>,
+    engine: ShardedEngine<ReplBuilder>,
+}
+
+impl Repl {
+    /// Creates a REPL over a dataset (a single-shard serving tier — the
+    /// interactive loop has one user).
+    pub fn new(dataset: Dataset, params: CostParams) -> Self {
+        Repl::with_shards(dataset, params, 1)
+    }
+
+    /// Creates a REPL over an `n_shards` serving tier (what `serve-stats
+    /// --shards` inspects; the TCP server uses the same constructor path).
+    pub fn with_shards(dataset: Dataset, params: CostParams, n_shards: usize) -> Self {
+        let dataset = Arc::new(dataset);
         Repl {
-            engine: Engine::new(builder, params, 8),
+            engine: sharded_engine(&dataset, params, n_shards, 8),
             dataset,
             state: None,
         }
@@ -130,7 +151,7 @@ impl Repl {
             "save" => Response::Text(self.cmd_save(rest)),
             "load" => Response::Text(self.cmd_load(rest)),
             "serve-stats" | "stats" => Response::Text(self.cmd_serve_stats(rest)),
-            "serve-reset" => Response::Text(self.cmd_serve_reset()),
+            "serve-reset" => Response::Text(self.cmd_serve_reset(rest)),
             "trace" => Response::Text(self.cmd_trace(rest)),
             other => Response::Text(format!("unknown command {other:?}; type `help`\n")),
         }
@@ -480,8 +501,11 @@ impl Repl {
                 };
             }
             "--prom" => return self.engine.prometheus_text(),
+            "--shards" => return self.render_shard_table(),
             "" => {}
-            other => return format!("usage: serve-stats [--json|--prom] (got {other:?})\n"),
+            other => {
+                return format!("usage: serve-stats [--json|--prom|--shards] (got {other:?})\n")
+            }
         }
         let st = self.engine.stats();
         let mut out = format!(
@@ -566,12 +590,61 @@ impl Repl {
         }
     }
 
+    /// One row per shard of the serving tier: cache behaviour, session
+    /// counts, EXPAND latency, and fault-plane counters, side by side so a
+    /// hot or sick shard stands out (the merged view hides skew).
+    fn render_shard_table(&self) -> String {
+        let mut out = format!(
+            "per-shard serving telemetry ({} shards)\n\
+             shard   cache(hit/miss)  sessions(open/active)  expands    p99 µs  deg  shed  quar\n",
+            self.engine.shard_count()
+        );
+        for shard in 0..self.engine.shard_count() {
+            let st = self.engine.shard_stats(shard);
+            let _ = writeln!(
+                out,
+                "{shard:>5}   {:>7}/{:<7}  {:>10}/{:<10}  {:>7}  {:>8.0}  {:>3}  {:>4}  {:>4}",
+                st.cache_hits,
+                st.cache_misses,
+                st.sessions_opened,
+                st.sessions_active,
+                st.expand_count,
+                st.expand_p99_us,
+                st.degraded_expands,
+                st.shed_expands,
+                st.sessions_quarantined,
+            );
+        }
+        out
+    }
+
     /// Resets the engine's telemetry window (histogram, cache counters,
-    /// session tallies, wall clock). Cached trees and the live session
-    /// survive — only the statistics restart.
-    fn cmd_serve_reset(&self) -> String {
-        self.engine.reset_stats();
-        "serving telemetry reset (cached trees and live sessions kept)\n".to_string()
+    /// session tallies, wall clock) — tier-wide, or one shard with
+    /// `--shard N`. Cached trees and the live session survive — only the
+    /// statistics restart.
+    fn cmd_serve_reset(&self, rest: &str) -> String {
+        match rest {
+            "" => {
+                self.engine.reset_stats();
+                "serving telemetry reset (cached trees and live sessions kept)\n".to_string()
+            }
+            _ => match rest
+                .strip_prefix("--shard")
+                .map(str::trim)
+                .and_then(|n| n.parse::<usize>().ok())
+            {
+                Some(shard) if shard < self.engine.shard_count() => {
+                    self.engine.reset_shard_stats(shard);
+                    format!("shard {shard} telemetry reset\n")
+                }
+                Some(shard) => format!(
+                    "no shard {shard}; the tier has {} (0..{})\n",
+                    self.engine.shard_count(),
+                    self.engine.shard_count() - 1
+                ),
+                None => format!("usage: serve-reset [--shard N] (got {rest:?})\n"),
+            },
+        }
     }
 }
 
@@ -592,10 +665,12 @@ commands:
   load <file>        restore a saved navigation over this dataset
   serve-stats        engine telemetry: cache hit rate, EXPAND latency, stages
   serve-stats --json machine-readable telemetry (one JSON document)
-  serve-stats --prom Prometheus text exposition of the telemetry
+  serve-stats --prom Prometheus text exposition (per-shard labeled series)
+  serve-stats --shards  one telemetry row per shard of the serving tier
   trace on|off       toggle span tracing into the fixed-memory event ring
   trace dump <file>  write the ring as Chrome trace-event JSON (Perfetto)
   serve-reset        restart the telemetry window (keeps trees and sessions)
+  serve-reset --shard N  restart one shard's telemetry window
   help               this text
   quit               leave
 ";
@@ -818,7 +893,7 @@ mod tests {
             "{prom}"
         );
         assert!(
-            prom.contains("bionav_stage_latency_seconds_count{stage=\"expand\"} 1"),
+            prom.contains("bionav_stage_latency_seconds_count{shard=\"0\",stage=\"expand\"} 1"),
             "{prom}"
         );
 
@@ -871,6 +946,45 @@ mod tests {
         assert!(out.contains("0 opened, 0 closed, 1 active"), "{out}");
         // The live session keeps serving after the reset.
         assert!(!r.handle("ls").text().contains("unknown"));
+    }
+
+    #[test]
+    fn serve_stats_shards_table_and_per_shard_reset() {
+        let mut r = Repl::with_shards(Dataset::demo(7, 250), CostParams::default(), 3);
+        let q = query_of(&r);
+        r.handle(&format!("query {q}"));
+        r.handle("expand 1");
+        let table = r.handle("serve-stats --shards").text().to_string();
+        assert!(table.contains("3 shards"), "{table}");
+        // One row per shard, and exactly one shard did the work.
+        for shard in 0..3 {
+            assert!(
+                table
+                    .lines()
+                    .any(|l| l.trim_start().starts_with(&shard.to_string())),
+                "{table}"
+            );
+        }
+        let home = r.state.as_ref().expect("query opened").id.shard();
+        assert_eq!(r.engine.shard_stats(home).sessions_opened, 1);
+
+        // Resetting a *different* shard leaves the busy shard's telemetry.
+        let other = (home + 1) % 3;
+        let out = r
+            .handle(&format!("serve-reset --shard {other}"))
+            .text()
+            .to_string();
+        assert!(out.contains(&format!("shard {other}")), "{out}");
+        assert_eq!(r.engine.shard_stats(home).sessions_opened, 1);
+        // Out-of-range and garbage arguments are reported, not panicked on.
+        assert!(r
+            .handle("serve-reset --shard 99")
+            .text()
+            .contains("no shard 99"));
+        assert!(r.handle("serve-reset sideways").text().contains("usage"));
+        // Resetting the busy shard clears it.
+        r.handle(&format!("serve-reset --shard {home}"));
+        assert_eq!(r.engine.shard_stats(home).sessions_opened, 0);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The blocking TCP front end over the sharded serving tier.
+//!
+//! All protocol logic lives in `bionav-proto`'s sans-IO [`Conn`] state
+//! machine; this module is the thin transport shim the ISSUE 7 design
+//! calls for — read bytes, feed the state machine, apply requests to the
+//! [`ShardedEngine`], write whatever bytes the machine queued. One thread
+//! per connection (the tier itself is the concurrency story; a connection
+//! is a cheap blocking reader).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use bionav_core::{NavNodeId, ShardSessionId, ShardedEngine};
+use bionav_proto::{Conn, Event, Reply, Request, WireNode};
+
+use crate::repl::ReplBuilder;
+use crate::Dataset;
+
+/// The serving tier a connection handler talks to.
+pub type ServeEngine = ShardedEngine<ReplBuilder>;
+
+/// Accepts connections forever, one handler thread each. The bound
+/// address is already printed by the caller (so tests can bind port 0 and
+/// read the real port); this function only returns on an accept error.
+pub fn serve(listener: TcpListener, engine: Arc<ServeEngine>, dataset: Arc<Dataset>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let engine = Arc::clone(&engine);
+                let dataset = Arc::clone(&dataset);
+                std::thread::spawn(move || handle_connection(stream, &engine, &dataset));
+            }
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Drives one connection to EOF or a fatal protocol error. Every decoded
+/// request gets exactly one reply, in order; malformed frames get a
+/// [`Reply::Error`] and the connection keeps going (the framing layer
+/// already resynchronized past them).
+fn handle_connection(mut stream: TcpStream, engine: &ServeEngine, dataset: &Dataset) {
+    let mut conn = Conn::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return, // EOF or torn transport
+            Ok(n) => n,
+        };
+        let events = match conn.feed_bytes(&buf[..n]) {
+            Ok(events) => events,
+            Err(_) => return, // oversized frame: the prefix can't be trusted
+        };
+        for event in events {
+            let reply = match event {
+                Event::Request(req) => apply(req, engine, dataset),
+                Event::Malformed(msg) => Reply::Error { message: msg },
+            };
+            conn.enqueue_reply(&reply);
+        }
+        if conn.outbound_len() > 0 && stream.write_all(&conn.take_outbound()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Applies one request to the tier and renders the reply.
+fn apply(req: Request, engine: &ServeEngine, dataset: &Dataset) -> Reply {
+    match req {
+        Request::Open { query } => match engine.open_session(&query) {
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
+            Ok(id) => {
+                let roots = engine
+                    .with_session(id, |s| {
+                        s.visualize()
+                            .iter()
+                            .map(|v| WireNode {
+                                node: v.node.0,
+                                label: s.nav().label(v.node).to_string(),
+                                count: u64::from(v.component_distinct),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Reply::Opened {
+                    session: id.to_bits(),
+                    roots,
+                }
+            }
+        },
+        Request::Expand { session, node } => {
+            let id = ShardSessionId::from_bits(session);
+            match engine.expand(id, NavNodeId(node)) {
+                Err(e) => Reply::Error {
+                    message: e.to_string(),
+                },
+                Ok(reply) => {
+                    let revealed = engine
+                        .with_session(id, |s| {
+                            reply
+                                .revealed
+                                .iter()
+                                .map(|&n| WireNode {
+                                    node: n.0,
+                                    label: s.nav().label(n).to_string(),
+                                    count: u64::from(s.component_distinct(n)),
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    Reply::Expanded {
+                        revealed,
+                        degraded: reply.degraded.is_some(),
+                    }
+                }
+            }
+        }
+        Request::ShowResults { session, node } => {
+            let id = ShardSessionId::from_bits(session);
+            match engine.with_session(id, |s| s.show_results(NavNodeId(node))) {
+                None => Reply::Error {
+                    message: format!("unknown session {id}"),
+                },
+                Some(Err(e)) => Reply::Error {
+                    message: e.to_string(),
+                },
+                Some(Ok(ids)) => Reply::Results {
+                    citations: ids.into_iter().map(|c| u64::from(c.0)).collect(),
+                },
+            }
+        }
+        Request::Close { session } => {
+            match engine.close_session(ShardSessionId::from_bits(session)) {
+                Ok(_) => Reply::Closed,
+                Err(e) => Reply::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Stats => match engine.stats().to_json() {
+            Ok(json) => Reply::Stats { json },
+            Err(e) => Reply::Error {
+                message: format!("stats serialization failed: {e}"),
+            },
+        },
+        Request::Prom => {
+            // The dataset is unused by the pure telemetry verbs, but the
+            // handler keeps it so citation-enriching verbs (titles in
+            // SHOWRESULTS replies, say) slot in without a signature change.
+            let _ = dataset;
+            Reply::Prom {
+                text: engine.prometheus_text(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repl::sharded_engine;
+    use bionav_core::CostParams;
+
+    fn tier() -> (Arc<ServeEngine>, Arc<Dataset>, String) {
+        let dataset = Arc::new(Dataset::demo(7, 250));
+        let query = dataset.suggestion.clone().expect("demo suggests a query");
+        let engine = Arc::new(sharded_engine(&dataset, CostParams::default(), 2, 8));
+        (engine, dataset, query)
+    }
+
+    /// The handler logic is sans-IO testable too: apply requests directly,
+    /// no socket anywhere.
+    #[test]
+    fn apply_covers_the_full_session_verbs() {
+        let (engine, dataset, query) = tier();
+        let opened = apply(
+            Request::Open {
+                query: query.clone(),
+            },
+            &engine,
+            &dataset,
+        );
+        let Reply::Opened { session, roots } = opened else {
+            panic!("expected Opened, got {opened:?}");
+        };
+        assert!(!roots.is_empty());
+        let root = roots[0].node;
+
+        let expanded = apply(
+            Request::Expand {
+                session,
+                node: root,
+            },
+            &engine,
+            &dataset,
+        );
+        let Reply::Expanded { revealed, .. } = expanded else {
+            panic!("expected Expanded, got {expanded:?}");
+        };
+        assert!(!revealed.is_empty());
+
+        let shown = apply(
+            Request::ShowResults {
+                session,
+                node: revealed[0].node,
+            },
+            &engine,
+            &dataset,
+        );
+        assert!(matches!(shown, Reply::Results { ref citations } if !citations.is_empty()));
+
+        let stats = apply(Request::Stats, &engine, &dataset);
+        assert!(matches!(stats, Reply::Stats { ref json } if json.contains("sessions_opened")));
+        let prom = apply(Request::Prom, &engine, &dataset);
+        assert!(matches!(prom, Reply::Prom { ref text } if text.contains("shard=\"1\"")));
+
+        assert_eq!(
+            apply(Request::Close { session }, &engine, &dataset),
+            Reply::Closed
+        );
+        // Closing again, forged ids, bad queries: typed errors, not panics.
+        assert!(matches!(
+            apply(Request::Close { session }, &engine, &dataset),
+            Reply::Error { .. }
+        ));
+        assert!(matches!(
+            apply(
+                Request::Expand {
+                    session: u64::MAX,
+                    node: 0
+                },
+                &engine,
+                &dataset
+            ),
+            Reply::Error { .. }
+        ));
+        assert!(matches!(
+            apply(
+                Request::Open {
+                    query: "zzzznonexistenttoken".into()
+                },
+                &engine,
+                &dataset
+            ),
+            Reply::Error { .. }
+        ));
+    }
+}

@@ -56,3 +56,143 @@ fn help_flag_exits_zero() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+/// End-to-end over a real socket: spawn `bionav serve` on port 0, read the
+/// bound address off stdout, then drive a full Open → Expand →
+/// ShowResults → Stats → Prom → Close exchange through the length-prefixed
+/// wire protocol with the proto crate's client-side reply reader.
+#[test]
+fn serve_speaks_the_wire_protocol_end_to_end() {
+    use bionav_proto::{encode_request, Reply, ReplyReader, Request};
+    use std::io::{BufRead, BufReader, Read};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bionav"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--shards", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let stdout = child.stdout.take().expect("piped");
+    let mut lines = BufReader::new(stdout);
+    let mut banner = String::new();
+    lines
+        .read_line(&mut banner)
+        .expect("server announces its address");
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.contains(':'))
+        .expect("banner names HOST:PORT")
+        .to_string();
+    assert!(banner.contains("2 shards"), "{banner}");
+    let mut suggest = String::new();
+    lines
+        .read_line(&mut suggest)
+        .expect("server suggests a query");
+    let query = suggest
+        .trim()
+        .strip_prefix("suggest: ")
+        .expect("suggestion line")
+        .to_string();
+    assert!(!query.is_empty(), "{suggest}");
+
+    let run = || -> Result<(), String> {
+        let mut stream =
+            std::net::TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        let mut reader = ReplyReader::new();
+        let mut next_reply = |stream: &mut std::net::TcpStream,
+                              req: &Request|
+         -> Result<Reply, String> {
+            Write::write_all(stream, &encode_request(req)).map_err(|e| format!("write: {e}"))?;
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = stream.read(&mut buf).map_err(|e| format!("read: {e}"))?;
+                if n == 0 {
+                    return Err("server hung up".to_string());
+                }
+                let mut replies = reader.feed_bytes(&buf[..n]).map_err(|e| e.to_string())?;
+                if let Some(reply) = replies.pop() {
+                    return Ok(reply);
+                }
+            }
+        };
+
+        // The demo dataset suggests queries over its synthetic labels; any
+        // root expansion works, so open with a label the MeSH root always
+        // has: ask the server for stats first to learn nothing is open.
+        let Reply::Stats { json } = next_reply(&mut stream, &Request::Stats)? else {
+            return Err("expected Stats".to_string());
+        };
+        if !json.contains("\"sessions_opened\"") {
+            return Err(format!("stats JSON missing fields: {json}"));
+        }
+
+        // An Open for a nonsense query is a typed error, not a hangup.
+        let bad = next_reply(
+            &mut stream,
+            &Request::Open {
+                query: "zzzznope".into(),
+            },
+        )?;
+        if !matches!(bad, Reply::Error { .. }) {
+            return Err(format!("expected Error, got {bad:?}"));
+        }
+
+        let opened = next_reply(
+            &mut stream,
+            &Request::Open {
+                query: query.clone(),
+            },
+        )?;
+        let Reply::Opened { session, roots } = opened else {
+            return Err(format!("expected Opened for {query:?}, got {opened:?}"));
+        };
+        if roots.is_empty() {
+            return Err("opened with no visible roots".to_string());
+        }
+
+        let expanded = next_reply(
+            &mut stream,
+            &Request::Expand {
+                session,
+                node: roots[0].node,
+            },
+        )?;
+        let Reply::Expanded { revealed, .. } = expanded else {
+            return Err(format!("expected Expanded, got {expanded:?}"));
+        };
+        if let Some(first) = revealed.first() {
+            let shown = next_reply(
+                &mut stream,
+                &Request::ShowResults {
+                    session,
+                    node: first.node,
+                },
+            )?;
+            if !matches!(shown, Reply::Results { ref citations } if !citations.is_empty()) {
+                return Err(format!("expected Results, got {shown:?}"));
+            }
+        }
+
+        let prom = next_reply(&mut stream, &Request::Prom)?;
+        let Reply::Prom { text } = prom else {
+            return Err("expected Prom".to_string());
+        };
+        if !text.contains("shard=\"0\"") || !text.contains("shard=\"1\"") {
+            return Err(format!("prom exposition missing shard labels: {text}"));
+        }
+
+        let closed = next_reply(&mut stream, &Request::Close { session })?;
+        if closed != Reply::Closed {
+            return Err(format!("expected Closed, got {closed:?}"));
+        }
+        Ok(())
+    };
+
+    let outcome = run();
+    child.kill().ok();
+    child.wait().ok();
+    outcome.expect("wire exchange succeeds");
+}

@@ -232,6 +232,21 @@ type SessionAndCuts = (Arc<Mutex<Session<SharedTree>>>, Arc<CutCache>);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId(u64);
 
+impl SessionId {
+    /// The raw table key. Crate-internal: [`crate::shard`] packs it with a
+    /// shard index into a [`crate::shard::ShardSessionId`].
+    pub(crate) fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`SessionId::to_raw`] bits. Crate-internal;
+    /// a forged id is harmless (the table lookup returns
+    /// [`EngineError::UnknownSession`]).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+}
+
 /// One step of a replayable navigation script.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScriptOp {
@@ -524,6 +539,23 @@ impl TreeCache {
     }
 }
 
+/// Lock-free shard-health signals (relaxed atomic reads, no locks) used by
+/// the [`crate::shard`] router to bias cold opens away from sick shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// EXPANDs answered by any degradation-ladder rung since the last
+    /// stats-window reset.
+    pub degraded_expands: u64,
+    /// EXPANDs refused by the admission gate since the last reset.
+    pub shed_expands: u64,
+    /// Session operations that panicked and were caught since the last
+    /// reset.
+    pub session_panics: u64,
+    /// Poisoned sessions currently parked in the table (a live gauge, not
+    /// window-reset).
+    pub sessions_quarantined: usize,
+}
+
 /// Serving telemetry snapshot; serializes into `BENCH_serve.json`.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ServeStats {
@@ -672,6 +704,11 @@ where
     session_panics: AtomicU64,
     /// Parked sessions currently poisoned (gauge; decremented on drain).
     sessions_quarantined: AtomicUsize,
+    /// Shard index for fault-plane scoping (`u64::MAX` = untagged, the
+    /// standalone-engine default). A [`crate::shard::ShardedEngine`] tags
+    /// each member at construction so [`crate::fault::FaultPlan::only_shard`]
+    /// plans can storm one shard in isolation.
+    fault_shard: u64,
 }
 
 impl<B> Engine<B>
@@ -703,7 +740,23 @@ where
             degraded_static: AtomicU64::new(0),
             session_panics: AtomicU64::new(0),
             sessions_quarantined: AtomicUsize::new(0),
+            fault_shard: u64::MAX,
         }
+    }
+
+    /// Tag every operation on this engine as belonging to fault-plane
+    /// shard `shard` (see [`fault::enter_shard`]). Takes `&mut self` like
+    /// [`Engine::set_policy`]: tagging happens once, at sharded-tier
+    /// construction, before any worker holds the engine.
+    pub fn set_fault_shard(&mut self, shard: usize) {
+        self.fault_shard = shard as u64;
+    }
+
+    /// Scope guard tagging the current thread with this engine's fault
+    /// shard for the duration of one public operation; `None` (and zero
+    /// work) for untagged standalone engines.
+    fn fault_scope(&self) -> Option<fault::ShardScope> {
+        (self.fault_shard != u64::MAX).then(|| fault::enter_shard(self.fault_shard as usize))
     }
 
     /// Builder-style [`DegradePolicy`] override.
@@ -881,6 +934,7 @@ where
     /// Typed failures: [`EngineError::UnknownQuery`] when the query has no
     /// results, [`EngineError::TreeBuildFailed`] when the build died.
     pub fn open_session(&self, query: &str) -> Result<SessionId, EngineError> {
+        let _shard = self.fault_scope();
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::OpenSession);
@@ -936,6 +990,7 @@ where
         id: SessionId,
         f: impl FnOnce(&mut Session<SharedTree>) -> R,
     ) -> Option<R> {
+        let _shard = self.fault_scope();
         let slot = {
             let table = {
                 let _lk = trace::span(Stage::LockWait);
@@ -1144,6 +1199,7 @@ where
     /// [`EngineError::SessionPanicked`] when this call's panic quarantined
     /// the session, [`EngineError::Cut`] when the navigation refused.
     pub fn expand(&self, id: SessionId, node: NavNodeId) -> Result<ExpandReply, EngineError> {
+        let _shard = self.fault_scope();
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::Expand);
@@ -1168,6 +1224,7 @@ where
         query: &str,
         state: SessionState,
     ) -> Result<SessionId, EngineError> {
+        let _shard = self.fault_scope();
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::OpenSession);
@@ -1224,6 +1281,7 @@ where
     /// state the session held before its panic, and releases the
     /// quarantine gauge.
     pub fn close_session(&self, id: SessionId) -> Result<SessionState, EngineError> {
+        let _shard = self.fault_scope();
         let slot = self
             .sessions
             .lock()
@@ -1253,6 +1311,7 @@ where
         query: &str,
         script: &[ScriptOp],
     ) -> Result<ScriptOutcome, EngineError> {
+        let _shard = self.fault_scope();
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::RunScript);
@@ -1461,6 +1520,37 @@ where
     /// exposition (see [`trace::export::prometheus_text`]).
     pub fn prometheus_text(&self) -> String {
         trace::export::prometheus_text(&self.stats(), &self.expand_hist.snapshot(), &self.stage)
+    }
+
+    /// One labeled exposition view over this engine's telemetry, for
+    /// multi-engine expositions (see
+    /// [`trace::export::prometheus_text_views`]); `labels` is the brace-
+    /// free label body every series will carry (e.g. `shard="0"`).
+    pub fn metrics_view(&self, labels: String) -> trace::export::MetricsView {
+        trace::export::MetricsView::new(
+            labels,
+            self.stats(),
+            self.expand_hist.snapshot(),
+            &self.stage,
+        )
+    }
+
+    /// Lock-free health signals for routing decisions: relaxed atomic loads
+    /// only, **no** cache or session-table lock. The full [`Engine::stats`]
+    /// snapshot takes the cache lock for the cut-cache tallies, which a
+    /// router deciding where to place a cold open must never wait on — the
+    /// `no-cross-shard-lock` xtask rule polices exactly that path.
+    pub fn health(&self) -> HealthCounters {
+        HealthCounters {
+            // Relaxed: independent monotone tallies / gauges; a routing
+            // decision tolerates each being off by the in-flight operation.
+            degraded_expands: self.degraded_myopic.load(Ordering::Relaxed)
+                + self.degraded_static.load(Ordering::Relaxed),
+            shed_expands: self.shed_expands.load(Ordering::Relaxed),
+            // Relaxed: same independent-tally contract as the loads above.
+            session_panics: self.session_panics.load(Ordering::Relaxed),
+            sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets the telemetry window in one pass: the EXPAND latency

@@ -37,6 +37,7 @@
 // The registry globals are deliberately *plain std atomics*, not the
 // `crate::sync` interleave shim: modeling them would multiply every engine
 // schedule by the (advisory) arm state without testing any protocol.
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A named failpoint site in the serve path.
@@ -153,6 +154,9 @@ pub struct FaultPlan {
     /// Seed mixing into every site's firing schedule.
     pub seed: u64,
     sites: [SitePlan; FailSite::COUNT],
+    /// Encoded shard filter: 0 = fire on every shard, `s + 1` = fire only
+    /// on operations running under [`enter_shard`]`(s)`.
+    shard_filter: u64,
 }
 
 impl FaultPlan {
@@ -161,7 +165,20 @@ impl FaultPlan {
         FaultPlan {
             seed,
             sites: [SitePlan::OFF; FailSite::COUNT],
+            shard_filter: 0,
         }
+    }
+
+    /// Restrict every armed site to operations scoped to `shard` (see
+    /// [`enter_shard`]): evaluations on other shards — or outside any
+    /// shard scope — are invisible to the schedule, so the fired set on
+    /// the targeted shard is unchanged by traffic elsewhere. This is how
+    /// the chaos suite storms one shard of a
+    /// [`ShardedEngine`](crate::shard::ShardedEngine) while proving its
+    /// siblings stay bit-identical to a clean pass.
+    pub fn only_shard(mut self, shard: usize) -> Self {
+        self.shard_filter = shard as u64 + 1;
+        self
     }
 
     /// Enable `site` to fire `action` roughly every `period`-th evaluation
@@ -212,6 +229,48 @@ static SITE_LIMIT: [AtomicU64; FailSite::COUNT] = [ZERO; FailSite::COUNT];
 static SITE_HITS: [AtomicU64; FailSite::COUNT] = [ZERO; FailSite::COUNT];
 /// Per-site fire count since the last [`arm`].
 static SITE_FIRES: [AtomicU64; FailSite::COUNT] = [ZERO; FailSite::COUNT];
+/// Armed plan's encoded shard filter (see [`FaultPlan::only_shard`]).
+static SHARD_FILTER: AtomicU64 = AtomicU64::new(0);
+
+/// Sentinel for "not inside any shard scope".
+const UNSCOPED: u64 = u64::MAX;
+
+thread_local! {
+    // Which shard the current thread's in-flight engine operation belongs
+    // to. A plain thread-local Cell (not the interleave shim): scope
+    // tagging is advisory fault-plane routing, never a synchronization
+    // protocol.
+    static CURRENT_SHARD: Cell<u64> = const { Cell::new(UNSCOPED) };
+}
+
+/// RAII guard returned by [`enter_shard`]; restores the previous scope on
+/// drop (scopes nest, and panic unwinding through an [`isolate`] region
+/// still restores the outer scope).
+pub struct ShardScope {
+    prev: u64,
+}
+
+impl Drop for ShardScope {
+    fn drop(&mut self) {
+        CURRENT_SHARD.with(|c| c.set(self.prev));
+    }
+}
+
+/// Tag the current thread's in-flight work as belonging to `shard` until
+/// the returned guard drops. [`ShardedEngine`](crate::shard::ShardedEngine)
+/// shards tag every public engine operation so a
+/// [`FaultPlan::only_shard`]-scoped plan can storm one shard in isolation.
+#[must_use = "the scope ends when the guard drops"]
+pub fn enter_shard(shard: usize) -> ShardScope {
+    let prev = CURRENT_SHARD.with(|c| c.replace(shard as u64));
+    ShardScope { prev }
+}
+
+/// The shard the current thread's in-flight operation is scoped to, if any.
+pub fn current_shard() -> Option<usize> {
+    let s = CURRENT_SHARD.with(|c| c.get());
+    (s != UNSCOPED).then_some(s as usize)
+}
 
 /// Arm the registry with `plan`. Counters reset; sites observe the new
 /// schedule on their next evaluation. Chaos tests serialize around the
@@ -232,6 +291,8 @@ pub fn arm(plan: FaultPlan) {
         SITE_HITS[i].store(0, Ordering::Relaxed);
         SITE_FIRES[i].store(0, Ordering::Relaxed);
     }
+    // Ordering: Relaxed — advisory plan field, same contract as the rest.
+    SHARD_FILTER.store(plan.shard_filter, Ordering::Relaxed);
     // Ordering: Relaxed — the master switch is advisory (see above); it is
     // stored last so a site that sees it armed finds a complete-enough
     // plan (any interleaving yields a valid schedule).
@@ -317,6 +378,14 @@ pub fn hit(_site: FailSite) -> Option<Fault> {
 
 #[cfg(not(interleave))]
 fn hit_armed(site: FailSite) -> Option<Fault> {
+    // Ordering: Relaxed — advisory plan field (see `arm`). A shard-scoped
+    // plan makes off-shard evaluations invisible *before* the ordinal
+    // draw, so the targeted shard's fired set is a pure function of
+    // `(seed, site, on-shard ordinal)` regardless of sibling traffic.
+    let filter = SHARD_FILTER.load(Ordering::Relaxed);
+    if filter != 0 && CURRENT_SHARD.with(|c| c.get()) != filter - 1 {
+        return None;
+    }
     let i = site as usize;
     // Ordering: Relaxed — plan fields are advisory configuration (see
     // `arm`); any interleaving with a racing re-arm yields a valid
@@ -411,6 +480,27 @@ mod tests {
                 assert_eq!(hit(site), None);
             }
         }
+    }
+
+    #[test]
+    fn shard_scopes_nest_and_restore() {
+        assert_eq!(current_shard(), None);
+        {
+            let _outer = enter_shard(2);
+            assert_eq!(current_shard(), Some(2));
+            {
+                let _inner = enter_shard(5);
+                assert_eq!(current_shard(), Some(5));
+            }
+            assert_eq!(current_shard(), Some(2));
+            // Unwinding through an isolate region restores the outer scope.
+            let _ = isolate(|| {
+                let _deep = enter_shard(7);
+                panic!("{INJECTED_PANIC_PREFIX} scope test");
+            });
+            assert_eq!(current_shard(), Some(2));
+        }
+        assert_eq!(current_shard(), None);
     }
 
     #[test]

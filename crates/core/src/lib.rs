@@ -47,6 +47,7 @@ pub mod navtree;
 pub mod prob;
 pub mod scratch;
 pub mod session;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub(crate) mod sync;
@@ -63,4 +64,5 @@ pub use engine::{
 pub use fault::{FailSite, Fault, FaultPlan};
 pub use navtree::{NavNodeId, NavigationTree};
 pub use scratch::NavScratch;
+pub use shard::{HealthPolicy, ShardSessionId, ShardedEngine};
 pub use trace::{Stage, StageStat};

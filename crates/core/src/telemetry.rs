@@ -253,6 +253,18 @@ impl HistogramSnapshot {
             .map(|(idx, &c)| c.saturating_mul(bucket_value(idx)))
             .sum()
     }
+
+    /// Folds `other` into `self` bucket-by-bucket. Every snapshot shares
+    /// the one compile-time bucket geometry, so merged percentiles are
+    /// exactly what one histogram over the union of samples would report —
+    /// this is how `ShardedEngine` aggregates per-shard latency into a
+    /// fleet-wide view.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (acc, &c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *acc += c;
+        }
+        self.total += other.total;
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +358,29 @@ mod tests {
         });
         assert_eq!(hist.count(), 8_000);
         assert_eq!(hist.snapshot().total(), 8_000);
+    }
+
+    #[test]
+    fn merged_snapshot_equals_single_histogram_over_union() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let union = LatencyHistogram::new();
+        for v in [1u64, 3, 7, 200, 4_096] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [2u64, 7, 900_000] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let expect = union.snapshot();
+        assert_eq!(merged.total(), expect.total());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.percentile(q), expect.percentile(q), "q={q}");
+        }
+        assert_eq!(merged.approx_sum(), expect.approx_sum());
     }
 
     #[test]

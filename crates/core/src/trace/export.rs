@@ -28,6 +28,26 @@ pub fn bucket_ladder_ns() -> impl Iterator<Item = u64> {
     (0..=24u32).map(|i| 1000u64 << i)
 }
 
+/// Joins a view's base labels (e.g. `shard="0"`, possibly empty) with a
+/// metric's own labels (e.g. `result="hit"`, possibly empty) into one
+/// brace-ready label body.
+fn join_labels(base: &str, extra: &str) -> String {
+    match (base.is_empty(), extra.is_empty()) {
+        (true, true) => String::new(),
+        (true, false) => extra.to_string(),
+        (false, true) => base.to_string(),
+        (false, false) => format!("{base},{extra}"),
+    }
+}
+
+fn write_series(out: &mut String, metric: &str, labels: &str, value: impl std::fmt::Display) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{metric} {value}");
+    } else {
+        let _ = writeln!(out, "{metric}{{{labels}}} {value}");
+    }
+}
+
 fn write_histogram(
     out: &mut String,
     metric: &str,
@@ -46,12 +66,60 @@ fn write_histogram(
         "{metric}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
         snap.total()
     );
-    if labels.is_empty() {
-        let _ = writeln!(out, "{metric}_sum {}", sum_ns as f64 / 1e9);
-        let _ = writeln!(out, "{metric}_count {}", snap.total());
-    } else {
-        let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", sum_ns as f64 / 1e9);
-        let _ = writeln!(out, "{metric}_count{{{labels}}} {}", snap.total());
+    write_series(out, &format!("{metric}_sum"), labels, sum_ns as f64 / 1e9);
+    write_series(out, &format!("{metric}_count"), labels, snap.total());
+}
+
+/// One exposition unit for [`prometheus_text_views`]: a label set (empty
+/// for the classic single-engine exposition, `shard="i"` per shard) plus
+/// an owned copy of everything the exposition needs. Owned snapshots —
+/// rather than a borrow of [`StageMetrics`] — so a *merged* cross-shard
+/// view can be synthesized by folding per-shard views together.
+#[derive(Clone)]
+pub struct MetricsView {
+    /// Label body prepended to every series (no braces), e.g. `shard="0"`.
+    /// Empty for an unlabeled exposition.
+    pub labels: String,
+    /// Counter/gauge snapshot.
+    pub stats: ServeStats,
+    /// End-to-end EXPAND latency snapshot.
+    pub expand: HistogramSnapshot,
+    /// Per-stage `(latency snapshot, exact sum in ns)` in [`Stage::ALL`]
+    /// order — always [`Stage::COUNT`] entries, idle stages included, so
+    /// the exposition shape is stable.
+    pub stage_snaps: Vec<(HistogramSnapshot, u64)>,
+}
+
+impl MetricsView {
+    /// Builds a view by snapshotting a live [`StageMetrics`].
+    pub fn new(
+        labels: String,
+        stats: ServeStats,
+        expand: HistogramSnapshot,
+        stages: &StageMetrics,
+    ) -> Self {
+        let stage_snaps = Stage::ALL
+            .iter()
+            .map(|&s| (stages.snapshot(s), stages.sum_ns(s)))
+            .collect();
+        MetricsView {
+            labels,
+            stats,
+            expand,
+            stage_snaps,
+        }
+    }
+
+    /// Folds `other`'s latency distributions into `self` (EXPAND histogram
+    /// plus every per-stage histogram and sum). Counter merging is the
+    /// caller's business — `ShardedEngine` already merges [`ServeStats`]
+    /// for its `stats()` and reuses that here.
+    pub fn merge_latency(&mut self, other: &MetricsView) {
+        self.expand.merge(&other.expand);
+        for (mine, theirs) in self.stage_snaps.iter_mut().zip(other.stage_snaps.iter()) {
+            mine.0.merge(&theirs.0);
+            mine.1 += theirs.1;
+        }
     }
 }
 
@@ -65,159 +133,157 @@ pub fn prometheus_text(
     expand: &HistogramSnapshot,
     stages: &StageMetrics,
 ) -> String {
-    let mut out = String::with_capacity(16 * 1024);
+    prometheus_text_views(&[MetricsView::new(
+        String::new(),
+        stats.clone(),
+        expand.clone(),
+        stages,
+    )])
+}
+
+/// Render one exposition covering every view: each metric family's
+/// `# HELP`/`# TYPE` header appears exactly once, followed by one series
+/// (or histogram) per view carrying that view's labels. This is what lets
+/// a [`ShardedEngine`](crate::shard::ShardedEngine) expose `shard="i"`
+/// series without emitting duplicate headers, which Prometheus rejects.
+pub fn prometheus_text_views(views: &[MetricsView]) -> String {
+    let mut out = String::with_capacity(16 * 1024 * views.len().max(1));
 
     let _ = writeln!(
         out,
         "# HELP bionav_expand_latency_seconds End-to-end EXPAND latency."
     );
     let _ = writeln!(out, "# TYPE bionav_expand_latency_seconds histogram");
-    write_histogram(
-        &mut out,
-        "bionav_expand_latency_seconds",
-        "",
-        expand,
-        expand.approx_sum(),
-    );
+    for v in views {
+        write_histogram(
+            &mut out,
+            "bionav_expand_latency_seconds",
+            &v.labels,
+            &v.expand,
+            v.expand.approx_sum(),
+        );
+    }
 
     let _ = writeln!(
         out,
         "# HELP bionav_stage_latency_seconds Per-stage serve-path span latency."
     );
     let _ = writeln!(out, "# TYPE bionav_stage_latency_seconds histogram");
-    for &stage in Stage::ALL.iter() {
-        let labels = format!("stage=\"{}\"", stage.name());
-        write_histogram(
-            &mut out,
-            "bionav_stage_latency_seconds",
-            &labels,
-            &stages.snapshot(stage),
-            stages.sum_ns(stage),
-        );
+    for v in views {
+        for (stage, (snap, sum_ns)) in Stage::ALL.iter().zip(v.stage_snaps.iter()) {
+            let labels = join_labels(&v.labels, &format!("stage=\"{}\"", stage.name()));
+            write_histogram(
+                &mut out,
+                "bionav_stage_latency_seconds",
+                &labels,
+                snap,
+                *sum_ns,
+            );
+        }
     }
 
-    let _ = writeln!(
-        out,
-        "# HELP bionav_tree_cache_lookups_total Navigation-tree cache lookups by result."
-    );
-    let _ = writeln!(out, "# TYPE bionav_tree_cache_lookups_total counter");
-    let _ = writeln!(
-        out,
-        "bionav_tree_cache_lookups_total{{result=\"hit\"}} {}",
-        stats.cache_hits
-    );
-    let _ = writeln!(
-        out,
-        "bionav_tree_cache_lookups_total{{result=\"miss\"}} {}",
-        stats.cache_misses
-    );
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_tree_cache_evictions_total Trees dropped by LRU pressure."
-    );
-    let _ = writeln!(out, "# TYPE bionav_tree_cache_evictions_total counter");
-    let _ = writeln!(
-        out,
-        "bionav_tree_cache_evictions_total {}",
-        stats.cache_evictions
-    );
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_cut_cache_lookups_total Cross-session cut-cache lookups by result."
-    );
-    let _ = writeln!(out, "# TYPE bionav_cut_cache_lookups_total counter");
-    let _ = writeln!(
-        out,
-        "bionav_cut_cache_lookups_total{{result=\"hit\"}} {}",
-        stats.cut_cache_hits
-    );
-    let _ = writeln!(
-        out,
-        "bionav_cut_cache_lookups_total{{result=\"miss\"}} {}",
-        stats.cut_cache_misses
-    );
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_sessions_opened_total Sessions ever opened."
-    );
-    let _ = writeln!(out, "# TYPE bionav_sessions_opened_total counter");
-    let _ = writeln!(
-        out,
-        "bionav_sessions_opened_total {}",
-        stats.sessions_opened
-    );
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_sessions_closed_total Sessions ever closed."
-    );
-    let _ = writeln!(out, "# TYPE bionav_sessions_closed_total counter");
-    let _ = writeln!(
-        out,
-        "bionav_sessions_closed_total {}",
-        stats.sessions_closed
-    );
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_sessions_active Sessions currently parked in the table."
-    );
-    let _ = writeln!(out, "# TYPE bionav_sessions_active gauge");
-    let _ = writeln!(out, "bionav_sessions_active {}", stats.sessions_active);
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_degraded_expands_total EXPANDs answered by the \
-         graceful-degradation ladder, by rung (DESIGN.md \u{a7}5f)."
-    );
-    let _ = writeln!(out, "# TYPE bionav_degraded_expands_total counter");
-    let _ = writeln!(
-        out,
-        "bionav_degraded_expands_total{{rung=\"myopic\"}} {}",
-        stats.degraded_myopic
-    );
-    let _ = writeln!(
-        out,
-        "bionav_degraded_expands_total{{rung=\"static\"}} {}",
-        stats.degraded_static
-    );
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_shed_expands_total EXPANDs refused by the admission gate."
-    );
-    let _ = writeln!(out, "# TYPE bionav_shed_expands_total counter");
-    let _ = writeln!(out, "bionav_shed_expands_total {}", stats.shed_expands);
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_session_panics_total Session operations that panicked \
-         and were caught (the session is quarantined)."
-    );
-    let _ = writeln!(out, "# TYPE bionav_session_panics_total counter");
-    let _ = writeln!(out, "bionav_session_panics_total {}", stats.session_panics);
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_sessions_quarantined Poisoned sessions still parked \
-         in the table (drained by close_session)."
-    );
-    let _ = writeln!(out, "# TYPE bionav_sessions_quarantined gauge");
-    let _ = writeln!(
-        out,
-        "bionav_sessions_quarantined {}",
-        stats.sessions_quarantined
-    );
-
-    let _ = writeln!(
-        out,
-        "# HELP bionav_trace_events_total Span events ever pushed to the trace ring."
-    );
-    let _ = writeln!(out, "# TYPE bionav_trace_events_total counter");
-    let _ = writeln!(out, "bionav_trace_events_total {}", stats.trace_events);
+    // Counter/gauge families: (metric, help, type, per-view series fn).
+    struct Family {
+        metric: &'static str,
+        help: &'static str,
+        kind: &'static str,
+        series: fn(&ServeStats) -> Vec<(&'static str, u64)>,
+    }
+    let families = [
+        Family {
+            metric: "bionav_tree_cache_lookups_total",
+            help: "Navigation-tree cache lookups by result.",
+            kind: "counter",
+            series: |s| {
+                vec![
+                    ("result=\"hit\"", s.cache_hits),
+                    ("result=\"miss\"", s.cache_misses),
+                ]
+            },
+        },
+        Family {
+            metric: "bionav_tree_cache_evictions_total",
+            help: "Trees dropped by LRU pressure.",
+            kind: "counter",
+            series: |s| vec![("", s.cache_evictions)],
+        },
+        Family {
+            metric: "bionav_cut_cache_lookups_total",
+            help: "Cross-session cut-cache lookups by result.",
+            kind: "counter",
+            series: |s| {
+                vec![
+                    ("result=\"hit\"", s.cut_cache_hits),
+                    ("result=\"miss\"", s.cut_cache_misses),
+                ]
+            },
+        },
+        Family {
+            metric: "bionav_sessions_opened_total",
+            help: "Sessions ever opened.",
+            kind: "counter",
+            series: |s| vec![("", s.sessions_opened)],
+        },
+        Family {
+            metric: "bionav_sessions_closed_total",
+            help: "Sessions ever closed.",
+            kind: "counter",
+            series: |s| vec![("", s.sessions_closed)],
+        },
+        Family {
+            metric: "bionav_sessions_active",
+            help: "Sessions currently parked in the table.",
+            kind: "gauge",
+            series: |s| vec![("", s.sessions_active as u64)],
+        },
+        Family {
+            metric: "bionav_degraded_expands_total",
+            help: "EXPANDs answered by the graceful-degradation ladder, \
+                   by rung (DESIGN.md \u{a7}5f).",
+            kind: "counter",
+            series: |s| {
+                vec![
+                    ("rung=\"myopic\"", s.degraded_myopic),
+                    ("rung=\"static\"", s.degraded_static),
+                ]
+            },
+        },
+        Family {
+            metric: "bionav_shed_expands_total",
+            help: "EXPANDs refused by the admission gate.",
+            kind: "counter",
+            series: |s| vec![("", s.shed_expands)],
+        },
+        Family {
+            metric: "bionav_session_panics_total",
+            help: "Session operations that panicked and were caught \
+                   (the session is quarantined).",
+            kind: "counter",
+            series: |s| vec![("", s.session_panics)],
+        },
+        Family {
+            metric: "bionav_sessions_quarantined",
+            help: "Poisoned sessions still parked in the table \
+                   (drained by close_session).",
+            kind: "gauge",
+            series: |s| vec![("", s.sessions_quarantined as u64)],
+        },
+        Family {
+            metric: "bionav_trace_events_total",
+            help: "Span events ever pushed to the trace ring.",
+            kind: "counter",
+            series: |s| vec![("", s.trace_events)],
+        },
+    ];
+    for f in &families {
+        let _ = writeln!(out, "# HELP {} {}", f.metric, f.help);
+        let _ = writeln!(out, "# TYPE {} {}", f.metric, f.kind);
+        for v in views {
+            for (extra, value) in (f.series)(&v.stats) {
+                write_series(&mut out, f.metric, &join_labels(&v.labels, extra), value);
+            }
+        }
+    }
 
     out
 }

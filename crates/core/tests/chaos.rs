@@ -27,8 +27,8 @@ use std::sync::{Arc, Mutex, MutexGuard, Once};
 use bionav_core::fault::{self, FailSite, Fault, FaultPlan, INJECTED_PANIC_PREFIX};
 use bionav_core::session::SessionState;
 use bionav_core::{
-    CostParams, DegradePolicy, DegradeReason, Engine, EngineError, NavNodeId, NavigationTree,
-    ScriptOp, SharedTree,
+    CostParams, DegradePolicy, DegradeReason, Engine, EngineError, HealthPolicy, NavNodeId,
+    NavigationTree, ScriptOp, ShardedEngine, SharedTree,
 };
 use bionav_medline::corpus::{self, CorpusConfig};
 use bionav_medline::InvertedIndex;
@@ -734,4 +734,168 @@ fn admission_gate_accounting_balances_under_concurrency() {
     for id in sessions {
         engine.close_session(id).unwrap();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded tier: per-shard fault scoping (DESIGN.md §5h)
+// ---------------------------------------------------------------------------
+
+/// A sharded fixture tier: `n` independent copies of the fixture engine
+/// behind the consistent-hash router (each tagged with its shard index at
+/// construction, which is what `FaultPlan::only_shard` filters on).
+fn fixture_sharded(n: usize) -> ShardedEngine<impl Fn(&str) -> Option<SharedTree> + Send + Sync> {
+    ShardedEngine::new(n, |_| fixture_engine())
+}
+
+/// Fixture queries partitioned by their sticky home shard on a 2-shard
+/// ring; both sides must be populated (the ring layout is deterministic,
+/// so this is a property of the fixture, not of the run).
+fn queries_by_home_shard(
+    sharded: &ShardedEngine<impl Fn(&str) -> Option<SharedTree> + Send + Sync>,
+    want: usize,
+) -> [Vec<String>; 2] {
+    let queries = multi_node_queries(sharded.engine(0), want, 3);
+    let mut homes: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+    for q in queries {
+        let home = sharded.shard_for_query(&q);
+        homes[home].push(q);
+    }
+    assert!(
+        !homes[0].is_empty() && !homes[1].is_empty(),
+        "fixture queries must cover both shards: {homes:?}"
+    );
+    homes
+}
+
+/// A panic storm armed with `only_shard(0)` on a two-shard tier: every
+/// typed failure lands on a job homed on shard 0, shard 1's outcomes are
+/// *bit-identical* to an unarmed pass of the same job tape, shard 1's
+/// health counters never move, and both shards drain fully — the blast
+/// radius of a shard-scoped fault is exactly one shard.
+#[test]
+fn shard_scoped_panic_storm_quarantines_only_shard_zero() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    let reference_tier = fixture_sharded(2);
+    let homes = queries_by_home_shard(&reference_tier, 4);
+    let jobs: Vec<(String, Vec<ScriptOp>)> = (0..3)
+        .flat_map(|_| homes.iter().flatten().cloned())
+        .map(|q| (q, vec![ScriptOp::ExpandFully]))
+        .collect();
+    let home_of: Vec<usize> = jobs
+        .iter()
+        .map(|(q, _)| reference_tier.shard_for_query(q))
+        .collect();
+
+    // Unarmed reference pass on its own tier: ground truth per job.
+    let reference: Vec<_> = reference_tier
+        .replay(&jobs, 2)
+        .into_iter()
+        .map(|r| r.expect("unarmed replay completes every job"))
+        .collect();
+
+    // Storm pass: every solver entry on shard 0 dies; shard 1 is outside
+    // the plan's scope and must not notice the storm at all.
+    let storm_tier = fixture_sharded(2);
+    let plan = FaultPlan::new(chaos_seed())
+        .site(FailSite::SolverEntry, 1, Fault::Panic)
+        .only_shard(0);
+    let (outcomes, fires) = {
+        let _armed = fault::scoped(plan);
+        let outcomes = storm_tier.replay(&jobs, 4);
+        (outcomes, fault::fires(FailSite::SolverEntry))
+    };
+
+    let mut panicked_jobs = 0u64;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(o) => {
+                assert_eq!(
+                    o.cost, reference[i].cost,
+                    "job {i} (shard {}): survived jobs must be bit-identical",
+                    home_of[i]
+                );
+                assert_eq!(o.degraded_expands, 0);
+            }
+            Err(EngineError::SessionPanicked { message, .. }) => {
+                assert_eq!(
+                    home_of[i], 0,
+                    "job {i}: a shard-0-scoped storm killed a shard-{} job",
+                    home_of[i]
+                );
+                assert!(
+                    message.starts_with(INJECTED_PANIC_PREFIX),
+                    "job {i}: unexpected panic payload {message:?}"
+                );
+                panicked_jobs += 1;
+            }
+            Err(other) => panic!("job {i}: unexpected typed error {other}"),
+        }
+    }
+    assert!(panicked_jobs > 0, "period-1 storm on shard 0 fired nothing");
+    assert_eq!(panicked_jobs, fires, "typed errors must match fired faults");
+
+    // Shard 1 never saw a fault; shard 0 absorbed every one of them.
+    let h1 = storm_tier.shard_health(1);
+    assert_eq!(h1.session_panics, 0, "the storm leaked across shards");
+    assert_eq!(h1.sessions_quarantined, 0);
+    assert_eq!(h1.degraded_expands, 0);
+    assert_eq!(storm_tier.shard_health(0).session_panics, fires);
+    // And the whole tier drained: replay's error path closes what it kills.
+    let merged = storm_tier.stats();
+    assert_eq!(merged.sessions_active, 0);
+    assert_eq!(merged.sessions_quarantined, 0);
+    assert_eq!(merged.sessions_opened, merged.sessions_closed);
+}
+
+/// The health-bias reroute drill: a shard-0-scoped panic quarantines a
+/// session, tripping the tier's `max_quarantined` policy — new cold opens
+/// for shard-0-homed queries divert to shard 1 (and serve cleanly there
+/// even while the shard-0 storm is still armed), sticky routing still
+/// drains the poisoned session on shard 0, and placement snaps back to
+/// the home shard the moment the quarantined slot drains.
+#[test]
+fn health_bias_reroutes_cold_opens_and_snaps_back() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    let sharded = fixture_sharded(2).with_health_policy(HealthPolicy {
+        max_quarantined: 1,
+        ..HealthPolicy::default()
+    });
+    let homes = queries_by_home_shard(&sharded, 4);
+    let on_zero = homes[0][0].clone();
+
+    let doomed = sharded.open_session(&on_zero).expect("healthy tier opens");
+    assert_eq!(doomed.shard(), 0, "no bias yet: sticky home placement");
+
+    let plan = FaultPlan::new(11)
+        .site(FailSite::SolverEntry, 1, Fault::Panic)
+        .only_shard(0);
+    let _armed = fault::scoped(plan);
+    match sharded.expand(doomed, NavNodeId::ROOT) {
+        Err(EngineError::SessionPanicked { .. }) => {}
+        other => panic!("expected SessionPanicked on shard 0, got {other:?}"),
+    }
+    assert_eq!(sharded.shard_health(0).sessions_quarantined, 1);
+
+    // The tripped policy moves *new* opens off the sick shard…
+    assert_eq!(sharded.open_placement(&on_zero), 1);
+    let rerouted = sharded.open_session(&on_zero).expect("reroute opens");
+    assert_eq!(rerouted.shard(), 1, "cold open must divert to shard 1");
+    // …where it serves exactly, even with the shard-0 storm still armed
+    // (the shard filter keeps shard 1 outside the blast radius).
+    let reply = sharded
+        .expand(rerouted, NavNodeId::ROOT)
+        .expect("rerouted session serves on the healthy shard");
+    assert_eq!(reply.degraded, None);
+    sharded.close_session(rerouted).expect("rerouted drains");
+
+    // Stickiness: the poisoned session still routes to shard 0 and drains
+    // there; recovery snaps placement back to the home shard.
+    sharded.close_session(doomed).expect("quarantined drains");
+    assert_eq!(sharded.shard_health(0).sessions_quarantined, 0);
+    assert_eq!(sharded.open_placement(&on_zero), 0, "bias must lift");
+    let merged = sharded.stats();
+    assert_eq!(merged.sessions_active, 0);
+    assert_eq!(merged.sessions_opened, merged.sessions_closed);
 }

@@ -7,7 +7,11 @@
 //!    from concurrent workers), plus the quarantine transition (DESIGN.md
 //!    §5f) racing a healthy neighbor's open / expand / close,
 //! 4. the [`bionav_core::trace::SpanRing`] seqlock slot protocol
-//!    (writers vs snapshot vs clear), plus a seeded torn-write meta-test.
+//!    (writers vs snapshot vs clear), plus a seeded torn-write meta-test,
+//! 5. the [`ShardedEngine`] tier (DESIGN.md §5h): concurrent open / route /
+//!    close across two shards keeps every per-shard and merged gauge
+//!    balanced, and a health-bias flip racing an in-flight cold open never
+//!    deadlocks, strands, or misroutes a session.
 //!
 //! Compiled and run only under `RUSTFLAGS='--cfg interleave'`, which swaps
 //! `bionav_core`'s sync shim onto the vendored `interleave` model checker:
@@ -32,7 +36,8 @@ use std::sync::Arc;
 use bionav_core::session::CutCache;
 use bionav_core::telemetry::LatencyHistogram;
 use bionav_core::{
-    CostParams, EdgeCut, Engine, EngineError, NavNodeId, NavigationTree, SharedTree,
+    CostParams, EdgeCut, Engine, EngineError, HealthPolicy, NavNodeId, NavigationTree,
+    ShardedEngine, SharedTree,
 };
 use bionav_medline::{Citation, CitationId, CitationStore};
 use bionav_mesh::{ConceptHierarchy, Descriptor, DescriptorId, TreeNumber};
@@ -349,6 +354,181 @@ fn engine_quarantine_protocol() {
         assert_eq!(stats.sessions_active, 0, "gauge must balance");
         assert_eq!(stats.sessions_opened, stats.sessions_closed);
     });
+}
+
+// ---------------------------------------------------------------------------
+// 3b. Sharded tier (DESIGN.md §5h)
+// ---------------------------------------------------------------------------
+
+/// A two-shard tier over the Fig 3 fixture plus one query routing to each
+/// shard (found by walking candidate strings over the deterministic ring —
+/// the ring layout is pure hashing, so this runs outside the model).
+fn two_shard_tier(
+    tree: &SharedTree,
+) -> (
+    ShardedEngine<impl Fn(&str) -> Option<SharedTree> + Send + Sync>,
+    [String; 2],
+) {
+    let sharded = ShardedEngine::new(2, |_| {
+        let tree = Arc::clone(tree);
+        Engine::new(
+            move |_query: &str| Some(Arc::clone(&tree)),
+            CostParams::default(),
+            2,
+        )
+    });
+    let mut queries: [Option<String>; 2] = [None, None];
+    for i in 0.. {
+        let q = format!("cell death {i}");
+        let home = sharded.shard_for_query(&q);
+        if queries[home].is_none() {
+            queries[home] = Some(q);
+            if queries.iter().all(Option::is_some) {
+                break;
+            }
+        }
+    }
+    let [a, b] = queries;
+    (sharded, [a.unwrap(), b.unwrap()])
+}
+
+/// Two workers open / EXPAND / close concurrently, one per shard: every
+/// schedule must route each session to its sticky home shard (the packed
+/// id's shard field), serve both EXPANDs, and leave the per-shard *and*
+/// merged gauges balanced — proving the tier adds no coordination (and so
+/// no new deadlock or double-count) on top of the member engines.
+#[test]
+fn sharded_open_route_close_gauge_consistency() {
+    let tree: SharedTree = Arc::new(fig3_tree());
+    let cfg = Config {
+        preemption_bound: 2,
+        max_executions: 400_000,
+        ..Config::default()
+    };
+    explore(
+        "sharded_open_route_close_gauge_consistency",
+        cfg,
+        move || {
+            let (sharded, queries) = two_shard_tier(&tree);
+            let sharded = Arc::new(sharded);
+            let workers: Vec<_> = queries
+                .iter()
+                .enumerate()
+                .map(|(home, query)| {
+                    let sharded = Arc::clone(&sharded);
+                    let query = query.clone();
+                    interleave::thread::spawn(move || {
+                        let id = sharded.open_session(&query).expect("fixture query opens");
+                        assert_eq!(
+                            id.shard(),
+                            home,
+                            "no-bias routing must land on the sticky home shard"
+                        );
+                        let reply = sharded
+                            .expand(id, NavNodeId::ROOT)
+                            .expect("EXPAND routes by the packed shard field");
+                        assert!(!reply.revealed.is_empty());
+                        sharded.close_session(id).expect("session closes once");
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            for shard in 0..2 {
+                let s = sharded.shard_stats(shard);
+                assert_eq!(s.sessions_opened, 1, "each shard owned exactly one open");
+                assert_eq!(s.sessions_closed, 1);
+                assert_eq!(s.sessions_active, 0);
+            }
+            let merged = sharded.stats();
+            assert_eq!(merged.sessions_opened, 2);
+            assert_eq!(merged.sessions_closed, 2);
+            assert_eq!(merged.sessions_active, 0, "merged gauge must balance");
+        },
+    );
+}
+
+/// A health-bias flip (shard 0's quarantine gauge tripping the policy)
+/// racing an in-flight cold open for a query homed on shard 0. Both orders
+/// are legal — the open may beat the flip and land home, or see it and
+/// divert to shard 1 — but in every schedule the opened session must be
+/// fully served *where it landed* (stickiness: bias moves only new opens,
+/// never live sessions), and once the quarantined slot drains, placement
+/// must snap back to the home shard.
+#[test]
+fn sharded_health_bias_flip_vs_inflight_open() {
+    let tree: SharedTree = Arc::new(fig3_tree());
+    let cfg = Config {
+        preemption_bound: 2,
+        max_executions: 400_000,
+        ..Config::default()
+    };
+    explore(
+        "sharded_health_bias_flip_vs_inflight_open",
+        cfg,
+        move || {
+            let (sharded, queries) = two_shard_tier(&tree);
+            let sharded = Arc::new(sharded.with_health_policy(HealthPolicy {
+                max_quarantined: 1,
+                ..HealthPolicy::default()
+            }));
+            let on_zero = queries[0].clone();
+            // The flip's raw material: a session on shard 0, opened before
+            // any concurrency, quarantined by the poisoner mid-model.
+            let doomed = sharded
+                .engine(0)
+                .open_session(&on_zero)
+                .expect("fixture query opens");
+            let poisoner = {
+                let sharded = Arc::clone(&sharded);
+                interleave::thread::spawn(move || {
+                    sharded.engine(0).model_quarantine(doomed);
+                })
+            };
+            let opener = {
+                let sharded = Arc::clone(&sharded);
+                let on_zero = on_zero.clone();
+                interleave::thread::spawn(move || {
+                    let id = sharded
+                        .open_session(&on_zero)
+                        .expect("a cold open always finds a shard");
+                    assert!(id.shard() < 2, "placement must name a real shard");
+                    let reply = sharded
+                        .expand(id, NavNodeId::ROOT)
+                        .expect("the session serves on whichever shard it landed");
+                    assert!(reply.degraded.is_none(), "clean path never degrades");
+                    sharded
+                        .close_session(id)
+                        .expect("sticky routing drains the session where it opened");
+                })
+            };
+            poisoner.join().unwrap();
+            opener.join().unwrap();
+            // Quarantine is now visible: new placements for the query must
+            // divert off the home shard while the slot sits poisoned...
+            assert_eq!(sharded.shard_health(0).sessions_quarantined, 1);
+            assert_eq!(
+                sharded.open_placement(&on_zero),
+                1,
+                "tripped policy must bias new opens off the home shard"
+            );
+            // ...and snap back the moment it drains.
+            sharded
+                .engine(0)
+                .close_session(doomed)
+                .expect("quarantined slot drains");
+            assert_eq!(
+                sharded.open_placement(&on_zero),
+                0,
+                "recovery must restore sticky placement"
+            );
+            let merged = sharded.stats();
+            assert_eq!(merged.sessions_active, 0, "merged gauge must balance");
+            assert_eq!(merged.sessions_opened, merged.sessions_closed);
+            assert_eq!(merged.sessions_quarantined, 0);
+        },
+    );
 }
 
 // ---------------------------------------------------------------------------

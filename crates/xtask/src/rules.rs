@@ -57,6 +57,17 @@ pub const RULES: &[Rule] = &[
                     per-session lock)",
     },
     Rule {
+        id: "no-cross-shard-lock",
+        summary: "no lock guard held across a member-Engine entry-point call in the sharded \
+                  router",
+        scope: "crates/core/src/shard.rs",
+        rationale: "shard independence is the tier's scaling invariant (DESIGN.md §5h): every \
+                    cross-shard structure is immutable after construction, so a router-level \
+                    lock spanning an engine call would serialize the shards it exists to \
+                    decouple — and a guard across two shards' calls is a lock-order deadlock \
+                    waiting for a second caller",
+    },
+    Rule {
         id: "no-naked-instant",
         summary: "no Instant::now() / SystemTime::now() outside the trace module and telemetry.rs",
         scope: "all first-party sources except crates/core/src/trace/ and telemetry.rs",
@@ -295,6 +306,19 @@ const CLOCK_PATTERNS: &[(&str, &str)] = &[
     ("SystemTime::now(", "naked SystemTime::now() read"),
 ];
 
+/// Member-[`Engine`] entry points as seen from the sharded router: a lock
+/// guard live across any of these serializes (or deadlocks) the tier.
+const ENGINE_ENTRY_PATTERNS: &[&str] = &[
+    ".open_session(",
+    ".restore_session(",
+    ".expand(",
+    ".with_session(",
+    ".close_session(",
+    ".run_script(",
+    ".replay(",
+    ".stats(",
+];
+
 const SOLVE_PATTERNS: &[&str] = &[
     "partition_until",
     "plan_component",
@@ -384,7 +408,11 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
     // else panic isolation must be delegated so the quarantine accounting
     // cannot be bypassed.
     let unwind_exempt = path.ends_with("core/src/fault.rs");
+    // The sharded router: the one file where a lock guard spanning an
+    // Engine entry point breaks the shard-independence invariant.
+    let shard_scope = path.ends_with("core/src/shard.rs");
     let mut guards: Vec<Guard> = Vec::new();
+    let mut shard_guards: Vec<Guard> = Vec::new();
     let mut depth = 0usize;
 
     for (i, l) in lines.iter().enumerate() {
@@ -404,6 +432,7 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
             // Guards cannot outlive a test region boundary meaningfully for
             // this rule; just retire the ones whose scope closed.
             guards.retain(|g| depth_after >= g.depth);
+            shard_guards.retain(|g| depth_after >= g.depth);
             depth = depth_after;
             continue;
         }
@@ -519,19 +548,62 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
                 }
             }
         }
+        // no-cross-shard-lock ----------------------------------------------
+        if shard_scope {
+            let entry_hit = ENGINE_ENTRY_PATTERNS.iter().find(|p| code.contains(**p));
+            if let Some(pat) = entry_hit {
+                if let Some(g) = shard_guards.iter().find(|g| !g.allowed) {
+                    if !allows.allowed(i, "no-cross-shard-lock") {
+                        push(
+                            i,
+                            "no-cross-shard-lock",
+                            format!(
+                                "engine entry point `{pat}` while lock guard `{}` (line {}) is \
+                                 held; shards must stay lock-independent — drop the guard first \
+                                 or annotate the design",
+                                g.name,
+                                g.decl_line + 1
+                            ),
+                        );
+                    }
+                } else if let Some(lock_pos) = code.find(".lock()") {
+                    // Same-line temporary guard: table.lock().with_session(…).
+                    if code[lock_pos..].contains(pat) && !allows.allowed(i, "no-cross-shard-lock") {
+                        push(
+                            i,
+                            "no-cross-shard-lock",
+                            format!(
+                                "engine entry point `{pat}` on a temporary lock guard held for \
+                                 the call"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
         // Guard bookkeeping, after violation checks so a let-line cannot
         // flag itself twice.
         if code.contains(".lock()") && code.contains("let ") {
             if let Some(name) = guard_name(code) {
                 guards.push(Guard {
                     allowed: allows.allowed(i, "lock-across-solve"),
-                    name,
+                    name: name.clone(),
                     depth: depth_after,
                     decl_line: i,
                 });
+                if shard_scope {
+                    shard_guards.push(Guard {
+                        allowed: allows.allowed(i, "no-cross-shard-lock"),
+                        name,
+                        depth: depth_after,
+                        decl_line: i,
+                    });
+                }
             }
         }
         guards.retain(|g| depth_after >= g.depth && !code.contains(&format!("drop({})", g.name)));
+        shard_guards
+            .retain(|g| depth_after >= g.depth && !code.contains(&format!("drop({})", g.name)));
         depth = depth_after;
     }
     findings

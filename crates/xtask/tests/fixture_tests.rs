@@ -134,6 +134,34 @@ fn lock_across_solve_tracks_guards() {
 }
 
 // ---------------------------------------------------------------------------
+// no-cross-shard-lock
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cross_shard_lock_tracks_guards_in_the_router() {
+    let src = include_str!("../fixtures/cross_shard_lock.rs");
+    let hits = hits("crates/core/src/shard.rs", src);
+    assert_eq!(
+        hits,
+        vec![(4, "no-cross-shard-lock"), (9, "no-cross-shard-lock")],
+        "live-guard entry call and same-line temporary guard must fire; \
+         dropped, scope-closed, and annotated guards must be silent"
+    );
+}
+
+#[test]
+fn cross_shard_lock_is_scoped_to_shard_rs() {
+    // The same source under any other path is out of scope: holding a lock
+    // across e.g. Engine::with_session inside engine.rs is the engine's own
+    // (already-reviewed) session protocol, not a tier-serialization bug.
+    let src = include_str!("../fixtures/cross_shard_lock.rs");
+    assert!(
+        !rules_only("crates/core/src/engine.rs", src).contains(&"no-cross-shard-lock"),
+        "the rule applies only to the sharded router"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // no-catch-unwind
 // ---------------------------------------------------------------------------
 
@@ -261,6 +289,7 @@ fn rule_table_is_complete_and_unique() {
             "hotpath-no-hashmap",
             "lock-across-solve",
             "no-catch-unwind",
+            "no-cross-shard-lock",
             "no-naked-instant",
             "no-unwrap"
         ]

@@ -251,4 +251,66 @@ mod tests {
             Reply::Error { .. }
         ));
     }
+
+    /// Forged packed session ids arriving over the wire — out-of-range
+    /// shard field, 48-bit local-id boundary patterns — are typed
+    /// `Reply::Error`s on every session verb; the connection (and the
+    /// tier) must survive all of them.
+    #[test]
+    fn forged_wire_session_ids_get_typed_errors_on_every_verb() {
+        let (engine, dataset, query) = tier();
+        let genuine = match apply(Request::Open { query }, &engine, &dataset) {
+            Reply::Opened { session, .. } => session,
+            other => panic!("expected Opened, got {other:?}"),
+        };
+        let local_mask: u64 = (1 << 48) - 1;
+        let forgeries = [
+            u64::MAX,                                             // max shard, max local
+            u64::from(u16::MAX) << 48,                            // max shard, local 0
+            (u64::from(u16::MAX) << 48) | (genuine & local_mask), // real local, forged shard
+            (genuine & !local_mask) | local_mask,                 // real shard, boundary local
+        ];
+        for forged in forgeries {
+            assert!(
+                matches!(
+                    apply(
+                        Request::Expand {
+                            session: forged,
+                            node: 0
+                        },
+                        &engine,
+                        &dataset
+                    ),
+                    Reply::Error { .. }
+                ),
+                "Expand({forged:#x})"
+            );
+            assert!(
+                matches!(
+                    apply(
+                        Request::ShowResults {
+                            session: forged,
+                            node: 0
+                        },
+                        &engine,
+                        &dataset
+                    ),
+                    Reply::Error { .. }
+                ),
+                "ShowResults({forged:#x})"
+            );
+            assert!(
+                matches!(
+                    apply(Request::Close { session: forged }, &engine, &dataset),
+                    Reply::Error { .. }
+                ),
+                "Close({forged:#x})"
+            );
+        }
+        // The genuine session outlived every forgery.
+        assert_eq!(
+            apply(Request::Close { session: genuine }, &engine, &dataset),
+            Reply::Closed
+        );
+    }
 }

@@ -607,6 +607,75 @@ mod tests {
     }
 
     #[test]
+    fn session_id_bits_round_trip_at_the_field_boundaries() {
+        // The packing is a bijection on u64 (16 shard bits + 48 local
+        // bits, no spare): every boundary pattern must survive a
+        // from_bits → to_bits round trip unchanged.
+        for bits in [
+            0u64,
+            1,
+            LOCAL_MASK,                        // max local, shard 0
+            LOCAL_MASK + 1,                    // local 0, shard 1
+            u64::from(u16::MAX) << LOCAL_BITS, // max shard, local 0
+            u64::MAX,                          // max shard, max local
+        ] {
+            let id = ShardSessionId::from_bits(bits);
+            assert_eq!(id.to_bits(), bits, "{bits:#x}");
+        }
+        // Field extraction at the top corner.
+        let corner = ShardSessionId::from_bits(u64::MAX);
+        assert_eq!(corner.shard(), usize::from(u16::MAX));
+        assert_eq!(corner.local_id().to_raw(), LOCAL_MASK);
+        // wrap at the 48-bit local boundary: the largest representable
+        // local id packs and unpacks exactly.
+        let edge = ShardSessionId::wrap(usize::from(u16::MAX), SessionId::from_raw(LOCAL_MASK));
+        assert_eq!(edge.to_bits(), u64::MAX);
+        assert_eq!(ShardSessionId::from_bits(edge.to_bits()), edge);
+    }
+
+    #[test]
+    fn forged_ids_are_typed_refusals_on_every_entry_point() {
+        let (sharded, labels) = fixture(2);
+        let query = &labels[0];
+
+        // A genuine session, exported and re-parked through the §VII
+        // resume path: the restored id must be live...
+        let id = sharded.open_session(query).unwrap();
+        let state = sharded.close_session(id).unwrap();
+        let restored = sharded.restore_session(query, state).unwrap();
+        assert!(sharded.expand(restored, NavNodeId::ROOT).is_ok());
+
+        // ...while the same id with its shard field forged out of range
+        // (u16::MAX on a 2-shard tier — what a hostile or stale wire
+        // client would send) is refused with a typed error on every
+        // session entry point, never a panic or a misroute.
+        let forged_bits = (u64::from(u16::MAX) << LOCAL_BITS) | (restored.to_bits() & LOCAL_MASK);
+        let forged = ShardSessionId::from_bits(forged_bits);
+        assert_eq!(forged.to_bits(), forged_bits, "forgery survives packing");
+        assert!(matches!(
+            sharded.expand(forged, NavNodeId::ROOT),
+            Err(EngineError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            sharded.close_session(forged),
+            Err(EngineError::UnknownSession(_))
+        ));
+        assert!(sharded.with_session(forged, |_| ()).is_none());
+        assert!(sharded.session_query(forged).is_none());
+
+        // An in-range shard with an unknown 48-bit-boundary local id is
+        // the shard engine's typed refusal, same contract.
+        let stale = ShardSessionId::from_bits((restored.to_bits() & !LOCAL_MASK) | LOCAL_MASK);
+        assert!(matches!(
+            sharded.expand(stale, NavNodeId::ROOT),
+            Err(EngineError::UnknownSession(_))
+        ));
+
+        // The genuine restored session is untouched by the refusals.
+        assert!(sharded.close_session(restored).is_ok());
+    }
+
+    #[test]
     fn routing_is_sticky_and_normalization_invariant() {
         let (sharded, labels) = fixture(4);
         for label in &labels {

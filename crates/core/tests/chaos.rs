@@ -281,6 +281,51 @@ fn panic_storm_fails_jobs_typed_and_drains_every_session() {
 }
 
 #[test]
+fn pool_worker_death_surfaces_as_typed_worker_panicked() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    let engine = fixture_engine();
+    let queries = multi_node_queries(&engine, 2, 3);
+    let jobs: Vec<(String, Vec<ScriptOp>)> = queries
+        .iter()
+        .cloned()
+        .map(|q| (q, vec![ScriptOp::ExpandFully]))
+        .collect();
+
+    // Period 1: every pooled task body dies before it opens a session.
+    let outcomes = {
+        let _armed =
+            fault::scoped(FaultPlan::new(chaos_seed()).site(FailSite::PoolWorker, 1, Fault::Panic));
+        engine.replay(&jobs, 2)
+    };
+
+    assert_eq!(outcomes.len(), jobs.len(), "one slot per job, even dead");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Err(EngineError::WorkerPanicked { task, message }) => {
+                assert_eq!(*task, i, "the typed error names its own task slot");
+                assert!(
+                    message.starts_with(INJECTED_PANIC_PREFIX),
+                    "job {i}: unexpected panic payload {message:?}"
+                );
+            }
+            other => panic!("job {i}: expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    // The deaths happened before any session opened: nothing leaks, and
+    // the batch still recovers once disarmed.
+    let stats = engine.stats();
+    assert_eq!(stats.sessions_active, 0);
+    assert_eq!(stats.sessions_opened, stats.sessions_closed);
+    let recovered = engine.replay(&jobs, 2);
+    assert!(
+        recovered.iter().all(Result::is_ok),
+        "disarmed replay completes every job"
+    );
+}
+
+#[test]
 fn injected_panic_quarantines_only_its_session() {
     let _serial = chaos_lock();
     quiet_injected_panics();

@@ -1,0 +1,7 @@
+//! Seeded violation for the coverage pass: `FailSite::Dead` is declared
+//! but never armed in core and never exercised by a chaos test — both
+//! matrix cells must be false and both findings must fire.
+pub enum FailSite {
+    Armed,
+    Dead,
+}

@@ -1,0 +1,17 @@
+//! Seeded violation: two functions nest the same pair of locks in
+//! opposite orders — the canonical AB/BA deadlock. `analyze` must report
+//! a lock-order cycle Engine::alpha <-> Engine::beta.
+impl Engine {
+    fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+    fn ba(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,20 @@
+//! Negative twin of `analyze_lock_cycle.rs`: the BA-side acquisition
+//! carries a reasoned `lock-order` annotation, so the site leaves the
+//! graph and the cycle disappears. A reasonless annotation would NOT
+//! suppress (same grammar as the lint rules).
+impl Engine {
+    fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+    fn ba(&self) {
+        let b = self.beta.lock();
+        // lint: allow(lock-order) — beta's alpha is a per-instance latch
+        // that is unshared until this block publishes it
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

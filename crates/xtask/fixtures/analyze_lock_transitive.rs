@@ -1,0 +1,24 @@
+//! Seeded violation: the cycle only exists through the call graph — no
+//! single function nests both locks. `holds_alpha` calls `grab_beta`
+//! while alpha is held; `holds_beta` calls `grab_alpha` while beta is
+//! held. The fixpoint closure must still find alpha -> beta -> alpha.
+impl Engine {
+    fn holds_alpha(&self) {
+        let a = self.alpha.lock();
+        self.grab_beta();
+        drop(a);
+    }
+    fn grab_beta(&self) {
+        let b = self.beta.lock();
+        drop(b);
+    }
+    fn holds_beta(&self) {
+        let b = self.beta.lock();
+        self.grab_alpha();
+        drop(b);
+    }
+    fn grab_alpha(&self) {
+        let a = self.alpha.lock();
+        drop(a);
+    }
+}

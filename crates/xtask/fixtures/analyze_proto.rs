@@ -1,0 +1,30 @@
+//! Fixture proto crate for the protocol-drift pass: two wired verbs
+//! (`Open`, `Stats` — both in VERB_WIRING) and the replies the fixture
+//! serve loop produces. The `tests` module names every variant, so the
+//! "named by a test" leg is satisfied for the clean scenario.
+pub enum Request {
+    Open { query: String },
+    Stats,
+}
+
+pub enum Reply {
+    Opened { session: u64 },
+    Stats { text: String },
+    Error { message: String },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_names_every_verb() {
+        let open = Request::Open { query: q };
+        let stats = Request::Stats;
+        let replies = (
+            Reply::Opened { session: 1 },
+            Reply::Stats { text: t },
+            Reply::Error { message: m },
+        );
+    }
+}

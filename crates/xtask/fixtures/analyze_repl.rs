@@ -1,0 +1,7 @@
+//! Fixture REPL: exercises the engine calls VERB_WIRING names for the
+//! fixture verbs (`open_session` for Open, `stats` for Stats).
+pub fn run(engine: &Engine, line: &str) {
+    let session = engine.open_session(line);
+    let text = engine.stats();
+    render(session, text);
+}

@@ -1,0 +1,17 @@
+//! Seeded violation: the serve loop lost its `Request::Stats` arm (and
+//! with it the only `Reply::Stats` construction site) — the drift the
+//! analyzer exists to catch. Everything else is wired as in the clean
+//! twin.
+pub fn apply(req: Request, engine: &Engine) -> Reply {
+    match req {
+        Request::Open { query } => match engine.open_session(&query) {
+            Ok(session) => Reply::Opened { session },
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
+        },
+        other => Reply::Error {
+            message: format!("unhandled verb"),
+        },
+    }
+}

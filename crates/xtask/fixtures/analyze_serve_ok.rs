@@ -1,0 +1,15 @@
+//! Fixture serve loop: `apply` matches every Request variant and
+//! constructs every Reply variant — the clean scenario.
+pub fn apply(req: Request, engine: &Engine) -> Reply {
+    match req {
+        Request::Open { query } => match engine.open_session(&query) {
+            Ok(session) => Reply::Opened { session },
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Stats => Reply::Stats {
+            text: engine.stats(),
+        },
+    }
+}

@@ -1,0 +1,782 @@
+//! `cargo xtask analyze` — three workspace-wide graph analyses over the
+//! [`crate::model`] symbol model (DESIGN.md §5i):
+//!
+//! * **`lock-order`** — extracts every lock acquisition in `crates/core`,
+//!   derives a held-lock → acquired-lock order graph (direct nesting plus
+//!   a name-resolved call-graph closure) and fails on cycles: the
+//!   workspace-wide generalization of the two hand-written lock lint
+//!   rules. Deliberate nesting is excluded with the shared annotation
+//!   grammar: `// lint: allow(lock-order) — reason`.
+//! * **`proto-drift`** — every `Request`/`Reply` variant in `bionav-proto`
+//!   must be matched in `serve.rs::apply`, reachable from the REPL (via
+//!   [`VERB_WIRING`]), and named by at least one test in `crates/proto`
+//!   or `crates/cli` — adding a verb without wiring every layer is a CI
+//!   failure, not a latent bug.
+//! * **`coverage`** — the assurance matrix: `FailSite` variants vs chaos
+//!   tests arming them, `Stage` variants vs the `ALL` array / `name()`
+//!   arms the exporters consume, `EngineError` variants vs construction
+//!   sites and tests. Emitted as machine-readable JSON (`--json`).
+//!
+//! Every pass takes `(path, source)` pairs, so the meta-tests feed seeded
+//! violations through the same code path CI runs. Path *hints* (e.g.
+//! `core/src`, `cli/src/serve.rs`) classify files; fixtures use virtual
+//! paths containing the same hints.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::json_escape;
+use crate::model::{lock_node, Model};
+use crate::rules::Finding;
+
+/// One analysis pass of `cargo xtask analyze` (machine-readable table,
+/// mirrored in DESIGN.md §5i).
+pub struct Analysis {
+    /// Stable id, also the `lint: allow(...)` rule id where applicable.
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The analysis table, in evaluation order.
+pub const ANALYSES: &[Analysis] = &[
+    Analysis {
+        id: "lock-order",
+        summary: "no cycles in the derived held-lock -> acquired-lock order graph of crates/core \
+                  (direct nesting + call-graph closure)",
+    },
+    Analysis {
+        id: "proto-drift",
+        summary: "every Request/Reply variant is matched in serve.rs::apply, reachable from the \
+                  REPL, and named by a proto/cli test",
+    },
+    Analysis {
+        id: "coverage",
+        summary: "assurance matrix: FailSite vs chaos tests, Stage vs ALL/name()/exporters, \
+                  EngineError vs construction sites and tests",
+    },
+];
+
+/// REPL reachability table for the protocol-drift pass: which engine call
+/// proves a `Request` variant is reachable from the interactive surface.
+/// A variant with no entry here is itself a finding — adding a verb means
+/// teaching the analyzer where the REPL exercises it.
+pub const VERB_WIRING: &[(&str, &str)] = &[
+    ("Open", "open_session"),
+    ("Expand", "expand"),
+    ("ShowResults", "show_results"),
+    ("Close", "close_session"),
+    ("Stats", "stats"),
+    ("Prom", "prometheus_text"),
+];
+
+/// The output of one `analyze` run: findings plus the coverage matrix.
+pub struct Report {
+    /// Violations across all three passes (empty == clean).
+    pub findings: Vec<Finding>,
+    /// The assurance-coverage matrix, for `--json` / the CI artifact.
+    pub matrix: Matrix,
+}
+
+/// The machine-readable assurance-coverage matrix.
+#[derive(Default)]
+pub struct Matrix {
+    /// One block per enum family.
+    pub families: Vec<Family>,
+}
+
+/// One enum family's coverage block.
+pub struct Family {
+    /// The enum's name (`FailSite`, `Stage`, `EngineError`).
+    pub name: &'static str,
+    /// Column labels, in cell order.
+    pub columns: &'static [&'static str],
+    /// `(variant, cells)` rows in declaration order.
+    pub rows: Vec<(String, Vec<bool>)>,
+}
+
+impl Matrix {
+    /// Serializes the matrix to JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"families\":[");
+        for (fi, fam) in self.families.iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"family\":\"{}\",\"columns\":[", fam.name));
+            for (ci, c) in fam.columns.iter().enumerate() {
+                if ci > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", json_escape(c)));
+            }
+            out.push_str("],\"rows\":[");
+            for (ri, (variant, cells)) in fam.rows.iter().enumerate() {
+                if ri > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"variant\":\"{}\",\"cells\":[",
+                    json_escape(variant)
+                ));
+                for (ci, c) in cells.iter().enumerate() {
+                    if ci > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(if *c { "true" } else { "false" });
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        let gaps: usize = self
+            .families
+            .iter()
+            .flat_map(|f| f.rows.iter())
+            .map(|(_, cells)| cells.iter().filter(|c| !**c).count())
+            .sum();
+        out.push_str(&format!("],\"gaps\":{gaps}}}"));
+        out
+    }
+}
+
+/// Runs all three passes over `(path, source)` pairs.
+pub fn analyze_files(files: &[(String, String)]) -> Report {
+    let model = Model::build(files);
+    let mut findings = Vec::new();
+    findings.extend(lock_order(&model));
+    findings.extend(protocol_drift(&model));
+    let (coverage_findings, matrix) = coverage(&model);
+    findings.extend(coverage_findings);
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Report { findings, matrix }
+}
+
+// -- pass 1: lock-order graph -----------------------------------------------
+
+/// Whether this file participates in the lock-order pass.
+fn core_scope(path: &str) -> bool {
+    path.contains("core/src")
+}
+
+/// Derives the held-lock → acquired-lock order graph of `crates/core` and
+/// reports every cycle (deadlock potential).
+///
+/// Lock identity is `ImplType::field` — two fields with the same qualified
+/// name are one node, so an order between distinct same-name instances
+/// (e.g. two sessions' locks) is deliberately not modeled; self-edges are
+/// skipped. Call edges resolve callees by bare name (restricted to the
+/// caller's impl type for `self.method()` calls) and close transitively
+/// over everything a callee may acquire.
+pub fn lock_order(model: &Model) -> Vec<Finding> {
+    // Eligible sites: core scope, non-test, not annotated away.
+    let sites: Vec<(usize, &crate::model::LockSite)> = model
+        .locks
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| core_scope(&model.files[s.file].path) && !s.in_test && !s.allowed)
+        .collect();
+    if sites.is_empty() {
+        return Vec::new();
+    }
+
+    // Acq*(fn): every lock node a function may acquire, directly or through
+    // calls — fixpoint over the name-resolved call graph.
+    let mut name_to_fns: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in model.fns.iter().enumerate() {
+        if !f.in_test && core_scope(&model.files[f.file].path) {
+            name_to_fns.entry(&f.name).or_default().push(i);
+        }
+    }
+    let mut acq: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (_, s) in &sites {
+        if let Some(fi) = s.fn_idx {
+            acq.entry(fi).or_default().insert(lock_node(model, s));
+        }
+    }
+    // Name resolution policy (the graph's precision knob): `self.method()`
+    // resolves within the caller's impl type; any other *method* call
+    // resolves only when exactly one non-test fn bears the name (a chained
+    // `.get(…)` / `.len(…)` on a locked collection must not alias every
+    // `get` in the workspace); free/path calls resolve to all same-name
+    // fns.
+    let candidates = |model: &Model, call: &crate::model::CallSite| -> Vec<usize> {
+        let all = name_to_fns
+            .get(call.callee.as_str())
+            .cloned()
+            .unwrap_or_default();
+        let tf = &model.files[call.file].tf;
+        let is_method = call.tok >= 1 && tf.toks[call.tok - 1].is_punct(".");
+        if !is_method {
+            return all;
+        }
+        let self_recv = call.tok >= 2 && tf.toks[call.tok - 2].is_ident("self");
+        if self_recv {
+            if let Some(qual) = call.fn_idx.and_then(|fi| model.fns[fi].qual.as_deref()) {
+                let narrowed: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&i| model.fns[i].qual.as_deref() == Some(qual))
+                    .collect();
+                if !narrowed.is_empty() {
+                    return narrowed;
+                }
+            }
+        }
+        if all.len() == 1 {
+            all
+        } else {
+            Vec::new()
+        }
+    };
+    loop {
+        let mut changed = false;
+        for call in &model.calls {
+            let Some(caller) = call.fn_idx else { continue };
+            if !core_scope(&model.files[call.file].path) {
+                continue;
+            }
+            let mut inherited: BTreeSet<String> = BTreeSet::new();
+            for callee in candidates(model, call) {
+                if let Some(set) = acq.get(&callee) {
+                    inherited.extend(set.iter().cloned());
+                }
+            }
+            if inherited.is_empty() {
+                continue;
+            }
+            let entry = acq.entry(caller).or_default();
+            let before = entry.len();
+            entry.extend(inherited);
+            changed |= entry.len() > before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: while site A's guard is live, any acquisition B (direct or via
+    // a call) orders node(A) before node(B).
+    struct Prov {
+        path: String,
+        line: usize,
+        note: String,
+    }
+    let mut edges: BTreeMap<(String, String), Prov> = BTreeMap::new();
+    let mut add_edge = |from: String, to: String, prov: Prov| {
+        if from != to {
+            edges.entry((from, to)).or_insert(prov);
+        }
+    };
+    for (ai, a) in &sites {
+        if a.held_until <= a.tok {
+            continue; // temporary guard: dead before anything else runs
+        }
+        let from = lock_node(model, a);
+        let path = model.files[a.file].path.clone();
+        for (bi, b) in &sites {
+            if bi != ai && b.file == a.file && a.tok < b.tok && b.tok < a.held_until {
+                add_edge(
+                    from.clone(),
+                    lock_node(model, b),
+                    Prov {
+                        path: path.clone(),
+                        line: b.line,
+                        note: format!("acquired while {from} is held (guard from line {})", a.line),
+                    },
+                );
+            }
+        }
+        for call in &model.calls {
+            if call.file == a.file && a.tok < call.tok && call.tok < a.held_until {
+                for callee in candidates(model, call) {
+                    if let Some(set) = acq.get(&callee) {
+                        let call_line = model.files[call.file].tf.toks[call.tok].line + 1;
+                        for node in set {
+                            add_edge(
+                                from.clone(),
+                                node.clone(),
+                                Prov {
+                                    path: path.clone(),
+                                    line: call_line,
+                                    note: format!(
+                                        "call to {}() may acquire {node} while {from} is held \
+                                         (guard from line {})",
+                                        call.callee, a.line
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the order graph.
+    let nodes: Vec<&String> = {
+        let mut set = BTreeSet::new();
+        for (f, t) in edges.keys() {
+            set.insert(f);
+            set.insert(t);
+        }
+        set.into_iter().collect()
+    };
+    let index: BTreeMap<&String, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (f, t) in edges.keys() {
+        if let (Some(&fi), Some(&ti)) = (index.get(f), index.get(t)) {
+            adj[fi].push(ti);
+        }
+    }
+    let mut findings = Vec::new();
+    if let Some(cycle) = find_cycle(&adj) {
+        let names: Vec<String> = cycle.iter().map(|&i| nodes[i].clone()).collect();
+        let mut detail = String::new();
+        let mut at = ("<unknown>".to_string(), 0);
+        for w in 0..names.len() {
+            let from = &names[w];
+            let to = &names[(w + 1) % names.len()];
+            if let Some(p) = edges.get(&(from.clone(), to.clone())) {
+                if w == 0 {
+                    at = (p.path.clone(), p.line);
+                }
+                detail.push_str(&format!(
+                    "; {from} -> {to}: {} ({}:{})",
+                    p.note, p.path, p.line
+                ));
+            }
+        }
+        findings.push(Finding {
+            path: at.0,
+            line: at.1,
+            rule: "lock-order",
+            message: format!(
+                "lock-order cycle (deadlock potential): {}{detail} — break the cycle or annotate \
+                 the deliberate acquisition with `// lint: allow(lock-order) — reason`",
+                names.join(" -> ")
+            ),
+        });
+    }
+    findings
+}
+
+/// First cycle of a digraph (node indices, cycle order), if any.
+/// Iterative coloring DFS — no recursion, no panics.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; adj.len()];
+    for start in 0..adj.len() {
+        if color[start] != WHITE {
+            continue;
+        }
+        // (node, next child index) path stack.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = GRAY;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if *child < adj[node].len() {
+                let next = adj[node][*child];
+                *child += 1;
+                match color[next] {
+                    WHITE => {
+                        color[next] = GRAY;
+                        stack.push((next, 0));
+                    }
+                    GRAY => {
+                        // Back edge: the cycle is the path suffix from `next`.
+                        let pos = stack.iter().position(|&(n, _)| n == next).unwrap_or(0);
+                        return Some(stack[pos..].iter().map(|&(n, _)| n).collect());
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+// -- pass 2: protocol drift --------------------------------------------------
+
+/// Checks that every `Request`/`Reply` variant is wired through all layers:
+/// matched in `serve.rs::apply`, reachable from the REPL, and named by a
+/// proto/cli test.
+pub fn protocol_drift(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(request) = model.enum_def("Request", "proto") else {
+        return findings; // no proto crate in this file set: nothing to check
+    };
+    let reply = model.enum_def("Reply", "proto");
+    let proto_path = model.files[request.file].path.clone();
+
+    // serve.rs::apply body range, for "matched in apply" checks.
+    let apply_body = model
+        .fns
+        .iter()
+        .find(|f| {
+            f.name == "apply" && !f.in_test && model.files[f.file].path.contains("cli/src/serve.rs")
+        })
+        .and_then(|f| f.body.map(|b| (f.file, b)));
+
+    let tested = |qual: &str, name: &str| {
+        model.refs(qual, name, "").any(|r| {
+            r.in_test
+                && (model.files[r.file].path.contains("crates/proto")
+                    || model.files[r.file].path.contains("crates/cli"))
+        })
+    };
+
+    for (variant, line) in &request.variants {
+        // (1) matched in serve.rs::apply
+        let in_apply = apply_body.is_some_and(|(file, (b, e))| {
+            model
+                .refs("Request", variant, "cli/src/serve.rs")
+                .any(|r| r.file == file && b < r.tok && r.tok < e && !r.in_test)
+        });
+        if !in_apply {
+            findings.push(Finding {
+                path: proto_path.clone(),
+                line: *line,
+                rule: "proto-drift",
+                message: format!(
+                    "Request::{variant} is not matched in crates/cli/src/serve.rs::apply — the \
+                     serve loop silently drops this verb"
+                ),
+            });
+        }
+        // (2) reachable from the REPL
+        match VERB_WIRING.iter().find(|(v, _)| v == variant) {
+            None => findings.push(Finding {
+                path: proto_path.clone(),
+                line: *line,
+                rule: "proto-drift",
+                message: format!(
+                    "Request::{variant} has no REPL-wiring entry — add (\"{variant}\", \
+                     \"<engine call>\") to VERB_WIRING in crates/xtask/src/analyze.rs and wire \
+                     the verb into the REPL"
+                ),
+            }),
+            Some((_, needle)) => {
+                let in_repl = model.calls.iter().any(|c| {
+                    c.callee == *needle && model.files[c.file].path.contains("cli/src/repl.rs")
+                });
+                if !in_repl {
+                    findings.push(Finding {
+                        path: proto_path.clone(),
+                        line: *line,
+                        rule: "proto-drift",
+                        message: format!(
+                            "Request::{variant} is not reachable from the REPL: no {needle}() \
+                             call in crates/cli/src/repl.rs"
+                        ),
+                    });
+                }
+            }
+        }
+        // (3) named by a test
+        if !tested("Request", variant) {
+            findings.push(Finding {
+                path: proto_path.clone(),
+                line: *line,
+                rule: "proto-drift",
+                message: format!(
+                    "Request::{variant} is not named by any test in crates/proto or crates/cli"
+                ),
+            });
+        }
+    }
+
+    if let Some(reply) = reply {
+        for (variant, line) in &reply.variants {
+            let in_serve = model
+                .refs("Reply", variant, "cli/src/serve.rs")
+                .any(|r| !r.in_test);
+            if !in_serve {
+                findings.push(Finding {
+                    path: proto_path.clone(),
+                    line: *line,
+                    rule: "proto-drift",
+                    message: format!(
+                        "Reply::{variant} is never constructed in crates/cli/src/serve.rs — \
+                         the serve loop cannot produce this reply"
+                    ),
+                });
+            }
+            if !tested("Reply", variant) {
+                findings.push(Finding {
+                    path: proto_path.clone(),
+                    line: *line,
+                    rule: "proto-drift",
+                    message: format!(
+                        "Reply::{variant} is not named by any test in crates/proto or crates/cli"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// -- pass 3: assurance-coverage matrix ---------------------------------------
+
+/// Builds the assurance matrix and a finding per gap.
+pub fn coverage(model: &Model) -> (Vec<Finding>, Matrix) {
+    let mut findings = Vec::new();
+    let mut matrix = Matrix::default();
+
+    // FailSite: armed in core (non-test ref outside fault.rs) + named by a
+    // chaos test.
+    if let Some(def) = model.enum_def("FailSite", "core/src/fault.rs") {
+        let def_path = model.files[def.file].path.clone();
+        let mut rows = Vec::new();
+        for (variant, line) in &def.variants {
+            let armed = model
+                .refs("FailSite", variant, "core/src")
+                .any(|r| !r.in_test && !model.files[r.file].path.ends_with("fault.rs"));
+            let chaos = model
+                .refs("FailSite", variant, "tests/chaos")
+                .next()
+                .is_some();
+            if !armed {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "FailSite::{variant} is not armed anywhere in crates/core outside \
+                         fault.rs — dead failpoint"
+                    ),
+                });
+            }
+            if !chaos {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "FailSite::{variant} is not exercised by any chaos test \
+                         (crates/core/tests/chaos.rs)"
+                    ),
+                });
+            }
+            rows.push((variant.clone(), vec![armed, chaos]));
+        }
+        matrix.families.push(Family {
+            name: "FailSite",
+            columns: &["armed_in_core", "chaos_test"],
+            rows,
+        });
+    }
+
+    // Stage: instrumented outside trace/, present in Stage::ALL, and given a
+    // name() arm — the two facts both exporters (Prometheus iterates ALL,
+    // Chrome trace renders name()) depend on.
+    if let Some(def) = model.enum_def("Stage", "trace") {
+        let def_path = model.files[def.file].path.clone();
+        let name_body = model
+            .fns
+            .iter()
+            .find(|f| f.name == "name" && f.file == def.file && !f.in_test)
+            .and_then(|f| f.body.map(|b| (f.file, b)));
+        let mut rows = Vec::new();
+        for (variant, line) in &def.variants {
+            let instrumented = model
+                .refs("Stage", variant, "")
+                .any(|r| !r.in_test && !model.files[r.file].path.contains("/trace/"));
+            let name_arm = name_body.is_some_and(|(file, (b, e))| {
+                model
+                    .refs("Stage", variant, "")
+                    .any(|r| r.file == file && b < r.tok && r.tok < e)
+            });
+            let in_all = model.refs("Stage", variant, "").any(|r| {
+                r.file == def.file
+                    && !(def.body.0 < r.tok && r.tok < def.body.1)
+                    && !name_body.is_some_and(|(_, (b, e))| b < r.tok && r.tok < e)
+            });
+            if !instrumented {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "Stage::{variant} is never instrumented outside the trace module — \
+                         dead stage"
+                    ),
+                });
+            }
+            if !name_arm {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "Stage::{variant} has no Stage::name() arm — both exporters render \
+                         stages by name"
+                    ),
+                });
+            }
+            if !in_all {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "Stage::{variant} is missing from Stage::ALL — the Prometheus exporter \
+                         iterates ALL, so this stage would never be exported"
+                    ),
+                });
+            }
+            rows.push((variant.clone(), vec![instrumented, in_all, name_arm]));
+        }
+        // Family-level: the Prometheus exporter must still iterate ALL.
+        let export_iterates = model
+            .refs("Stage", "ALL", "trace/export.rs")
+            .any(|r| !r.in_test);
+        if !export_iterates
+            && model
+                .files
+                .iter()
+                .any(|f| f.path.contains("trace/export.rs"))
+        {
+            findings.push(Finding {
+                path: def_path.clone(),
+                line: def.line,
+                rule: "coverage",
+                message: "the exporter (crates/core/src/trace/export.rs) no longer iterates \
+                          Stage::ALL — per-stage series would silently vanish"
+                    .to_string(),
+            });
+        }
+        matrix.families.push(Family {
+            name: "Stage",
+            columns: &["instrumented", "in_all", "name_arm"],
+            rows,
+        });
+    }
+
+    // EngineError: constructed in core (non-test ref outside the enum body
+    // and outside trait impls like Display) + named by a test somewhere.
+    if let Some(def) = model.enum_def("EngineError", "core/src") {
+        let def_path = model.files[def.file].path.clone();
+        let mut rows = Vec::new();
+        for (variant, line) in &def.variants {
+            let constructed = model.refs("EngineError", variant, "core/src").any(|r| {
+                if r.in_test || (r.file == def.file && def.body.0 < r.tok && r.tok < def.body.1) {
+                    return false;
+                }
+                // A match arm in `impl Display for EngineError` is
+                // formatting, not construction.
+                !model
+                    .impl_at(r.file, r.tok)
+                    .is_some_and(|i| i.trait_name.is_some() && i.type_name == "EngineError")
+            });
+            let in_test = model.refs("EngineError", variant, "").any(|r| r.in_test);
+            if !constructed {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "EngineError::{variant} is never constructed in crates/core — dead \
+                         error variant"
+                    ),
+                });
+            }
+            if !in_test {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "EngineError::{variant} is not named by any test — its refusal path \
+                         is unverified"
+                    ),
+                });
+            }
+            rows.push((variant.clone(), vec![constructed, in_test]));
+        }
+        matrix.families.push(Family {
+            name: "EngineError",
+            columns: &["constructed", "tested"],
+            rows,
+        });
+    }
+
+    (findings, matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_bound_guards_make_an_order_edge_but_no_cycle() {
+        let report = analyze_files(&files(&[(
+            "crates/core/src/a.rs",
+            "impl Engine {\n\
+                 fn one(&self) {\n\
+                     let g = self.cache.lock();\n\
+                     let h = self.flights.lock();\n\
+                     drop(h);\n\
+                     drop(g);\n\
+                 }\n\
+             }\n",
+        )]));
+        assert!(
+            report.findings.is_empty(),
+            "one direction is fine: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn opposite_nesting_is_a_cycle() {
+        let report = analyze_files(&files(&[(
+            "crates/core/src/a.rs",
+            "impl Engine {\n\
+                 fn one(&self) {\n\
+                     let g = self.cache.lock();\n\
+                     self.flights.lock().len();\n\
+                 }\n\
+                 fn two(&self) {\n\
+                     let g = self.flights.lock();\n\
+                     self.cache.lock().len();\n\
+                 }\n\
+             }\n",
+        )]));
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, "lock-order");
+        assert!(report.findings[0].message.contains("Engine::cache"));
+        assert!(report.findings[0].message.contains("Engine::flights"));
+    }
+
+    #[test]
+    fn matrix_json_counts_gaps() {
+        let m = Matrix {
+            families: vec![Family {
+                name: "FailSite",
+                columns: &["armed_in_core", "chaos_test"],
+                rows: vec![
+                    ("A".to_string(), vec![true, true]),
+                    ("B".to_string(), vec![true, false]),
+                ],
+            }],
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"gaps\":1"), "{json}");
+        assert!(
+            json.contains("\"variant\":\"B\",\"cells\":[true,false]"),
+            "{json}"
+        );
+    }
+}

@@ -28,8 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod tokens;
 
 use std::path::{Path, PathBuf};
 
@@ -81,6 +84,37 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         findings.extend(rules::scan_source(&rel, &src));
     }
     Ok(findings)
+}
+
+/// Loads every first-party source the `analyze` passes read: the root
+/// package's `src/`, each `crates/*/src/`, **and** each `crates/*/tests/`
+/// (the analyses cross-reference test coverage, which the lint walk does
+/// not). Returns `(workspace-relative path, source)` pairs, sorted.
+pub fn analysis_files(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    rs_files(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            rs_files(&member.join("src"), &mut files)?;
+            rs_files(&member.join("tests"), &mut files)?;
+        }
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((rel, src));
+    }
+    Ok(out)
 }
 
 /// Minimal JSON string escaping for the `--json` outputs.

@@ -116,7 +116,9 @@ impl std::fmt::Display for Finding {
 }
 
 /// Per-line allow state parsed from `// lint: allow(...)` annotations.
-struct Allows {
+/// Shared with the `analyze` passes, which honor the same annotation
+/// grammar for their own rule ids (`lock-order`, …).
+pub struct Allows {
     /// Rules disabled for the whole file.
     file: Vec<String>,
     /// Rules disabled per line (an annotation covers its own line and the
@@ -125,7 +127,8 @@ struct Allows {
 }
 
 impl Allows {
-    fn allowed(&self, line_idx: usize, rule: &str) -> bool {
+    /// Whether `rule` is suppressed on the 0-based line `line_idx`.
+    pub fn allowed(&self, line_idx: usize, rule: &str) -> bool {
         self.file.iter().any(|r| r == rule)
             || self
                 .line
@@ -164,7 +167,9 @@ fn parse_allow(comment: &str) -> Option<(String, bool)> {
     Some((rule, file_level))
 }
 
-fn collect_allows(lines: &[Line]) -> Allows {
+/// Collects every reasoned `// lint: allow(...)` annotation of a file into
+/// a per-line lookup structure.
+pub fn collect_allows(lines: &[Line]) -> Allows {
     let mut file = Vec::new();
     let mut line: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
     for (i, l) in lines.iter().enumerate() {
@@ -213,7 +218,7 @@ fn is_test_cfg(code: &str) -> bool {
 
 /// Mark every line inside a `#[cfg(test)] mod … { … }` region (by brace
 /// depth) and return the per-line flags.
-fn test_regions(lines: &[Line]) -> Vec<bool> {
+pub fn test_regions(lines: &[Line]) -> Vec<bool> {
     let mut in_test = vec![false; lines.len()];
     let mut depth = 0usize;
     let mut pending = false;

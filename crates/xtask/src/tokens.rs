@@ -1,0 +1,269 @@
+//! A flat token stream over the [`crate::lexer`]'s code channel.
+//!
+//! The lexer already blanks string/char literal *contents* and splits
+//! comments into their own channel, so tokenizing the code channel is a
+//! simple scan: identifier/number runs, blanked literals (`""`, `''`), and
+//! punctuation (with `::`, `=>`, and `->` merged, because paths, match
+//! arms, and return types are what the symbol model reads). Delimiters are matched into a token-tree
+//! index ([`TokenFile::match_of`]) instead of a nested tree — the model
+//! walks the flat stream and jumps across groups when it needs to.
+//!
+//! Invariant (fuzz-tested): concatenating every token's text of a line
+//! reproduces that line's code channel with the whitespace removed — the
+//! tokenizer never invents, drops, or reorders characters.
+
+use crate::lexer::Line;
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `enum`, `match`, names).
+    Ident,
+    /// Numeric literal (starts with a digit; includes `0x..`, `1_000u64`).
+    Num,
+    /// A blanked string (`""`) or char (`''`) literal.
+    Lit,
+    /// Punctuation: one char, or the merged `::` / `=>` pairs.
+    Punct,
+}
+
+/// One token of a file's code channel.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 0-based line index in the file.
+    pub line: usize,
+    /// The token's text, verbatim from the code channel.
+    pub text: String,
+    /// Classification.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A tokenized file: the flat stream plus the delimiter-matching index.
+#[derive(Debug, Default)]
+pub struct TokenFile {
+    /// The flat token stream, in source order.
+    pub toks: Vec<Tok>,
+    /// `match_of[i]` is the index of the delimiter matching token `i`
+    /// (close for an open, open for a close); `usize::MAX` for non-delims
+    /// and unbalanced delimiters.
+    pub match_of: Vec<usize>,
+    /// For every token, the index of the innermost `{` open-brace token
+    /// enclosing it (`usize::MAX` at the top level).
+    pub enclosing_brace: Vec<usize>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes the code channels of already-split lines.
+pub fn tokenize(lines: &[Line]) -> TokenFile {
+    let mut toks = Vec::new();
+    for (ln, line) in lines.iter().enumerate() {
+        let cs: Vec<char> = line.code.chars().collect();
+        let mut i = 0usize;
+        while i < cs.len() {
+            let c = cs[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if is_ident_char(c) {
+                let start = i;
+                while i < cs.len() && is_ident_char(cs[i]) {
+                    i += 1;
+                }
+                let text: String = cs[start..i].iter().collect();
+                let kind = if c.is_ascii_digit() {
+                    TokKind::Num
+                } else {
+                    TokKind::Ident
+                };
+                toks.push(Tok {
+                    line: ln,
+                    text,
+                    kind,
+                });
+                continue;
+            }
+            if (c == '"' || c == '\'') && cs.get(i + 1) == Some(&c) {
+                // The lexer blanked the literal to its two delimiters.
+                toks.push(Tok {
+                    line: ln,
+                    text: cs[i..i + 2].iter().collect(),
+                    kind: TokKind::Lit,
+                });
+                i += 2;
+                continue;
+            }
+            // Merge the pair-punctuators the model cares about: paths,
+            // match arms, and `->` (so a return-type's `>` can never be
+            // mistaken for a generic-angle close).
+            let pair: Option<&str> = match (c, cs.get(i + 1)) {
+                (':', Some(':')) => Some("::"),
+                ('=', Some('>')) => Some("=>"),
+                ('-', Some('>')) => Some("->"),
+                _ => None,
+            };
+            if let Some(p) = pair {
+                toks.push(Tok {
+                    line: ln,
+                    text: p.to_string(),
+                    kind: TokKind::Punct,
+                });
+                i += 2;
+                continue;
+            }
+            toks.push(Tok {
+                line: ln,
+                text: c.to_string(),
+                kind: TokKind::Punct,
+            });
+            i += 1;
+        }
+    }
+    index(toks)
+}
+
+/// Builds the delimiter-matching and enclosing-brace indexes.
+fn index(toks: Vec<Tok>) -> TokenFile {
+    let mut match_of = vec![usize::MAX; toks.len()];
+    let mut enclosing_brace = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<usize> = Vec::new(); // all delims
+    let mut braces: Vec<usize> = Vec::new(); // `{` only
+    for (i, t) in toks.iter().enumerate() {
+        enclosing_brace[i] = braces.last().copied().unwrap_or(usize::MAX);
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                stack.push(i);
+                if t.text == "{" {
+                    braces.push(i);
+                }
+            }
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                // Pop to the matching opener, tolerating imbalance (the
+                // code channel of valid Rust is balanced; fuzz corpora may
+                // not be).
+                while let Some(open) = stack.pop() {
+                    let ot = toks[open].text.as_str();
+                    if ot == "{" {
+                        braces.pop();
+                    }
+                    if ot == want {
+                        match_of[open] = i;
+                        match_of[i] = open;
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    TokenFile {
+        toks,
+        match_of,
+        enclosing_brace,
+    }
+}
+
+impl TokenFile {
+    /// The matching delimiter of token `i`, if `i` is a balanced delimiter.
+    pub fn match_of(&self, i: usize) -> Option<usize> {
+        let m = *self.match_of.get(i)?;
+        (m != usize::MAX).then_some(m)
+    }
+
+    /// The index of the close brace of the innermost block containing
+    /// token `i` (`None` at the top level or if unbalanced).
+    pub fn block_end(&self, i: usize) -> Option<usize> {
+        let open = *self.enclosing_brace.get(i)?;
+        if open == usize::MAX {
+            return None;
+        }
+        self.match_of(open)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn toks(src: &str) -> TokenFile {
+        tokenize(&lexer::split(src))
+    }
+
+    #[test]
+    fn idents_paths_and_arms_tokenize() {
+        let tf = toks("match x { Request::Open { query } => 1, _ => 0 }\n");
+        let texts: Vec<&str> = tf.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "match", "x", "{", "Request", "::", "Open", "{", "query", "}", "=>", "1", ",", "_",
+                "=>", "0", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn blanked_literals_become_lit_tokens() {
+        let tf = toks("let s = \"he said \\\"hi\\\"\"; let c = 'x';\n");
+        let lits: Vec<&Tok> = tf.toks.iter().filter(|t| t.kind == TokKind::Lit).collect();
+        assert_eq!(lits.len(), 2);
+        assert_eq!(lits[0].text, "\"\"");
+        assert_eq!(lits[1].text, "''");
+    }
+
+    #[test]
+    fn delimiters_match_across_lines() {
+        let tf = toks("fn f() {\n    g(1, [2, 3]);\n}\n");
+        let open = tf
+            .toks
+            .iter()
+            .position(|t| t.is_punct("{"))
+            .expect("open brace");
+        let close = tf.match_of(open).expect("balanced");
+        assert!(tf.toks[close].is_punct("}"));
+        assert_eq!(close, tf.toks.len() - 1);
+        // Everything between is inside that block.
+        assert_eq!(tf.enclosing_brace[open + 1], open);
+        assert_eq!(tf.block_end(open + 1), Some(close));
+    }
+
+    #[test]
+    fn roundtrip_text_is_preserved() {
+        let src = "impl Foo { fn bar(&self) -> u32 { self.x.lock().len() } }\n";
+        let tf = toks(src);
+        let joined: String = tf.toks.iter().map(|t| t.text.as_str()).collect();
+        let stripped: String = src.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(joined, stripped);
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        let tf = toks("} } ( [ {\n");
+        assert_eq!(tf.toks.len(), 5);
+        assert!(tf.match_of(0).is_none());
+    }
+}

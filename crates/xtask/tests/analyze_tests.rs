@@ -1,0 +1,353 @@
+//! Meta-tests for `cargo xtask analyze`: each seeded-violation fixture
+//! must be flagged (these tests FAIL if the analyzer goes blind), each
+//! negative twin must stay silent, and the real workspace must be clean —
+//! including the acceptance scenario from the issue: removing a `match`
+//! arm for any `Request` variant in serve.rs makes `analyze` fail.
+
+use std::path::Path;
+
+use xtask::analysis_files;
+use xtask::analyze::{analyze_files, Report};
+
+fn files(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect()
+}
+
+fn rules_of(report: &Report) -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = report.findings.iter().map(|f| f.rule).collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+#[test]
+fn opposite_nesting_fixture_is_flagged_as_a_cycle() {
+    let report = analyze_files(&files(&[(
+        "crates/core/src/cycle.rs",
+        include_str!("../fixtures/analyze_lock_cycle.rs"),
+    )]));
+    assert_eq!(
+        rules_of(&report),
+        vec!["lock-order"],
+        "{:?}",
+        report.findings
+    );
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("Engine::alpha"), "{msg}");
+    assert!(msg.contains("Engine::beta"), "{msg}");
+    assert!(msg.contains("cycle"), "{msg}");
+}
+
+#[test]
+fn annotated_twin_is_clean() {
+    let report = analyze_files(&files(&[(
+        "crates/core/src/cycle.rs",
+        include_str!("../fixtures/analyze_lock_cycle_annotated.rs"),
+    )]));
+    assert!(
+        report.findings.is_empty(),
+        "a reasoned lock-order annotation must suppress: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn reasonless_annotation_does_not_suppress() {
+    let src = include_str!("../fixtures/analyze_lock_cycle_annotated.rs")
+        .replace(
+            "// lint: allow(lock-order) — beta's alpha is a per-instance latch\n        // that is unshared until this block publishes it",
+            "// lint: allow(lock-order)",
+        );
+    let report = analyze_files(&files(&[("crates/core/src/cycle.rs", &src)]));
+    assert_eq!(
+        rules_of(&report),
+        vec!["lock-order"],
+        "an annotation without a reason is ignored"
+    );
+}
+
+#[test]
+fn transitive_cycle_through_the_call_graph_is_flagged() {
+    let report = analyze_files(&files(&[(
+        "crates/core/src/transitive.rs",
+        include_str!("../fixtures/analyze_lock_transitive.rs"),
+    )]));
+    assert_eq!(
+        rules_of(&report),
+        vec!["lock-order"],
+        "{:?}",
+        report.findings
+    );
+    assert!(
+        report.findings[0].message.contains("may acquire"),
+        "the finding explains the call edge: {}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn consistent_one_direction_nesting_is_clean() {
+    // Only the AB half of the cycle fixture: an order edge, no cycle.
+    let report = analyze_files(&files(&[(
+        "crates/core/src/oneway.rs",
+        "impl Engine {\n\
+             fn ab(&self) {\n\
+                 let a = self.alpha.lock();\n\
+                 let b = self.beta.lock();\n\
+                 drop(b);\n\
+                 drop(a);\n\
+             }\n\
+         }\n",
+    )]));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn test_code_locks_are_exempt() {
+    let report = analyze_files(&files(&[(
+        "crates/core/tests/cycle.rs",
+        include_str!("../fixtures/analyze_lock_cycle.rs"),
+    )]));
+    assert!(
+        report.findings.is_empty(),
+        "tests/ files are wholly test code: {:?}",
+        report.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// proto-drift
+// ---------------------------------------------------------------------------
+
+const PROTO: &str = include_str!("../fixtures/analyze_proto.rs");
+const SERVE_OK: &str = include_str!("../fixtures/analyze_serve_ok.rs");
+const REPL: &str = include_str!("../fixtures/analyze_repl.rs");
+
+#[test]
+fn fully_wired_fixture_protocol_is_clean() {
+    let report = analyze_files(&files(&[
+        ("crates/proto/src/lib.rs", PROTO),
+        ("crates/cli/src/serve.rs", SERVE_OK),
+        ("crates/cli/src/repl.rs", REPL),
+    ]));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn dropped_serve_arm_fixture_is_flagged() {
+    let report = analyze_files(&files(&[
+        ("crates/proto/src/lib.rs", PROTO),
+        (
+            "crates/cli/src/serve.rs",
+            include_str!("../fixtures/analyze_serve_drift.rs"),
+        ),
+        ("crates/cli/src/repl.rs", REPL),
+    ]));
+    // The drifted serve loop lost the Stats arm AND the only Reply::Stats
+    // construction site: two findings, both proto-drift.
+    assert_eq!(rules_of(&report), vec!["proto-drift", "proto-drift"]);
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("Request::Stats") && m.contains("apply")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("Reply::Stats") && m.contains("constructed")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn verb_without_wiring_table_entry_is_flagged() {
+    let proto = PROTO.replace("    Stats,\n", "    Stats,\n    Probe,\n");
+    let report = analyze_files(&files(&[
+        ("crates/proto/src/lib.rs", &proto),
+        ("crates/cli/src/serve.rs", SERVE_OK),
+        ("crates/cli/src/repl.rs", REPL),
+    ]));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("Probe") && f.message.contains("VERB_WIRING")),
+        "a new verb must demand its wiring entry: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn verb_unreachable_from_the_repl_is_flagged() {
+    let repl = REPL.replace("let text = engine.stats();\n", "");
+    let report = analyze_files(&files(&[
+        ("crates/proto/src/lib.rs", PROTO),
+        ("crates/cli/src/serve.rs", SERVE_OK),
+        ("crates/cli/src/repl.rs", &repl),
+    ]));
+    assert_eq!(
+        rules_of(&report),
+        vec!["proto-drift"],
+        "{:?}",
+        report.findings
+    );
+    assert!(
+        report.findings[0]
+            .message
+            .contains("not reachable from the REPL"),
+        "{}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn untested_verbs_are_flagged() {
+    // Strip the fixture proto's tests module: every variant loses its
+    // "named by a test" leg.
+    let proto_no_tests = match PROTO.split("#[cfg(test)]").next() {
+        Some(head) => head.to_string(),
+        None => PROTO.to_string(),
+    };
+    let report = analyze_files(&files(&[
+        ("crates/proto/src/lib.rs", &proto_no_tests),
+        ("crates/cli/src/serve.rs", SERVE_OK),
+        ("crates/cli/src/repl.rs", REPL),
+    ]));
+    // 2 Request + 3 Reply variants, one finding each.
+    let untested: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.message.contains("not named by any test"))
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(untested.len(), 5, "{untested:?}");
+}
+
+// ---------------------------------------------------------------------------
+// coverage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dead_failpoint_fixture_is_flagged_and_the_matrix_records_it() {
+    let report = analyze_files(&files(&[
+        (
+            "crates/core/src/fault.rs",
+            include_str!("../fixtures/analyze_coverage_gap.rs"),
+        ),
+        (
+            "crates/core/src/engine.rs",
+            "fn poke() {\n    fault::hit(FailSite::Armed);\n}\n",
+        ),
+        (
+            "crates/core/tests/chaos.rs",
+            "#[test]\nfn arms_armed() {\n    plan.site(FailSite::Armed, 1, Fault::Panic);\n}\n",
+        ),
+    ]));
+    assert_eq!(
+        rules_of(&report),
+        vec!["coverage", "coverage"],
+        "{:?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.message.contains("FailSite::Dead")),
+        "{:?}",
+        report.findings
+    );
+    let json = report.matrix.to_json();
+    assert!(
+        json.contains("\"variant\":\"Armed\",\"cells\":[true,true]"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"variant\":\"Dead\",\"cells\":[false,false]"),
+        "{json}"
+    );
+    assert!(json.contains("\"gaps\":2"), "{json}");
+}
+
+// ---------------------------------------------------------------------------
+// acceptance: the real workspace
+// ---------------------------------------------------------------------------
+
+fn workspace_root() -> &'static Path {
+    // tests run from crates/xtask; the workspace root is two levels up.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let files = analysis_files(workspace_root()).expect("workspace sources readable");
+    assert!(files.len() > 30, "loader must see the whole workspace");
+    let report = analyze_files(&files);
+    assert!(
+        report.findings.is_empty(),
+        "the committed workspace must analyze clean:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every family made it into the matrix, fully covered.
+    let json = report.matrix.to_json();
+    for family in ["FailSite", "Stage", "EngineError"] {
+        assert!(json.contains(&format!("\"family\":\"{family}\"")), "{json}");
+    }
+    assert!(json.contains("\"gaps\":0"), "{json}");
+}
+
+#[test]
+fn removing_any_request_match_arm_from_serve_fails_analyze() {
+    let all = analysis_files(workspace_root()).expect("workspace sources readable");
+    let request_variants: Vec<String> = {
+        let model = xtask::model::Model::build(&all);
+        model
+            .enum_def("Request", "proto")
+            .expect("bionav-proto defines Request")
+            .variants
+            .iter()
+            .map(|(v, _)| v.clone())
+            .collect()
+    };
+    assert!(request_variants.len() >= 6, "{request_variants:?}");
+    for variant in request_variants {
+        let mutated: Vec<(String, String)> = all
+            .iter()
+            .map(|(p, s)| {
+                if p.ends_with("cli/src/serve.rs") {
+                    // Renaming the variant in serve.rs deletes its match
+                    // arm as far as the protocol is concerned.
+                    (
+                        p.clone(),
+                        s.replace(&format!("Request::{variant}"), "Request::Gone"),
+                    )
+                } else {
+                    (p.clone(), s.clone())
+                }
+            })
+            .collect();
+        let report = analyze_files(&mutated);
+        assert!(
+            report.findings.iter().any(|f| {
+                f.rule == "proto-drift"
+                    && f.message.contains(&format!("Request::{variant}"))
+                    && f.message.contains("apply")
+            }),
+            "dropping the {variant} arm must fail analyze; got {:?}",
+            report.findings
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! CONTRIBUTING.md rule-table drift check: the table under "## Project
+//! lint rules" must stay in sync with [`xtask::RULES`] — the same source
+//! of truth `cargo xtask rules --json` serializes. Docs that promise a
+//! rule the lint doesn't enforce (or hide a scope it does) are worse than
+//! no docs, so this test diffs:
+//!
+//! * the rule **ids**, in table order vs `RULES` order;
+//! * every **path token** of each rule's scope (any whitespace-separated
+//!   `scope` token containing `/`) against the table row's scope cell —
+//!   this is what caught the `hotpath-no-hashmap` row omitting
+//!   `crates/core/src/navtree.rs` after PR 6 widened the rule.
+
+use xtask::RULES;
+
+/// `(id, scope cell)` rows of the lint-rule table, in document order.
+fn table_rows() -> Vec<(String, String)> {
+    let md = include_str!("../../../CONTRIBUTING.md");
+    // Restrict to the lint-rules section: other sections have tables too.
+    let section = md
+        .split("## Project lint rules")
+        .nth(1)
+        .expect("CONTRIBUTING.md has a '## Project lint rules' section");
+    let section = section.split("\n## ").next().unwrap_or(section);
+    section
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let body = l.strip_prefix("| `")?;
+            let (id, rest) = body.split_once('`')?;
+            let mut cells = rest.split('|').map(str::trim).filter(|c| !c.is_empty());
+            let scope = cells.next()?.to_string();
+            Some((id.to_string(), scope))
+        })
+        .collect()
+}
+
+#[test]
+fn rule_ids_match_the_rules_table_in_order() {
+    let rows = table_rows();
+    let doc_ids: Vec<&str> = rows.iter().map(|(id, _)| id.as_str()).collect();
+    let code_ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    assert_eq!(
+        doc_ids, code_ids,
+        "CONTRIBUTING.md rule table drifted from `cargo xtask rules` \
+         (same ids, same order, no extras, no omissions)"
+    );
+}
+
+#[test]
+fn every_scope_path_appears_in_the_documented_scope() {
+    let rows = table_rows();
+    for rule in RULES {
+        let (_, doc_scope) = rows
+            .iter()
+            .find(|(id, _)| id == rule.id)
+            .unwrap_or_else(|| panic!("rule `{}` missing from CONTRIBUTING.md", rule.id));
+        let doc_scope_plain = doc_scope.replace('`', "");
+        for token in rule.scope.split_whitespace().filter(|t| t.contains('/')) {
+            assert!(
+                doc_scope_plain.contains(token),
+                "rule `{}`: scope path `{token}` is enforced by the lint but absent from \
+                 the CONTRIBUTING.md row (documented scope: {doc_scope:?})",
+                rule.id
+            );
+        }
+    }
+}
+
+#[test]
+fn analyses_are_documented_too() {
+    // The `analyze` passes have their own table in CONTRIBUTING.md; every
+    // analysis id must appear (the analyzer enforces the add-a-verb /
+    // failpoint / stage checklists, so the docs must name it).
+    let md = include_str!("../../../CONTRIBUTING.md");
+    for a in xtask::analyze::ANALYSES {
+        assert!(
+            md.contains(&format!("`{}`", a.id)),
+            "analysis `{}` is not documented in CONTRIBUTING.md",
+            a.id
+        );
+    }
+}

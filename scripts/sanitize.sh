@@ -38,6 +38,19 @@ miri)
     BIONAV_SANITIZER_SCALE="$scale" MIRIFLAGS='-Zmiri-disable-isolation' \
         cargo +nightly miri test -p bionav-core --lib -- \
         telemetry:: session::tests::cut_cache edgecut::
+    echo "== miri: bionav-proto sans-IO codec (scale $scale) =="
+    # The whole proto suite is pure state-machine code (no sockets), so it
+    # all runs under the interpreter; the chunk-invariance proptests scale
+    # their case count through the same env var (vendor/proptest honors
+    # BIONAV_SANITIZER_SCALE in ProptestConfig::default).
+    BIONAV_SANITIZER_SCALE="$scale" MIRIFLAGS='-Zmiri-disable-isolation' \
+        cargo +nightly miri test -p bionav-proto --lib
+    echo "== miri: ShardSessionId packing boundaries (scale $scale) =="
+    # Bit-level id tests only — the full shard fixtures spawn per-shard
+    # worker pools, which belong to TSan below at native speed.
+    BIONAV_SANITIZER_SCALE="$scale" MIRIFLAGS='-Zmiri-disable-isolation' \
+        cargo +nightly miri test -p bionav-core --lib -- \
+        shard::tests::session_id
     ;;
 tsan)
     have_nightly || skip "no nightly toolchain; rustup toolchain install nightly"
@@ -45,12 +58,15 @@ tsan)
     [ -d "$sysroot/lib/rustlib/src/rust/library" ] \
         || skip "rust-src not installed; rustup +nightly component add rust-src"
     host="$(rustc +nightly -vV | sed -n 's/^host: //p')"
-    echo "== tsan: engine + session concurrency tests (scale $scale, $host) =="
+    echo "== tsan: engine + session + shard tier concurrency tests (scale $scale, $host) =="
+    # shard:: exercises the sharded tier (per-shard engines, worker pools,
+    # cross-shard routing) under race instrumentation; its corpus fixtures
+    # shrink through the same scale env var.
     BIONAV_SANITIZER_SCALE="$scale" \
         RUSTFLAGS='-Zsanitizer=thread' \
         CARGO_TARGET_DIR=target/tsan \
         cargo +nightly test -Zbuild-std --target "$host" -p bionav-core --lib -- \
-        engine:: session:: telemetry::
+        engine:: session:: telemetry:: shard::
     ;;
 *)
     echo "usage: scripts/sanitize.sh <miri|tsan>" >&2

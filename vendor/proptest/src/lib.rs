@@ -99,8 +99,24 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, scaled down by `BIONAV_SANITIZER_SCALE` when set — the
+    /// same knob the heavy fixtures honor (`bionav_mesh::synth::
+    /// sanitizer_scale`), so instrumented runs (Miri, TSan) shrink the
+    /// property suites too instead of excluding them. Floor-bounded at 8
+    /// cases so a scaled run still explores, and deterministic for a
+    /// given scale (the per-case RNG seed depends only on test name and
+    /// case index).
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let scale = std::env::var("BIONAV_SANITIZER_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|s| s.is_finite())
+            .unwrap_or(1.0)
+            .clamp(0.01, 1.0);
+        // Precision note: 256 * scale is exact well past f64's integer
+        // range; ceil keeps any nonzero scale at >= 1 before the floor.
+        let cases = ((256.0 * scale).ceil() as u32).max(8);
+        ProptestConfig { cases }
     }
 }
 

@@ -932,6 +932,7 @@ pub fn serve(
     // re-checks that instrumentation never changes a navigation cost.
     let pushed_before = bionav_core::trace::ring_pushed();
     bionav_core::trace::clear_ring();
+    bionav_core::trace::flightrec::reset_flight();
     bionav_core::trace::set_enabled(true);
     let traced_engine = make_engine();
     let traced_outcomes = traced_engine.replay(&jobs, workers);
@@ -1135,6 +1136,37 @@ pub fn serve(
         trace_events > 0,
     );
 
+    // Request-context join: every flight-recorder summary from the traced
+    // pass carries a nonzero request id, and those ids are the same ids
+    // stamped on the span events in the ring — the two artifacts can be
+    // joined offline (CI does exactly that against the Chrome trace).
+    let flight = bionav_core::trace::flightrec::flight_snapshot();
+    check.assert(
+        format!(
+            "flight recorder captured request summaries ({} entries)",
+            flight.len()
+        ),
+        !flight.is_empty(),
+    );
+    check.assert(
+        "every flight-recorder entry names its originating request id",
+        flight.iter().all(|e| e.request_id != 0),
+    );
+    let flight_rids: std::collections::HashSet<u64> = flight.iter().map(|e| e.request_id).collect();
+    let span_rids: std::collections::HashSet<u64> = bionav_core::trace::ring_snapshot()
+        .iter()
+        .map(|e| e.rid)
+        .filter(|&rid| rid != 0)
+        .collect();
+    check.assert(
+        format!(
+            "span-ring request ids join against the flight recorder ({} of {} rids matched)",
+            span_rids.intersection(&flight_rids).count(),
+            span_rids.len()
+        ),
+        !span_rids.is_empty() && span_rids.iter().any(|rid| flight_rids.contains(rid)),
+    );
+
     if let Some(path) = out {
         let report = ServeReport {
             workers,
@@ -1166,6 +1198,16 @@ pub fn serve(
         match std::fs::write(&prom_path, traced_engine.prometheus_text()) {
             Ok(()) => println!("wrote {}", prom_path.display()),
             Err(e) => println!("WARNING: could not write {}: {e}", prom_path.display()),
+        }
+        // Flight-recorder dump from the same traced pass; CI joins its
+        // request ids against the Chrome trace's per-event `args.rid`.
+        let flight_path = path.with_extension("flightrec.json");
+        match std::fs::write(
+            &flight_path,
+            bionav_core::trace::flightrec::entries_json(&flight),
+        ) {
+            Ok(()) => println!("wrote {}", flight_path.display()),
+            Err(e) => println!("WARNING: could not write {}: {e}", flight_path.display()),
         }
     }
 

@@ -16,9 +16,29 @@ use std::sync::Arc;
 
 use bionav_core::engine::{Engine, SharedTree};
 use bionav_core::session::SessionState;
-use bionav_core::{CostParams, NavNodeId, NavigationTree, ShardSessionId, ShardedEngine};
+use bionav_core::trace::flightrec;
+use bionav_core::{CostParams, NavNodeId, NavigationTree, ShardSessionId, ShardedEngine, Verb};
 
 use crate::Dataset;
+
+/// Writes `bytes` to `path` through a temp sibling plus rename, so a
+/// concurrent reader (or a crash mid-write) never observes a truncated
+/// file — the dump commands overwrite prior dumps in place.
+fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
 
 /// What `save` writes and `load` restores: the query plus the exported
 /// session state (the tree itself is rebuilt from the query, like the
@@ -153,6 +173,7 @@ impl Repl {
             "serve-stats" | "stats" => Response::Text(self.cmd_serve_stats(rest)),
             "serve-reset" => Response::Text(self.cmd_serve_reset(rest)),
             "trace" => Response::Text(self.cmd_trace(rest)),
+            "flightrec" => Response::Text(self.cmd_flightrec(rest)),
             other => Response::Text(format!("unknown command {other:?}; type `help`\n")),
         }
     }
@@ -348,6 +369,9 @@ impl Repl {
     }
 
     fn cmd_show(&mut self, arg: &str) -> String {
+        // SHOWRESULTS has no engine entry point of its own, so the REPL
+        // front end mints its request context here.
+        let _scope = flightrec::ensure_scope(Verb::ShowResults);
         let node = match self.pick(arg) {
             Ok(n) => n,
             Err(e) => return e,
@@ -488,6 +512,13 @@ impl Repl {
     /// `--json` emits the machine-readable [`ServeStats`] document and
     /// `--prom` the Prometheus text exposition.
     fn cmd_serve_stats(&self, rest: &str) -> String {
+        // The telemetry verbs are REPL-minted request scopes too, so even
+        // scrapes show up in the flight recorder.
+        let _scope = flightrec::ensure_scope(if rest == "--prom" {
+            Verb::Prom
+        } else {
+            Verb::Stats
+        });
         match rest {
             "--json" => {
                 // Serialization failure is reported, not papered over with
@@ -548,6 +579,16 @@ impl Repl {
                 );
             }
         }
+        if !st.slo_burn.is_empty() {
+            out.push_str("SLO burn   :\n");
+            for b in &st.slo_burn {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} p99 ≤ {:>6.1} ms  window {:<7} burn {:>6.2}×  ({}/{} within target)",
+                    b.verb, b.target_p99_ms, b.window, b.burn_rate, b.good, b.total
+                );
+            }
+        }
         out
     }
 
@@ -573,7 +614,7 @@ impl Repl {
                     return "usage: trace dump <file>\n".to_string();
                 }
                 let json = trace::chrome_trace_json();
-                match std::fs::write(arg, &json) {
+                match write_atomic(arg, json.as_bytes()) {
                     Ok(()) => format!(
                         "wrote Chrome trace-event JSON to {arg} (load in Perfetto or chrome://tracing)\n"
                     ),
@@ -587,6 +628,36 @@ impl Repl {
                 trace::ring_pushed(),
             ),
             other => format!("usage: trace [on|off|dump <file>] (got {other:?})\n"),
+        }
+    }
+
+    /// The `flightrec` command: report the black-box flight recorder's
+    /// fill level, or dump it as a JSON array of request summaries
+    /// (atomically — the CI smoke step parses the file while serves run).
+    fn cmd_flightrec(&self, rest: &str) -> String {
+        let _scope = flightrec::ensure_scope(Verb::Debug);
+        let (sub, arg) = match rest.split_once(char::is_whitespace) {
+            Some((s, a)) => (s, a.trim()),
+            None => (rest, ""),
+        };
+        match sub {
+            "" => format!(
+                "flight recorder: {} requests ever recorded, {} summaries in the ring\n",
+                flightrec::flight_recorded(),
+                flightrec::flight_snapshot().len(),
+            ),
+            "dump" => {
+                if arg.is_empty() {
+                    return "usage: flightrec dump <file>\n".to_string();
+                }
+                let entries = flightrec::flight_snapshot();
+                let json = flightrec::entries_json(&entries);
+                match write_atomic(arg, json.as_bytes()) {
+                    Ok(()) => format!("wrote {} flight records to {arg}\n", entries.len()),
+                    Err(e) => format!("flightrec dump failed: {e}\n"),
+                }
+            }
+            other => format!("usage: flightrec [dump <file>] (got {other:?})\n"),
         }
     }
 
@@ -669,6 +740,8 @@ commands:
   serve-stats --shards  one telemetry row per shard of the serving tier
   trace on|off       toggle span tracing into the fixed-memory event ring
   trace dump <file>  write the ring as Chrome trace-event JSON (Perfetto)
+  flightrec          black-box recorder fill level (last N request summaries)
+  flightrec dump <file>  write the flight recorder as JSON request records
   serve-reset        restart the telemetry window (keeps trees and sessions)
   serve-reset --shard N  restart one shard's telemetry window
   help               this text
@@ -926,6 +999,53 @@ mod tests {
         // Usage errors are reported, not panicked on.
         assert!(r.handle("trace dump").text().contains("usage"));
         assert!(r.handle("trace sideways").text().contains("usage"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flightrec_reports_and_dumps_request_records_atomically() {
+        let dir = std::env::temp_dir().join(format!("bionav-flightrec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("flight.json");
+        let path = file.to_str().unwrap();
+
+        let mut r = repl();
+        let q = query_of(&r);
+        r.handle(&format!("query {q}"));
+        r.handle("expand 1");
+        r.handle("show 2");
+
+        let status = r.handle("flightrec").text().to_string();
+        assert!(status.contains("flight recorder:"), "{status}");
+
+        // Pre-seed the target with junk: the dump must replace it whole
+        // (temp file + rename), never truncate-then-write in place.
+        std::fs::write(&file, "NOT JSON").unwrap();
+        let out = r
+            .handle(&format!("flightrec dump {path}"))
+            .text()
+            .to_string();
+        assert!(out.contains("flight records"), "{out}");
+        let dumped = std::fs::read_to_string(&file).unwrap();
+        let records: Vec<bionav_core::FlightRecord> =
+            serde_json::from_str(&dumped).expect("dump parses");
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|rec| rec.request_id != 0));
+        assert!(
+            records.iter().any(|rec| rec.verb == "show_results"),
+            "{dumped}"
+        );
+        // No temp sibling was left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+
+        // Usage errors are reported, not panicked on.
+        assert!(r.handle("flightrec dump").text().contains("usage"));
+        assert!(r.handle("flightrec sideways").text().contains("usage"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -9,16 +9,104 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bionav_core::{NavNodeId, ShardSessionId, ShardedEngine};
-use bionav_proto::{Conn, Event, Reply, Request, WireNode};
+use bionav_core::trace::flightrec;
+use bionav_core::{NavNodeId, RequestCtx, ShardSessionId, ShardedEngine, Verb};
+use bionav_proto::{Conn, Event, Reply, Request, WireCtx, WireNode};
 
 use crate::repl::ReplBuilder;
 use crate::Dataset;
 
 /// The serving tier a connection handler talks to.
 pub type ServeEngine = ShardedEngine<ReplBuilder>;
+
+/// Connections ever accepted (`bionav_conn_accepted_total`).
+static CONN_ACCEPTED: AtomicU64 = AtomicU64::new(0);
+/// Currently open connections (`bionav_conn_active`).
+static CONN_ACTIVE: AtomicU64 = AtomicU64::new(0);
+/// Intact frames whose payload failed to decode
+/// (`bionav_frames_malformed_total`).
+static FRAMES_MALFORMED: AtomicU64 = AtomicU64::new(0);
+
+/// RAII guard over the connection gauge: counts the accept on
+/// construction, decrements the active gauge on drop — including the
+/// unwind path of a panicking handler thread, so the gauge can't leak.
+struct ConnGauge;
+
+impl ConnGauge {
+    fn accept() -> Self {
+        // Ordering: Relaxed — monotonic telemetry counters; nothing is
+        // published through them.
+        CONN_ACCEPTED.fetch_add(1, Ordering::Relaxed);
+        // Ordering: Relaxed — same advisory telemetry contract.
+        CONN_ACTIVE.fetch_add(1, Ordering::Relaxed);
+        ConnGauge
+    }
+}
+
+impl Drop for ConnGauge {
+    fn drop(&mut self) {
+        // Ordering: Relaxed — advisory gauge decrement, never synchronizes.
+        CONN_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The front end's own Prometheus families, appended to the engine
+/// exposition by the wire `PROM` verb.
+fn conn_metrics_text() -> String {
+    format!(
+        "# HELP bionav_conn_accepted_total Connections accepted by the TCP front end.\n\
+         # TYPE bionav_conn_accepted_total counter\n\
+         bionav_conn_accepted_total {}\n\
+         # HELP bionav_conn_active Currently open front-end connections.\n\
+         # TYPE bionav_conn_active gauge\n\
+         bionav_conn_active {}\n\
+         # HELP bionav_frames_malformed_total Intact frames whose payload was not a valid request.\n\
+         # TYPE bionav_frames_malformed_total counter\n\
+         bionav_frames_malformed_total {}\n",
+        // Ordering: Relaxed — scrape-time reads of advisory counters.
+        CONN_ACCEPTED.load(Ordering::Relaxed),
+        // Ordering: Relaxed — same contract as above.
+        CONN_ACTIVE.load(Ordering::Relaxed),
+        // Ordering: Relaxed — same contract as above.
+        FRAMES_MALFORMED.load(Ordering::Relaxed),
+    )
+}
+
+/// The flight-recorder verb a wire request runs under. Exhaustive on
+/// purpose: a new `Request` variant fails to compile until it is
+/// classified here, and the `cargo xtask analyze` coverage matrix checks
+/// every verb appears (ctx propagation leg).
+fn verb_of(req: &Request) -> Verb {
+    match req {
+        Request::Open { .. } => Verb::Open,
+        Request::Expand { .. } => Verb::Expand,
+        Request::ShowResults { .. } => Verb::ShowResults,
+        Request::Close { .. } => Verb::Close,
+        Request::Stats => Verb::Stats,
+        Request::Prom => Verb::Prom,
+        Request::Debug => Verb::Debug,
+    }
+}
+
+/// Builds the server-side [`RequestCtx`] for one decoded request: honor
+/// the client's envelope fields when present (0 = unset), mint a fresh
+/// process-unique request id otherwise so legacy bare frames are traced
+/// too.
+fn wire_request_ctx(wire: Option<WireCtx>) -> RequestCtx {
+    let wire = wire.unwrap_or_default();
+    RequestCtx {
+        request_id: if wire.request_id != 0 {
+            wire.request_id
+        } else {
+            flightrec::mint_request_id()
+        },
+        session: (wire.session != 0).then_some(wire.session),
+        deadline_ns: wire.deadline_ns,
+    }
+}
 
 /// Accepts connections forever, one handler thread each. The bound
 /// address is already printed by the caller (so tests can bind port 0 and
@@ -44,6 +132,7 @@ pub fn serve(listener: TcpListener, engine: Arc<ServeEngine>, dataset: Arc<Datas
 /// [`Reply::Error`] and the connection keeps going (the framing layer
 /// already resynchronized past them).
 fn handle_connection(mut stream: TcpStream, engine: &ServeEngine, dataset: &Dataset) {
+    let _gauge = ConnGauge::accept();
     let mut conn = Conn::new();
     let mut buf = [0u8; 4096];
     loop {
@@ -57,8 +146,19 @@ fn handle_connection(mut stream: TcpStream, engine: &ServeEngine, dataset: &Data
         };
         for event in events {
             let reply = match event {
-                Event::Request(req) => apply(req, engine, dataset),
-                Event::Malformed(msg) => Reply::Error { message: msg },
+                Event::Request(req, wire) => {
+                    // The wire front end is where request contexts are
+                    // minted: every span, degradation decision, and
+                    // flight-recorder entry downstream carries this id.
+                    let ctx = wire_request_ctx(wire);
+                    let _scope = flightrec::request_scope(ctx, verb_of(&req));
+                    apply(req, engine, dataset)
+                }
+                Event::Malformed(msg) => {
+                    // Ordering: Relaxed — monotonic telemetry counter.
+                    FRAMES_MALFORMED.fetch_add(1, Ordering::Relaxed);
+                    Reply::Error { message: msg }
+                }
             };
             conn.enqueue_reply(&reply);
         }
@@ -154,10 +254,13 @@ fn apply(req: Request, engine: &ServeEngine, dataset: &Dataset) -> Reply {
             // handler keeps it so citation-enriching verbs (titles in
             // SHOWRESULTS replies, say) slot in without a signature change.
             let _ = dataset;
-            Reply::Prom {
-                text: engine.prometheus_text(),
-            }
+            let mut text = engine.prometheus_text();
+            text.push_str(&conn_metrics_text());
+            Reply::Prom { text }
         }
+        Request::Debug => Reply::Flight {
+            json: flightrec::flightrec_json(),
+        },
     }
 }
 
@@ -218,7 +321,24 @@ mod tests {
         let stats = apply(Request::Stats, &engine, &dataset);
         assert!(matches!(stats, Reply::Stats { ref json } if json.contains("sessions_opened")));
         let prom = apply(Request::Prom, &engine, &dataset);
-        assert!(matches!(prom, Reply::Prom { ref text } if text.contains("shard=\"1\"")));
+        let Reply::Prom { ref text } = prom else {
+            panic!("expected Prom, got {prom:?}");
+        };
+        assert!(text.contains("shard=\"1\""));
+        // The front end's own families ride along on the wire PROM verb.
+        assert!(text.contains("# TYPE bionav_conn_accepted_total counter"));
+        assert!(text.contains("# TYPE bionav_conn_active gauge"));
+        assert!(text.contains("# TYPE bionav_frames_malformed_total counter"));
+
+        let debug = apply(Request::Debug, &engine, &dataset);
+        let Reply::Flight { ref json } = debug else {
+            panic!("expected Flight, got {debug:?}");
+        };
+        let records: Vec<bionav_core::FlightRecord> =
+            serde_json::from_str(json).expect("flight dump parses");
+        // The verbs applied above ran without a front-end scope, so the
+        // engine minted ids itself; every record carries a nonzero one.
+        assert!(records.iter().all(|r| r.request_id != 0));
 
         assert_eq!(
             apply(Request::Close { session }, &engine, &dataset),
@@ -312,5 +432,108 @@ mod tests {
             apply(Request::Close { session: genuine }, &engine, &dataset),
             Reply::Closed
         );
+    }
+
+    /// Envelope fields are honored verbatim; bare/zeroed frames get a
+    /// server-minted nonzero id instead.
+    #[test]
+    fn wire_ctx_minting_honors_the_envelope_and_fills_gaps() {
+        let full = wire_request_ctx(Some(WireCtx {
+            request_id: 0xFACE,
+            session: 7,
+            deadline_ns: 99,
+        }));
+        assert_eq!(full.request_id, 0xFACE);
+        assert_eq!(full.session, Some(7));
+        assert_eq!(full.deadline_ns, 99);
+
+        let bare = wire_request_ctx(None);
+        assert_ne!(bare.request_id, 0, "bare frames get a minted id");
+        assert_eq!(bare.session, None);
+        assert_eq!(bare.deadline_ns, 0);
+
+        let zeroed = wire_request_ctx(Some(WireCtx::default()));
+        assert_ne!(zeroed.request_id, 0);
+        assert_ne!(zeroed.request_id, bare.request_id, "ids are unique");
+    }
+
+    /// Every wire `Request` variant classifies to the matching flight
+    /// verb (the analyzer's ctx-propagation leg anchors on this table).
+    #[test]
+    fn verb_of_covers_every_wire_request() {
+        let cases = [
+            (Request::Open { query: "q".into() }, Verb::Open),
+            (
+                Request::Expand {
+                    session: 1,
+                    node: 2,
+                },
+                Verb::Expand,
+            ),
+            (
+                Request::ShowResults {
+                    session: 1,
+                    node: 2,
+                },
+                Verb::ShowResults,
+            ),
+            (Request::Close { session: 1 }, Verb::Close),
+            (Request::Stats, Verb::Stats),
+            (Request::Prom, Verb::Prom),
+            (Request::Debug, Verb::Debug),
+        ];
+        for (req, verb) in cases {
+            assert_eq!(verb_of(&req), verb, "{req:?}");
+        }
+    }
+
+    /// A front-end scope around `apply` lands the client-chosen request
+    /// id in the flight recorder — the end-to-end propagation contract.
+    #[test]
+    fn wire_scope_threads_the_client_request_id_into_the_recorder() {
+        let (engine, dataset, query) = tier();
+        let ctx = wire_request_ctx(Some(WireCtx {
+            request_id: 0xD0_0DFEED,
+            session: 0,
+            deadline_ns: 0,
+        }));
+        let reply = {
+            let _scope = flightrec::request_scope(ctx, Verb::Open);
+            apply(Request::Open { query }, &engine, &dataset)
+        };
+        assert!(matches!(reply, Reply::Opened { .. }));
+        let mine: Vec<_> = flightrec::flight_snapshot()
+            .into_iter()
+            .filter(|e| e.request_id == 0xD0_0DFEED)
+            .collect();
+        assert_eq!(mine.len(), 1, "exactly one summary for the wire request");
+        assert_eq!(mine[0].verb, Verb::Open);
+        assert!(mine[0].shard.is_some(), "the owning shard was noted");
+    }
+
+    /// The connection gauge balances accepts against drops — including
+    /// nothing-read connections — and the malformed counter only moves on
+    /// malformed frames.
+    #[test]
+    fn conn_counters_balance_and_render() {
+        // Ordering: Relaxed — test-only snapshot reads of advisory counters.
+        let accepted0 = CONN_ACCEPTED.load(Ordering::Relaxed);
+        {
+            let _g = ConnGauge::accept();
+            let _h = ConnGauge::accept();
+            // Ordering: Relaxed — same contract as above.
+            assert!(CONN_ACTIVE.load(Ordering::Relaxed) >= 2);
+        }
+        // Ordering: Relaxed — same contract as above.
+        assert_eq!(CONN_ACCEPTED.load(Ordering::Relaxed), accepted0 + 2);
+        let text = conn_metrics_text();
+        for family in [
+            "bionav_conn_accepted_total",
+            "bionav_conn_active",
+            "bionav_frames_malformed_total",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")), "{family}");
+            assert!(text.contains(&format!("\n{family} ")), "{family} sample");
+        }
     }
 }

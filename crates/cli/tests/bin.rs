@@ -63,7 +63,7 @@ fn help_flag_exits_zero() {
 /// wire protocol with the proto crate's client-side reply reader.
 #[test]
 fn serve_speaks_the_wire_protocol_end_to_end() {
-    use bionav_proto::{encode_request, Reply, ReplyReader, Request};
+    use bionav_proto::{encode_request, encode_request_ctx, Reply, ReplyReader, Request, WireCtx};
     use std::io::{BufRead, BufReader, Read};
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_bionav"))
@@ -102,27 +102,27 @@ fn serve_speaks_the_wire_protocol_end_to_end() {
             .set_read_timeout(Some(std::time::Duration::from_secs(30)))
             .map_err(|e| e.to_string())?;
         let mut reader = ReplyReader::new();
-        let mut next_reply = |stream: &mut std::net::TcpStream,
-                              req: &Request|
-         -> Result<Reply, String> {
-            Write::write_all(stream, &encode_request(req)).map_err(|e| format!("write: {e}"))?;
-            let mut buf = [0u8; 4096];
-            loop {
-                let n = stream.read(&mut buf).map_err(|e| format!("read: {e}"))?;
-                if n == 0 {
-                    return Err("server hung up".to_string());
+        let mut next_reply =
+            |stream: &mut std::net::TcpStream, frame: Vec<u8>| -> Result<Reply, String> {
+                Write::write_all(stream, &frame).map_err(|e| format!("write: {e}"))?;
+                let mut buf = [0u8; 4096];
+                loop {
+                    let n = stream.read(&mut buf).map_err(|e| format!("read: {e}"))?;
+                    if n == 0 {
+                        return Err("server hung up".to_string());
+                    }
+                    let mut replies = reader.feed_bytes(&buf[..n]).map_err(|e| e.to_string())?;
+                    if let Some(reply) = replies.pop() {
+                        return Ok(reply);
+                    }
                 }
-                let mut replies = reader.feed_bytes(&buf[..n]).map_err(|e| e.to_string())?;
-                if let Some(reply) = replies.pop() {
-                    return Ok(reply);
-                }
-            }
-        };
+            };
 
         // The demo dataset suggests queries over its synthetic labels; any
         // root expansion works, so open with a label the MeSH root always
         // has: ask the server for stats first to learn nothing is open.
-        let Reply::Stats { json } = next_reply(&mut stream, &Request::Stats)? else {
+        let Reply::Stats { json } = next_reply(&mut stream, encode_request(&Request::Stats))?
+        else {
             return Err("expected Stats".to_string());
         };
         if !json.contains("\"sessions_opened\"") {
@@ -132,9 +132,9 @@ fn serve_speaks_the_wire_protocol_end_to_end() {
         // An Open for a nonsense query is a typed error, not a hangup.
         let bad = next_reply(
             &mut stream,
-            &Request::Open {
+            encode_request(&Request::Open {
                 query: "zzzznope".into(),
-            },
+            }),
         )?;
         if !matches!(bad, Reply::Error { .. }) {
             return Err(format!("expected Error, got {bad:?}"));
@@ -142,9 +142,9 @@ fn serve_speaks_the_wire_protocol_end_to_end() {
 
         let opened = next_reply(
             &mut stream,
-            &Request::Open {
+            encode_request(&Request::Open {
                 query: query.clone(),
-            },
+            }),
         )?;
         let Reply::Opened { session, roots } = opened else {
             return Err(format!("expected Opened for {query:?}, got {opened:?}"));
@@ -155,10 +155,10 @@ fn serve_speaks_the_wire_protocol_end_to_end() {
 
         let expanded = next_reply(
             &mut stream,
-            &Request::Expand {
+            encode_request(&Request::Expand {
                 session,
                 node: roots[0].node,
-            },
+            }),
         )?;
         let Reply::Expanded { revealed, .. } = expanded else {
             return Err(format!("expected Expanded, got {expanded:?}"));
@@ -166,25 +166,62 @@ fn serve_speaks_the_wire_protocol_end_to_end() {
         if let Some(first) = revealed.first() {
             let shown = next_reply(
                 &mut stream,
-                &Request::ShowResults {
+                encode_request(&Request::ShowResults {
                     session,
                     node: first.node,
-                },
+                }),
             )?;
             if !matches!(shown, Reply::Results { ref citations } if !citations.is_empty()) {
                 return Err(format!("expected Results, got {shown:?}"));
             }
         }
 
-        let prom = next_reply(&mut stream, &Request::Prom)?;
+        let prom = next_reply(&mut stream, encode_request(&Request::Prom))?;
         let Reply::Prom { text } = prom else {
             return Err("expected Prom".to_string());
         };
         if !text.contains("shard=\"0\"") || !text.contains("shard=\"1\"") {
             return Err(format!("prom exposition missing shard labels: {text}"));
         }
+        if !text.contains("bionav_conn_accepted_total") {
+            return Err(format!("prom exposition missing conn counters: {text}"));
+        }
+        if !text.contains("bionav_conn_active 1") {
+            return Err(format!("expected exactly one active connection: {text}"));
+        }
 
-        let closed = next_reply(&mut stream, &Request::Close { session })?;
+        // A request wrapped in a context envelope rides with the client's own
+        // request id, and the flight recorder attributes the work to it.
+        let enveloped = next_reply(
+            &mut stream,
+            encode_request_ctx(
+                WireCtx {
+                    request_id: 0xFACE,
+                    session: 0,
+                    deadline_ns: 0,
+                },
+                &Request::Stats,
+            ),
+        )?;
+        if !matches!(enveloped, Reply::Stats { .. }) {
+            return Err(format!(
+                "expected Stats for enveloped frame, got {enveloped:?}"
+            ));
+        }
+        let debug = next_reply(&mut stream, encode_request(&Request::Debug))?;
+        let Reply::Flight { json } = debug else {
+            return Err(format!("expected Flight, got {debug:?}"));
+        };
+        if !json.contains("\"request_id\":64206") {
+            return Err(format!(
+                "flight recorder lost the envelope rid 0xFACE: {json}"
+            ));
+        }
+        if !json.contains("\"verb\":\"stats\"") {
+            return Err(format!("flight recorder missing the stats verb: {json}"));
+        }
+
+        let closed = next_reply(&mut stream, encode_request(&Request::Close { session }))?;
         if closed != Reply::Closed {
             return Err(format!("expected Closed, got {closed:?}"));
         }

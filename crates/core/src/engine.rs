@@ -67,7 +67,9 @@ use std::sync::Arc;
 // interleave park/resume model explores the production protocol (§5d).
 use crate::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 
+use crate::slo::{SloBurn, SloState, SloVerb};
 use crate::telemetry::LatencyHistogram;
+use crate::trace::flightrec::{self, Verb};
 use crate::trace::{self, Stage, StageMetrics, StageStat};
 
 use crate::active::EdgeCutError;
@@ -383,6 +385,60 @@ impl fmt::Display for EngineError {
     }
 }
 
+impl EngineError {
+    /// Kind names indexed by the variant's position in the enum; the
+    /// flight-recorder code is this index plus one (0 = success).
+    const KIND_NAMES: [&'static str; 10] = [
+        "unknown_query",
+        "unknown_session",
+        "session_busy",
+        "quarantined",
+        "overloaded",
+        "tree_build_failed",
+        "session_panicked",
+        "worker_panicked",
+        "state_mismatch",
+        "cut",
+    ];
+
+    fn kind_index(&self) -> usize {
+        match self {
+            EngineError::UnknownQuery(_) => 0,
+            EngineError::UnknownSession(_) => 1,
+            EngineError::SessionBusy(_) => 2,
+            EngineError::Quarantined(_) => 3,
+            EngineError::Overloaded => 4,
+            EngineError::TreeBuildFailed(_) => 5,
+            EngineError::SessionPanicked { .. } => 6,
+            EngineError::WorkerPanicked { .. } => 7,
+            EngineError::StateMismatch => 8,
+            EngineError::Cut(_) => 9,
+        }
+    }
+
+    /// Stable snake_case kind name (flight-recorder records, logs).
+    pub fn kind_name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+
+    /// 1-based kind code packed into flight-recorder slots (0 = ok).
+    pub(crate) fn flight_code(&self) -> u8 {
+        self.kind_index() as u8 + 1
+    }
+
+    /// Inverse of [`EngineError::flight_code`]: the kind name for a packed
+    /// code, `""` for 0 (success).
+    pub(crate) fn flight_kind(code: u8) -> &'static str {
+        if code == 0 {
+            return "";
+        }
+        Self::KIND_NAMES
+            .get(usize::from(code - 1))
+            .copied()
+            .unwrap_or("unknown")
+    }
+}
+
 impl std::error::Error for EngineError {}
 
 impl From<EdgeCutError> for EngineError {
@@ -610,6 +666,9 @@ pub struct ServeStats {
     pub elapsed_secs: f64,
     /// Closed sessions per wall-clock second.
     pub sessions_per_sec: f64,
+    /// Per-verb SLO burn-rate rows (DESIGN.md §5j), in [`crate::slo::SLOS`]
+    /// order with the `total` window before the `recent` window per verb.
+    pub slo_burn: Vec<SloBurn>,
     /// Per-stage latency breakdown of the serve path (only stages that
     /// recorded samples in the current window, in [`Stage::ALL`] order).
     pub stages: Vec<StageStat>,
@@ -687,6 +746,9 @@ where
     /// per [`Stage`], fed by the thread-local capture tape drained after
     /// each public engine operation.
     stage: StageMetrics,
+    /// Rotating-baseline burn-rate state for the SLO monitor (DESIGN.md
+    /// §5j); derives from `expand_hist` / `stage`, adds no hot-path work.
+    slo: SloState,
     /// Start of the current stats window, as a [`trace::now_ns`] offset
     /// (reset by [`Engine::reset_stats`]).
     started_ns: AtomicU64,
@@ -732,6 +794,7 @@ where
             sessions_active: AtomicUsize::new(0),
             expand_hist: LatencyHistogram::new(),
             stage: StageMetrics::new(),
+            slo: SloState::new(),
             started_ns: AtomicU64::new(trace::now_ns()),
             policy: DegradePolicy::default(),
             inflight_expands: AtomicUsize::new(0),
@@ -759,6 +822,20 @@ where
         (self.fault_shard != u64::MAX).then(|| fault::enter_shard(self.fault_shard as usize))
     }
 
+    /// Open (or join) this thread's flight-recorder request scope for one
+    /// public operation (DESIGN.md §5j). Wire-fronted requests arrive with
+    /// a scope already open (the front end minted the
+    /// [`flightrec::RequestCtx`]) and join it; direct API callers get a
+    /// fresh server-minted request id.
+    /// Shard-tagged engines stamp their shard into the summary.
+    fn flight_scope(&self, verb: Verb) -> flightrec::RequestScope {
+        let scope = flightrec::ensure_scope(verb);
+        if self.fault_shard != u64::MAX {
+            flightrec::note_shard(self.fault_shard as usize);
+        }
+        scope
+    }
+
     /// Builder-style [`DegradePolicy`] override.
     pub fn with_policy(mut self, policy: DegradePolicy) -> Self {
         self.policy = policy;
@@ -782,8 +859,12 @@ where
     /// (every span, independent of the ring toggle and sampling), so stage
     /// counts stay consistent with `edgecut::counters`.
     fn absorb_tape(&self) {
-        for (stage, ns) in trace::take_captured() {
+        for (stage, ns, _rid) in trace::take_captured() {
             self.stage.record(stage, ns);
+            // The tape drains on the thread that ran the spans, while its
+            // request scope is still open — the same interval lands in the
+            // flight recorder's per-request breakdown.
+            flightrec::note_stage(stage, ns);
         }
     }
 
@@ -934,12 +1015,14 @@ where
     /// Typed failures: [`EngineError::UnknownQuery`] when the query has no
     /// results, [`EngineError::TreeBuildFailed`] when the build died.
     pub fn open_session(&self, query: &str) -> Result<SessionId, EngineError> {
+        let _flight = self.flight_scope(Verb::Open);
         let _shard = self.fault_scope();
         let cap = trace::capture();
-        let out = (|| {
+        let out: Result<SessionId, EngineError> = (|| {
             let _sp = trace::span(Stage::OpenSession);
             let t0 = trace::now_ns();
             let (tree, cuts, cache_hit) = self.tree_and_cuts_for(query)?;
+            flightrec::note_cache(cache_hit);
             // Ordering: Relaxed — only id uniqueness matters; the session
             // itself is published by the table lock below.
             let id = self.next_session.fetch_add(1, Ordering::Relaxed);
@@ -977,6 +1060,9 @@ where
         })();
         drop(cap);
         self.absorb_tape();
+        if let Err(e) = &out {
+            flightrec::note_error(e.flight_code());
+        }
         out
     }
 
@@ -1027,18 +1113,27 @@ where
     /// lock is the only lock taken here (single lock order: table, then
     /// session, never the reverse).
     fn quarantine_session(&self, id: SessionId) {
-        let mut table = {
-            let _lk = trace::span(Stage::LockWait);
-            self.sessions.lock()
-        };
-        if let Some(slot) = table.get_mut(&id.0) {
-            if !slot.poisoned {
-                slot.poisoned = true;
-                // Relaxed: telemetry gauges maintained under the table lock;
-                // readers only aggregate them.
-                self.session_panics.fetch_add(1, Ordering::Relaxed);
-                self.sessions_quarantined.fetch_add(1, Ordering::Relaxed);
+        let mut newly = false;
+        {
+            let mut table = {
+                let _lk = trace::span(Stage::LockWait);
+                self.sessions.lock()
+            };
+            if let Some(slot) = table.get_mut(&id.0) {
+                if !slot.poisoned {
+                    slot.poisoned = true;
+                    newly = true;
+                    // Relaxed: telemetry gauges maintained under the table
+                    // lock; readers only aggregate them.
+                    self.session_panics.fetch_add(1, Ordering::Relaxed);
+                    self.sessions_quarantined.fetch_add(1, Ordering::Relaxed);
+                }
             }
+        }
+        if newly {
+            // Black-box moment (DESIGN.md §5j): a panic just quarantined a
+            // session. Dump outside the table lock.
+            flightrec::auto_dump("quarantine");
         }
     }
 
@@ -1066,6 +1161,8 @@ where
             // Relaxed: undo the optimistic admit; same counter contract.
             self.inflight_expands.fetch_sub(1, Ordering::Relaxed);
             self.shed_expands.fetch_add(1, Ordering::Relaxed);
+            // Black-box moment (DESIGN.md §5j): the gate is shedding load.
+            flightrec::auto_dump("shed");
             return Err(EngineError::Overloaded);
         }
         Ok(InflightGuard(&self.inflight_expands))
@@ -1095,6 +1192,13 @@ where
         if deadline != 0 && trace::now_ns().saturating_sub(t0) >= deadline {
             return Some(DegradeReason::Deadline);
         }
+        // A request-scoped absolute deadline (wire [`flightrec::RequestCtx`])
+        // degrades the same way as the policy budget. 0 = no deadline in the
+        // context — the default, so reproduce passes stay bit-identical.
+        let ctx_deadline = flightrec::current_deadline_ns();
+        if ctx_deadline != 0 && trace::now_ns() >= ctx_deadline {
+            return Some(DegradeReason::Deadline);
+        }
         None
     }
 
@@ -1119,6 +1223,7 @@ where
                     Some(Ok(revealed)) => {
                         // Relaxed: telemetry tally, nothing ordered through it.
                         self.degraded_myopic.fetch_add(1, Ordering::Relaxed);
+                        flightrec::note_rung(flightrec::RUNG_MYOPIC);
                         Ok((revealed, Some(reason)))
                     }
                     Some(Err(EdgeCutError::NotAComponentRoot(n))) => {
@@ -1131,6 +1236,7 @@ where
                         let revealed = session.expand_static(node)?;
                         // Relaxed: telemetry tally, nothing ordered through it.
                         self.degraded_static.fetch_add(1, Ordering::Relaxed);
+                        flightrec::note_rung(flightrec::RUNG_STATIC);
                         Ok((revealed, Some(reason)))
                     }
                 }
@@ -1199,6 +1305,7 @@ where
     /// [`EngineError::SessionPanicked`] when this call's panic quarantined
     /// the session, [`EngineError::Cut`] when the navigation refused.
     pub fn expand(&self, id: SessionId, node: NavNodeId) -> Result<ExpandReply, EngineError> {
+        let _flight = self.flight_scope(Verb::Expand);
         let _shard = self.fault_scope();
         let cap = trace::capture();
         let out = (|| {
@@ -1209,6 +1316,9 @@ where
         })();
         drop(cap);
         self.absorb_tape();
+        if let Err(e) = &out {
+            flightrec::note_error(e.flight_code());
+        }
         out
     }
 
@@ -1224,12 +1334,14 @@ where
         query: &str,
         state: SessionState,
     ) -> Result<SessionId, EngineError> {
+        let _flight = self.flight_scope(Verb::Open);
         let _shard = self.fault_scope();
         let cap = trace::capture();
-        let out = (|| {
+        let out: Result<SessionId, EngineError> = (|| {
             let _sp = trace::span(Stage::OpenSession);
             let t0 = trace::now_ns();
             let (tree, cuts, cache_hit) = self.tree_and_cuts_for(query)?;
+            flightrec::note_cache(cache_hit);
             let session = Session::restore(tree, self.params.clone(), state)
                 .ok_or(EngineError::StateMismatch)?;
             // Relaxed: the id only needs uniqueness, not ordering with the
@@ -1266,6 +1378,9 @@ where
         })();
         drop(cap);
         self.absorb_tape();
+        if let Err(e) = &out {
+            flightrec::note_error(e.flight_code());
+        }
         out
     }
 
@@ -1281,12 +1396,16 @@ where
     /// state the session held before its panic, and releases the
     /// quarantine gauge.
     pub fn close_session(&self, id: SessionId) -> Result<SessionState, EngineError> {
+        let _flight = self.flight_scope(Verb::Close);
         let _shard = self.fault_scope();
-        let slot = self
-            .sessions
-            .lock()
-            .remove(&id.0)
-            .ok_or(EngineError::UnknownSession(id))?;
+        let slot = match self.sessions.lock().remove(&id.0) {
+            Some(slot) => slot,
+            None => {
+                let e = EngineError::UnknownSession(id);
+                flightrec::note_error(e.flight_code());
+                return Err(e);
+            }
+        };
         // Relaxed: gauge updates; the table lock above already ordered the
         // removal, and the counters are telemetry-only.
         self.sessions_closed.fetch_add(1, Ordering::Relaxed);
@@ -1311,6 +1430,7 @@ where
         query: &str,
         script: &[ScriptOp],
     ) -> Result<ScriptOutcome, EngineError> {
+        let _flight = self.flight_scope(Verb::Script);
         let _shard = self.fault_scope();
         let cap = trace::capture();
         let out = (|| {
@@ -1327,6 +1447,9 @@ where
         })();
         drop(cap);
         self.absorb_tape();
+        if let Err(e) = &out {
+            flightrec::note_error(e.flight_code());
+        }
         out
     }
 
@@ -1419,6 +1542,9 @@ where
         // The Replay span lives on the calling thread; each `run_script`
         // call opens its own capture on whichever worker thread runs it,
         // so worker-side spans drain into the stage metrics worker-side.
+        // Likewise each worker-side script mints its own request id — this
+        // scope records the batch dispatch itself.
+        let _flight = self.flight_scope(Verb::Replay);
         let cap = trace::capture();
         let out = {
             let _sp = trace::span(Stage::Replay);
@@ -1462,6 +1588,17 @@ where
         };
         let snap = self.expand_hist.snapshot();
         let pct = |q: f64| -> f64 { snap.percentile(q) as f64 / 1_000.0 };
+        // SLO burn rows derive from the same snapshots the percentiles use:
+        // Open over the OpenSession stage histogram, Expand over the EXPAND
+        // latency histogram (SLOS order, total then recent per verb).
+        let slo_now = trace::now_ns();
+        let mut slo_burn = Vec::with_capacity(SloVerb::COUNT * 2);
+        slo_burn.extend(self.slo.burns(
+            SloVerb::Open,
+            &self.stage.snapshot(Stage::OpenSession),
+            slo_now,
+        ));
+        slo_burn.extend(self.slo.burns(SloVerb::Expand, &snap, slo_now));
         // Relaxed: a stats snapshot tolerates torn reads across gauges;
         // each load is individually coherent and that is all we report.
         let opened = self.sessions_opened.load(Ordering::Relaxed);
@@ -1511,6 +1648,7 @@ where
             } else {
                 0.0
             },
+            slo_burn,
             stages: self.stage.stats(),
             trace_events: trace::ring_pushed(),
         }
@@ -1584,6 +1722,11 @@ where
         // Relaxed: same window-restart semantics as the stores above.
         self.degraded_static.store(0, Ordering::Relaxed);
         self.shed_expands.store(0, Ordering::Relaxed);
+        // The SLO baselines reference the histograms reset above; the
+        // flight recorder starts a fresh window and re-arms its
+        // dump-once-per-reason latches.
+        self.slo.reset();
+        flightrec::reset_flight();
         // Relaxed: window-start stamp, telemetry-only (see stats()).
         self.started_ns.store(trace::now_ns(), Ordering::Relaxed);
     }
@@ -1607,6 +1750,8 @@ const _: () = {
     assert_send_sync::<CutCache>();
     assert_send_sync::<StageMetrics>();
     assert_send_sync::<crate::trace::SpanRing>();
+    assert_send_sync::<SloState>();
+    assert_send_sync::<crate::trace::flightrec::FlightRing>();
 };
 
 #[cfg(test)]
@@ -1641,6 +1786,39 @@ mod tests {
             CostParams::default(),
             2,
         )
+    }
+
+    #[test]
+    fn error_flight_codes_round_trip_to_kind_names() {
+        // Drift guard: the flight recorder decodes packed error codes back
+        // to names through `flight_kind`; every variant must round-trip.
+        let id = SessionId(1);
+        let samples = [
+            EngineError::UnknownQuery("q".to_string()),
+            EngineError::UnknownSession(id),
+            EngineError::SessionBusy(id),
+            EngineError::Quarantined(id),
+            EngineError::Overloaded,
+            EngineError::TreeBuildFailed("m".to_string()),
+            EngineError::SessionPanicked {
+                id,
+                message: "m".to_string(),
+            },
+            EngineError::WorkerPanicked {
+                task: 0,
+                message: "m".to_string(),
+            },
+            EngineError::StateMismatch,
+            EngineError::Cut(EdgeCutError::NotAComponentRoot(crate::navtree::NavNodeId(
+                0,
+            ))),
+        ];
+        assert_eq!(samples.len(), EngineError::KIND_NAMES.len());
+        for e in &samples {
+            assert_eq!(EngineError::flight_kind(e.flight_code()), e.kind_name());
+            assert_ne!(e.flight_code(), 0, "0 is reserved for success");
+        }
+        assert_eq!(EngineError::flight_kind(0), "");
     }
 
     #[test]

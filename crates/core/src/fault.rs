@@ -414,6 +414,9 @@ fn hit_armed(site: FailSite) -> Option<Fault> {
     }
     // Ordering: Relaxed — telemetry tally (see `fires`).
     SITE_FIRES[i].fetch_add(1, Ordering::Relaxed);
+    // Attribute the fire to the in-flight request's flight-recorder
+    // summary (DESIGN.md §5j); a no-op when no request scope is open.
+    crate::trace::flightrec::note_fault(site as u8 + 1);
     // Ordering: Relaxed — advisory configuration read (see `arm`).
     Some(Fault::decode(SITE_ACTION[i].load(Ordering::Relaxed)))
 }

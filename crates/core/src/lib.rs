@@ -49,6 +49,7 @@ pub mod scratch;
 pub mod session;
 pub mod shard;
 pub mod sim;
+pub mod slo;
 pub mod stats;
 pub(crate) mod sync;
 pub mod telemetry;
@@ -65,4 +66,6 @@ pub use fault::{FailSite, Fault, FaultPlan};
 pub use navtree::{NavNodeId, NavigationTree};
 pub use scratch::NavScratch;
 pub use shard::{HealthPolicy, ShardSessionId, ShardedEngine};
+pub use slo::{Slo, SloBurn, SloVerb, SLOS};
+pub use trace::flightrec::{FlightRecord, RequestCtx, Verb};
 pub use trace::{Stage, StageStat};

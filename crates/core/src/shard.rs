@@ -490,6 +490,12 @@ where
             } else {
                 0.0
             },
+            // Burn rows from every shard merge by (verb, window): raw
+            // good/total counts sum and the rate is recomputed, never
+            // averaged (see [`crate::slo::merge_burns`]).
+            slo_burn: crate::slo::merge_burns(
+                &per.iter().map(|s| s.slo_burn.clone()).collect::<Vec<_>>(),
+            ),
             stages,
             // The span ring is process-global; every shard's snapshot
             // reports the same monotone push counter, so the tier takes it

@@ -28,6 +28,24 @@ pub fn bucket_ladder_ns() -> impl Iterator<Item = u64> {
     (0..=24u32).map(|i| 1000u64 << i)
 }
 
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+/// Static label values in this module are all escape-free identifiers;
+/// this exists for values that flow in from outside (and is what the
+/// escaping edge-case tests pin down).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Joins a view's base labels (e.g. `shard="0"`, possibly empty) with a
 /// metric's own labels (e.g. `result="hit"`, possibly empty) into one
 /// brace-ready label body.
@@ -285,6 +303,31 @@ pub fn prometheus_text_views(views: &[MetricsView]) -> String {
         }
     }
 
+    // The SLO monitor (DESIGN.md §5j): one gauge series per burn row. The
+    // verb/window values come from stats data, so they go through the
+    // label-value escaper.
+    let _ = writeln!(
+        out,
+        "# HELP bionav_slo_burn_rate Error-budget burn rate per SLO verb \
+         and window (1.0 = burning exactly at the objective)."
+    );
+    let _ = writeln!(out, "# TYPE bionav_slo_burn_rate gauge");
+    for v in views {
+        for b in &v.stats.slo_burn {
+            let extra = format!(
+                "verb=\"{}\",window=\"{}\"",
+                escape_label_value(&b.verb),
+                escape_label_value(&b.window)
+            );
+            write_series(
+                &mut out,
+                "bionav_slo_burn_rate",
+                &join_labels(&v.labels, &extra),
+                b.burn_rate,
+            );
+        }
+    }
+
     out
 }
 
@@ -305,6 +348,18 @@ pub struct ChromeEvent {
     pub pid: u64,
     /// Trace thread id of the emitting worker.
     pub tid: u64,
+    /// Event arguments — the request-context join columns.
+    pub args: ChromeArgs,
+}
+
+/// The `args` object on every [`ChromeEvent`]: what joins a span back to
+/// its originating request (and to the flight-recorder entry carrying the
+/// same id).
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct ChromeArgs {
+    /// Originating request id; 0 when the span ran outside any request
+    /// scope.
+    pub rid: u64,
 }
 
 /// Render ring events as Chrome trace-event JSON (JSON Array Format).
@@ -345,6 +400,7 @@ pub fn chrome_trace(events: &[SpanEvent]) -> String {
             ts: e.ns as f64 / 1_000.0,
             pid: 1,
             tid: u64::from(e.tid),
+            args: ChromeArgs { rid: e.rid },
         });
     }
     // Serializing a Vec of plain structs into a String cannot fail; fall
@@ -375,6 +431,7 @@ mod tests {
                 kind: SpanKind::End,
                 tid: 1,
                 ns: 500,
+                rid: 0,
             },
             SpanEvent {
                 seq: 1,
@@ -382,6 +439,7 @@ mod tests {
                 kind: SpanKind::Begin,
                 tid: 1,
                 ns: 1_000,
+                rid: 42,
             },
             SpanEvent {
                 seq: 2,
@@ -389,6 +447,7 @@ mod tests {
                 kind: SpanKind::End,
                 tid: 1,
                 ns: 3_000,
+                rid: 42,
             },
         ];
         let json = chrome_trace(&events);
@@ -397,13 +456,175 @@ mod tests {
         assert_eq!(parsed[0].ph, "B");
         assert_eq!(parsed[0].name, "partition");
         assert_eq!(parsed[0].ts, 1.0);
+        assert_eq!(parsed[0].args.rid, 42, "request id joins through args");
         assert_eq!(parsed[1].ph, "E");
         assert_eq!(parsed[1].ts, 3.0);
         assert_eq!(parsed[1].tid, 1);
+        assert_eq!(parsed[1].args.rid, 42);
     }
 
     #[test]
     fn chrome_trace_of_nothing_is_an_empty_array() {
         assert_eq!(chrome_trace(&[]), "[]");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_and_newlines() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        // Compound: every special char in one value, already-escaped-looking
+        // input is escaped again (the escaper is not idempotent-by-parsing).
+        assert_eq!(escape_label_value("\\\"\n"), r#"\\\"\n"#);
+        assert_eq!(escape_label_value(r"\n"), r"\\n");
+    }
+
+    /// A zeroed counters snapshot with a couple of SLO burn rows — enough
+    /// for exposition-shape tests without a live engine.
+    fn stats_fixture() -> ServeStats {
+        ServeStats {
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_entries: 0,
+            cache_capacity: 1,
+            cache_hit_rate: 0.0,
+            cut_cache_hits: 0,
+            cut_cache_misses: 0,
+            sessions_opened: 0,
+            sessions_closed: 0,
+            sessions_active: 0,
+            sessions_quarantined: 0,
+            session_panics: 0,
+            degraded_expands: 0,
+            degraded_myopic: 0,
+            degraded_static: 0,
+            shed_expands: 0,
+            expand_count: 0,
+            expand_p50_us: 0.0,
+            expand_p95_us: 0.0,
+            expand_p99_us: 0.0,
+            elapsed_secs: 0.0,
+            sessions_per_sec: 0.0,
+            slo_burn: crate::slo::SloVerb::ALL
+                .iter()
+                .flat_map(|v| {
+                    [crate::slo::WINDOW_TOTAL, crate::slo::WINDOW_RECENT]
+                        .into_iter()
+                        .map(|w| crate::slo::SloBurn {
+                            verb: v.name().to_string(),
+                            window: w.to_string(),
+                            burn_rate: 0.5,
+                            target_p99_ms: 25.0,
+                            good: 199,
+                            total: 200,
+                        })
+                })
+                .collect(),
+            stages: Vec::new(),
+            trace_events: 0,
+        }
+    }
+
+    #[test]
+    fn sharded_exposition_has_one_header_per_family_and_slo_series() {
+        let expand = crate::telemetry::LatencyHistogram::new().snapshot();
+        let stages = StageMetrics::new();
+        let views: Vec<MetricsView> = (0..3)
+            .map(|i| {
+                MetricsView::new(
+                    format!("shard=\"{i}\""),
+                    stats_fixture(),
+                    expand.clone(),
+                    &stages,
+                )
+            })
+            .collect();
+        let text = prometheus_text_views(&views);
+        // Exactly one HELP and one TYPE line per family, shards or not.
+        for line in text.lines().filter(|l| l.starts_with('#')) {
+            let count = text.lines().filter(|l| *l == line).count();
+            assert_eq!(count, 1, "duplicate header line: {line}");
+        }
+        // Every family that appears as a series has exactly one TYPE line.
+        let type_of = |metric: &str| {
+            text.lines()
+                .filter(|l| l.starts_with(&format!("# TYPE {metric} ")))
+                .count()
+        };
+        assert_eq!(type_of("bionav_slo_burn_rate"), 1);
+        assert_eq!(type_of("bionav_expand_latency_seconds"), 1);
+        // One SLO series per shard × verb × window, each fully labeled.
+        for i in 0..3 {
+            for verb in crate::slo::SloVerb::ALL {
+                for window in [crate::slo::WINDOW_TOTAL, crate::slo::WINDOW_RECENT] {
+                    let series = format!(
+                        "bionav_slo_burn_rate{{shard=\"{i}\",verb=\"{}\",window=\"{window}\"}} 0.5",
+                        verb.name()
+                    );
+                    assert!(text.contains(&series), "missing series: {series}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exposition_round_trips_through_a_text_format_parser() {
+        // A minimal text-exposition parser: TYPE declarations must precede
+        // their series, label bodies must re-parse (quotes balanced after
+        // unescaping), and every sample line must be `name{labels} value`.
+        let views = vec![MetricsView::new(
+            "shard=\"0\"".to_string(),
+            stats_fixture(),
+            crate::telemetry::LatencyHistogram::new().snapshot(),
+            &StageMetrics::new(),
+        )];
+        let text = prometheus_text_views(&views);
+        let mut typed: Vec<String> = Vec::new();
+        let mut samples = 0usize;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let metric = parts.next().expect("TYPE names a metric").to_string();
+                let kind = parts.next().expect("TYPE has a kind");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "unknown kind {kind}"
+                );
+                assert!(!typed.contains(&metric), "duplicate TYPE for {metric}");
+                typed.push(metric);
+                continue;
+            }
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            samples += 1;
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {value}");
+            let name = match name_labels.split_once('{') {
+                Some((name, labels)) => {
+                    let body = labels.strip_suffix('}').expect("balanced braces");
+                    for pair in body.split("\",") {
+                        let (k, v) = pair.split_once("=\"").expect("label is key=\"value\"");
+                        assert!(!k.is_empty() && !k.contains('"'), "bad label key {k}");
+                        let v = v.strip_suffix('"').unwrap_or(v);
+                        assert!(!v.contains('\n'), "raw newline in label value {v}");
+                    }
+                    name
+                }
+                None => name_labels,
+            };
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                typed.contains(&family.to_string()),
+                "series {name} appears before its TYPE declaration"
+            );
+        }
+        assert!(samples > 50, "exposition unexpectedly small: {samples}");
     }
 }

@@ -9,11 +9,18 @@
 //! 2. **The global ring** — an atomically-toggled, sampled
 //!    [`ring::SpanRing`] of begin/end events; snapshots export to Chrome
 //!    trace-event JSON ([`chrome_trace_json`]) loadable in Perfetto.
-//! 3. **The capture tape** — a thread-local tape of `(stage, duration)`
-//!    pairs recorded for *every* span while a [`CaptureGuard`] is active
-//!    (independent of the ring toggle and sampling), which the engine
-//!    drains into its per-stage [`StageMetrics`] after each public
-//!    operation. Sampling thins the ring, never the metrics.
+//! 3. **The capture tape** — a thread-local tape of
+//!    `(stage, duration, request id)` triples recorded for *every* span
+//!    while a [`CaptureGuard`] is active (independent of the ring toggle
+//!    and sampling), which the engine drains into its per-stage
+//!    [`StageMetrics`] — and into the flight recorder's per-request
+//!    breakdown — after each public operation. Sampling thins the ring,
+//!    never the metrics.
+//!
+//! PR 9 adds the request-context plane on top: [`flightrec`] holds the
+//! ambient [`flightrec::RequestCtx`] scope whose id every ring event and
+//! tape entry carries, plus the black-box ring of completed-request
+//! summaries.
 //!
 //! All wall-clock reads in the workspace flow through [`now_ns`]; the
 //! `no-naked-instant` lint rule forbids `Instant::now()` elsewhere.
@@ -25,6 +32,7 @@
 //! `tests/interleave_models.rs`).
 
 pub mod export;
+pub mod flightrec;
 pub mod ring;
 
 use std::cell::{Cell, RefCell};
@@ -175,7 +183,7 @@ static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
 /// Source of unique per-thread trace ids.
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
-/// Default global ring capacity (slots). 1<<16 slots × 24 bytes ≈ 1.5 MiB,
+/// Default global ring capacity (slots). 1<<16 slots × 32 bytes = 2 MiB,
 /// fixed at first use.
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
@@ -196,8 +204,9 @@ thread_local! {
     static SAMPLE_TICK: Cell<u64> = const { Cell::new(0) };
     /// Capture-tape nesting depth (0 = inactive).
     static CAPTURE: Cell<u32> = const { Cell::new(0) };
-    /// The capture tape: `(stage, span duration in ns)` per finished span.
-    static TAPE: RefCell<Vec<(Stage, u64)>> = const { RefCell::new(Vec::new()) };
+    /// The capture tape: `(stage, span duration in ns, request id)` per
+    /// finished span.
+    static TAPE: RefCell<Vec<(Stage, u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Turn ring emission on or off. Span sites observe the change on their
@@ -258,6 +267,9 @@ pub struct SpanGuard {
 struct SpanState {
     stage: Stage,
     t0: u64,
+    /// Originating request id, captured once at span open so begin/end
+    /// events and the tape entry agree even if the scope closes mid-span.
+    rid: u64,
     /// Emit begin/end events to the global ring (sampling already applied).
     ring: bool,
     /// Append to the thread-local capture tape on drop.
@@ -286,15 +298,17 @@ pub fn span(stage: Stage) -> SpanGuard {
         });
         tick.is_multiple_of(sample_every())
     };
+    let rid = flightrec::current_request_id();
     let t0 = now_ns();
     if ring {
         let tid = TID.with(|t| *t) as u16;
-        global_ring().push(stage as u8, SpanKind::Begin, tid, t0);
+        global_ring().push(stage as u8, SpanKind::Begin, tid, t0, rid);
     }
     SpanGuard {
         state: Some(SpanState {
             stage,
             t0,
+            rid,
             ring,
             tape: tape_on,
         }),
@@ -318,12 +332,12 @@ impl Drop for SpanGuard {
         let t1 = now_ns();
         if state.ring {
             let tid = TID.with(|t| *t) as u16;
-            global_ring().push(state.stage as u8, SpanKind::End, tid, t1);
+            global_ring().push(state.stage as u8, SpanKind::End, tid, t1, state.rid);
         }
         if state.tape {
             TAPE.with(|tape| {
                 tape.borrow_mut()
-                    .push((state.stage, t1.saturating_sub(state.t0)));
+                    .push((state.stage, t1.saturating_sub(state.t0), state.rid));
             });
         }
     }
@@ -380,7 +394,8 @@ impl Drop for CaptureGuard {
 #[cfg(not(interleave))]
 pub fn record(stage: Stage, ns: u64) {
     if CAPTURE.with(|c| c.get() > 0) {
-        TAPE.with(|tape| tape.borrow_mut().push((stage, ns)));
+        let rid = flightrec::current_request_id();
+        TAPE.with(|tape| tape.borrow_mut().push((stage, ns, rid)));
     }
 }
 
@@ -388,9 +403,10 @@ pub fn record(stage: Stage, ns: u64) {
 #[cfg(interleave)]
 pub fn record(_stage: Stage, _ns: u64) {}
 
-/// Drain the thread-local capture tape, returning every `(stage, ns)` pair
-/// recorded since the tape was opened (or last drained).
-pub fn take_captured() -> Vec<(Stage, u64)> {
+/// Drain the thread-local capture tape, returning every
+/// `(stage, ns, request id)` triple recorded since the tape was opened
+/// (or last drained).
+pub fn take_captured() -> Vec<(Stage, u64, u64)> {
     TAPE.with(|t| std::mem::take(&mut *t.borrow_mut()))
 }
 
@@ -588,7 +604,7 @@ mod tests {
         }
         drop(cap);
         let tape = take_captured();
-        let stages: Vec<Stage> = tape.iter().map(|&(s, _)| s).collect();
+        let stages: Vec<Stage> = tape.iter().map(|&(s, _, _)| s).collect();
         assert_eq!(stages, vec![Stage::Partition, Stage::Solve]);
     }
 
@@ -652,7 +668,7 @@ mod tests {
         record(Stage::OpenSessionHit, 2_000);
         drop(cap);
         assert_eq!(ring_pushed(), before, "record never touches the ring");
-        assert_eq!(take_captured(), vec![(Stage::OpenSessionHit, 2_000)]);
+        assert_eq!(take_captured(), vec![(Stage::OpenSessionHit, 2_000, 0)]);
     }
 
     #[test]

@@ -2,23 +2,24 @@
 //!
 //! The ring is the *wire* of the tracing plane: every armed span site pushes
 //! one [`SpanEvent`] at begin and one at end. The geometry is fixed at
-//! construction (power-of-two slot count, three `u64` atomics per slot =
-//! 24 bytes), so a fully saturated trace run allocates nothing — the same
+//! construction (power-of-two slot count, four `u64` atomics per slot =
+//! 32 bytes), so a fully saturated trace run allocates nothing — the same
 //! fixed-footprint philosophy as [`crate::telemetry::LatencyHistogram`].
 //!
 //! ## Slot protocol (seqlock per slot)
 //!
 //! Writers claim a global monotone sequence number with one `fetch_add` on
-//! `head`, map it onto a slot with a mask, and publish in four stores:
+//! `head`, map it onto a slot with a mask, and publish in five stores:
 //!
 //! ```text
 //! stamp <- 0            (invalidate: readers skip half-written slots)
 //! meta  <- packed       (stage | kind | tid | low 32 bits of seq)
 //! ns    <- timestamp
+//! rid   <- request id   (0 = outside any request scope)
 //! stamp <- seq + 1      (validate: nonzero stamp encodes seq)
 //! ```
 //!
-//! Readers load `stamp`, skip zero, load `meta` and `ns`, then re-load
+//! Readers load `stamp`, skip zero, load `meta`, `ns`, and `rid`, then re-load
 //! `stamp` and accept only if both stamps agree *and* the low 32 sequence
 //! bits embedded in `meta` match the stamp. The double-stamp check defeats
 //! a writer racing the read; the embedded-seq check defeats two *different*
@@ -59,6 +60,9 @@ pub struct SpanEvent {
     pub tid: u16,
     /// Nanoseconds since the process trace epoch ([`super::now_ns`]).
     pub ns: u64,
+    /// Originating request id ([`super::flightrec::current_request_id`]);
+    /// 0 when the span ran outside any request scope.
+    pub rid: u64,
 }
 
 /// Bit layout of the packed `meta` word.
@@ -86,7 +90,7 @@ fn unpack_meta(meta: u64) -> (u8, SpanKind, u16, u32) {
     (stage, kind, tid, seq_lo)
 }
 
-/// One ring slot: a per-slot seqlock of three atomics.
+/// One ring slot: a per-slot seqlock of four atomics.
 struct Slot {
     /// `0` = invalid / mid-write; otherwise `seq + 1` of the resident event.
     stamp: AtomicU64,
@@ -94,6 +98,8 @@ struct Slot {
     meta: AtomicU64,
     /// Event timestamp in nanoseconds since the trace epoch.
     ns: AtomicU64,
+    /// Originating request id (0 = no request scope).
+    rid: AtomicU64,
 }
 
 impl Slot {
@@ -102,6 +108,7 @@ impl Slot {
             stamp: AtomicU64::new(0),
             meta: AtomicU64::new(0),
             ns: AtomicU64::new(0),
+            rid: AtomicU64::new(0),
         }
     }
 }
@@ -142,9 +149,9 @@ impl SpanRing {
         self.head.load(Ordering::Relaxed)
     }
 
-    /// Push one event. Wait-free for writers: one `fetch_add` plus four
+    /// Push one event. Wait-free for writers: one `fetch_add` plus five
     /// stores; old events are overwritten once the ring wraps.
-    pub fn push(&self, stage: u8, kind: SpanKind, tid: u16, ns: u64) {
+    pub fn push(&self, stage: u8, kind: SpanKind, tid: u16, ns: u64, rid: u64) {
         // Ordering: Relaxed — the fetch_add only needs atomicity to hand
         // out unique sequence numbers; publication order is carried by the
         // Release stores below.
@@ -154,13 +161,15 @@ impl SpanRing {
         // reordered after the data stores from the *previous* occupant's
         // perspective; readers that see stamp == 0 skip the slot.
         slot.stamp.store(0, Ordering::Release);
-        // Ordering: Release on both data stores — they must be visible
+        // Ordering: Release on all data stores — they must be visible
         // before the validating stamp store below is observed.
         slot.meta
             .store(pack_meta(stage, kind, tid, seq), Ordering::Release);
         slot.ns.store(ns, Ordering::Release);
+        // Ordering: Release — same data-before-stamp claim as above.
+        slot.rid.store(rid, Ordering::Release);
         // Ordering: Release — publishes the slot; a reader that acquires
-        // this stamp value observes the meta/ns stores above.
+        // this stamp value observes the meta/ns/rid stores above.
         slot.stamp.store(seq + 1, Ordering::Release);
     }
 
@@ -169,7 +178,7 @@ impl SpanRing {
     /// stale timestamp. Proves the model checker actually sees through the
     /// slot protocol.
     #[cfg(interleave)]
-    pub fn model_torn_push(&self, stage: u8, kind: SpanKind, tid: u16, ns: u64) {
+    pub fn model_torn_push(&self, stage: u8, kind: SpanKind, tid: u16, ns: u64, rid: u64) {
         // Ordering: Relaxed — same claim as `push`; the bug under test is
         // the store sequencing below, not the claim.
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
@@ -178,6 +187,8 @@ impl SpanRing {
         slot.stamp.store(0, Ordering::Release);
         slot.meta
             .store(pack_meta(stage, kind, tid, seq), Ordering::Release);
+        // Ordering: Release — mirrors `push` for the data stores.
+        slot.rid.store(rid, Ordering::Release);
         // BUG (seeded): the slot is validated before `ns` lands.
         slot.stamp.store(seq + 1, Ordering::Release);
         slot.ns.store(ns, Ordering::Release);
@@ -201,6 +212,7 @@ impl SpanRing {
             // before the re-validating stamp load below.
             let meta = slot.meta.load(Ordering::Acquire);
             let ns = slot.ns.load(Ordering::Acquire);
+            let rid = slot.rid.load(Ordering::Acquire);
             // Ordering: Acquire — the second stamp read must not be
             // hoisted above the data loads.
             let s2 = slot.stamp.load(Ordering::Acquire);
@@ -218,6 +230,7 @@ impl SpanRing {
                 kind,
                 tid,
                 ns,
+                rid,
             });
         }
         events.sort_by_key(|e| e.seq);
@@ -252,8 +265,8 @@ mod tests {
     #[test]
     fn push_snapshot_round_trip() {
         let ring = SpanRing::new(8);
-        ring.push(3, SpanKind::Begin, 7, 1_000);
-        ring.push(3, SpanKind::End, 7, 2_500);
+        ring.push(3, SpanKind::Begin, 7, 1_000, 42);
+        ring.push(3, SpanKind::End, 7, 2_500, 42);
         let events = ring.snapshot();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].seq, 0);
@@ -261,8 +274,10 @@ mod tests {
         assert_eq!(events[0].kind, SpanKind::Begin);
         assert_eq!(events[0].tid, 7);
         assert_eq!(events[0].ns, 1_000);
+        assert_eq!(events[0].rid, 42);
         assert_eq!(events[1].kind, SpanKind::End);
         assert_eq!(events[1].ns, 2_500);
+        assert_eq!(events[1].rid, 42);
         assert_eq!(ring.pushed(), 2);
     }
 
@@ -270,7 +285,7 @@ mod tests {
     fn wrap_overwrites_oldest() {
         let ring = SpanRing::new(2);
         for i in 0..5u64 {
-            ring.push(0, SpanKind::Begin, 0, 100 * i);
+            ring.push(0, SpanKind::Begin, 0, 100 * i, 0);
         }
         let events = ring.snapshot();
         assert_eq!(events.len(), 2, "only the newest capacity slots survive");
@@ -282,12 +297,12 @@ mod tests {
     #[test]
     fn clear_empties_slots_but_not_counter() {
         let ring = SpanRing::new(4);
-        ring.push(1, SpanKind::Begin, 0, 10);
-        ring.push(1, SpanKind::End, 0, 20);
+        ring.push(1, SpanKind::Begin, 0, 10, 0);
+        ring.push(1, SpanKind::End, 0, 20, 0);
         ring.clear();
         assert!(ring.snapshot().is_empty());
         assert_eq!(ring.pushed(), 2);
-        ring.push(2, SpanKind::Begin, 1, 30);
+        ring.push(2, SpanKind::Begin, 1, 30, 0);
         let events = ring.snapshot();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].seq, 2, "sequence numbering continues after clear");
@@ -302,9 +317,15 @@ mod tests {
                 let ring = Arc::clone(&ring);
                 scope.spawn(move || {
                     for i in 0..200u64 {
-                        // Encode the writer id in both tid and ns so a torn
-                        // read would be detectable below.
-                        ring.push(t as u8, SpanKind::Begin, t, u64::from(t) * 1_000_000 + i);
+                        // Encode the writer id in tid, ns, and rid so a
+                        // torn read would be detectable below.
+                        ring.push(
+                            t as u8,
+                            SpanKind::Begin,
+                            t,
+                            u64::from(t) * 1_000_000 + i,
+                            u64::from(t) + 1,
+                        );
                     }
                 });
             }
@@ -316,6 +337,7 @@ mod tests {
                         "snapshot observed a torn slot"
                     );
                     assert_eq!(e.stage, e.tid as u8);
+                    assert_eq!(e.rid, u64::from(e.tid) + 1, "rid column torn");
                 }
             }
         });

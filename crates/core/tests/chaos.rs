@@ -26,9 +26,10 @@ use std::sync::{Arc, Mutex, MutexGuard, Once};
 
 use bionav_core::fault::{self, FailSite, Fault, FaultPlan, INJECTED_PANIC_PREFIX};
 use bionav_core::session::SessionState;
+use bionav_core::trace::flightrec;
 use bionav_core::{
     CostParams, DegradePolicy, DegradeReason, Engine, EngineError, HealthPolicy, NavNodeId,
-    NavigationTree, ScriptOp, ShardedEngine, SharedTree,
+    NavigationTree, RequestCtx, ScriptOp, ShardedEngine, SharedTree, Verb,
 };
 use bionav_medline::corpus::{self, CorpusConfig};
 use bionav_medline::InvertedIndex;
@@ -943,4 +944,72 @@ fn health_bias_reroutes_cold_opens_and_snaps_back() {
     let merged = sharded.stats();
     assert_eq!(merged.sessions_active, 0);
     assert_eq!(merged.sessions_opened, merged.sessions_closed);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: black-box capture of faulted requests (DESIGN.md §5j)
+// ---------------------------------------------------------------------------
+
+/// The acceptance drill for the request-context plane: an EXPAND carrying
+/// a wire-style request context hits an armed failpoint, and the flight
+/// recorder must end up holding exactly one entry naming the request id,
+/// the owning shard, the fired fault site, and the degradation rung that
+/// answered — the black-box record an operator reads after the fact.
+#[test]
+fn armed_failpoint_lands_in_the_flight_recorder_with_full_attribution() {
+    let _serial = chaos_lock();
+    let sharded = fixture_sharded(2);
+    let homes = queries_by_home_shard(&sharded, 4);
+    // A shard-1-homed query, so the shard attribution below can't pass by
+    // accident of a zero default.
+    let query = homes[1][0].clone();
+    let id = sharded.open_session(&query).unwrap();
+    assert_eq!(id.shard(), 1, "fixture query is homed on shard 1");
+
+    let rid = 0xBEEF_0001u64;
+    {
+        let _armed = fault::scoped(FaultPlan::new(chaos_seed()).site(
+            FailSite::SolverEntry,
+            1,
+            Fault::Deadline,
+        ));
+        let ctx = RequestCtx {
+            request_id: rid,
+            session: Some(id.to_bits()),
+            deadline_ns: 0,
+        };
+        let _scope = flightrec::request_scope(ctx, Verb::Expand);
+        let reply = sharded.expand(id, NavNodeId::ROOT).unwrap();
+        assert_eq!(reply.degraded, Some(DegradeReason::Fault));
+    }
+    sharded.close_session(id).unwrap();
+
+    let entries: Vec<_> = flightrec::flight_snapshot()
+        .into_iter()
+        .filter(|e| e.request_id == rid)
+        .collect();
+    assert_eq!(
+        entries.len(),
+        1,
+        "exactly one summary for the faulted request"
+    );
+    let e = &entries[0];
+    assert_eq!(e.verb, Verb::Expand);
+    assert_eq!(e.shard, Some(1), "the owning shard is named");
+    assert_eq!(
+        e.fault_site_name(),
+        "solver_entry",
+        "the fired fault site is named"
+    );
+    assert_eq!(e.rung_name(), "static", "the answering rung is named");
+    assert_eq!(
+        e.error, 0,
+        "the ladder absorbed the fault; no error escaped"
+    );
+    assert!(e.total_ns > 0, "the request accrued wall time");
+    // The JSON export carries the same attribution (what the wire `DEBUG`
+    // verb and the CI smoke step consume).
+    let json = flightrec::entries_json(&entries);
+    assert!(json.contains("\"fault_site\":\"solver_entry\""), "{json}");
+    assert!(json.contains("\"rung\":\"static\""), "{json}");
 }

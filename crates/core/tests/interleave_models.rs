@@ -8,6 +8,9 @@
 //!    §5f) racing a healthy neighbor's open / expand / close,
 //! 4. the [`bionav_core::trace::SpanRing`] seqlock slot protocol
 //!    (writers vs snapshot vs clear), plus a seeded torn-write meta-test,
+//!    and the flight recorder's [`bionav_core::trace::flightrec::FlightRing`]
+//!    (same seqlock protocol, wider multi-word payload) under the same
+//!    writer/reader races (DESIGN.md §5j),
 //! 5. the [`ShardedEngine`] tier (DESIGN.md §5h): concurrent open / route /
 //!    close across two shards keeps every per-shard and merged gauge
 //!    balanced, and a health-bias flip racing an in-flight cold open never
@@ -551,10 +554,16 @@ fn trace_ring_concurrent_writers_and_snapshot() {
                 .map(|t| {
                     let ring = Arc::clone(&ring);
                     interleave::thread::spawn(move || {
-                        // Encode the writer in both tid and ns so a torn
-                        // slot (meta from one writer, ns from the other)
-                        // is detectable below.
-                        ring.push(t as u8, SpanKind::Begin, t, 1_000 + u64::from(t));
+                        // Encode the writer in tid, ns, and rid so a torn
+                        // slot (meta from one writer, ns or rid from the
+                        // other) is detectable below.
+                        ring.push(
+                            t as u8,
+                            SpanKind::Begin,
+                            t,
+                            1_000 + u64::from(t),
+                            7_000 + u64::from(t),
+                        );
                     })
                 })
                 .collect();
@@ -567,6 +576,11 @@ fn trace_ring_concurrent_writers_and_snapshot() {
                     "torn slot: meta/ns from different writers"
                 );
                 assert_eq!(e.stage, e.tid as u8, "torn slot: stage/tid mismatch");
+                assert_eq!(
+                    e.rid,
+                    7_000 + u64::from(e.tid),
+                    "torn slot: rid/tid mismatch"
+                );
             }
             for w in writers {
                 w.join().unwrap();
@@ -593,8 +607,8 @@ fn trace_ring_clear_vs_writer() {
         let writer = {
             let ring = Arc::clone(&ring);
             interleave::thread::spawn(move || {
-                ring.push(1, SpanKind::Begin, 1, 1_001);
-                ring.push(1, SpanKind::End, 1, 1_001);
+                ring.push(1, SpanKind::Begin, 1, 1_001, 7_001);
+                ring.push(1, SpanKind::End, 1, 1_001, 7_001);
             })
         };
         ring.clear();
@@ -603,6 +617,7 @@ fn trace_ring_clear_vs_writer() {
         for e in &mid {
             assert_eq!(e.ns, 1_001, "accepted event must be fully written");
             assert_eq!(e.tid, 1);
+            assert_eq!(e.rid, 7_001, "accepted event must carry its rid");
         }
         writer.join().unwrap();
         ring.clear();
@@ -612,6 +627,80 @@ fn trace_ring_clear_vs_writer() {
         );
         assert_eq!(ring.pushed(), 2, "clear never rewinds the push counter");
     });
+}
+
+/// Two writers race a snapshot of a 2-slot flight ring (DESIGN.md §5j):
+/// every accepted summary must be internally consistent — its rid,
+/// shard, end-to-end latency, and stage breakdown all encode the same
+/// writer — the mid-flight snapshot never exceeds capacity, and after
+/// both writers join, both sequence numbers survive. The flight ring
+/// reuses the span ring's seqlock protocol with a wider multi-word
+/// payload, so a torn slot here would mean the protocol does not extend
+/// to `4 + STAGE_WORDS` atomics.
+#[test]
+fn flight_ring_concurrent_writers_and_snapshot() {
+    use bionav_core::trace::flightrec::{FlightRing, RawSummary, Verb};
+    use bionav_core::trace::Stage;
+    explore(
+        "flight_ring_concurrent_writers_and_snapshot",
+        Config::default(),
+        || {
+            let ring = Arc::new(FlightRing::new(2));
+            let writers: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let ring = Arc::clone(&ring);
+                    interleave::thread::spawn(move || {
+                        let mut stage_ns = [0u64; Stage::COUNT];
+                        stage_ns[0] = (1 + t) * 1_000_000;
+                        let verb = if t == 0 { Verb::Open } else { Verb::Expand };
+                        ring.push(&RawSummary {
+                            rid: 100 + t,
+                            verb: verb as u8,
+                            shard_p1: t as u16 + 1,
+                            cache: 0,
+                            rung: 0,
+                            error: 0,
+                            fault: 0,
+                            total_ns: (100 + t) * 1_000,
+                            stage_ns,
+                        });
+                    })
+                })
+                .collect();
+            let mid = ring.snapshot();
+            assert!(mid.len() <= 2, "snapshot exceeded ring capacity");
+            for e in &mid {
+                let t = e.request_id.wrapping_sub(100);
+                assert!(t < 2, "torn slot: unknown rid {}", e.request_id);
+                assert_eq!(
+                    e.total_ns,
+                    (100 + t) * 1_000,
+                    "torn slot: rid/total from different writers"
+                );
+                assert_eq!(e.shard, Some(t as u16), "torn slot: rid/shard mismatch");
+                assert_eq!(
+                    e.stage_us[0],
+                    (1 + t as u32) * 1_000,
+                    "torn slot: rid/stage-payload mismatch"
+                );
+            }
+            for w in writers {
+                w.join().unwrap();
+            }
+            let fin = ring.snapshot();
+            assert_eq!(fin.len(), 2, "both summaries survive in a 2-slot ring");
+            let mut seqs: Vec<u64> = fin.iter().map(|e| e.seq).collect();
+            seqs.sort_unstable();
+            assert_eq!(seqs, vec![0, 1], "each push claims a unique sequence");
+            assert_eq!(ring.pushed(), 2, "push counter is exact");
+            ring.clear();
+            assert!(
+                ring.snapshot().is_empty(),
+                "a quiescent clear must empty the ring"
+            );
+            assert_eq!(ring.pushed(), 2, "clear never rewinds the push counter");
+        },
+    );
 }
 
 /// Meta-test for the ring protocol: `model_torn_push` validates the slot
@@ -627,7 +716,7 @@ fn meta_torn_ring_write_is_flagged() {
             let ring = Arc::clone(&ring);
             interleave::thread::spawn(move || {
                 // Seeded bug: stamp validated before ns lands.
-                ring.model_torn_push(1, SpanKind::Begin, 1, 999);
+                ring.model_torn_push(1, SpanKind::Begin, 1, 999, 0);
             })
         };
         for e in ring.snapshot() {

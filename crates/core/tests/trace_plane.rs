@@ -289,8 +289,18 @@ fn prometheus_exposition_has_types_and_monotone_buckets() {
         "# TYPE bionav_shed_expands_total counter",
         "# TYPE bionav_session_panics_total counter",
         "# TYPE bionav_sessions_quarantined gauge",
+        "# TYPE bionav_slo_burn_rate gauge",
     ] {
         assert!(text.contains(line), "missing exposition line: {line}");
+    }
+    // Every (verb, window) SLO series is exported even before any burn.
+    for series in [
+        "bionav_slo_burn_rate{verb=\"open\",window=\"total\"}",
+        "bionav_slo_burn_rate{verb=\"open\",window=\"recent\"}",
+        "bionav_slo_burn_rate{verb=\"expand\",window=\"total\"}",
+        "bionav_slo_burn_rate{verb=\"expand\",window=\"recent\"}",
+    ] {
+        assert!(text.contains(series), "missing SLO series: {series}");
     }
     assert!(text.contains("bionav_stage_latency_seconds_bucket{stage=\"partition\",le="));
     assert!(text.contains("bionav_stage_latency_seconds_count{stage=\"partition\"} 1"));
@@ -326,11 +336,14 @@ fn prometheus_exposition_has_types_and_monotone_buckets() {
 #[test]
 fn chrome_trace_export_is_loadable_event_json() {
     let _g = trace_lock();
+    let engine = fixture_engine();
+    // Probe for the fixture query BEFORE enabling tracing: `tree_for` is
+    // not a request verb, so its cache-probe spans carry no request id
+    // and would dilute the rid assertions below.
+    let query = multi_node_query(&engine);
     trace::clear_ring();
     trace::set_enabled(true);
     trace::set_sample_every(1);
-    let engine = fixture_engine();
-    let query = multi_node_query(&engine);
     let id = engine.open_session(&query).unwrap();
     engine.expand(id, NavNodeId::ROOT).unwrap();
     trace::set_enabled(false);
@@ -343,12 +356,21 @@ fn chrome_trace_export_is_loadable_event_json() {
         assert!(e.ph == "B" || e.ph == "E", "unexpected phase {}", e.ph);
         assert_eq!(e.cat, "bionav");
         assert!(e.ts >= 0.0);
+        assert_ne!(
+            e.args.rid, 0,
+            "every serve-path span must carry its request id ({})",
+            e.name
+        );
     }
     assert!(
         events.iter().any(|e| e.name == "partition"),
         "per-stage spans missing from the trace"
     );
     assert!(events.iter().any(|e| e.name == "expand"));
+    // The open and the EXPAND were separate requests, so the trace must
+    // carry (at least) two distinct request ids.
+    let rids: std::collections::HashSet<u64> = events.iter().map(|e| e.args.rid).collect();
+    assert!(rids.len() >= 2, "distinct requests share a rid: {rids:?}");
     // Begin/End balance per thread (the exporter drops orphans).
     let mut depth = std::collections::HashMap::new();
     for e in &events {

@@ -43,6 +43,37 @@ pub const PREFIX_LEN: usize = 4;
 // Messages
 // ---------------------------------------------------------------------------
 
+/// Request-context fields a client may attach to any request by wrapping
+/// it in an [`Envelope`]. All fields use `0` as the "absent" sentinel —
+/// the vendored serde has no `Option`-friendly field attributes, and a
+/// zero request id / session / deadline is never minted by a front end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCtx {
+    /// Client-chosen request id (0 = let the server mint one). Propagated
+    /// into every span, flight-recorder entry, and degradation decision
+    /// the request produces server-side.
+    pub request_id: u64,
+    /// Packed shard session id the request concerns (0 = none).
+    pub session: u64,
+    /// Absolute deadline in server trace-epoch nanoseconds (0 = none).
+    /// When set, the engine's degradation ladder treats an elapsed
+    /// deadline exactly like an exhausted per-expand budget.
+    pub deadline_ns: u64,
+}
+
+/// The optional request envelope: a [`WireCtx`] plus the wrapped
+/// [`Request`]. On the wire this is `{"ctx":{...},"req":{...}}` — a JSON
+/// shape disjoint from every externally-tagged bare [`Request`], so the
+/// decoder accepts both and old clients keep working unchanged (wire
+/// compatibility is covered by `envelope_and_bare_frames_both_parse`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// The request context.
+    pub ctx: WireCtx,
+    /// The wrapped request.
+    pub req: Request,
+}
+
 /// A client request. Session ids are the raw `ShardSessionId::to_bits`
 /// packing (`shard << 48 | local`), so the protocol layer stays free of any
 /// `bionav-core` dependency while the server routes without a lookup table.
@@ -76,6 +107,10 @@ pub enum Request {
     Stats,
     /// Fetch the Prometheus exposition text (per-shard labeled).
     Prom,
+    /// Dump the black-box flight recorder: the last N completed request
+    /// summaries (id, verb, shard, stage breakdown, cache/degrade/error
+    /// outcome) as a JSON document.
+    Debug,
 }
 
 /// One visible node of a navigation reply, flattened for the wire.
@@ -123,6 +158,12 @@ pub enum Reply {
         /// The exposition body.
         text: String,
     },
+    /// Flight-recorder dump for [`Request::Debug`].
+    Flight {
+        /// The recorder contents as a JSON array of request summaries
+        /// (kept opaque so proto stays core-free).
+        json: String,
+    },
     /// The request could not be served (bad session, bad node, malformed
     /// payload, overload). The connection stays open.
     Error {
@@ -167,8 +208,9 @@ impl std::error::Error for ProtoError {}
 /// One decoded inbound item on the server side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
-    /// A well-formed request.
-    Request(Request),
+    /// A well-formed request, with its [`WireCtx`] when the client sent
+    /// an [`Envelope`] (`None` for bare legacy frames).
+    Request(Request, Option<WireCtx>),
     /// An intact frame whose payload was not a valid [`Request`]. The
     /// framing layer resynchronized past it; answer with [`Reply::Error`].
     Malformed(String),
@@ -240,6 +282,19 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     frame(to_json(req).as_bytes())
 }
 
+/// Encodes a request wrapped in a [`WireCtx`] envelope as one wire frame.
+/// Servers predating the envelope reject the frame as malformed (a typed
+/// [`Reply::Error`], never a dead connection), so clients can probe.
+pub fn encode_request_ctx(ctx: WireCtx, req: &Request) -> Vec<u8> {
+    frame(
+        to_json(&Envelope {
+            ctx,
+            req: req.clone(),
+        })
+        .as_bytes(),
+    )
+}
+
 /// Encodes a reply as one complete wire frame (server side).
 pub fn encode_reply(reply: &Reply) -> Vec<u8> {
     frame(to_json(reply).as_bytes())
@@ -278,7 +333,7 @@ impl Conn {
         let mut events = Vec::with_capacity(payloads.len());
         for payload in payloads {
             events.push(match decode_request(&payload) {
-                Ok(req) => Event::Request(req),
+                Ok((req, ctx)) => Event::Request(req, ctx),
                 Err(msg) => Event::Malformed(msg),
             });
         }
@@ -312,9 +367,19 @@ impl Conn {
     }
 }
 
-fn decode_request(payload: &[u8]) -> Result<Request, String> {
+fn decode_request(payload: &[u8]) -> Result<(Request, Option<WireCtx>), String> {
     let text = std::str::from_utf8(payload).map_err(|e| format!("non-UTF-8 payload: {e}"))?;
-    serde_json::from_str::<Request>(text).map_err(|e| format!("invalid request: {e}"))
+    // The two accepted shapes are disjoint: a bare request is externally
+    // tagged (`{"Open":{...}}` / `"Stats"`), an envelope is the struct
+    // `{"ctx":{...},"req":{...}}`. Try the bare shape first (the common
+    // and legacy case), then the envelope.
+    if let Ok(req) = serde_json::from_str::<Request>(text) {
+        return Ok((req, None));
+    }
+    match serde_json::from_str::<Envelope>(text) {
+        Ok(env) => Ok((env.req, Some(env.ctx))),
+        Err(e) => Err(format!("invalid request: {e}")),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -382,13 +447,45 @@ mod tests {
             },
             Request::Stats,
             Request::Prom,
+            Request::Debug,
         ];
         for req in all {
             let bytes = encode_request(&req);
             let mut conn = Conn::new();
             let events = conn.feed_bytes(&bytes).expect("well-formed frame");
-            assert_eq!(events, vec![Event::Request(req)]);
+            assert_eq!(events, vec![Event::Request(req, None)]);
         }
+    }
+
+    /// Wire compatibility: a bare legacy frame and an enveloped frame both
+    /// decode, and the envelope's context comes through intact.
+    #[test]
+    fn envelope_and_bare_frames_both_parse() {
+        let req = Request::Expand {
+            session: (2u64 << 48) | 9,
+            node: 4,
+        };
+        let ctx = WireCtx {
+            request_id: 0xDEAD_BEEF,
+            session: (2u64 << 48) | 9,
+            deadline_ns: 123_456_789,
+        };
+        let mut conn = Conn::new();
+        let mut stream = encode_request(&req);
+        stream.extend_from_slice(&encode_request_ctx(ctx, &req));
+        let events = conn.feed_bytes(&stream).expect("both shapes are legal");
+        assert_eq!(
+            events,
+            vec![
+                Event::Request(req.clone(), None),
+                Event::Request(req, Some(ctx)),
+            ]
+        );
+        // The envelope shape on the wire is the documented struct JSON.
+        let enveloped = encode_request_ctx(ctx, &Request::Stats);
+        let text = std::str::from_utf8(&enveloped[PREFIX_LEN..]).expect("utf-8");
+        assert!(text.starts_with("{\"ctx\":"), "envelope JSON: {text}");
+        assert!(text.contains("\"request_id\":3735928559"));
     }
 
     #[test]
@@ -420,6 +517,9 @@ mod tests {
             Reply::Prom {
                 text: "# TYPE x counter\nx 1\n".into(),
             },
+            Reply::Flight {
+                json: "[{\"request_id\":7}]".into(),
+            },
             Reply::Error {
                 message: "unknown session 7:9".into(),
             },
@@ -443,7 +543,7 @@ mod tests {
         let events = conn
             .feed_bytes(&bytes[bytes.len() - 1..])
             .expect("final byte");
-        assert_eq!(events, vec![Event::Request(open("ice nucleation"))]);
+        assert_eq!(events, vec![Event::Request(open("ice nucleation"), None)]);
     }
 
     #[test]
@@ -457,9 +557,9 @@ mod tests {
         assert_eq!(
             events,
             vec![
-                Event::Request(open("a")),
-                Event::Request(Request::Stats),
-                Event::Request(Request::Close { session: 2 }),
+                Event::Request(open("a"), None),
+                Event::Request(Request::Stats, None),
+                Event::Request(Request::Close { session: 2 }, None),
             ]
         );
     }
@@ -476,7 +576,7 @@ mod tests {
         assert_eq!(events.len(), 3);
         assert!(matches!(events[0], Event::Malformed(_)));
         assert!(matches!(events[1], Event::Malformed(ref m) if m.contains("non-UTF-8")));
-        assert_eq!(events[2], Event::Request(Request::Prom));
+        assert_eq!(events[2], Event::Request(Request::Prom, None));
         assert!(
             !conn.is_dead(),
             "malformed payloads must not kill the connection"
@@ -548,30 +648,41 @@ mod prop_tests {
     fn arb_request() -> impl Strategy<Value = Request> {
         // The vendored proptest has no `prop_oneof!`; pick a variant by
         // index and reuse one pool of generated fields.
-        (0usize..6, any::<u64>(), any::<u32>(), "[a-z ]{0,24}").prop_map(
+        (0usize..7, any::<u64>(), any::<u32>(), "[a-z ]{0,24}").prop_map(
             |(kind, session, node, query)| match kind {
                 0 => Request::Open { query },
                 1 => Request::Expand { session, node },
                 2 => Request::ShowResults { session, node },
                 3 => Request::Close { session },
                 4 => Request::Stats,
-                _ => Request::Prom,
+                5 => Request::Prom,
+                _ => Request::Debug,
             },
         )
     }
 
-    /// A stream item: a real request (4-in-5) or raw junk bytes *inside* a
-    /// legal frame (never a torn prefix — fatal framing is covered by its
-    /// own deterministic test).
+    /// A stream item: a bare request, an enveloped request, or raw junk
+    /// bytes *inside* a legal frame (never a torn prefix — fatal framing
+    /// is covered by its own deterministic test).
     fn arb_stream_item() -> impl Strategy<Value = Vec<u8>> {
         (
-            0usize..5,
+            0usize..6,
             arb_request(),
+            any::<u64>(),
             proptest::collection::vec(any::<u8>(), 0..64),
         )
-            .prop_map(|(kind, req, junk)| {
-                if kind < 4 {
+            .prop_map(|(kind, req, rid, junk)| {
+                if kind < 3 {
                     encode_request(&req)
+                } else if kind < 5 {
+                    encode_request_ctx(
+                        WireCtx {
+                            request_id: rid,
+                            session: 0,
+                            deadline_ns: 0,
+                        },
+                        &req,
+                    )
                 } else {
                     super::frame(&junk)
                 }
@@ -607,12 +718,18 @@ mod prop_tests {
             prop_assert_eq!(got, expected);
         }
 
-        /// Encode→decode is the identity for every request shape.
+        /// Encode→decode is the identity for every request shape, bare
+        /// and enveloped.
         #[test]
-        fn request_encode_decode_identity(req in arb_request()) {
+        fn request_encode_decode_identity(req in arb_request(), rid in any::<u64>()) {
             let mut conn = Conn::new();
             let events = conn.feed_bytes(&encode_request(&req)).expect("clean frame");
-            prop_assert_eq!(events, vec![Event::Request(req)]);
+            prop_assert_eq!(events, vec![Event::Request(req.clone(), None)]);
+            let ctx = WireCtx { request_id: rid, session: 0, deadline_ns: 0 };
+            let events = conn
+                .feed_bytes(&encode_request_ctx(ctx, &req))
+                .expect("clean frame");
+            prop_assert_eq!(events, vec![Event::Request(req, Some(ctx))]);
         }
     }
 }

@@ -1,0 +1,7 @@
+//! Fixture flight-recorder verb table for the coverage pass's `Request`
+//! family: just the enum — recorder scopes are minted by the serve/REPL
+//! fixtures, never in here.
+pub enum Verb {
+    Open,
+    Stats,
+}

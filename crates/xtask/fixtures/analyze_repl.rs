@@ -5,3 +5,12 @@ pub fn run(engine: &Engine, line: &str) {
     let text = engine.stats();
     render(session, text);
 }
+
+/// Fixture recorder scopes: interactive traffic joins the flight ring
+/// without passing through the wire front-end.
+pub fn record(engine: &Engine) {
+    let _open = flightrec::ensure_scope(Verb::Open);
+    let _stats = flightrec::ensure_scope(Verb::Stats);
+    let json = flightrec::flightrec_json();
+    render_flight(json);
+}

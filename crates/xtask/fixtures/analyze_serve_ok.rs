@@ -13,3 +13,12 @@ pub fn apply(req: Request, engine: &Engine) -> Reply {
         },
     }
 }
+
+/// Fixture attribution anchor: maps every wire verb to its
+/// flight-recorder verb before the request scope is minted.
+fn verb_of(req: &Request) -> Verb {
+    match req {
+        Request::Open { .. } => Verb::Open,
+        Request::Stats => Verb::Stats,
+    }
+}

@@ -15,7 +15,10 @@
 //! * **`coverage`** — the assurance matrix: `FailSite` variants vs chaos
 //!   tests arming them, `Stage` variants vs the `ALL` array / `name()`
 //!   arms the exporters consume, `EngineError` variants vs construction
-//!   sites and tests. Emitted as machine-readable JSON (`--json`).
+//!   sites and tests, `Request` variants vs the request-context plane
+//!   (mapped in `serve.rs::verb_of`, flight-recorder scope minted outside
+//!   the wire path), `SloVerb` variants vs the exporter feed and tests.
+//!   Emitted as machine-readable JSON (`--json`).
 //!
 //! Every pass takes `(path, source)` pairs, so the meta-tests feed seeded
 //! violations through the same code path CI runs. Path *hints* (e.g.
@@ -52,7 +55,8 @@ pub const ANALYSES: &[Analysis] = &[
     Analysis {
         id: "coverage",
         summary: "assurance matrix: FailSite vs chaos tests, Stage vs ALL/name()/exporters, \
-                  EngineError vs construction sites and tests",
+                  EngineError vs construction sites and tests, Request vs the request-context \
+                  plane (verb_of + flight-recorder scope), SloVerb vs exporter feed and tests",
     },
 ];
 
@@ -67,6 +71,7 @@ pub const VERB_WIRING: &[(&str, &str)] = &[
     ("Close", "close_session"),
     ("Stats", "stats"),
     ("Prom", "prometheus_text"),
+    ("Debug", "flight_snapshot"),
 ];
 
 /// The output of one `analyze` run: findings plus the coverage matrix.
@@ -701,6 +706,117 @@ pub fn coverage(model: &Model) -> (Vec<Finding>, Matrix) {
         matrix.families.push(Family {
             name: "EngineError",
             columns: &["constructed", "tested"],
+            rows,
+        });
+    }
+
+    // Request × request-context plane, gated on the flight recorder's Verb
+    // enum being in the file set (so proto-only fixtures skip it): every
+    // wire verb must be mapped by `serve.rs::verb_of` (the front-end's
+    // RequestCtx attribution anchor) AND have a recorder scope minted
+    // outside the wire path — a `Verb::<variant>` reference in
+    // `crates/core` outside `trace/` (engine `flight_scope`) or in the
+    // REPL (`ensure_scope`) — so interactive traffic is flight-recorded
+    // too, not just TCP frames.
+    let verb_enum = model.enum_def("Verb", "trace");
+    if let (Some(request), Some(_)) = (model.enum_def("Request", "proto"), verb_enum) {
+        let def_path = model.files[request.file].path.clone();
+        let verb_of_body = model
+            .fns
+            .iter()
+            .find(|f| {
+                f.name == "verb_of"
+                    && !f.in_test
+                    && model.files[f.file].path.contains("cli/src/serve.rs")
+            })
+            .and_then(|f| f.body.map(|b| (f.file, b)));
+        let mut rows = Vec::new();
+        for (variant, line) in &request.variants {
+            let ctx_propagated = verb_of_body.is_some_and(|(file, (b, e))| {
+                model
+                    .refs("Request", variant, "cli/src/serve.rs")
+                    .any(|r| r.file == file && b < r.tok && r.tok < e && !r.in_test)
+            });
+            let flight_recorded = model.refs("Verb", variant, "").any(|r| {
+                let path = &model.files[r.file].path;
+                !r.in_test
+                    && ((path.contains("core/src") && !path.contains("/trace/"))
+                        || path.contains("cli/src/repl.rs"))
+            });
+            if !ctx_propagated {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "Request::{variant} is not mapped in crates/cli/src/serve.rs::verb_of — \
+                         the wire front-end cannot attribute this verb's work to a request \
+                         context"
+                    ),
+                });
+            }
+            if !flight_recorded {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "Request::{variant} has no flight-recorder scope outside the wire \
+                         front-end — mint Verb::{variant} (engine flight_scope or REPL \
+                         ensure_scope) so interactive traffic is recorded too"
+                    ),
+                });
+            }
+            rows.push((variant.clone(), vec![ctx_propagated, flight_recorded]));
+        }
+        matrix.families.push(Family {
+            name: "Request",
+            columns: &["ctx_propagated", "flight_recorded"],
+            rows,
+        });
+    }
+
+    // SloVerb: fed to the monitor outside slo.rs (the engine records every
+    // op against its objective, which is what the exporter renders) + named
+    // by a test.
+    if let Some(def) = model.enum_def("SloVerb", "core/src/slo.rs") {
+        let def_path = model.files[def.file].path.clone();
+        let mut rows = Vec::new();
+        for (variant, line) in &def.variants {
+            let exported = model
+                .refs("SloVerb", variant, "")
+                .any(|r| !r.in_test && !model.files[r.file].path.ends_with("slo.rs"));
+            let in_test = model.refs("SloVerb", variant, "").any(|r| r.in_test);
+            if !exported {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "SloVerb::{variant} is never fed to the SLO monitor outside slo.rs — \
+                         its burn rate would never be exported"
+                    ),
+                });
+            }
+            if !in_test {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "SloVerb::{variant} is not named by any test — its objective is \
+                         unverified"
+                    ),
+                });
+            }
+            rows.push((variant.clone(), vec![exported, in_test]));
+        }
+        // No family-level exporter check: the exposition renders the
+        // engine-fed `slo_burn` rows, so an unfed verb is exactly what the
+        // per-variant `exported` leg catches.
+        matrix.families.push(Family {
+            name: "SloVerb",
+            columns: &["exported", "tested"],
             rows,
         });
     }

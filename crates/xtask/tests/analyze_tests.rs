@@ -278,6 +278,139 @@ fn dead_failpoint_fixture_is_flagged_and_the_matrix_records_it() {
 }
 
 // ---------------------------------------------------------------------------
+// coverage: the request-context plane (Request × {ctx_propagated,
+// flight_recorded}) and the SLO table (SloVerb × {exported, tested})
+// ---------------------------------------------------------------------------
+
+const FLIGHTREC: &str = include_str!("../fixtures/analyze_flightrec.rs");
+
+/// The fully wired proto/serve/repl trio plus the flight-recorder verb
+/// table that switches the Request coverage family on.
+fn ctx_plane_files() -> Vec<(String, String)> {
+    files(&[
+        ("crates/proto/src/lib.rs", PROTO),
+        ("crates/cli/src/serve.rs", SERVE_OK),
+        ("crates/cli/src/repl.rs", REPL),
+        ("crates/core/src/trace/flightrec.rs", FLIGHTREC),
+    ])
+}
+
+#[test]
+fn fully_attributed_request_plane_is_clean_and_lands_in_the_matrix() {
+    let report = analyze_files(&ctx_plane_files());
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    let json = report.matrix.to_json();
+    assert!(json.contains("\"family\":\"Request\""), "{json}");
+    assert!(
+        json.contains("\"columns\":[\"ctx_propagated\",\"flight_recorded\"]"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"variant\":\"Stats\",\"cells\":[true,true]"),
+        "{json}"
+    );
+}
+
+#[test]
+fn wire_verb_missing_from_verb_of_is_flagged() {
+    let mut set = ctx_plane_files();
+    for (p, s) in &mut set {
+        if p.ends_with("cli/src/serve.rs") {
+            *s = s.replace("        Request::Stats => Verb::Stats,\n", "");
+        }
+    }
+    let report = analyze_files(&set);
+    assert_eq!(rules_of(&report), vec!["coverage"], "{:?}", report.findings);
+    let msg = &report.findings[0].message;
+    assert!(
+        msg.contains("Request::Stats") && msg.contains("verb_of"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn verb_with_no_recorder_scope_outside_the_wire_path_is_flagged() {
+    let mut set = ctx_plane_files();
+    for (p, s) in &mut set {
+        if p.ends_with("cli/src/repl.rs") {
+            *s = s.replace(
+                "    let _stats = flightrec::ensure_scope(Verb::Stats);\n",
+                "",
+            );
+        }
+    }
+    let report = analyze_files(&set);
+    assert_eq!(rules_of(&report), vec!["coverage"], "{:?}", report.findings);
+    let msg = &report.findings[0].message;
+    assert!(
+        msg.contains("Request::Stats") && msg.contains("flight-recorder scope"),
+        "{msg}"
+    );
+    assert!(
+        report
+            .matrix
+            .to_json()
+            .contains("\"variant\":\"Stats\",\"cells\":[true,false]"),
+        "{}",
+        report.matrix.to_json()
+    );
+}
+
+#[test]
+fn proto_only_fixtures_skip_the_request_family() {
+    // Without the Verb enum in the file set the request-context family is
+    // gated off — proto-drift fixtures stay exactly as strict as before.
+    let report = analyze_files(&files(&[
+        ("crates/proto/src/lib.rs", PROTO),
+        ("crates/cli/src/serve.rs", SERVE_OK),
+        ("crates/cli/src/repl.rs", REPL),
+    ]));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(!report.matrix.to_json().contains("\"family\":\"Request\""));
+}
+
+#[test]
+fn slo_verb_without_exporter_feed_or_test_is_flagged() {
+    let report = analyze_files(&files(&[
+        (
+            "crates/core/src/slo.rs",
+            "pub enum SloVerb {\n    Open,\n    Expand,\n}\n\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn names_open() {\n        \
+             let v = SloVerb::Open;\n    }\n}\n",
+        ),
+        (
+            "crates/core/src/engine.rs",
+            "fn stats(&self) {\n    self.slo.burns(SloVerb::Open);\n}\n",
+        ),
+    ]));
+    // Expand is neither fed to the monitor nor named by a test.
+    assert_eq!(
+        rules_of(&report),
+        vec!["coverage", "coverage"],
+        "{:?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.message.contains("SloVerb::Expand")),
+        "{:?}",
+        report.findings
+    );
+    let json = report.matrix.to_json();
+    assert!(json.contains("\"family\":\"SloVerb\""), "{json}");
+    assert!(
+        json.contains("\"variant\":\"Open\",\"cells\":[true,true]"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"variant\":\"Expand\",\"cells\":[false,false]"),
+        "{json}"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // acceptance: the real workspace
 // ---------------------------------------------------------------------------
 
@@ -303,7 +436,7 @@ fn the_real_workspace_is_clean() {
     );
     // Every family made it into the matrix, fully covered.
     let json = report.matrix.to_json();
-    for family in ["FailSite", "Stage", "EngineError"] {
+    for family in ["FailSite", "Stage", "EngineError", "Request", "SloVerb"] {
         assert!(json.contains(&format!("\"family\":\"{family}\"")), "{json}");
     }
     assert!(json.contains("\"gaps\":0"), "{json}");

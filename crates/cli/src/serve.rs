@@ -168,13 +168,45 @@ fn handle_connection(mut stream: TcpStream, engine: &ServeEngine, dataset: &Data
     }
 }
 
+/// Maps a typed engine refusal to its wire reply. Breaker fast-fails are
+/// the one retryable refusal, so they get [`Reply::Throttled`] with the
+/// breaker's probe-delay hint (rounded *up* to whole milliseconds — a
+/// truncated-to-zero hint would invite a tight retry loop); everything
+/// else is a plain [`Reply::Error`].
+fn error_reply(e: bionav_core::EngineError) -> Reply {
+    match e {
+        bionav_core::EngineError::BreakerOpen { retry_after_ns, .. } => Reply::Throttled {
+            message: e.to_string(),
+            retry_after_ms: retry_after_ns.div_ceil(1_000_000).max(1),
+        },
+        _ => Reply::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Ceiling on the client-side backoff a [`Reply::Throttled`] hint can
+/// produce (the server's open period is configuration; a hostile or buggy
+/// hint must not park a client for minutes).
+pub const MAX_THROTTLE_BACKOFF_MS: u64 = 5_000;
+
+/// Client-side bounded backoff for [`Reply::Throttled`]: start from the
+/// server's hint, double per consecutive throttle (attempt 0 = first
+/// refusal), clamp to `[1, MAX_THROTTLE_BACKOFF_MS]`. Used by the REPL's
+/// wire client and the serve test clients; pure so it is testable without
+/// sleeping.
+pub fn throttle_backoff_ms(hint_ms: u64, attempt: u32) -> u64 {
+    hint_ms
+        .max(1)
+        .saturating_mul(1u64 << attempt.min(12))
+        .min(MAX_THROTTLE_BACKOFF_MS)
+}
+
 /// Applies one request to the tier and renders the reply.
 fn apply(req: Request, engine: &ServeEngine, dataset: &Dataset) -> Reply {
     match req {
         Request::Open { query } => match engine.open_session(&query) {
-            Err(e) => Reply::Error {
-                message: e.to_string(),
-            },
+            Err(e) => error_reply(e),
             Ok(id) => {
                 let roots = engine
                     .with_session(id, |s| {
@@ -197,9 +229,7 @@ fn apply(req: Request, engine: &ServeEngine, dataset: &Dataset) -> Reply {
         Request::Expand { session, node } => {
             let id = ShardSessionId::from_bits(session);
             match engine.expand(id, NavNodeId(node)) {
-                Err(e) => Reply::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => error_reply(e),
                 Ok(reply) => {
                     let revealed = engine
                         .with_session(id, |s| {
@@ -238,9 +268,7 @@ fn apply(req: Request, engine: &ServeEngine, dataset: &Dataset) -> Reply {
         Request::Close { session } => {
             match engine.close_session(ShardSessionId::from_bits(session)) {
                 Ok(_) => Reply::Closed,
-                Err(e) => Reply::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => error_reply(e),
             }
         }
         Request::Stats => match engine.stats().to_json() {
@@ -509,6 +537,153 @@ mod tests {
         assert_eq!(mine.len(), 1, "exactly one summary for the wire request");
         assert_eq!(mine[0].verb, Verb::Open);
         assert!(mine[0].shard.is_some(), "the owning shard was noted");
+    }
+
+    /// ISSUE 10 regression: a wire request whose envelope deadline has
+    /// already expired is rejected before *any* solver work — the typed
+    /// refusal and shed reason land in the flight recorder, and the
+    /// request's flight entry shows zero time in every solver stage.
+    #[test]
+    fn expired_wire_deadline_is_rejected_before_any_solver_work() {
+        let (engine, dataset, query) = tier();
+        // A live session opened without a deadline, so only the EXPAND
+        // under test can be rejected.
+        let opened = apply(
+            Request::Open {
+                query: query.clone(),
+            },
+            &engine,
+            &dataset,
+        );
+        let Reply::Opened { session, roots } = opened else {
+            panic!("expected Opened, got {opened:?}");
+        };
+        let shard = ShardSessionId::from_bits(session).shard();
+        let rejects0 = engine.shard_stats(shard).deadline_rejects;
+
+        // deadline_ns = 1: expired since (practically) the trace epoch.
+        let rid = 0xDEAD_1111_u64;
+        let ctx = wire_request_ctx(Some(WireCtx {
+            request_id: rid,
+            session,
+            deadline_ns: 1,
+        }));
+        let reply = {
+            let _scope = flightrec::request_scope(ctx, Verb::Expand);
+            apply(
+                Request::Expand {
+                    session,
+                    node: roots[0].node,
+                },
+                &engine,
+                &dataset,
+            )
+        };
+        assert!(
+            matches!(reply, Reply::Error { ref message } if message.contains("deadline")),
+            "expected a typed deadline refusal, got {reply:?}"
+        );
+        assert_eq!(
+            engine.shard_stats(shard).deadline_rejects,
+            rejects0 + 1,
+            "the shard counted the deadline reject"
+        );
+
+        // The flight entry for this request id carries the typed shed
+        // reason and error, and never entered a solver stage.
+        let mine: Vec<_> = flightrec::flight_snapshot()
+            .into_iter()
+            .filter(|e| e.request_id == rid)
+            .collect();
+        assert_eq!(mine.len(), 1, "exactly one flight entry for the reject");
+        let e = &mine[0];
+        assert_eq!(e.shed_name(), "deadline");
+        assert_eq!(e.error_name(), "deadline_exceeded");
+        for stage in [
+            bionav_core::Stage::Solve,
+            bionav_core::Stage::Partition,
+            bionav_core::Stage::ReducedBuild,
+        ] {
+            assert_eq!(
+                e.stage_us[stage as usize],
+                0,
+                "no {} work after an expired-on-arrival reject",
+                stage.name()
+            );
+        }
+
+        // The session is untouched: the same EXPAND without a deadline
+        // succeeds afterwards.
+        let ok = apply(
+            Request::Expand {
+                session,
+                node: roots[0].node,
+            },
+            &engine,
+            &dataset,
+        );
+        assert!(matches!(ok, Reply::Expanded { .. }), "got {ok:?}");
+        assert_eq!(
+            apply(Request::Close { session }, &engine, &dataset),
+            Reply::Closed
+        );
+    }
+
+    /// The client-side throttle backoff honors the server hint, grows
+    /// exponentially per consecutive refusal, and is bounded on both ends.
+    #[test]
+    fn throttle_backoff_is_bounded_and_monotone() {
+        assert_eq!(throttle_backoff_ms(10, 0), 10);
+        assert_eq!(throttle_backoff_ms(10, 1), 20);
+        assert_eq!(throttle_backoff_ms(10, 3), 80);
+        // Never 0, even on a degenerate hint.
+        assert_eq!(throttle_backoff_ms(0, 0), 1);
+        // Clamped above, including overflow-bait attempts.
+        assert_eq!(throttle_backoff_ms(4_000, 1), MAX_THROTTLE_BACKOFF_MS);
+        assert_eq!(throttle_backoff_ms(1, u32::MAX), 4096);
+        assert_eq!(throttle_backoff_ms(u64::MAX, 63), MAX_THROTTLE_BACKOFF_MS);
+        // Monotone in the attempt count until the clamp.
+        let mut prev = 0;
+        for attempt in 0..16 {
+            let b = throttle_backoff_ms(5, attempt);
+            assert!(b >= prev, "backoff must not shrink");
+            prev = b;
+        }
+    }
+
+    /// `error_reply` maps breaker fast-fails to `Throttled` (hint rounded
+    /// up to ≥ 1 ms) and everything else to plain `Error`.
+    #[test]
+    fn breaker_refusals_become_throttled_replies() {
+        let e = bionav_core::EngineError::BreakerOpen {
+            shard: 3,
+            retry_after_ns: 1, // sub-millisecond: must round *up*
+        };
+        match error_reply(e) {
+            Reply::Throttled {
+                message,
+                retry_after_ms,
+            } => {
+                assert!(message.contains("shard 3"), "{message}");
+                assert_eq!(retry_after_ms, 1);
+            }
+            other => panic!("expected Throttled, got {other:?}"),
+        }
+        let e = bionav_core::EngineError::BreakerOpen {
+            shard: 0,
+            retry_after_ns: 2_500_000,
+        };
+        assert!(matches!(
+            error_reply(e),
+            Reply::Throttled {
+                retry_after_ms: 3,
+                ..
+            }
+        ));
+        assert!(matches!(
+            error_reply(bionav_core::EngineError::DeadlineExceeded),
+            Reply::Error { .. }
+        ));
     }
 
     /// The connection gauge balances accepts against drops — including

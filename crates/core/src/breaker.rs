@@ -1,0 +1,413 @@
+//! Per-shard circuit breaker (DESIGN.md §5k).
+//!
+//! PR 7's `HealthPolicy` could only *bias* cold-open placement away from a
+//! sick shard; its parked sessions kept hammering the shard and nothing
+//! ever declared it recovered. [`Breaker`] extends that policy into the
+//! classic three-state machine:
+//!
+//! ```text
+//!            unhealthy                 probe delay elapsed
+//!   Closed ─────────────▶ Open ──────────────────────────▶ HalfOpen
+//!     ▲                     ▲                                 │ │
+//!     │  PROBES_TO_CLOSE    └────────── still unhealthy ──────┘ │
+//!     └───── healthy probes ────────────────────────────────────┘
+//! ```
+//!
+//! * **Closed** — requests pass; an unhealthy verdict trips the breaker.
+//! * **Open** — requests fast-fail with a `retry_after_ns` hint; after
+//!   `open_ns` plus a *seeded-jitter* backoff (deterministic per seed and
+//!   trip ordinal, so drills replay bit-identically while real fleets
+//!   still decorrelate their probes) the next request becomes a probe.
+//! * **HalfOpen** — probes pass; [`PROBES_TO_CLOSE`] consecutive healthy
+//!   verdicts close the breaker, one unhealthy verdict re-opens it.
+//!
+//! The health verdict itself is the caller's business (the sharded tier
+//! judges counter *deltas since the last trip* against its
+//! [`HealthPolicy`](crate::shard::HealthPolicy), so a shard that degraded
+//! once long ago is not condemned forever). The breaker is pure atomic
+//! state with the clock injected, which is what lets the interleave models
+//! drive racing trip/probe/close transitions exhaustively.
+
+use crate::sync::{AtomicU64, Ordering};
+
+/// Healthy-probe count required to close a half-open breaker. More than
+/// one so a single lucky probe does not un-trip a still-sick shard; small
+/// enough that recovery is visible within a few requests.
+pub const PROBES_TO_CLOSE: u64 = 3;
+
+/// Number of baseline counters snapshotted at trip time (degraded, shed,
+/// panics, deadline rejects — the order is the caller's convention).
+pub const BASELINE_SLOTS: usize = 4;
+
+/// The three breaker states. Discriminants are the wire/metric encoding
+/// (`bionav_breaker_state` gauge), so they are append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal service; health verdicts can trip to [`BreakerState::Open`].
+    Closed = 0,
+    /// Fast-failing; waits out the probe delay.
+    Open = 1,
+    /// Probing; healthy probes close, an unhealthy one re-opens.
+    HalfOpen = 2,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for tables and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    fn from_code(code: u64) -> BreakerState {
+        match code {
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+}
+
+/// One admission verdict from [`Breaker::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// The request may proceed (in half-open it *is* the probe).
+    Admit,
+    /// Fast-fail; the client should back off for `retry_after_ns`.
+    Reject {
+        /// Remaining time until the breaker will accept a probe.
+        retry_after_ns: u64,
+    },
+}
+
+/// SplitMix64 finalizer — the workspace's standard deterministic bit mixer
+/// (same constants as `fault::mix` / `shard::mix`).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Probe delay for one open period: the configured `open_ns` plus up to
+/// 25 % seeded jitter, deterministic in `(seed, trip ordinal)` so a chaos
+/// drill replays exactly while distinct shards/seeds decorrelate.
+pub fn probe_delay_ns(open_ns: u64, seed: u64, trip: u64) -> u64 {
+    let jitter_span = open_ns / 4 + 1;
+    open_ns + mix(seed ^ trip.wrapping_mul(0xa076_1d64_78bd_642f)) % jitter_span
+}
+
+/// One shard's circuit breaker. All state is atomic; see the module docs
+/// for the protocol.
+#[derive(Debug)]
+pub struct Breaker {
+    /// Current [`BreakerState`] discriminant.
+    state: AtomicU64,
+    /// Trace-clock stamp of the most recent trip.
+    opened_at_ns: AtomicU64,
+    /// Times the breaker has opened (closed→open and half-open→open).
+    trips: AtomicU64,
+    /// Requests fast-failed while open / on trip.
+    rejects: AtomicU64,
+    /// Consecutive healthy probes seen in the current half-open episode.
+    probe_successes: AtomicU64,
+    /// Caller-convention counter snapshot taken at the last trip; health
+    /// deltas are judged against these.
+    baselines: [AtomicU64; BASELINE_SLOTS],
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Breaker {
+    /// A closed breaker with zeroed baselines.
+    pub fn new() -> Self {
+        Breaker {
+            state: AtomicU64::new(BreakerState::Closed as u64),
+            opened_at_ns: AtomicU64::new(0),
+            trips: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+            probe_successes: AtomicU64::new(0),
+            baselines: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+
+    /// Current state (may be stale by one transition under races; every
+    /// consumer tolerates that).
+    pub fn state(&self) -> BreakerState {
+        // Relaxed: observational read; transitions are CAS-serialized.
+        BreakerState::from_code(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Times the breaker has opened.
+    pub fn trips(&self) -> u64 {
+        // Relaxed: monotone statistics counter.
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Requests fast-failed by this breaker.
+    pub fn rejects(&self) -> u64 {
+        // Relaxed: monotone statistics counter.
+        self.rejects.load(Ordering::Relaxed)
+    }
+
+    /// The counter snapshot recorded at the last trip (slot order is the
+    /// caller's convention; zeros before the first trip, so delta-health
+    /// against a never-tripped breaker degenerates to absolute counters).
+    pub fn baseline(&self, slot: usize) -> u64 {
+        // Relaxed: read side of the trip-time snapshot; skew vs. live
+        // counters only widens the recovery window by one verdict.
+        self.baselines[slot].load(Ordering::Relaxed)
+    }
+
+    fn store_baselines(&self, baselines: [u64; BASELINE_SLOTS]) {
+        for (slot, v) in self.baselines.iter().zip(baselines) {
+            // Relaxed: written only by the CAS winner of a trip.
+            slot.store(v, Ordering::Relaxed);
+        }
+    }
+
+    fn trip_from(&self, from: BreakerState, now_ns: u64, baselines: [u64; BASELINE_SLOTS]) {
+        let open = BreakerState::Open as u64;
+        if self
+            .state
+            // Relaxed CAS: exactly one racer performs the transition; losers
+            // fall through and simply report the (now open) breaker.
+            .compare_exchange(from as u64, open, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            // Relaxed (×3): owned by the CAS winner for this transition.
+            self.opened_at_ns.store(now_ns, Ordering::Relaxed);
+            self.trips.fetch_add(1, Ordering::Relaxed);
+            self.probe_successes.store(0, Ordering::Relaxed);
+            self.store_baselines(baselines);
+        }
+    }
+
+    /// One admission decision at `now_ns`. `healthy` is the caller's
+    /// verdict over its counters (delta-based for recovery — see module
+    /// docs); `open_ns` is the base open period (the caller guarantees it
+    /// is nonzero when the breaker is enabled); `seed` feeds the probe
+    /// jitter; `baselines` is the counter snapshot to pin if *this* call
+    /// trips the breaker.
+    pub fn admit(
+        &self,
+        now_ns: u64,
+        healthy: bool,
+        open_ns: u64,
+        seed: u64,
+        baselines: [u64; BASELINE_SLOTS],
+    ) -> BreakerDecision {
+        match self.state() {
+            BreakerState::Closed => {
+                if healthy {
+                    return BreakerDecision::Admit;
+                }
+                self.trip_from(BreakerState::Closed, now_ns, baselines);
+                self.reject(probe_delay_ns(open_ns, seed, self.trips()))
+            }
+            BreakerState::Open => {
+                let delay = probe_delay_ns(open_ns, seed, self.trips());
+                // Relaxed: stamp written by the trip CAS winner; a stale
+                // read only delays the first probe by one request.
+                let opened = self.opened_at_ns.load(Ordering::Relaxed);
+                let elapsed = now_ns.saturating_sub(opened);
+                if elapsed < delay {
+                    return self.reject(delay - elapsed);
+                }
+                let (open, half) = (BreakerState::Open as u64, BreakerState::HalfOpen as u64);
+                // Relaxed CAS: one racer becomes the probe; losers re-enter
+                // through the half-open arm on their next decision. The
+                // transitioning request is itself the first probe, so its
+                // verdict goes through the same half-open bookkeeping.
+                let _ =
+                    self.state
+                        .compare_exchange(open, half, Ordering::Relaxed, Ordering::Relaxed);
+                self.half_open_verdict(now_ns, healthy, open_ns, seed, baselines)
+            }
+            BreakerState::HalfOpen => {
+                self.half_open_verdict(now_ns, healthy, open_ns, seed, baselines)
+            }
+        }
+    }
+
+    /// One probe verdict while half-open: healthy probes accumulate toward
+    /// [`PROBES_TO_CLOSE`], an unhealthy one re-opens with fresh baselines.
+    fn half_open_verdict(
+        &self,
+        now_ns: u64,
+        healthy: bool,
+        open_ns: u64,
+        seed: u64,
+        baselines: [u64; BASELINE_SLOTS],
+    ) -> BreakerDecision {
+        if healthy {
+            // Relaxed: probe bookkeeping; the close CAS below is the real
+            // transition.
+            let ok = self.probe_successes.fetch_add(1, Ordering::Relaxed) + 1;
+            if ok >= PROBES_TO_CLOSE {
+                let (half, closed) = (BreakerState::HalfOpen as u64, BreakerState::Closed as u64);
+                // Relaxed CAS: idempotent close; a lost race means another
+                // probe (or a re-trip) got there first.
+                let _ =
+                    self.state
+                        .compare_exchange(half, closed, Ordering::Relaxed, Ordering::Relaxed);
+            }
+            BreakerDecision::Admit
+        } else {
+            self.trip_from(BreakerState::HalfOpen, now_ns, baselines);
+            self.reject(probe_delay_ns(open_ns, seed, self.trips()))
+        }
+    }
+
+    fn reject(&self, retry_after_ns: u64) -> BreakerDecision {
+        // Relaxed: monotone statistics counter.
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+        BreakerDecision::Reject {
+            retry_after_ns: retry_after_ns.max(1),
+        }
+    }
+}
+
+#[cfg(all(test, not(interleave)))]
+mod tests {
+    use super::*;
+
+    const OPEN_NS: u64 = 1_000_000;
+    const SEED: u64 = 7;
+    const NO_BASE: [u64; BASELINE_SLOTS] = [0; BASELINE_SLOTS];
+
+    #[test]
+    fn state_names_and_codes_round_trip() {
+        for (code, state) in [
+            (0, BreakerState::Closed),
+            (1, BreakerState::Open),
+            (2, BreakerState::HalfOpen),
+        ] {
+            assert_eq!(state as u64, code);
+            assert_eq!(BreakerState::from_code(code), state);
+        }
+        assert_eq!(BreakerState::HalfOpen.name(), "half-open");
+    }
+
+    #[test]
+    fn healthy_closed_breaker_admits_everything() {
+        let b = Breaker::new();
+        for t in 0..10 {
+            assert_eq!(
+                b.admit(t, true, OPEN_NS, SEED, NO_BASE),
+                BreakerDecision::Admit
+            );
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        assert_eq!(b.rejects(), 0);
+    }
+
+    #[test]
+    fn full_trip_probe_close_cycle() {
+        let b = Breaker::new();
+        // Unhealthy verdict trips closed → open and pins the baselines.
+        let d = b.admit(100, false, OPEN_NS, SEED, [5, 0, 1, 0]);
+        assert!(matches!(d, BreakerDecision::Reject { retry_after_ns } if retry_after_ns > 0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.baseline(0), 5);
+        assert_eq!(b.baseline(2), 1);
+        // Before the probe delay: fast-fail with a shrinking hint.
+        let delay = probe_delay_ns(OPEN_NS, SEED, 1);
+        match b.admit(200, true, OPEN_NS, SEED, NO_BASE) {
+            BreakerDecision::Reject { retry_after_ns } => {
+                assert_eq!(
+                    retry_after_ns,
+                    delay - 100,
+                    "hint counts down from the trip stamp"
+                );
+            }
+            BreakerDecision::Admit => panic!("must fast-fail before the probe delay"),
+        }
+        // After the delay: the next request is the probe (half-open).
+        let probe_at = 100 + delay;
+        assert_eq!(
+            b.admit(probe_at, true, OPEN_NS, SEED, NO_BASE),
+            BreakerDecision::Admit
+        );
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Two more healthy probes close it (PROBES_TO_CLOSE = 3).
+        assert_eq!(
+            b.admit(probe_at + 1, true, OPEN_NS, SEED, NO_BASE),
+            BreakerDecision::Admit
+        );
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(
+            b.admit(probe_at + 2, true, OPEN_NS, SEED, NO_BASE),
+            BreakerDecision::Admit
+        );
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn unhealthy_probe_reopens_with_fresh_baselines() {
+        let b = Breaker::new();
+        b.admit(0, false, OPEN_NS, SEED, [1, 0, 0, 0]);
+        let delay = probe_delay_ns(OPEN_NS, SEED, 1);
+        // Probe admitted…
+        assert_eq!(
+            b.admit(delay, true, OPEN_NS, SEED, NO_BASE),
+            BreakerDecision::Admit
+        );
+        // …but the next verdict is unhealthy: re-open, trip count grows,
+        // baselines move to the new snapshot.
+        let d = b.admit(delay + 1, false, OPEN_NS, SEED, [2, 0, 0, 0]);
+        assert!(matches!(d, BreakerDecision::Reject { .. }));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.baseline(0), 2);
+    }
+
+    #[test]
+    fn probe_delay_is_deterministic_jittered_and_bounded() {
+        let d1 = probe_delay_ns(OPEN_NS, SEED, 1);
+        assert_eq!(
+            d1,
+            probe_delay_ns(OPEN_NS, SEED, 1),
+            "deterministic per (seed, trip)"
+        );
+        assert!(
+            (OPEN_NS..=OPEN_NS + OPEN_NS / 4 + 1).contains(&d1),
+            "≤ 25 % jitter: {d1}"
+        );
+        // Different trips / seeds decorrelate.
+        let spread: std::collections::HashSet<u64> =
+            (1..20).map(|t| probe_delay_ns(OPEN_NS, SEED, t)).collect();
+        assert!(
+            spread.len() > 10,
+            "jitter must actually spread: {}",
+            spread.len()
+        );
+        assert_ne!(
+            probe_delay_ns(OPEN_NS, SEED, 1),
+            probe_delay_ns(OPEN_NS, SEED + 1, 1)
+        );
+    }
+
+    #[test]
+    fn retry_after_hint_is_never_zero() {
+        let b = Breaker::new();
+        match b.admit(0, false, 0, SEED, NO_BASE) {
+            BreakerDecision::Reject { retry_after_ns } => assert!(retry_after_ns >= 1),
+            BreakerDecision::Admit => panic!("unhealthy verdict must reject"),
+        }
+    }
+}

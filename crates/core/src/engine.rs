@@ -67,7 +67,8 @@ use std::sync::Arc;
 // interleave park/resume model explores the production protocol (§5d).
 use crate::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 
-use crate::slo::{SloBurn, SloState, SloVerb};
+use crate::admission::AdmissionGate;
+use crate::slo::{slo_for, SloBurn, SloState, SloVerb};
 use crate::telemetry::LatencyHistogram;
 use crate::trace::flightrec::{self, Verb};
 use crate::trace::{self, Stage, StageMetrics, StageStat};
@@ -358,6 +359,16 @@ pub enum EngineError {
     /// The navigation itself refused the operation (hidden node, singleton
     /// component, invalid cut, …).
     Cut(EdgeCutError),
+    /// The request's end-to-end deadline ([`flightrec::RequestCtx`]) had
+    /// already expired on arrival; nothing was executed.
+    DeadlineExceeded,
+    /// The target shard's circuit breaker is open; retry after the hint.
+    BreakerOpen {
+        /// The fast-failing shard.
+        shard: usize,
+        /// Client backoff hint, nanoseconds (always ≥ 1).
+        retry_after_ns: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -381,6 +392,17 @@ impl fmt::Display for EngineError {
                 write!(f, "persisted session state does not fit the query's tree")
             }
             EngineError::Cut(e) => write!(f, "navigation refused: {e}"),
+            EngineError::DeadlineExceeded => {
+                write!(f, "request deadline expired before any work was done")
+            }
+            EngineError::BreakerOpen {
+                shard,
+                retry_after_ns,
+            } => write!(
+                f,
+                "shard {shard} circuit breaker is open; retry after {} ms",
+                retry_after_ns.div_ceil(1_000_000)
+            ),
         }
     }
 }
@@ -388,7 +410,7 @@ impl fmt::Display for EngineError {
 impl EngineError {
     /// Kind names indexed by the variant's position in the enum; the
     /// flight-recorder code is this index plus one (0 = success).
-    const KIND_NAMES: [&'static str; 10] = [
+    const KIND_NAMES: [&'static str; 12] = [
         "unknown_query",
         "unknown_session",
         "session_busy",
@@ -399,6 +421,8 @@ impl EngineError {
         "worker_panicked",
         "state_mismatch",
         "cut",
+        "deadline_exceeded",
+        "breaker_open",
     ];
 
     fn kind_index(&self) -> usize {
@@ -413,6 +437,8 @@ impl EngineError {
             EngineError::WorkerPanicked { .. } => 7,
             EngineError::StateMismatch => 8,
             EngineError::Cut(_) => 9,
+            EngineError::DeadlineExceeded => 10,
+            EngineError::BreakerOpen { .. } => 11,
         }
     }
 
@@ -463,8 +489,34 @@ pub struct DegradePolicy {
     /// components degrade. `0` disables the budget.
     pub exact_node_budget: usize,
     /// Maximum concurrently in-flight EXPANDs before the admission gate
-    /// sheds with [`EngineError::Overloaded`]. `0` disables the gate.
+    /// sheds with [`EngineError::Overloaded`]. `0` disables the gate. With
+    /// [`DegradePolicy::adaptive_admission`] set this is the AIMD
+    /// controller's *ceiling* instead of the operating point.
     pub max_inflight_expands: usize,
+    /// Run the [`AdmissionGate`] AIMD controller (DESIGN.md §5k): the
+    /// in-flight limit tracks the measured EXPAND latency window against
+    /// the [`crate::slo::SLOS`] target p99 instead of sitting at the
+    /// static cap. Off by default — the clean serve path keeps the fixed
+    /// cap and stays bit-identical.
+    pub adaptive_admission: bool,
+    /// Latency target the AIMD controller compares the EXPAND window
+    /// against, nanoseconds. `0` (the default) uses the global
+    /// [`crate::slo::SLOS`] Expand target; operators tune it per tier in
+    /// the gradient-controller style — unloaded baseline latency × a
+    /// tolerance factor — so the gate reacts to *this* deployment's
+    /// queueing, not an absolute number sized for other hardware.
+    pub admission_target_ns: u64,
+    /// When a request carries an absolute deadline
+    /// ([`flightrec::RequestCtx::deadline_ns`]), skip the exact planner if
+    /// fewer than this many nanoseconds remain at planning time (the exact
+    /// solve would likely blow the budget; the ladder answers instead).
+    /// Only consulted for deadline-carrying requests, so oracle runs
+    /// (deadline 0) never see it.
+    pub deadline_exact_headroom_ns: u64,
+    /// When a deadline-carrying request has fewer than this many
+    /// nanoseconds left, the ladder skips even the myopic rung and answers
+    /// with the static show-all-children cut.
+    pub deadline_static_headroom_ns: u64,
 }
 
 impl Default for DegradePolicy {
@@ -473,21 +525,11 @@ impl Default for DegradePolicy {
             expand_deadline_ns: 0,
             exact_node_budget: 0,
             max_inflight_expands: 1024,
+            adaptive_admission: false,
+            admission_target_ns: 0,
+            deadline_exact_headroom_ns: 5_000_000,
+            deadline_static_headroom_ns: 1_000_000,
         }
-    }
-}
-
-/// RAII release for the admission gate's in-flight EXPAND counter: the
-/// slot is freed when the guard drops, which happens even when the gated
-/// operation panics (the guard lives outside [`fault::isolate`]'s
-/// `catch_unwind` in the caller's frame).
-struct InflightGuard<'a>(&'a AtomicUsize);
-
-impl Drop for InflightGuard<'_> {
-    fn drop(&mut self) {
-        // Relaxed: saturation-counter release; see the admission contract
-        // on `Engine::admit_expand` — no ordering is carried through it.
-        self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -610,6 +652,10 @@ pub struct HealthCounters {
     /// Poisoned sessions currently parked in the table (a live gauge, not
     /// window-reset).
     pub sessions_quarantined: usize,
+    /// Requests rejected expired-on-arrival since the last reset (the
+    /// fourth breaker baseline slot — a shard drowning in deadline misses
+    /// is sick even if it never degrades).
+    pub deadline_rejects: u64,
 }
 
 /// Serving telemetry snapshot; serializes into `BENCH_serve.json`.
@@ -654,6 +700,20 @@ pub struct ServeStats {
     /// EXPANDs shed by the admission gate
     /// ([`DegradePolicy::max_inflight_expands`]) in this stats window.
     pub shed_expands: u64,
+    /// Requests rejected because their end-to-end deadline had already
+    /// expired on arrival ([`EngineError::DeadlineExceeded`]).
+    pub deadline_rejects: u64,
+    /// Requests fast-failed by an open circuit breaker
+    /// ([`EngineError::BreakerOpen`]; always 0 for a standalone engine —
+    /// breakers live in the sharded tier).
+    pub breaker_rejects: u64,
+    /// The admission gate's live in-flight limit (summed across shards in
+    /// a merged snapshot; 0 = ungated).
+    pub admission_limit: u64,
+    /// Circuit-breaker state code ([`crate::breaker::BreakerState`]
+    /// discriminant; the max across shards in a merged snapshot, so any
+    /// non-closed breaker is visible at a glance).
+    pub breaker_state: u64,
     /// EXPAND operations measured.
     pub expand_count: usize,
     /// Median EXPAND latency, microseconds.
@@ -754,10 +814,15 @@ where
     started_ns: AtomicU64,
     /// Degradation-ladder / admission policy (DESIGN.md §5f).
     policy: DegradePolicy,
-    /// EXPANDs currently in flight (admission gate counter).
-    inflight_expands: AtomicUsize,
+    /// The in-flight EXPAND gate (DESIGN.md §5k): a fixed cap with the
+    /// default policy, the AIMD controller's live limit under
+    /// [`DegradePolicy::adaptive_admission`].
+    admission: AdmissionGate,
     /// EXPANDs shed by the admission gate in the current stats window.
     shed_expands: AtomicU64,
+    /// Requests rejected because their end-to-end deadline had already
+    /// expired on arrival, in the current stats window.
+    deadline_rejects: AtomicU64,
     /// Ladder answers from the retained-memo myopic rung.
     degraded_myopic: AtomicU64,
     /// Ladder answers from the static show-all-children rung.
@@ -797,8 +862,9 @@ where
             slo: SloState::new(),
             started_ns: AtomicU64::new(trace::now_ns()),
             policy: DegradePolicy::default(),
-            inflight_expands: AtomicUsize::new(0),
+            admission: AdmissionGate::new(DegradePolicy::default().max_inflight_expands),
             shed_expands: AtomicU64::new(0),
+            deadline_rejects: AtomicU64::new(0),
             degraded_myopic: AtomicU64::new(0),
             degraded_static: AtomicU64::new(0),
             session_panics: AtomicU64::new(0),
@@ -838,15 +904,34 @@ where
 
     /// Builder-style [`DegradePolicy`] override.
     pub fn with_policy(mut self, policy: DegradePolicy) -> Self {
-        self.policy = policy;
+        self.set_policy(policy);
         self
     }
 
     /// Replace the degradation/admission policy. Takes `&mut self`: the
     /// policy is plain data read by serving threads, so it can only change
-    /// while no worker holds the engine.
+    /// while no worker holds the engine. The admission gate restarts at
+    /// the new cap (the AIMD controller re-converges from there).
     pub fn set_policy(&mut self, policy: DegradePolicy) {
         self.policy = policy;
+        self.admission.set_limit(policy.max_inflight_expands);
+    }
+
+    /// The live admission limit: the AIMD controller's current operating
+    /// point under [`DegradePolicy::adaptive_admission`], otherwise the
+    /// static cap (0 = ungated).
+    pub fn admission_limit(&self) -> usize {
+        self.admission.limit()
+    }
+
+    /// EXPAND SLO burn rate over the current stats window, ×100, from the
+    /// lock-free latency histogram alone — safe on the sharded tier's
+    /// routing/health path where [`Engine::stats`] (which takes the cache
+    /// lock) is off-limits.
+    pub fn expand_burn_x100(&self) -> u64 {
+        let snap = self.expand_hist.snapshot();
+        let target_ns = slo_for(SloVerb::Expand).target_p99_ns;
+        (crate::slo::burn_rate(snap.count_at_or_below(target_ns), snap.total()) * 100.0) as u64
     }
 
     /// The active degradation/admission policy.
@@ -1020,6 +1105,9 @@ where
         let cap = trace::capture();
         let out: Result<SessionId, EngineError> = (|| {
             let _sp = trace::span(Stage::OpenSession);
+            // Expired on arrival? Reject before the (possibly cold) tree
+            // build — the most expensive thing a dead request could buy.
+            self.deadline_reject()?;
             let t0 = trace::now_ns();
             let (tree, cuts, cache_hit) = self.tree_and_cuts_for(query)?;
             flightrec::note_cache(cache_hit);
@@ -1148,24 +1236,59 @@ where
         self.quarantine_session(id);
     }
 
-    /// Admission gate (DESIGN.md §5f): admit one EXPAND or shed with
+    /// Admission gate (DESIGN.md §5f/§5k): admit one EXPAND or shed with
     /// [`EngineError::Overloaded`]. The returned guard releases the slot
     /// on drop (panic-safe — a quarantined EXPAND still releases).
-    fn admit_expand(&self) -> Result<InflightGuard<'_>, EngineError> {
-        let limit = self.policy.max_inflight_expands;
-        // Relaxed: the gate is a saturation counter, not a lock; admitting
-        // one EXPAND too many under a torn race only means the bound is
-        // `limit + workers` in the worst case, which is fine for shedding.
-        let prev = self.inflight_expands.fetch_add(1, Ordering::Relaxed);
-        if limit != 0 && prev >= limit {
-            // Relaxed: undo the optimistic admit; same counter contract.
-            self.inflight_expands.fetch_sub(1, Ordering::Relaxed);
-            self.shed_expands.fetch_add(1, Ordering::Relaxed);
-            // Black-box moment (DESIGN.md §5j): the gate is shedding load.
-            flightrec::auto_dump("shed");
-            return Err(EngineError::Overloaded);
+    fn admit_expand(&self) -> Result<crate::admission::AdmitGuard<'_>, EngineError> {
+        match self.admission.try_admit() {
+            Some(guard) => Ok(guard),
+            None => {
+                // Relaxed: monotone statistics counter.
+                self.shed_expands.fetch_add(1, Ordering::Relaxed);
+                flightrec::note_shed(flightrec::SHED_QUEUE);
+                // Black-box moment (DESIGN.md §5j): the gate is shedding load.
+                flightrec::auto_dump("shed");
+                Err(EngineError::Overloaded)
+            }
         }
-        Ok(InflightGuard(&self.inflight_expands))
+    }
+
+    /// Deadline enforcement at the door (DESIGN.md §5k): if the request's
+    /// end-to-end deadline ([`flightrec::RequestCtx::deadline_ns`], 0 =
+    /// none) has already expired, reject typed before any solver, cache,
+    /// or session-table work happens.
+    fn deadline_reject(&self) -> Result<(), EngineError> {
+        let deadline = flightrec::current_deadline_ns();
+        if deadline != 0 && trace::now_ns() >= deadline {
+            // Relaxed: monotone statistics counter.
+            self.deadline_rejects.fetch_add(1, Ordering::Relaxed);
+            flightrec::note_shed(flightrec::SHED_DEADLINE);
+            return Err(EngineError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+
+    /// One AIMD step when due (DESIGN.md §5k): compare the EXPAND latency
+    /// window against the [`crate::slo::SLOS`] Expand target p99 and move
+    /// the admit limit. The `due` pre-check keeps the histogram snapshot
+    /// off the steady-state hot path (one snapshot per 25 ms per engine,
+    /// max).
+    fn adjust_admission(&self, now_ns: u64) {
+        if !self.policy.adaptive_admission || !self.admission.due(now_ns) {
+            return;
+        }
+        let target_ns = if self.policy.admission_target_ns != 0 {
+            self.policy.admission_target_ns
+        } else {
+            slo_for(SloVerb::Expand).target_p99_ns
+        };
+        let snap = self.expand_hist.snapshot();
+        self.admission.adjust(
+            now_ns,
+            snap.count_at_or_below(target_ns),
+            snap.total(),
+            self.policy.max_inflight_expands,
+        );
     }
 
     /// Decide whether this EXPAND degrades, and why — evaluated with the
@@ -1193,10 +1316,16 @@ where
             return Some(DegradeReason::Deadline);
         }
         // A request-scoped absolute deadline (wire [`flightrec::RequestCtx`])
-        // degrades the same way as the policy budget. 0 = no deadline in the
-        // context — the default, so reproduce passes stay bit-identical.
+        // degrades the same way as the policy budget, with headroom: if the
+        // remaining budget is smaller than the exact solver's expected cost
+        // the ladder answers *before* the deadline blows, not after. 0 = no
+        // deadline in the context — the default, so reproduce passes stay
+        // bit-identical.
         let ctx_deadline = flightrec::current_deadline_ns();
-        if ctx_deadline != 0 && trace::now_ns() >= ctx_deadline {
+        if ctx_deadline != 0
+            && trace::now_ns().saturating_add(self.policy.deadline_exact_headroom_ns)
+                >= ctx_deadline
+        {
             return Some(DegradeReason::Deadline);
         }
         None
@@ -1219,6 +1348,19 @@ where
             None => session.expand_cached(node, cuts).map(|r| (r, None)),
             Some(reason) => {
                 let _sp = trace::span(Stage::Degraded);
+                // Near-exhausted deadline budget: even the myopic rung is a
+                // risk, so jump straight to the constant-time static cut.
+                let ctx_deadline = flightrec::current_deadline_ns();
+                if ctx_deadline != 0
+                    && trace::now_ns().saturating_add(self.policy.deadline_static_headroom_ns)
+                        >= ctx_deadline
+                {
+                    let revealed = session.expand_static(node)?;
+                    // Relaxed: telemetry tally, nothing ordered through it.
+                    self.degraded_static.fetch_add(1, Ordering::Relaxed);
+                    flightrec::note_rung(flightrec::RUNG_STATIC);
+                    return Ok((revealed, Some(reason)));
+                }
                 match session.expand_degraded_memo(node) {
                     Some(Ok(revealed)) => {
                         // Relaxed: telemetry tally, nothing ordered through it.
@@ -1279,6 +1421,9 @@ where
         match isolated {
             Ok(Ok(laddered)) => {
                 self.expand_hist.record(ns);
+                // AIMD step (adaptive admission only): rate-limited by the
+                // gate itself, so steady state pays one `due` load here.
+                self.adjust_admission(trace::now_ns());
                 Ok((
                     laddered.map(|(revealed, degraded)| ExpandReply { revealed, degraded }),
                     ns,
@@ -1310,6 +1455,9 @@ where
         let cap = trace::capture();
         let out = (|| {
             let _sp = trace::span(Stage::Expand);
+            // Expired on arrival? Reject typed before touching the session
+            // table or any solver machinery (DESIGN.md §5k).
+            self.deadline_reject()?;
             let (slot, cuts) = self.session_and_cuts(id)?;
             let (result, _ns) = self.expand_on_slot(id, &slot, &cuts, node)?;
             result.map_err(EngineError::Cut)
@@ -1638,6 +1786,13 @@ where
             degraded_static: self.degraded_static.load(Ordering::Relaxed),
             // Relaxed: admission-shed tally, same snapshot semantics.
             shed_expands: self.shed_expands.load(Ordering::Relaxed),
+            // Relaxed: deadline-reject tally, same snapshot semantics.
+            deadline_rejects: self.deadline_rejects.load(Ordering::Relaxed),
+            // Breakers live in the sharded tier; the sharded stats merge
+            // overwrites these from its per-shard breakers.
+            breaker_rejects: 0,
+            admission_limit: self.admission.limit() as u64,
+            breaker_state: 0,
             expand_count: snap.total() as usize,
             expand_p50_us: pct(0.50),
             expand_p95_us: pct(0.95),
@@ -1688,6 +1843,7 @@ where
             // Relaxed: same independent-tally contract as the loads above.
             session_panics: self.session_panics.load(Ordering::Relaxed),
             sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
+            deadline_rejects: self.deadline_rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -1722,6 +1878,10 @@ where
         // Relaxed: same window-restart semantics as the stores above.
         self.degraded_static.store(0, Ordering::Relaxed);
         self.shed_expands.store(0, Ordering::Relaxed);
+        self.deadline_rejects.store(0, Ordering::Relaxed);
+        // The admission *limit* is controller state and survives the reset
+        // (like cached trees); only its latency window restarts.
+        self.admission.reset_window();
         // The SLO baselines reference the histograms reset above; the
         // flight recorder starts a fresh window and re-arms its
         // dump-once-per-reason latches.
@@ -1812,6 +1972,11 @@ mod tests {
             EngineError::Cut(EdgeCutError::NotAComponentRoot(crate::navtree::NavNodeId(
                 0,
             ))),
+            EngineError::DeadlineExceeded,
+            EngineError::BreakerOpen {
+                shard: 0,
+                retry_after_ns: 1,
+            },
         ];
         assert_eq!(samples.len(), EngineError::KIND_NAMES.len());
         for e in &samples {
@@ -2147,6 +2312,125 @@ mod tests {
         drop(g1);
         let _g3 = engine.admit_expand().unwrap();
         assert_eq!(engine.stats().shed_expands, 1, "freed slot admits again");
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_before_any_solver_work() {
+        // Regression (ISSUE 10): `RequestCtx.deadline_ns` must be enforced
+        // at the door — an already-expired wire request never reaches
+        // `Stage::Solve`, and its flight entry shows the typed rejection.
+        use crate::edgecut::counters;
+        let engine = fixture_engine();
+        let query = fixture_query(&engine);
+        let id = engine.open_session(&query).unwrap();
+
+        let rid = flightrec::mint_request_id();
+        let before = engine.stats().deadline_rejects;
+        counters::reset();
+        {
+            let _scope = flightrec::request_scope(
+                flightrec::RequestCtx {
+                    request_id: rid,
+                    session: None,
+                    deadline_ns: 1, // expired long before arrival
+                },
+                Verb::Expand,
+            );
+            assert!(matches!(
+                engine.expand(id, NavNodeId::ROOT),
+                Err(EngineError::DeadlineExceeded)
+            ));
+        }
+        assert_eq!(counters::partition_runs(), 0, "dead request partitioned");
+        assert_eq!(counters::plan_solves(), 0, "dead request reached a solver");
+        assert_eq!(engine.stats().deadline_rejects, before + 1);
+
+        let entry = flightrec::flight_snapshot()
+            .into_iter()
+            .find(|e| e.request_id == rid)
+            .expect("rejected request still reaches the flight ring");
+        assert_eq!(entry.shed_name(), "deadline");
+        assert_eq!(entry.error_name(), "deadline_exceeded");
+        assert_eq!(entry.stage_us[Stage::Solve as usize], 0, "solver span ran");
+        assert_eq!(entry.stage_us[Stage::Partition as usize], 0);
+
+        // The session itself is untouched: once the deadline clears (a
+        // fresh scope with none), the same EXPAND serves normally.
+        let reply = engine.expand(id, NavNodeId::ROOT).unwrap();
+        assert!(!reply.revealed.is_empty());
+        assert_eq!(reply.degraded, None);
+        engine.close_session(id).unwrap();
+    }
+
+    #[test]
+    fn near_deadline_requests_skip_straight_to_the_static_rung() {
+        // A live-but-tight deadline must not be burned on planning work:
+        // with the static headroom spanning the whole remaining budget the
+        // ladder answers with the constant-time static cut immediately.
+        let engine = fixture_engine().with_policy(DegradePolicy {
+            deadline_exact_headroom_ns: 3_600_000_000_000,
+            deadline_static_headroom_ns: 3_600_000_000_000,
+            ..DegradePolicy::default()
+        });
+        let query = fixture_query(&engine);
+        let id = engine.open_session(&query).unwrap();
+        let reply = {
+            let _scope = flightrec::request_scope(
+                flightrec::RequestCtx {
+                    request_id: flightrec::mint_request_id(),
+                    session: None,
+                    // Far enough out that the door check always passes,
+                    // inside both headrooms so the rung choice is
+                    // deterministic (no wall-clock race).
+                    deadline_ns: trace::now_ns() + 600_000_000_000,
+                },
+                Verb::Expand,
+            );
+            engine.expand(id, NavNodeId::ROOT).unwrap()
+        };
+        assert_eq!(reply.degraded, Some(DegradeReason::Deadline));
+        assert!(!reply.revealed.is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.degraded_static, 1, "static rung must answer");
+        assert_eq!(stats.degraded_myopic, 0, "myopic rung must be skipped");
+        assert_eq!(stats.deadline_rejects, 0, "the request was served");
+        engine.close_session(id).unwrap();
+    }
+
+    #[test]
+    fn adaptive_admission_halves_on_a_bad_window_and_creeps_back() {
+        use crate::admission::ADJUST_INTERVAL_NS;
+        let engine = fixture_engine().with_policy(DegradePolicy {
+            adaptive_admission: true,
+            max_inflight_expands: 8,
+            ..DegradePolicy::default()
+        });
+        assert_eq!(engine.admission_limit(), 8, "starts at the ceiling");
+
+        // A window entirely over the Expand SLO target halves the limit.
+        let target = slo_for(SloVerb::Expand).target_p99_ns;
+        for _ in 0..32 {
+            engine.expand_hist.record(target * 4);
+        }
+        let t1 = trace::now_ns().max(ADJUST_INTERVAL_NS);
+        engine.adjust_admission(t1);
+        assert_eq!(engine.admission_limit(), 4, "multiplicative decrease");
+
+        // A clean window probes back up by one (additive increase).
+        for _ in 0..32 {
+            engine.expand_hist.record(1_000);
+        }
+        engine.adjust_admission(t1 + ADJUST_INTERVAL_NS);
+        assert_eq!(engine.admission_limit(), 5, "additive increase");
+
+        // Without `adaptive_admission` the limit is pinned to the policy.
+        let static_engine = fixture_engine();
+        static_engine.adjust_admission(trace::now_ns().max(ADJUST_INTERVAL_NS));
+        assert_eq!(
+            static_engine.admission_limit(),
+            DegradePolicy::default().max_inflight_expands,
+            "static gate never moves"
+        );
     }
 
     #[test]

@@ -36,8 +36,10 @@
 #![forbid(unsafe_code)]
 
 pub mod active;
+pub mod admission;
 pub mod baseline;
 mod bitset;
+pub mod breaker;
 pub mod complexity;
 pub mod cost;
 pub mod edgecut;
@@ -56,7 +58,9 @@ pub mod telemetry;
 pub mod trace;
 
 pub use active::{ActiveTree, EdgeCut, EdgeCutError, VisNode};
+pub use admission::{AdmissionGate, ShedReason};
 pub use bitset::CitSet;
+pub use breaker::{Breaker, BreakerDecision, BreakerState};
 pub use cost::{CostParams, Planner};
 pub use engine::{
     DegradePolicy, DegradeReason, Engine, EngineError, ExpandReply, ScriptOp, ScriptOutcome,

@@ -29,6 +29,7 @@
 //! a lock here while calling into a shard's engine — the one shape that
 //! would re-serialize the tier.
 
+use crate::breaker::{Breaker, BreakerDecision, BreakerState, BASELINE_SLOTS};
 use crate::engine::{
     Engine, EngineError, ExpandReply, HealthCounters, ScriptOp, ScriptOutcome, ServeStats,
     SessionId, SharedTree,
@@ -37,6 +38,7 @@ use crate::navtree::NavNodeId;
 use crate::session::{Session, SessionState};
 use crate::trace;
 use crate::trace::export::{prometheus_text_views, MetricsView};
+use crate::trace::flightrec::{self, Verb};
 use crate::trace::StageStat;
 
 /// Virtual ring nodes per shard: enough that the keyspace split stays
@@ -142,21 +144,43 @@ pub struct HealthPolicy {
     pub max_degraded_expands: u64,
     /// Unhealthy at this many admission-shed EXPANDs in the window.
     pub max_shed_expands: u64,
+    /// Unhealthy when this many requests were rejected expired-on-arrival.
+    pub max_deadline_rejects: u64,
+    /// Unhealthy when the shard's EXPAND SLO burn rate ×100 reaches this
+    /// bound (e.g. 500 = burning error budget at 5× the objective).
+    pub max_expand_burn_x100: u64,
+    /// Enables the per-shard circuit breaker (DESIGN.md §5k): the base
+    /// open period in nanoseconds before a half-open probe is admitted
+    /// (plus up to 25 % seeded jitter). 0 keeps the PR 7 behavior — health
+    /// only *biases* cold-open placement; nothing trips or fast-fails.
+    pub breaker_open_ns: u64,
+    /// Seed for the breaker's deterministic probe-delay jitter (distinct
+    /// shards decorrelate by XOR-ing their index in).
+    pub breaker_seed: u64,
 }
 
 impl HealthPolicy {
-    /// Whether any enabled threshold trips for `h`.
+    /// Whether any enabled threshold trips for `h`. With the breaker
+    /// enabled, `h` is a *delta* since the last trip (see
+    /// [`ShardedEngine::shard_verdict`]), so a shard that degraded once
+    /// long ago is not condemned forever.
     fn unhealthy(&self, h: &HealthCounters) -> bool {
         (self.max_quarantined != 0 && h.sessions_quarantined >= self.max_quarantined)
             || (self.max_session_panics != 0 && h.session_panics >= self.max_session_panics)
             || (self.max_degraded_expands != 0 && h.degraded_expands >= self.max_degraded_expands)
             || (self.max_shed_expands != 0 && h.shed_expands >= self.max_shed_expands)
+            || (self.max_deadline_rejects != 0 && h.deadline_rejects >= self.max_deadline_rejects)
     }
 
     /// Whether any signal is enabled at all (short-circuits routing to the
     /// pure ring walk when the policy is the default no-op).
     fn enabled(&self) -> bool {
         *self != HealthPolicy::default()
+    }
+
+    /// Whether the circuit breaker is armed (0 = placement bias only).
+    fn breaker_enabled(&self) -> bool {
+        self.breaker_open_ns != 0
     }
 }
 
@@ -173,6 +197,9 @@ where
     /// after construction — routing is a lock-free binary search.
     ring: Vec<(u64, u16)>,
     health: HealthPolicy,
+    /// One circuit breaker per shard (all-atomic state machines; inert
+    /// until [`HealthPolicy::breaker_open_ns`] is set).
+    breakers: Vec<Breaker>,
 }
 
 impl<B> ShardedEngine<B>
@@ -213,10 +240,12 @@ where
             })
             .collect();
         ring.sort_unstable();
+        let breakers = (0..n_shards).map(|_| Breaker::new()).collect();
         ShardedEngine {
             shards,
             ring,
             health: HealthPolicy::default(),
+            breakers,
         }
     }
 
@@ -235,6 +264,67 @@ where
     /// chaos drills, and per-shard REPL commands.
     pub fn engine(&self, shard: usize) -> &Engine<B> {
         &self.shards[shard]
+    }
+
+    /// One shard's breaker (bounds-checked), for tests, chaos drills, and
+    /// the REPL's per-shard table.
+    pub fn breaker(&self, shard: usize) -> &Breaker {
+        &self.breakers[shard]
+    }
+
+    /// One shard's current breaker state (lock-free).
+    pub fn breaker_state(&self, shard: usize) -> BreakerState {
+        self.breakers[shard].state()
+    }
+
+    /// The health verdict for one shard plus the raw counters the breaker
+    /// pins as baselines at trip time. With the breaker armed, each
+    /// monotone counter is judged as a *delta since the last trip* (so a
+    /// shard recovers once the fault stops feeding the counters — an
+    /// absolute verdict would hold a breaker open forever). Quarantine is
+    /// a gauge, not a counter, and is always judged absolutely. The burn
+    /// signal reads the shard's lock-free EXPAND histogram directly; it is
+    /// only consulted here, on the open/placement path, never per-EXPAND.
+    fn shard_verdict(&self, shard: usize) -> (bool, [u64; BASELINE_SLOTS]) {
+        let h = self.shards[shard].health();
+        let counters = [
+            h.degraded_expands,
+            h.shed_expands,
+            h.session_panics,
+            h.deadline_rejects,
+        ];
+        let b = &self.breakers[shard];
+        let judged = HealthCounters {
+            degraded_expands: counters[0].saturating_sub(b.baseline(0)),
+            shed_expands: counters[1].saturating_sub(b.baseline(1)),
+            session_panics: counters[2].saturating_sub(b.baseline(2)),
+            deadline_rejects: counters[3].saturating_sub(b.baseline(3)),
+            sessions_quarantined: h.sessions_quarantined,
+        };
+        let mut sick = self.health.unhealthy(&judged);
+        if !sick && self.health.max_expand_burn_x100 != 0 {
+            sick = self.shards[shard].expand_burn_x100() >= self.health.max_expand_burn_x100;
+        }
+        (!sick, counters)
+    }
+
+    /// Drives shard `shard`'s breaker one step and reports whether it may
+    /// take traffic right now. Inert (always `Admit`) unless the policy
+    /// arms the breaker.
+    fn breaker_admit(&self, shard: usize) -> BreakerDecision {
+        if !self.health.breaker_enabled() {
+            return BreakerDecision::Admit;
+        }
+        let (healthy, counters) = self.shard_verdict(shard);
+        self.breakers[shard].admit(
+            trace::now_ns(),
+            healthy,
+            self.health.breaker_open_ns,
+            // Decorrelate per-shard probe jitter so N breakers tripped by
+            // one incident don't re-probe in lockstep.
+            self.health.breaker_seed ^ (shard as u64),
+            counters,
+        )
     }
 
     /// The ring position a query routes to, as an index into `self.ring`.
@@ -267,7 +357,16 @@ where
         }
         for k in 0..self.ring.len() {
             let shard = usize::from(self.ring[(start + k) % self.ring.len()].1);
-            if !self.health.unhealthy(&self.shards[shard].health()) {
+            let open = if self.health.breaker_enabled() {
+                // The placement probe doubles as the breaker's clock: a
+                // sick shard trips here (cold opens divert silently — the
+                // caller never sees an error), and after the open period a
+                // healthy one re-earns traffic through half-open probes.
+                matches!(self.breaker_admit(shard), BreakerDecision::Admit)
+            } else {
+                !self.health.unhealthy(&self.shards[shard].health())
+            };
+            if open {
                 return shard;
             }
         }
@@ -303,9 +402,31 @@ where
     }
 
     /// EXPAND on a parked session; routes by the id's shard field alone
-    /// (sticky — health bias never moves an existing session).
+    /// (sticky — health bias never moves an existing session). With the
+    /// breaker armed, a sticky EXPAND into an open breaker fast-fails with
+    /// a typed [`EngineError::BreakerOpen`] carrying a retry-after hint —
+    /// queueing work behind a sick shard is how overload spreads. CLOSE
+    /// and [`ShardedEngine::with_session`] bypass the breaker on purpose:
+    /// a draining shard must stay drainable.
     pub fn expand(&self, id: ShardSessionId, node: NavNodeId) -> Result<ExpandReply, EngineError> {
-        self.route_id(id)?.expand(id.local_id(), node)
+        let engine = self.route_id(id)?;
+        if self.health.breaker_enabled() {
+            if let BreakerDecision::Reject { retry_after_ns } = self.breaker_admit(id.shard()) {
+                // Record the refusal as a first-class flight entry: the
+                // recorder may have no scope yet (REPL/direct callers), so
+                // mint one; the proto tier's outer scope stays outermost.
+                let _scope = flightrec::ensure_scope(Verb::Expand);
+                flightrec::note_shard(id.shard());
+                flightrec::note_shed(flightrec::SHED_BREAKER);
+                let err = EngineError::BreakerOpen {
+                    shard: id.shard(),
+                    retry_after_ns,
+                };
+                flightrec::note_error(err.flight_code());
+                return Err(err);
+            }
+        }
+        engine.expand(id.local_id(), node)
     }
 
     /// Runs `f` against the parked session, like [`Engine::with_session`].
@@ -407,9 +528,13 @@ where
         self.shards[shard].health()
     }
 
-    /// One shard's full telemetry snapshot.
+    /// One shard's full telemetry snapshot, with the tier-owned breaker
+    /// fields patched in (the member engine can't see its breaker).
     pub fn shard_stats(&self, shard: usize) -> ServeStats {
-        self.shards[shard].stats()
+        let mut stats = self.shards[shard].stats();
+        stats.breaker_rejects = self.breakers[shard].rejects();
+        stats.breaker_state = self.breakers[shard].state() as u64;
+        stats
     }
 
     /// Per-shard exposition views (`shard="i"` labels), the raw material
@@ -419,7 +544,12 @@ where
         self.shards
             .iter()
             .enumerate()
-            .map(|(i, e)| e.metrics_view(format!("shard=\"{i}\"")))
+            .map(|(i, e)| {
+                let mut v = e.metrics_view(format!("shard=\"{i}\""));
+                v.stats.breaker_rejects = self.breakers[i].rejects();
+                v.stats.breaker_state = self.breakers[i].state() as u64;
+                v
+            })
             .collect()
     }
 
@@ -480,6 +610,12 @@ where
             degraded_myopic: sum(|s| s.degraded_myopic),
             degraded_static: sum(|s| s.degraded_static),
             shed_expands: sum(|s| s.shed_expands),
+            deadline_rejects: sum(|s| s.deadline_rejects),
+            breaker_rejects: sum(|s| s.breaker_rejects),
+            admission_limit: sum(|s| s.admission_limit),
+            // The worst shard's state: a tier with any open breaker reads
+            // "open" on the top-line gauge (per-shard truth is in views()).
+            breaker_state: per.iter().map(|s| s.breaker_state).max().unwrap_or(0),
             expand_count: expand.total() as usize,
             expand_p50_us: pct(0.50),
             expand_p95_us: pct(0.95),
@@ -890,6 +1026,146 @@ mod tests {
         let q = sharded.session_query(parked).unwrap();
         assert_eq!(q, *on_zero);
         sharded.close_session(parked).unwrap();
+    }
+
+    /// A 2-shard fixture where exactly one shard degrades every EXPAND
+    /// (exact budget floored to 1 node forces the myopic rung) — the
+    /// policy-driven way to make one shard sick without the fault
+    /// registry, which lib tests must not arm (see the NOTE below).
+    fn breaker_fixture() -> (
+        ShardedEngine<impl Fn(&str) -> Option<SharedTree> + Send + Sync>,
+        Vec<String>,
+        usize,
+    ) {
+        let (probe, labels) = fixture(2);
+        let sick = probe.shard_for_query(&labels[0]);
+        drop(probe);
+        let h =
+            Arc::new(synth::generate(&SynthConfig::small(5, sanitizer_scaled(300, 48))).unwrap());
+        let store = Arc::new(corpus::generate(
+            &h,
+            &CorpusConfig {
+                n_citations: sanitizer_scaled(400, 64),
+                ..CorpusConfig::default()
+            },
+        ));
+        let index = Arc::new(InvertedIndex::build(&store));
+        let sharded = ShardedEngine::new(2, |i| {
+            let h = Arc::clone(&h);
+            let store = Arc::clone(&store);
+            let index = Arc::clone(&index);
+            let engine = Engine::new(
+                move |query: &str| {
+                    let results = index.query(query).citations;
+                    if results.is_empty() {
+                        return None;
+                    }
+                    Some(Arc::new(NavigationTree::build(&h, &store, &results)))
+                },
+                CostParams::default(),
+                4,
+            );
+            if i == sick {
+                engine.with_policy(crate::engine::DegradePolicy {
+                    exact_node_budget: 1,
+                    ..crate::engine::DegradePolicy::default()
+                })
+            } else {
+                engine
+            }
+        })
+        .with_health_policy(HealthPolicy {
+            max_degraded_expands: 1,
+            // 200 ms open period: wide enough that the fast-fail asserts
+            // below always run while the breaker is still open (even on a
+            // loaded CI box), short enough to recover in-test.
+            breaker_open_ns: 200_000_000,
+            breaker_seed: 42,
+            ..HealthPolicy::default()
+        });
+        (sharded, labels, sick)
+    }
+
+    #[test]
+    fn breaker_trips_diverts_fast_fails_and_recovers() {
+        let (sharded, labels, sick) = breaker_fixture();
+        let well = 1 - sick;
+        let query = &labels[0];
+        assert_eq!(sharded.shard_for_query(query), sick);
+
+        // Healthy shard: placement is sticky, breaker closed.
+        assert_eq!(sharded.open_placement(query), sick);
+        assert_eq!(sharded.breaker_state(sick), BreakerState::Closed);
+
+        // Park a session and degrade one EXPAND on the sick shard.
+        let parked = sharded.open_session(query).unwrap();
+        assert_eq!(parked.shard(), sick);
+        let reply = sharded.expand(parked, NavNodeId::ROOT).unwrap();
+        assert!(reply.degraded.is_some(), "budget-1 shard must degrade");
+
+        // The next placement probe sees the unhealthy delta, trips the
+        // breaker, and diverts the cold open to the well shard.
+        assert_eq!(sharded.open_placement(query), well);
+        assert_eq!(sharded.breaker_state(sick), BreakerState::Open);
+        assert_eq!(sharded.breaker(sick).trips(), 1);
+        let diverted = sharded.open_session(query).unwrap();
+        assert_eq!(diverted.shard(), well);
+        sharded.close_session(diverted).unwrap();
+
+        // Sticky EXPANDs into the open breaker fast-fail typed, with a
+        // live retry hint — and never touch the shard engine.
+        let before = sharded.shard_stats(sick).expand_count;
+        match sharded.expand(parked, NavNodeId::ROOT) {
+            Err(EngineError::BreakerOpen {
+                shard,
+                retry_after_ns,
+            }) => {
+                assert_eq!(shard, sick);
+                assert!(retry_after_ns >= 1);
+            }
+            other => panic!("expected BreakerOpen, got {other:?}"),
+        }
+        assert_eq!(sharded.shard_stats(sick).expand_count, before);
+        assert!(sharded.shard_stats(sick).breaker_rejects >= 1);
+        assert_eq!(sharded.shard_stats(sick).breaker_state, 1);
+
+        // CLOSE bypasses the breaker: a sick shard stays drainable.
+        sharded.close_session(parked).unwrap();
+
+        // Recovery: the fault stops feeding counters (window reset → the
+        // delta vs. the trip baseline is zero), the probe delay passes,
+        // and three healthy probes re-close the breaker — placement snaps
+        // back to the sticky home shard.
+        sharded.reset_shard_stats(sick);
+        // Past the worst-case probe delay (open_ns + 25 % jitter).
+        std::thread::sleep(std::time::Duration::from_millis(260));
+        for _ in 0..crate::breaker::PROBES_TO_CLOSE {
+            assert_eq!(sharded.open_placement(query), sick);
+        }
+        assert_eq!(sharded.breaker_state(sick), BreakerState::Closed);
+        assert_eq!(sharded.open_placement(query), sick);
+
+        // The tier-wide merge surfaces the breaker plane.
+        let merged = sharded.stats();
+        assert!(merged.breaker_rejects >= 1);
+        assert_eq!(merged.breaker_state, 0, "recovered tier reads closed");
+        assert!(merged.admission_limit >= 2, "both shards' gates sum");
+    }
+
+    #[test]
+    fn disarmed_breaker_keeps_pr7_placement_bias_semantics() {
+        let (sharded, labels) = fixture(2);
+        let sharded = sharded.with_health_policy(HealthPolicy {
+            max_degraded_expands: 1,
+            ..HealthPolicy::default()
+        });
+        // breaker_open_ns = 0: nothing trips, nothing fast-fails.
+        let query = &labels[0];
+        let id = sharded.open_session(query).unwrap();
+        sharded.expand(id, NavNodeId::ROOT).unwrap();
+        assert_eq!(sharded.breaker_state(id.shard()), BreakerState::Closed);
+        assert_eq!(sharded.breaker(id.shard()).trips(), 0);
+        sharded.close_session(id).unwrap();
     }
 
     // NOTE: the fault-registry-arming reroute drill (quarantine shard 0 →

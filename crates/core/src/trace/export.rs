@@ -273,6 +273,57 @@ pub fn prometheus_text_views(views: &[MetricsView]) -> String {
             series: |s| vec![("", s.shed_expands)],
         },
         Family {
+            metric: "bionav_shed_total",
+            help: "Requests refused by the overload-control plane, by \
+                   typed reason (DESIGN.md \u{a7}5k).",
+            kind: "counter",
+            // Exhaustive over [`crate::admission::ShedReason`] so a new
+            // reason cannot ship without a series (label values are the
+            // variants' `name()` strings: queue = admission gate,
+            // deadline = expired on arrival, breaker = circuit open).
+            series: |s| {
+                crate::admission::ShedReason::ALL
+                    .iter()
+                    .map(|r| match r {
+                        crate::admission::ShedReason::Queue => ("reason=\"queue\"", s.shed_expands),
+                        crate::admission::ShedReason::Deadline => {
+                            ("reason=\"deadline\"", s.deadline_rejects)
+                        }
+                        crate::admission::ShedReason::Breaker => {
+                            ("reason=\"breaker\"", s.breaker_rejects)
+                        }
+                    })
+                    .collect()
+            },
+        },
+        Family {
+            metric: "bionav_deadline_rejects_total",
+            help: "Requests whose end-to-end deadline had already expired \
+                   on arrival (rejected before any solver work).",
+            kind: "counter",
+            series: |s| vec![("", s.deadline_rejects)],
+        },
+        Family {
+            metric: "bionav_admission_limit",
+            help: "Live admission-gate in-flight limit (the AIMD operating \
+                   point under adaptive admission, else the static cap).",
+            kind: "gauge",
+            series: |s| vec![("", s.admission_limit)],
+        },
+        Family {
+            metric: "bionav_breaker_state",
+            help: "Circuit-breaker state (0 = closed, 1 = open, \
+                   2 = half-open).",
+            kind: "gauge",
+            series: |s| vec![("", s.breaker_state)],
+        },
+        Family {
+            metric: "bionav_breaker_rejects_total",
+            help: "Requests fast-failed by an open circuit breaker.",
+            kind: "counter",
+            series: |s| vec![("", s.breaker_rejects)],
+        },
+        Family {
             metric: "bionav_session_panics_total",
             help: "Session operations that panicked and were caught \
                    (the session is quarantined).",
@@ -501,6 +552,10 @@ mod tests {
             degraded_myopic: 0,
             degraded_static: 0,
             shed_expands: 0,
+            deadline_rejects: 0,
+            breaker_rejects: 0,
+            admission_limit: 0,
+            breaker_state: 0,
             expand_count: 0,
             expand_p50_us: 0.0,
             expand_p95_us: 0.0,
@@ -567,6 +622,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn overload_plane_series_carry_shed_reasons_and_shard_labels() {
+        let mut stats = stats_fixture();
+        stats.shed_expands = 3;
+        stats.deadline_rejects = 7;
+        stats.breaker_rejects = 11;
+        stats.admission_limit = 42;
+        stats.breaker_state = 2;
+        let views = vec![MetricsView::new(
+            "shard=\"1\"".to_string(),
+            stats,
+            crate::telemetry::LatencyHistogram::new().snapshot(),
+            &StageMetrics::new(),
+        )];
+        let text = prometheus_text_views(&views);
+        // One series per ShedReason, every reason name present even when
+        // its counter is nonzero/zero — the exposition shape is stable.
+        for reason in crate::admission::ShedReason::ALL {
+            assert!(
+                text.contains(&format!(
+                    "bionav_shed_total{{shard=\"1\",reason=\"{}\"}}",
+                    reason.name()
+                )),
+                "missing shed reason series: {}",
+                reason.name()
+            );
+        }
+        assert!(text.contains("bionav_shed_total{shard=\"1\",reason=\"queue\"} 3"));
+        assert!(text.contains("bionav_shed_total{shard=\"1\",reason=\"deadline\"} 7"));
+        assert!(text.contains("bionav_shed_total{shard=\"1\",reason=\"breaker\"} 11"));
+        assert!(text.contains("bionav_deadline_rejects_total{shard=\"1\"} 7"));
+        assert!(text.contains("bionav_admission_limit{shard=\"1\"} 42"));
+        assert!(text.contains("bionav_breaker_state{shard=\"1\"} 2"));
+        assert!(text.contains("bionav_breaker_rejects_total{shard=\"1\"} 11"));
+        // Gauge/counter kinds are declared correctly, exactly once.
+        assert!(text.contains("# TYPE bionav_admission_limit gauge"));
+        assert!(text.contains("# TYPE bionav_breaker_state gauge"));
+        assert!(text.contains("# TYPE bionav_shed_total counter"));
     }
 
     #[test]

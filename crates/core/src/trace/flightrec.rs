@@ -142,6 +142,24 @@ fn rung_name(code: u8) -> &'static str {
     }
 }
 
+/// Shed-reason codes deposited by [`note_shed`]: each is the matching
+/// [`ShedReason`](crate::admission::ShedReason) discriminant plus one
+/// (0 = not shed).
+pub const SHED_QUEUE: u8 = crate::admission::ShedReason::Queue as u8 + 1;
+/// See [`SHED_QUEUE`].
+pub const SHED_DEADLINE: u8 = crate::admission::ShedReason::Deadline as u8 + 1;
+/// See [`SHED_QUEUE`].
+pub const SHED_BREAKER: u8 = crate::admission::ShedReason::Breaker as u8 + 1;
+
+fn shed_name(code: u8) -> &'static str {
+    match code {
+        SHED_QUEUE => crate::admission::ShedReason::Queue.name(),
+        SHED_DEADLINE => crate::admission::ShedReason::Deadline.name(),
+        SHED_BREAKER => crate::admission::ShedReason::Breaker.name(),
+        _ => "",
+    }
+}
+
 fn fault_site_name(code: u8) -> &'static str {
     if code == 0 {
         return "";
@@ -165,11 +183,12 @@ pub const STAGE_WORDS: usize = Stage::COUNT.div_ceil(2);
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
 
 /// Bit layout of a slot's packed `meta` word:
-/// `verb | shard+1 << 8 | cache << 24 | rung << 26 | error << 32 |
-///  fault << 40 | seq low 16 << 48`.
+/// `verb | shard+1 << 8 | cache << 24 | rung << 26 | shed << 28 |
+///  error << 32 | fault << 40 | seq low 16 << 48`.
 const SHARD_SHIFT: u32 = 8;
 const CACHE_SHIFT: u32 = 24;
 const RUNG_SHIFT: u32 = 26;
+const SHED_SHIFT: u32 = 28;
 const ERROR_SHIFT: u32 = 32;
 const FAULT_SHIFT: u32 = 40;
 const SEQ_SHIFT: u32 = 48;
@@ -188,6 +207,9 @@ pub struct RawSummary {
     pub cache: u8,
     /// Degradation rung ([`RUNG_MYOPIC`] / [`RUNG_STATIC`]; 0 = exact).
     pub rung: u8,
+    /// Typed shed reason ([`SHED_QUEUE`] / [`SHED_DEADLINE`] /
+    /// [`SHED_BREAKER`]; 0 = not shed).
+    pub shed: u8,
     /// [`crate::engine::EngineError`] flight code (0 = ok).
     pub error: u8,
     /// Fired [`crate::fault::FailSite`] plus one (0 = none).
@@ -204,6 +226,7 @@ impl RawSummary {
             | (u64::from(self.shard_p1) << SHARD_SHIFT)
             | (u64::from(self.cache & 0b11) << CACHE_SHIFT)
             | (u64::from(self.rung & 0b11) << RUNG_SHIFT)
+            | (u64::from(self.shed & 0b11) << SHED_SHIFT)
             | (u64::from(self.error) << ERROR_SHIFT)
             | (u64::from(self.fault) << FAULT_SHIFT)
             | ((seq & 0xffff) << SEQ_SHIFT)
@@ -225,6 +248,8 @@ pub struct FlightEntry {
     pub cache_hit: Option<bool>,
     /// Degradation rung code (0 = exact; see [`FlightEntry::rung_name`]).
     pub rung: u8,
+    /// Shed-reason code (0 = not shed; see [`FlightEntry::shed_name`]).
+    pub shed: u8,
     /// Error flight code (0 = ok; see [`FlightEntry::error_name`]).
     pub error: u8,
     /// Fired fault site plus one (0 = none; see
@@ -240,6 +265,11 @@ impl FlightEntry {
     /// `"myopic"` / `"static"` / `""`.
     pub fn rung_name(&self) -> &'static str {
         rung_name(self.rung)
+    }
+
+    /// `"queue"` / `"deadline"` / `"breaker"` / `""` (not shed).
+    pub fn shed_name(&self) -> &'static str {
+        shed_name(self.shed)
     }
 
     /// Stable error kind name, `""` when the request succeeded.
@@ -394,6 +424,7 @@ impl FlightRing {
                     _ => None,
                 },
                 rung: ((meta >> RUNG_SHIFT) & 0b11) as u8,
+                shed: ((meta >> SHED_SHIFT) & 0b11) as u8,
                 error: ((meta >> ERROR_SHIFT) & 0xff) as u8,
                 fault: ((meta >> FAULT_SHIFT) & 0xff) as u8,
                 total_ns,
@@ -434,6 +465,8 @@ pub struct FlightRecord {
     pub cache: String,
     /// `"myopic"` / `"static"` / `""` (exact answer).
     pub rung: String,
+    /// Shed reason name, `""` when the request was not shed.
+    pub shed: String,
     /// Error kind name, `""` on success.
     pub error: String,
     /// Fired fault site name, `""` when no failpoint fired.
@@ -468,6 +501,7 @@ impl FlightRecord {
             }
             .to_string(),
             rung: e.rung_name().to_string(),
+            shed: e.shed_name().to_string(),
             error: e.error_name().to_string(),
             fault_site: e.fault_site_name().to_string(),
             total_us: e.total_ns as f64 / 1_000.0,
@@ -539,6 +573,7 @@ struct Pending {
     shard_p1: u16,
     cache: u8,
     rung: u8,
+    shed: u8,
     error: u8,
     fault: u8,
     stage_ns: [u64; Stage::COUNT],
@@ -555,6 +590,7 @@ impl Pending {
         shard_p1: 0,
         cache: 0,
         rung: 0,
+        shed: 0,
         error: 0,
         fault: 0,
         stage_ns: [0; Stage::COUNT],
@@ -638,6 +674,7 @@ impl Drop for RequestScope {
                 shard_p1: p.shard_p1,
                 cache: p.cache,
                 rung: p.rung,
+                shed: p.shed,
                 error: p.error,
                 fault: p.fault,
                 total_ns,
@@ -728,6 +765,17 @@ pub fn note_rung(rung: u8) {
 /// Interleave stub of [`note_rung`].
 #[cfg(interleave)]
 pub fn note_rung(_rung: u8) {}
+
+/// Note the typed shed reason the request is refused with
+/// ([`SHED_QUEUE`] / [`SHED_DEADLINE`] / [`SHED_BREAKER`]).
+#[cfg(not(interleave))]
+pub fn note_shed(code: u8) {
+    with_active(|p| p.shed = code);
+}
+
+/// Interleave stub of [`note_shed`].
+#[cfg(interleave)]
+pub fn note_shed(_code: u8) {}
 
 /// Note the typed error the request is about to return (an
 /// [`crate::engine::EngineError`] flight code).
@@ -884,6 +932,7 @@ mod tests {
             shard_p1: 0,
             cache: 0,
             rung: 0,
+            shed: 0,
             error: 0,
             fault: 0,
             total_ns: 5_000,
@@ -898,6 +947,7 @@ mod tests {
         s.shard_p1 = 3;
         s.cache = 2;
         s.rung = RUNG_STATIC;
+        s.shed = SHED_DEADLINE;
         s.error = 5;
         s.fault = crate::fault::FailSite::SolverEntry as u8 + 1;
         s.total_ns = 1_234_000;
@@ -913,6 +963,7 @@ mod tests {
         assert_eq!(e.shard, Some(2));
         assert_eq!(e.cache_hit, Some(false));
         assert_eq!(e.rung_name(), "static");
+        assert_eq!(e.shed_name(), "deadline");
         assert_eq!(e.fault_site_name(), "solver_entry");
         assert_eq!(e.total_ns, 1_234_000);
         assert_eq!(e.stage_us[Stage::Solve as usize], 900);
@@ -955,6 +1006,34 @@ mod tests {
         assert_eq!(parsed[0].stages.len(), 1);
         assert_eq!(parsed[0].stages[0].stage, "open_session");
         assert_eq!(parsed[0].stages[0].us, 42.0);
+    }
+
+    #[test]
+    fn shed_codes_decode_to_reason_names() {
+        use crate::admission::ShedReason;
+        let ring = FlightRing::new(8);
+        for (code, _reason) in [
+            (SHED_QUEUE, ShedReason::Queue),
+            (SHED_DEADLINE, ShedReason::Deadline),
+            (SHED_BREAKER, ShedReason::Breaker),
+        ] {
+            let mut s = raw(u64::from(code), Verb::Expand);
+            s.shed = code;
+            ring.push(&s);
+        }
+        let entries = ring.snapshot();
+        assert_eq!(entries.len(), 3);
+        for (e, reason) in
+            entries
+                .iter()
+                .zip([ShedReason::Queue, ShedReason::Deadline, ShedReason::Breaker])
+        {
+            assert_eq!(e.shed, reason as u8 + 1);
+            assert_eq!(e.shed_name(), reason.name());
+        }
+        // An un-shed entry decodes to the empty reason.
+        assert_eq!(raw(1, Verb::Open).shed, 0);
+        assert_eq!(shed_name(0), "");
     }
 
     #[test]

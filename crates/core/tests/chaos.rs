@@ -28,8 +28,8 @@ use bionav_core::fault::{self, FailSite, Fault, FaultPlan, INJECTED_PANIC_PREFIX
 use bionav_core::session::SessionState;
 use bionav_core::trace::flightrec;
 use bionav_core::{
-    CostParams, DegradePolicy, DegradeReason, Engine, EngineError, HealthPolicy, NavNodeId,
-    NavigationTree, RequestCtx, ScriptOp, ShardedEngine, SharedTree, Verb,
+    BreakerState, CostParams, DegradePolicy, DegradeReason, Engine, EngineError, HealthPolicy,
+    NavNodeId, NavigationTree, RequestCtx, ScriptOp, ShardedEngine, SharedTree, Verb,
 };
 use bionav_medline::corpus::{self, CorpusConfig};
 use bionav_medline::InvertedIndex;
@@ -941,6 +941,127 @@ fn health_bias_reroutes_cold_opens_and_snaps_back() {
     sharded.close_session(doomed).expect("quarantined drains");
     assert_eq!(sharded.shard_health(0).sessions_quarantined, 0);
     assert_eq!(sharded.open_placement(&on_zero), 0, "bias must lift");
+    let merged = sharded.stats();
+    assert_eq!(merged.sessions_active, 0);
+    assert_eq!(merged.sessions_opened, merged.sessions_closed);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker: the shard-scoped slow-shard drill (DESIGN.md §5k)
+// ---------------------------------------------------------------------------
+
+/// The slow-shard drill: a shard-0-scoped Deadline storm at the solver
+/// entry degrades every shard-0 EXPAND onto the ladder, which trips
+/// *only* shard 0's breaker. While the storm is still armed, shard-1-homed
+/// jobs replay bit-identical to an unarmed reference tier and shard 1's
+/// health counters never move; sticky EXPANDs into the open breaker
+/// fast-fail typed with a live retry hint without touching the shard
+/// engine; and once the storm lifts, the jittered probe schedule re-closes
+/// the breaker and placement snaps back to the home shard.
+#[test]
+fn slow_shard_storm_trips_only_its_own_breaker_and_recovers() {
+    let _serial = chaos_lock();
+    let sharded = fixture_sharded(2).with_health_policy(HealthPolicy {
+        max_degraded_expands: 1,
+        // 200 ms open period: wide enough that the fast-fail asserts below
+        // run while the breaker is still open (even on a loaded CI box),
+        // short enough to recover in-test.
+        breaker_open_ns: 200_000_000,
+        breaker_seed: chaos_seed(),
+        ..HealthPolicy::default()
+    });
+    let homes = queries_by_home_shard(&sharded, 4);
+    let on_zero = homes[0][0].clone();
+
+    // Ground truth for the healthy shard: an unarmed reference tier
+    // replays the shard-1-homed job tape.
+    let well_jobs: Vec<(String, Vec<ScriptOp>)> = homes[1]
+        .iter()
+        .cloned()
+        .map(|q| (q, vec![ScriptOp::ExpandFully]))
+        .collect();
+    let reference: Vec<_> = fixture_sharded(2)
+        .replay(&well_jobs, 2)
+        .into_iter()
+        .map(|r| r.expect("unarmed replay completes every job"))
+        .collect();
+
+    let parked = sharded.open_session(&on_zero).unwrap();
+    assert_eq!(parked.shard(), 0, "sticky home placement before the storm");
+
+    let armed = fault::scoped(
+        FaultPlan::new(chaos_seed())
+            .site(FailSite::SolverEntry, 1, Fault::Deadline)
+            .only_shard(0),
+    );
+
+    // The slow shard *degrades* (the ladder answers); it does not error.
+    let reply = sharded.expand(parked, NavNodeId::ROOT).unwrap();
+    assert_eq!(reply.degraded, Some(DegradeReason::Fault));
+    assert!(!reply.revealed.is_empty());
+
+    // The next placement probe sees the degrade delta and trips only the
+    // faulted shard's breaker; cold opens divert to the well shard.
+    assert_eq!(sharded.open_placement(&on_zero), 1);
+    assert_eq!(sharded.breaker_state(0), BreakerState::Open);
+    assert_eq!(sharded.breaker(0).trips(), 1);
+    assert_eq!(sharded.breaker_state(1), BreakerState::Closed);
+    assert_eq!(sharded.breaker(1).trips(), 0);
+
+    // Sticky EXPANDs into the open breaker fast-fail typed with a live
+    // retry hint — and never reach the shard engine. (Checked right after
+    // the trip, well inside the 200 ms open period; the slower replay
+    // drill below would otherwise outlast the probe delay.)
+    let before = sharded.shard_stats(0).expand_count;
+    match sharded.expand(parked, NavNodeId::ROOT) {
+        Err(EngineError::BreakerOpen {
+            shard,
+            retry_after_ns,
+        }) => {
+            assert_eq!(shard, 0);
+            assert!(retry_after_ns >= 1, "retry hint must be live");
+        }
+        other => panic!("expected BreakerOpen, got {other:?}"),
+    }
+    assert_eq!(sharded.shard_stats(0).expand_count, before);
+    assert!(sharded.shard_stats(0).breaker_rejects >= 1);
+
+    // Blast radius: with the storm still armed, the well shard serves the
+    // whole tape bit-identical to the unarmed reference, and its health
+    // counters never move.
+    let stormy: Vec<_> = sharded
+        .replay(&well_jobs, 2)
+        .into_iter()
+        .map(|r| r.expect("well-shard replay completes under the storm"))
+        .collect();
+    for (i, (a, b)) in reference.iter().zip(&stormy).enumerate() {
+        assert_eq!(a.cost, b.cost, "well job {i}: cost diverged");
+        assert_eq!(b.degraded_expands, 0, "well job {i}: degraded");
+    }
+    assert_eq!(
+        sharded.shard_health(1).degraded_expands,
+        0,
+        "the storm leaked across shards"
+    );
+
+    // CLOSE bypasses the breaker: the sick shard stays drainable.
+    sharded.close_session(parked).unwrap();
+
+    // The storm lifts; stale counters reset; past the worst-case probe
+    // delay (open_ns + 25 % jitter), PROBES_TO_CLOSE healthy probes
+    // re-close the breaker and placement snaps back to the home shard.
+    drop(armed);
+    sharded.reset_shard_stats(0);
+    std::thread::sleep(std::time::Duration::from_millis(260));
+    for _ in 0..bionav_core::breaker::PROBES_TO_CLOSE {
+        assert_eq!(sharded.open_placement(&on_zero), 0);
+    }
+    assert_eq!(sharded.breaker_state(0), BreakerState::Closed);
+    assert_eq!(
+        sharded.open_placement(&on_zero),
+        0,
+        "placement snapped back"
+    );
     let merged = sharded.stats();
     assert_eq!(merged.sessions_active, 0);
     assert_eq!(merged.sessions_opened, merged.sessions_closed);

@@ -14,7 +14,13 @@
 //! 5. the [`ShardedEngine`] tier (DESIGN.md §5h): concurrent open / route /
 //!    close across two shards keeps every per-shard and merged gauge
 //!    balanced, and a health-bias flip racing an in-flight cold open never
-//!    deadlocks, strands, or misroutes a session.
+//!    deadlocks, strands, or misroutes a session,
+//! 6. the overload plane (DESIGN.md §5k): the
+//!    [`bionav_core::admission::AdmissionGate`] under racing
+//!    admit / release / AIMD-adjust (books balance, limit stays in
+//!    `[1, ceiling]`), and the [`bionav_core::breaker::Breaker`] under
+//!    racing trip/admit verdicts and post-delay probe elections (one trip
+//!    per CAS, no torn baselines, probes accumulate without lost updates).
 //!
 //! Compiled and run only under `RUSTFLAGS='--cfg interleave'`, which swaps
 //! `bionav_core`'s sync shim onto the vendored `interleave` model checker:
@@ -535,6 +541,149 @@ fn sharded_health_bias_flip_vs_inflight_open() {
 }
 
 // ---------------------------------------------------------------------------
+// 3c. Overload plane: admission gate and circuit breaker (DESIGN.md §5k)
+// ---------------------------------------------------------------------------
+
+/// Concurrent `try_admit` / guard-drop / AIMD `adjust` against one
+/// [`AdmissionGate`]: in every schedule the books must balance (in-flight
+/// returns to zero once all guards drop), an admitted+shed pair can never
+/// exceed the attempts, and the AIMD step — wherever the scheduler lands
+/// it between the optimistic increments — must keep the limit inside
+/// `[1, ceiling]`.
+#[test]
+fn admission_gate_admit_release_adjust_races() {
+    use bionav_core::admission::{AdmissionGate, ADJUST_INTERVAL_NS};
+    explore(
+        "admission_gate_admit_release_adjust_races",
+        Config::default(),
+        || {
+            let gate = Arc::new(AdmissionGate::new(1));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let gate = Arc::clone(&gate);
+                    interleave::thread::spawn(move || {
+                        // One admit attempt; the guard (if any) drops at
+                        // scope end, releasing the slot panic-safely.
+                        gate.try_admit().is_some()
+                    })
+                })
+                .collect();
+            // An over-budget window races the admits: multiplicative
+            // decrease may land before, between, or after them.
+            gate.adjust(ADJUST_INTERVAL_NS, 0, 100, 4);
+            let admitted = workers
+                .into_iter()
+                .map(|w| w.join().unwrap())
+                .filter(|&b| b)
+                .count();
+            assert!(admitted <= 2, "admitted more than attempted");
+            assert_eq!(gate.inflight(), 0, "books must balance after drops");
+            let limit = gate.limit();
+            assert!(
+                (1..=4).contains(&limit),
+                "AIMD limit left [1, ceiling]: {limit}"
+            );
+        },
+    );
+}
+
+/// Two racing verdicts against one [`Breaker`] — one healthy, one
+/// unhealthy, at the same instant: whatever order the scheduler picks, the
+/// state must land on a real state code, at most one trip is recorded (the
+/// CAS serializes the transition), the reject count matches the rejected
+/// callers exactly, and the baselines are the trip winner's snapshot —
+/// never a torn mix.
+#[test]
+fn breaker_racing_trip_and_admit() {
+    use bionav_core::breaker::{Breaker, BreakerDecision, BreakerState};
+    explore("breaker_racing_trip_and_admit", Config::default(), || {
+        let breaker = Arc::new(Breaker::new());
+        const OPEN_NS: u64 = 1_000_000;
+        let workers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let breaker = Arc::clone(&breaker);
+                interleave::thread::spawn(move || {
+                    let healthy = t == 0;
+                    // Distinct per-writer baselines so a torn snapshot
+                    // (slots from different writers) is detectable.
+                    let base = [10 + t; bionav_core::breaker::BASELINE_SLOTS];
+                    matches!(
+                        breaker.admit(100, healthy, OPEN_NS, 7, base),
+                        BreakerDecision::Reject { .. }
+                    )
+                })
+            })
+            .collect();
+        let rejected = workers
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .filter(|&b| b)
+            .count() as u64;
+        let state = breaker.state();
+        assert!(
+            matches!(state, BreakerState::Closed | BreakerState::Open),
+            "state must be a real code, got {state:?}"
+        );
+        // The unhealthy verdict always trips (the healthy caller may admit
+        // before or after, but never un-trips a just-opened breaker).
+        assert_eq!(state, BreakerState::Open, "the unhealthy verdict trips");
+        assert_eq!(breaker.trips(), 1, "the CAS serializes to one trip");
+        assert_eq!(breaker.rejects(), rejected, "rejects match the callers");
+        // Baselines are one writer's snapshot, not a torn mix: the tripper
+        // is the unhealthy writer (t == 1), so every slot reads 11.
+        for slot in 0..bionav_core::breaker::BASELINE_SLOTS {
+            assert_eq!(breaker.baseline(slot), 11, "torn baseline at {slot}");
+        }
+    });
+}
+
+/// An open breaker racing two probe candidates at the same post-delay
+/// instant: at most one may transition open → half-open (both may then be
+/// admitted as probes — legal — but the state machine must never land
+/// outside the three real states, and healthy probes must accumulate
+/// toward close without a lost update).
+#[test]
+fn breaker_racing_probes_after_the_delay() {
+    use bionav_core::breaker::{probe_delay_ns, Breaker, BreakerState, PROBES_TO_CLOSE};
+    explore(
+        "breaker_racing_probes_after_the_delay",
+        Config::default(),
+        || {
+            const OPEN_NS: u64 = 1_000_000;
+            const SEED: u64 = 7;
+            let breaker = Arc::new(Breaker::new());
+            let no_base = [0u64; bionav_core::breaker::BASELINE_SLOTS];
+            breaker.admit(0, false, OPEN_NS, SEED, no_base);
+            assert_eq!(breaker.state(), BreakerState::Open);
+            let probe_at = probe_delay_ns(OPEN_NS, SEED, 1);
+            let probes: Vec<_> = (0..2u64)
+                .map(|_| {
+                    let breaker = Arc::clone(&breaker);
+                    interleave::thread::spawn(move || {
+                        breaker.admit(probe_at, true, OPEN_NS, SEED, no_base)
+                    })
+                })
+                .collect();
+            for p in probes {
+                p.join().unwrap();
+            }
+            let state = breaker.state();
+            assert!(
+                matches!(state, BreakerState::HalfOpen | BreakerState::Closed),
+                "post-delay probes must leave open, got {state:?}"
+            );
+            // No lost update on the probe tally: two healthy probes landed;
+            // one more must close it in every schedule.
+            for _ in 0..PROBES_TO_CLOSE {
+                breaker.admit(probe_at + 1, true, OPEN_NS, SEED, no_base);
+            }
+            assert_eq!(breaker.state(), BreakerState::Closed);
+            assert_eq!(breaker.trips(), 1, "probing never re-trips a healthy shard");
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
 // 4. Trace ring (DESIGN.md §5e)
 // ---------------------------------------------------------------------------
 
@@ -659,6 +808,7 @@ fn flight_ring_concurrent_writers_and_snapshot() {
                             shard_p1: t as u16 + 1,
                             cache: 0,
                             rung: 0,
+                            shed: 0,
                             error: 0,
                             fault: 0,
                             total_ns: (100 + t) * 1_000,

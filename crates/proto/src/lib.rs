@@ -170,6 +170,17 @@ pub enum Reply {
         /// Human-readable cause.
         message: String,
     },
+    /// The request was refused by the overload-control plane (an open
+    /// shard circuit breaker) and is worth retrying — unlike
+    /// [`Reply::Error`], this carries a server-computed backoff hint.
+    /// The connection stays open.
+    Throttled {
+        /// Human-readable cause.
+        message: String,
+        /// Suggested minimum backoff before retrying, in milliseconds
+        /// (always ≥ 1 — a zero hint would invite a tight retry loop).
+        retry_after_ms: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -522,6 +533,10 @@ mod tests {
             },
             Reply::Error {
                 message: "unknown session 7:9".into(),
+            },
+            Reply::Throttled {
+                message: "shard 3 circuit breaker is open".into(),
+                retry_after_ms: 125,
             },
         ];
         for reply in all {

@@ -21,7 +21,9 @@
 //! * [`build`] — turns specifications into a hierarchy + citation store +
 //!   keyword index ([`Workload`]), at full or reduced scale;
 //! * [`eval`] — runs the §VIII evaluation: static vs BioNav navigation
-//!   cost (Figs 8–9), expansion timings (Figs 10–11), Table I statistics.
+//!   cost (Figs 8–9), expansion timings (Figs 10–11), Table I statistics;
+//! * [`openloop`] — Poisson/Zipf/Markov open-loop arrival schedules for
+//!   the serving-tier overload experiments (coordinated-omission-safe).
 //!
 //! ```
 //! use bionav_workload::{Workload, WorkloadConfig};
@@ -38,8 +40,13 @@
 
 pub mod build;
 pub mod eval;
+pub mod openloop;
 pub mod spec;
 
 pub use build::{PreparedQuery, QueryRun, Workload, WorkloadConfig};
 pub use eval::{evaluate, evaluate_query, QueryEval, Table1Row};
+pub use openloop::{
+    served_p99_us, shed_fraction, OpenLoopConfig, SessionOp, SessionOutcome, SessionPlan,
+    SessionStep,
+};
 pub use spec::{paper_queries, QuerySpec, TargetSpec};

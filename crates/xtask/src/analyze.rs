@@ -17,8 +17,9 @@
 //!   arms the exporters consume, `EngineError` variants vs construction
 //!   sites and tests, `Request` variants vs the request-context plane
 //!   (mapped in `serve.rs::verb_of`, flight-recorder scope minted outside
-//!   the wire path), `SloVerb` variants vs the exporter feed and tests.
-//!   Emitted as machine-readable JSON (`--json`).
+//!   the wire path), `SloVerb` variants vs the exporter feed and tests,
+//!   `ShedReason` variants vs the Prometheus exposition / flight-recorder
+//!   shed codes / tests. Emitted as machine-readable JSON (`--json`).
 //!
 //! Every pass takes `(path, source)` pairs, so the meta-tests feed seeded
 //! violations through the same code path CI runs. Path *hints* (e.g.
@@ -56,7 +57,8 @@ pub const ANALYSES: &[Analysis] = &[
         id: "coverage",
         summary: "assurance matrix: FailSite vs chaos tests, Stage vs ALL/name()/exporters, \
                   EngineError vs construction sites and tests, Request vs the request-context \
-                  plane (verb_of + flight-recorder scope), SloVerb vs exporter feed and tests",
+                  plane (verb_of + flight-recorder scope), SloVerb vs exporter feed and tests, \
+                  ShedReason vs exposition/flight-recorder/tests",
     },
 ];
 
@@ -821,6 +823,66 @@ pub fn coverage(model: &Model) -> (Vec<Finding>, Matrix) {
         });
     }
 
+    // ShedReason: every typed overload-shed reason must be rendered by the
+    // Prometheus exposition (the exhaustive `bionav_shed_total` series match
+    // in trace/export.rs), mapped by the flight recorder (the SHED_* code
+    // and name arm in trace/flightrec.rs), and named by a test — otherwise
+    // a shed path exists that operators cannot see.
+    if let Some(def) = model.enum_def("ShedReason", "core/src/admission.rs") {
+        let def_path = model.files[def.file].path.clone();
+        let mut rows = Vec::new();
+        for (variant, line) in &def.variants {
+            let exported = model
+                .refs("ShedReason", variant, "trace/export.rs")
+                .any(|r| !r.in_test);
+            let flight_recorded = model
+                .refs("ShedReason", variant, "trace/flightrec.rs")
+                .any(|r| !r.in_test);
+            let in_test = model.refs("ShedReason", variant, "").any(|r| r.in_test);
+            if !exported {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "ShedReason::{variant} has no series in the bionav_shed_total \
+                         exposition (trace/export.rs) — this shed path is invisible to \
+                         Prometheus"
+                    ),
+                });
+            }
+            if !flight_recorded {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "ShedReason::{variant} has no flight-recorder shed code \
+                         (trace/flightrec.rs) — shed sessions of this kind leave no \
+                         per-request trace"
+                    ),
+                });
+            }
+            if !in_test {
+                findings.push(Finding {
+                    path: def_path.clone(),
+                    line: *line,
+                    rule: "coverage",
+                    message: format!(
+                        "ShedReason::{variant} is not named by any test — its shed \
+                         accounting is unverified"
+                    ),
+                });
+            }
+            rows.push((variant.clone(), vec![exported, flight_recorded, in_test]));
+        }
+        matrix.families.push(Family {
+            name: "ShedReason",
+            columns: &["exported", "flight_recorded", "tested"],
+            rows,
+        });
+    }
+
     (findings, matrix)
 }
 
@@ -874,6 +936,59 @@ mod tests {
         assert_eq!(report.findings[0].rule, "lock-order");
         assert!(report.findings[0].message.contains("Engine::cache"));
         assert!(report.findings[0].message.contains("Engine::flights"));
+    }
+
+    #[test]
+    fn shed_reason_family_flags_the_missing_exposition_leg() {
+        let admission = (
+            "crates/core/src/admission.rs",
+            "pub enum ShedReason {\n\
+                 Queue,\n\
+                 Deadline,\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn names() {\n\
+                     let _ = (ShedReason::Queue, ShedReason::Deadline);\n\
+                 }\n\
+             }\n",
+        );
+        let flightrec = (
+            "crates/core/src/trace/flightrec.rs",
+            "pub const SHED_QUEUE: u8 = ShedReason::Queue as u8 + 1;\n\
+             pub const SHED_DEADLINE: u8 = ShedReason::Deadline as u8 + 1;\n",
+        );
+        // Exposition renders Queue but forgot Deadline: exactly one gap.
+        let export = (
+            "crates/core/src/trace/export.rs",
+            "fn series() { let _ = ShedReason::Queue; }\n",
+        );
+        let report = analyze_files(&files(&[admission, flightrec, export]));
+        let shed: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.message.contains("ShedReason"))
+            .collect();
+        assert_eq!(shed.len(), 1, "{:?}", report.findings);
+        assert!(shed[0].message.contains("Deadline"), "{:?}", shed[0]);
+        assert!(
+            shed[0].message.contains("bionav_shed_total"),
+            "{:?}",
+            shed[0]
+        );
+        let fam = report
+            .matrix
+            .families
+            .iter()
+            .find(|f| f.name == "ShedReason")
+            .expect("family");
+        assert_eq!(fam.columns, &["exported", "flight_recorded", "tested"]);
+        assert_eq!(fam.rows[0], ("Queue".to_string(), vec![true, true, true]));
+        assert_eq!(
+            fam.rows[1],
+            ("Deadline".to_string(), vec![false, true, true])
+        );
     }
 
     #[test]
